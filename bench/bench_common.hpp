@@ -1,0 +1,57 @@
+#pragma once
+// Shared CLI plumbing for the paper-reproduction bench binaries.
+//
+// Common flags:
+//   --apps=lcs,lu,cholesky,fw,sw   subset of benchmarks
+//   --reps=N                       repetitions per configuration (paper: 10)
+//   --scale=F                      shrink the default grids (0 < F <= 1)
+//   --threads=a,b,c                thread counts for scaling sweeps
+//   --seed=S                       fault-plan seed
+//   --n-<app>, --block-<app>       explicit size overrides per app
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/app_config.hpp"
+#include "apps/app_registry.hpp"
+#include "support/cli.hpp"
+
+namespace ftdag {
+
+struct BenchOptions {
+  std::vector<std::string> apps;
+  std::vector<int> threads;
+  int reps = 5;
+  double scale = 1.0;
+  std::uint64_t seed = 12345;
+};
+
+inline BenchOptions parse_bench_options(const Cli& cli,
+                                        const char* default_threads = "1,2,4") {
+  BenchOptions o;
+  for (const std::string& a : cli.get_list("apps", "lcs,lu,cholesky,fw,sw"))
+    o.apps.push_back(a);
+  for (const std::string& t : cli.get_list("threads", default_threads))
+    o.threads.push_back(static_cast<int>(std::strtol(t.c_str(), nullptr, 10)));
+  o.reps = static_cast<int>(cli.get_int("reps", 5));
+  o.scale = cli.get_double("scale", 1.0);
+  o.seed = static_cast<std::uint64_t>(cli.get_int("seed", 12345));
+  return o;
+}
+
+inline AppConfig config_for(const Cli& cli, const BenchOptions& o,
+                            const std::string& app) {
+  AppConfig cfg = scale_config(default_config(app), o.scale);
+  cfg.n = cli.get_int("n-" + app, cfg.n);
+  cfg.block = cli.get_int("block-" + app, cfg.block);
+  return cfg;
+}
+
+inline void print_header(const char* what, const char* paper_ref) {
+  std::printf("=== ftdag reproduction: %s ===\n", what);
+  std::printf("Paper reference: %s (Kurt et al., SC 2014)\n\n", paper_ref);
+}
+
+}  // namespace ftdag

@@ -1,0 +1,134 @@
+// Google-benchmark microbenchmarks for the runtime substrates: deque ops,
+// hash-map ops, bit vector, recovery table, pool spawn throughput, and
+// per-task executor overhead (the constant behind the paper's "no overhead
+// without faults" claim).
+
+#include <benchmark/benchmark.h>
+
+#include "apps/random_dag.hpp"
+#include "concurrent/atomic_bitset.hpp"
+#include "concurrent/chase_lev_deque.hpp"
+#include "concurrent/sharded_map.hpp"
+#include "core/ft_executor.hpp"
+#include "core/recovery_table.hpp"
+#include "nabbit/executor.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace ftdag {
+namespace {
+
+void BM_DequePushPop(benchmark::State& state) {
+  ChaseLevDeque<int*> d;
+  int item = 42;
+  for (auto _ : state) {
+    d.push(&item);
+    int* out = nullptr;
+    benchmark::DoNotOptimize(d.pop(out));
+  }
+}
+BENCHMARK(BM_DequePushPop);
+
+void BM_DequeStealUncontended(benchmark::State& state) {
+  ChaseLevDeque<int*> d;
+  int item = 42;
+  for (auto _ : state) {
+    d.push(&item);
+    int* out = nullptr;
+    benchmark::DoNotOptimize(d.steal(out));
+  }
+}
+BENCHMARK(BM_DequeStealUncontended);
+
+void BM_ShardedMapInsertAbsent(benchmark::State& state) {
+  ShardedMap<int> m;
+  MapKey key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.insert_if_absent(key++, [] { return new int(1); }));
+  }
+}
+BENCHMARK(BM_ShardedMapInsertAbsent);
+
+void BM_ShardedMapFindHit(benchmark::State& state) {
+  ShardedMap<int> m;
+  for (MapKey k = 0; k < 4096; ++k)
+    m.insert_if_absent(k, [] { return new int(1); });
+  MapKey key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.find(key));
+    key = (key + 1) & 4095;
+  }
+}
+BENCHMARK(BM_ShardedMapFindHit);
+
+void BM_AtomicBitsetUnset(benchmark::State& state) {
+  AtomicBitset bits(64);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bits.fetch_unset(i & 63));
+    if ((++i & 63) == 0) bits.set_all();
+  }
+}
+BENCHMARK(BM_AtomicBitsetUnset);
+
+void BM_RecoveryTableClaim(benchmark::State& state) {
+  RecoveryTable r;
+  std::uint64_t life = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.is_recovering(7, life));
+    ++life;
+  }
+}
+BENCHMARK(BM_RecoveryTableClaim);
+
+void BM_PoolSpawnThroughput(benchmark::State& state) {
+  WorkStealingPool pool(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    pool.run_to_quiescence([&] {
+      for (int i = 0; i < 1000; ++i) pool.spawn([] {});
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 1001);
+}
+BENCHMARK(BM_PoolSpawnThroughput)->Arg(1)->Arg(4);
+
+// Per-task scheduling overhead of the two executors on a graph whose tasks
+// do almost no work: baseline vs FT, the microscopic version of Figure 4.
+void run_executor_bench(benchmark::State& state, bool ft) {
+  RandomDagSpec spec;
+  spec.layers = 32;
+  spec.width = 32;
+  spec.extra_degree = 2;
+  spec.work_iters = 0;
+  RandomDagProblem app(spec);
+  (void)app.reference_checksum();
+  WorkStealingPool pool(static_cast<unsigned>(state.range(0)));
+  NabbitExecutor base;
+  FaultTolerantExecutor tolerant;
+  for (auto _ : state) {
+    app.reset_data();
+    if (ft)
+      benchmark::DoNotOptimize(tolerant.execute(app, pool));
+    else
+      benchmark::DoNotOptimize(base.execute(app, pool));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(app.node_count()));
+}
+
+void BM_BaselinePerTask(benchmark::State& state) {
+  run_executor_bench(state, false);
+}
+BENCHMARK(BM_BaselinePerTask)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_FaultTolerantPerTask(benchmark::State& state) {
+  run_executor_bench(state, true);
+}
+BENCHMARK(BM_FaultTolerantPerTask)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ftdag
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+// Reproduces Table I: per-benchmark configuration and task-graph structure
+// (matrix size N, block size B, total tasks T, total dependences E, critical
+// path length S), plus the degree bound and storage footprint the analysis
+// of Section V depends on.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "graph/graph_metrics.hpp"
+#include "support/table.hpp"
+
+using namespace ftdag;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  BenchOptions opt = parse_bench_options(cli);
+  cli.check_unknown();
+
+  print_header("Table I - benchmark task graph structure",
+               "Table I: N, B, T (tasks), E (dependences), S (span)");
+
+  Table t({"bench", "N", "B", "T", "E", "S", "max-deg", "sources",
+           "storage(KB)"});
+  for (const std::string& name : opt.apps) {
+    AppConfig cfg = config_for(cli, opt, name);
+    auto app = make_app(name, cfg);
+    GraphMetrics m = analyze_graph(*app);
+    const std::size_t deg = std::max(m.max_in_degree, m.max_out_degree);
+    t.add_row({name, strf("%lldx%lld", (long long)cfg.n, (long long)cfg.n),
+               strf("%lldx%lld", (long long)cfg.block, (long long)cfg.block),
+               strf("%zu", m.tasks), strf("%zu", m.edges), strf("%zu", m.span),
+               strf("%zu", deg), strf("%zu", m.sources),
+               strf("%zu", app->block_store().total_storage_bytes() / 1024)});
+  }
+  t.print();
+  std::printf(
+      "\nNote: configurations are scaled from the paper's (10K-class inputs\n"
+      "on 44 cores) to seconds-per-run on this machine; the graph *shapes*\n"
+      "(wavefront, stage, in-place chains) and the S ~ T relationships are\n"
+      "preserved. Paper values for comparison: LCS T=65536 E=195585 S=510;\n"
+      "LU T=173880 E=508760 S=238; Cholesky T=88560 E=255960 S=238;\n"
+      "FW T=64000 E=308880 S=120; SW T=132650 E=262600 S=1475.\n");
+  return 0;
+}

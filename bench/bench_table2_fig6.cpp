@@ -1,0 +1,86 @@
+// Reproduces Table II and Figure 6: failures injected in the AFTER-NOTIFY
+// phase. Their cost is intrinsically timing-dependent — a failed task whose
+// successors all finished is never recovered; one whose output has been
+// partially overwritten triggers chains — so the paper reports the measured
+// re-execution statistics (avg/min/max/std, Table II) and the resulting
+// overheads (Fig. 6) rather than planned counts.
+//
+// Scenarios: fixed loss (512-analog) on v=0 / v=rand / v=last, plus 2% and
+// 5% fractions on v=rand.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "fault/fault_plan.hpp"
+#include "harness/experiment.hpp"
+#include "support/table.hpp"
+
+using namespace ftdag;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  BenchOptions opt = parse_bench_options(cli, "1");
+  const double count_frac = cli.get_double("count-frac", 0.01);
+  cli.check_unknown();
+
+  print_header(
+      "Table II + Figure 6 - after-notify failures",
+      "Table II: re-executed-task stats; Fig. 6: after-notify overheads");
+
+  struct Scen {
+    VictimType type;
+    double fraction;  // 0 = use the fixed count
+    const char* label;
+  };
+  const Scen scens[] = {{VictimType::kVersionZero, 0.0, "fixed,v=0"},
+                        {VictimType::kVersionRand, 0.0, "fixed,v=rand"},
+                        {VictimType::kVersionLast, 0.0, "fixed,v=last"},
+                        {VictimType::kVersionRand, 0.02, "2%,v=rand"},
+                        {VictimType::kVersionRand, 0.05, "5%,v=rand"}};
+  const int threads = opt.threads.front();
+
+  Table t({"bench", "scenario", "intended", "avg", "min", "max", "std",
+           "overhead(%)"});
+  for (const std::string& name : opt.apps) {
+    AppConfig cfg = config_for(cli, opt, name);
+    auto app = make_app(name, cfg);
+    (void)app->reference_checksum();
+    WorkStealingPool pool(static_cast<unsigned>(threads));
+    RepeatedRuns clean = run_ft(*app, pool, opt.reps);
+    const double base = clean.mean_seconds();
+    FaultPlanner planner(*app);
+    const std::uint64_t fixed = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               count_frac * static_cast<double>(planner.total_tasks())));
+
+    for (const Scen& sc : scens) {
+      FaultPlanSpec spec;
+      spec.phase = FaultPhase::kAfterNotify;
+      spec.type = sc.type;
+      if (sc.fraction > 0)
+        spec.target_fraction = sc.fraction;
+      else
+        spec.target_count = fixed;
+      spec.seed = opt.seed;
+      FaultPlan plan = planner.plan(spec);
+      PlannedFaultInjector injector(plan.faults);
+      // Vary the seed across repetitions like the paper's repeated trials:
+      // the plan is fixed, but scheduling nondeterminism moves the counts.
+      RepeatedRuns faulty = run_ft(*app, pool, opt.reps, &injector);
+      const Summary re = faulty.reexecution_summary();
+      t.add_row({name, sc.label,
+                 strf("%llu", (unsigned long long)plan.intended_reexecutions),
+                 strf("%.0f", re.mean), strf("%.0f", re.min),
+                 strf("%.0f", re.max), strf("%.1f", re.stddev),
+                 strf("%+.2f", overhead_pct(base, faulty.mean_seconds()))});
+    }
+  }
+  t.print();
+  std::printf(
+      "\nExpected shape (paper's Table II): v=last chains dominate for the\n"
+      "full-reuse benchmarks (LU, Cholesky, SW) with large spread; LCS is\n"
+      "flat across types (single assignment, <=3 uses per block); measured\n"
+      "counts may under-run the intent when successors finished first.\n");
+  return 0;
+}

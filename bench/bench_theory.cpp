@@ -1,0 +1,89 @@
+// Validates the Section V performance analysis empirically: a randomized
+// work-stealing scheduler completes a computation with work T1 and span
+// T_inf in O(T1/P + T_inf) time (Theorem 2 reduces to the plain NABBIT
+// bound when there are no failures). The serial executor measures T1 (total
+// compute time) and T_inf (the weighted critical path); we then report the
+// measured parallel times against the T1/P + T_inf yardstick.
+//
+// With faults, Theorem 2's a-posteriori bound adds the re-executed work: we
+// report T1' = T1 + (re-executed fraction) and the same comparison.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "fault/fault_plan.hpp"
+#include "harness/experiment.hpp"
+#include "nabbit/serial_executor.hpp"
+#include "support/table.hpp"
+
+using namespace ftdag;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  BenchOptions opt = parse_bench_options(cli, "1,2,4");
+  cli.check_unknown();
+
+  print_header("Section V - completion time vs the T1/P + T_inf bound",
+               "Theorem 2 / the NABBIT bound O(T1/P + T_inf min{P,d})");
+
+  Table t({"bench", "T1(s)", "Tinf(s)", "parallelism", "P", "measured(s)",
+           "T1/P+Tinf(s)", "ratio"});
+  for (const std::string& name : opt.apps) {
+    AppConfig cfg = config_for(cli, opt, name);
+    auto app = make_app(name, cfg);
+    (void)app->reference_checksum();
+
+    SerialExecutor serial;
+    app->reset_data();
+    SerialReport sr = serial.execute(*app);
+
+    for (int threads : opt.threads) {
+      WorkStealingPool pool(static_cast<unsigned>(threads));
+      RepeatedRuns ft = run_ft(*app, pool, opt.reps);
+      const double bound = sr.t1 / threads + sr.t_inf;
+      t.add_row({name, strf("%.3f", sr.t1), strf("%.3f", sr.t_inf),
+                 strf("%.1f", sr.t1 / sr.t_inf), strf("%d", threads),
+                 strf("%.3f", ft.mean_seconds()), strf("%.3f", bound),
+                 strf("%.2f", ft.mean_seconds() / bound)});
+    }
+  }
+  t.print();
+
+  // Theorem 2's a-posteriori bound with failures: each node A executed
+  // N(A) times contributes N(A) copies of its work, i.e. T1 grows by the
+  // re-executed fraction. Run one faulty configuration per app at P=1.
+  std::printf("\nWith failures (after-compute, v=rand, 5%% loss, P=1):\n");
+  Table tf({"bench", "reexec", "T1'(s)", "measured(s)", "T1'+Tinf(s)",
+            "ratio"});
+  for (const std::string& name : opt.apps) {
+    AppConfig cfg = config_for(cli, opt, name);
+    auto app = make_app(name, cfg);
+    (void)app->reference_checksum();
+    SerialExecutor serial;
+    app->reset_data();
+    SerialReport sr = serial.execute(*app);
+
+    FaultPlanner planner(*app);
+    FaultPlanSpec spec;
+    spec.phase = FaultPhase::kAfterCompute;
+    spec.type = VictimType::kVersionRand;
+    spec.target_fraction = 0.05;
+    spec.seed = opt.seed;
+    PlannedFaultInjector injector(planner.plan(spec).faults);
+    WorkStealingPool pool(1);
+    RepeatedRuns faulty = run_ft(*app, pool, opt.reps, &injector);
+    const double re = faulty.reexecution_summary().mean;
+    const double t1p =
+        sr.t1 * (1.0 + re / static_cast<double>(sr.tasks));
+    tf.add_row({name, strf("%.0f", re), strf("%.3f", t1p),
+                strf("%.3f", faulty.mean_seconds()), strf("%.3f", t1p + sr.t_inf),
+                strf("%.2f", faulty.mean_seconds() / (t1p + sr.t_inf))});
+  }
+  tf.print();
+  std::printf(
+      "\nThe bound holds when `ratio` stays below a small scheduler constant\n"
+      "(~1-2x at P=1). On this single-core container, P>1 rows oversubscribe\n"
+      "one core, so measured times track T1, not T1/P; on a real multicore\n"
+      "the ratio stays O(1) as P grows - that is the paper's Theorem 2.\n");
+  return 0;
+}

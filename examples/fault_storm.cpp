@@ -1,0 +1,70 @@
+// Fault storm: arbitrary numbers of failures, including failures during
+// recovery, on an irregular random DAG.
+//
+// Demonstrates the paper's strongest claim (Guarantee 6 + Theorem 1): the
+// execution converges to the exact fault-free result no matter how many
+// tasks fail or when. Sweeps fault density from 0% to 100% of tasks with
+// mixed before-compute / after-compute / after-notify injection points and
+// prints the recovery work at each level.
+//
+// Usage: fault_storm [--layers=16] [--width=16] [--threads=4] [--seed=3]
+
+#include <cstdio>
+#include <vector>
+
+#include "apps/random_dag.hpp"
+#include "fault/fault_injector.hpp"
+#include "harness/experiment.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "support/xoshiro.hpp"
+
+using namespace ftdag;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  RandomDagSpec spec;
+  spec.layers = static_cast<int>(cli.get_int("layers", 16));
+  spec.width = static_cast<int>(cli.get_int("width", 16));
+  spec.extra_degree = static_cast<int>(cli.get_int("degree", 3));
+  spec.work_iters = static_cast<int>(cli.get_int("work", 2000));
+  spec.seed = static_cast<std::uint64_t>(cli.get_int("seed", 3));
+  const int threads = static_cast<int>(cli.get_int("threads", 4));
+  cli.check_unknown();
+
+  RandomDagProblem problem(spec);
+  std::vector<TaskKey> keys;
+  problem.all_tasks(keys);
+  std::printf("random DAG: %d layers x %d nodes, %zu tasks, %d threads\n\n",
+              spec.layers, spec.width, keys.size(), threads);
+
+  WorkStealingPool pool(static_cast<unsigned>(threads));
+  Table t({"faulty-tasks", "injected", "caught", "recoveries", "re-executed",
+           "time(s)", "result"});
+  for (int pct : {0, 10, 25, 50, 75, 100}) {
+    // Mixed-phase plan over pct% of all tasks.
+    Xoshiro256 rng(spec.seed + pct);
+    std::vector<TaskKey> shuffled = keys;
+    for (std::size_t i = shuffled.size(); i > 1; --i)
+      std::swap(shuffled[i - 1], shuffled[rng.below(i)]);
+    std::vector<PlannedFault> faults;
+    const std::size_t count = shuffled.size() * pct / 100;
+    for (std::size_t i = 0; i < count; ++i)
+      faults.push_back(
+          {shuffled[i], static_cast<FaultPhase>(rng.below(3)), 1});
+    PlannedFaultInjector injector(std::move(faults));
+
+    RepeatedRuns runs = run_ft(problem, pool, 1, &injector);  // validates
+    const ExecReport& r = runs.reports[0];
+    t.add_row({strf("%d%%", pct), strf("%llu", (unsigned long long)r.injected),
+               strf("%llu", (unsigned long long)r.faults_caught),
+               strf("%llu", (unsigned long long)r.recoveries),
+               strf("%llu", (unsigned long long)r.re_executed),
+               strf("%.3f", r.seconds), "exact"});
+  }
+  t.print();
+  std::printf(
+      "\nEvery row's result checksum matched the sequential reference\n"
+      "(run_ft aborts otherwise) - the paper's Theorem 1 in action.\n");
+  return 0;
+}

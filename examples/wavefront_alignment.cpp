@@ -1,0 +1,68 @@
+// Wavefront sequence alignment: Smith-Waterman with memory reuse.
+//
+// The motivating workload from the paper's benchmark set: a blocked local
+// sequence alignment whose boundary buffers are recycled along diagonal
+// chains (storage O(W) boundaries instead of O(W^2)). Demonstrates the
+// dynamic task graph expanding from the sink, and the reuse-induced
+// recovery chains when a fault strikes a task deep in a version chain.
+//
+// Usage: wavefront_alignment [--n=4096] [--block=128] [--threads=4]
+//                            [--inject] [--seed=9]
+
+#include <cstdio>
+
+#include "apps/smith_waterman.hpp"
+#include "fault/fault_plan.hpp"
+#include "graph/graph_metrics.hpp"
+#include "harness/experiment.hpp"
+#include "support/cli.hpp"
+
+using namespace ftdag;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  AppConfig cfg;
+  cfg.n = cli.get_int("n", 4096);
+  cfg.block = cli.get_int("block", 128);
+  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 9));
+  const int threads = static_cast<int>(cli.get_int("threads", 4));
+  const bool inject = cli.get_bool("inject", true);
+  cli.check_unknown();
+
+  SmithWatermanProblem problem(cfg);
+  const GraphMetrics m = analyze_graph(problem);
+  std::printf(
+      "Smith-Waterman: sequences of length %lld, %lldx%lld blocks\n"
+      "task graph: %zu tasks, %zu dependences, span %zu\n"
+      "reused boundary storage: %zu KB (single-assignment would need %zu KB)\n",
+      (long long)cfg.n, (long long)cfg.block, (long long)cfg.block, m.tasks,
+      m.edges, m.span, problem.block_store().total_storage_bytes() / 1024,
+      m.tasks * (2 * cfg.block + 1) * sizeof(std::int32_t) / 1024);
+
+  WorkStealingPool pool(static_cast<unsigned>(threads));
+  RepeatedRuns clean = run_ft(problem, pool, 1);
+  std::printf("\nbest local alignment score: %d  (%.3fs, %d threads)\n",
+              problem.best_score(), clean.mean_seconds(), threads);
+
+  if (inject) {
+    // Fault on a v=last task: with full reuse, recovering it re-executes
+    // the producers of every earlier version of its diagonal chain.
+    FaultPlanner planner(problem);
+    FaultPlanSpec spec;
+    spec.phase = FaultPhase::kAfterCompute;
+    spec.type = VictimType::kVersionLast;
+    spec.target_count = 1;
+    spec.seed = cfg.seed;
+    FaultPlan plan = planner.plan(spec);
+    PlannedFaultInjector injector(plan.faults);
+    RepeatedRuns faulty = run_ft(problem, pool, 1, &injector);
+    const ExecReport& r = faulty.reports[0];
+    std::printf(
+        "single v=last fault: score=%d (unchanged), %llu tasks re-executed\n"
+        "  (the version chain of the victim's diagonal), %.3fs (%+.1f%%)\n",
+        problem.best_score(), (unsigned long long)r.re_executed,
+        faulty.mean_seconds(),
+        overhead_pct(clean.mean_seconds(), faulty.mean_seconds()));
+  }
+  return 0;
+}

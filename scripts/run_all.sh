@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full reproduction driver: build, test, run every paper bench and the
+# ablations, capturing outputs exactly as EXPERIMENTS.md references them.
+#
+# Usage: scripts/run_all.sh [extra bench flags, e.g. --scale=0.5 --reps=3]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/bench_table1 build/bench/bench_fig4 \
+           build/bench/bench_fig5a build/bench/bench_fig5b \
+           build/bench/bench_table2_fig6 build/bench/bench_fig7 \
+           build/bench/bench_theory build/bench/bench_ablation_retention \
+           build/bench/bench_ablation_checkpoint; do
+    echo "##### $b"
+    "$b" "$@"
+    echo
+  done
+  echo "##### build/bench/bench_micro"
+  build/bench/bench_micro --benchmark_min_time=0.05s
+} 2>&1 | tee bench_output.txt

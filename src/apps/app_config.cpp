@@ -1,0 +1,35 @@
+#include "apps/app_config.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace ftdag {
+
+AppConfig default_config(const std::string& app) {
+  // Paper (Table I)          ->  scaled default here
+  // LCS      512K x 512K / 2K   8192 x 8192 / 128  (grid 64, T 4096)
+  // SW         6K x 6K  / 128   6144 x 6144 / 128  (grid 48, T 2304)
+  // FW         5K x 5K  / 128    640 x 640  / 40   (grid 16, T 4097)
+  // LU        10K x 10K / 128   1024 x 1024 / 64   (grid 16, T ~1500)
+  // Cholesky  10K x 10K / 128   1280 x 1280 / 64   (grid 20, T ~1540)
+  if (app == "lcs") return {8192, 128, 42};
+  if (app == "sw") return {6144, 128, 42};
+  if (app == "fw") return {640, 40, 42};
+  if (app == "lu") return {1024, 64, 42};
+  if (app == "cholesky") return {1280, 64, 42};
+  if (app == "rand") return {256, 16, 42};  // random-DAG property app
+  FTDAG_ASSERT(false, "unknown app name");
+  return {};
+}
+
+AppConfig scale_config(AppConfig cfg, double scale) {
+  if (scale >= 1.0) return cfg;
+  const std::int64_t grid = std::max<std::int64_t>(
+      2, static_cast<std::int64_t>(std::llround(cfg.grid() * scale)));
+  cfg.n = grid * cfg.block;
+  return cfg;
+}
+
+}  // namespace ftdag

@@ -1,0 +1,36 @@
+#pragma once
+// Benchmark configuration: problem size N, block size B, input seed.
+//
+// The paper's Table I configurations (10K-class matrices, 128-blocks,
+// 64K-174K tasks) target a 48-core machine; the defaults here are scaled so
+// each benchmark runs in seconds on one core while keeping the same task
+// graph *shapes* (grid/wavefront/stage structure, version-chain depths).
+// Everything is overridable from the bench CLIs.
+
+#include <cstdint>
+#include <string>
+
+namespace ftdag {
+
+struct AppConfig {
+  std::int64_t n = 0;      // matrix dimension / sequence length
+  std::int64_t block = 0;  // block edge length
+  std::uint64_t seed = 42; // input-data seed
+
+  // Memory strategy override (Section VI evaluated both): -1 keeps the
+  // app's default (reuse: SW/LU/Cholesky retention 1, FW retention 2, LCS
+  // single assignment); 0 forces single assignment (every version kept).
+  // Each app validates which depths its dependence structure supports.
+  std::int64_t retention = -1;
+
+  std::int64_t grid() const { return n / block; }  // blocks per side
+};
+
+// Default configuration per app name (lcs, sw, fw, lu, cholesky).
+AppConfig default_config(const std::string& app);
+
+// Proportionally shrinks a configuration (scale <= 1 shrinks the grid while
+// keeping the block size), for fast test/CI runs.
+AppConfig scale_config(AppConfig cfg, double scale);
+
+}  // namespace ftdag

@@ -1,0 +1,37 @@
+#include "apps/app_registry.hpp"
+
+#include "apps/cholesky.hpp"
+#include "apps/floyd_warshall.hpp"
+#include "apps/lcs.hpp"
+#include "apps/lu.hpp"
+#include "apps/random_dag.hpp"
+#include "apps/smith_waterman.hpp"
+#include "support/assert.hpp"
+
+namespace ftdag {
+
+const std::vector<std::string>& paper_benchmarks() {
+  static const std::vector<std::string> names = {"lcs", "lu", "cholesky", "fw",
+                                                 "sw"};
+  return names;
+}
+
+std::unique_ptr<TaskGraphProblem> make_app(const std::string& name,
+                                           const AppConfig& cfg) {
+  if (name == "lcs") return std::make_unique<LcsProblem>(cfg);
+  if (name == "sw") return std::make_unique<SmithWatermanProblem>(cfg);
+  if (name == "fw") return std::make_unique<FloydWarshallProblem>(cfg);
+  if (name == "lu") return std::make_unique<LuProblem>(cfg);
+  if (name == "cholesky") return std::make_unique<CholeskyProblem>(cfg);
+  if (name == "rand") {
+    RandomDagSpec spec;
+    spec.layers = static_cast<int>(cfg.grid());
+    spec.width = static_cast<int>(cfg.grid());
+    spec.seed = cfg.seed;
+    return std::make_unique<RandomDagProblem>(spec);
+  }
+  FTDAG_ASSERT(false, "unknown app name");
+  return nullptr;
+}
+
+}  // namespace ftdag

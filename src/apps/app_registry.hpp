@@ -1,0 +1,21 @@
+#pragma once
+// Factory for the paper's five benchmarks (plus the random-DAG test app).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/app_config.hpp"
+#include "graph/task_graph_problem.hpp"
+
+namespace ftdag {
+
+// Names of the five paper benchmarks in the order they appear in Table I.
+const std::vector<std::string>& paper_benchmarks();
+
+// Builds the named problem with the given configuration. Aborts on unknown
+// names (names are validated CLI input in the bench harness).
+std::unique_ptr<TaskGraphProblem> make_app(const std::string& name,
+                                           const AppConfig& cfg);
+
+}  // namespace ftdag

@@ -1,0 +1,214 @@
+#include "apps/cholesky.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+#include "support/xoshiro.hpp"
+
+namespace ftdag {
+
+void cholesky_potrf_kernel(int b, double* out) {
+  for (int t = 0; t < b; ++t) {
+    out[t * b + t] = std::sqrt(out[t * b + t]);
+    const double d = out[t * b + t];
+    for (int r = t + 1; r < b; ++r) out[r * b + t] /= d;
+    for (int c = t + 1; c < b; ++c) {
+      const double l = out[c * b + t];
+      for (int r = c; r < b; ++r) out[r * b + c] -= out[r * b + t] * l;
+    }
+  }
+}
+
+void cholesky_trsm_kernel(int b, const double* in, double* out,
+                          const double* diag) {
+  // out = in * (L^T)^-1 with L = lower factor in `diag`. Column order:
+  // column t reads only already-written columns < t, so in/out may alias.
+  for (int t = 0; t < b; ++t) {
+    for (int r = 0; r < b; ++r) {
+      double v = in[r * b + t];
+      for (int s = 0; s < t; ++s) v -= out[r * b + s] * diag[t * b + s];
+      out[r * b + t] = v / diag[t * b + t];
+    }
+  }
+}
+
+void cholesky_gemm_kernel(int b, const double* in, double* out,
+                          const double* li, const double* lj) {
+  for (int r = 0; r < b; ++r) {
+    for (int c = 0; c < b; ++c) {
+      double v = in[r * b + c];
+      for (int t = 0; t < b; ++t) v -= li[r * b + t] * lj[c * b + t];
+      out[r * b + c] = v;
+    }
+  }
+}
+
+CholeskyProblem::CholeskyProblem(const AppConfig& cfg)
+    : cfg_(cfg),
+      w_(static_cast<int>(cfg.grid())),
+      b_(static_cast<int>(cfg.block)) {
+  FTDAG_ASSERT(cfg.n % cfg.block == 0, "n must be a multiple of block");
+
+  // Symmetric diagonally dominant matrix: positive definite.
+  Xoshiro256 rng(cfg.seed);
+  const std::size_t n = static_cast<std::size_t>(cfg.n);
+  input_.resize(n * n);
+  auto cell = [&](std::size_t u, std::size_t v) -> double& {
+    // Blocked layout: block (u/b, v/b), element (u%b, v%b).
+    const std::size_t bi = u / b_, bj = v / b_;
+    return input_[(bi * w_ + bj) * b_ * b_ + (u % b_) * b_ + (v % b_)];
+  };
+  for (std::size_t u = 0; u < n; ++u) {
+    cell(u, u) = static_cast<double>(cfg.n) + 1.0 + rng.uniform01();
+    for (std::size_t v = u + 1; v < n; ++v) {
+      const double val = rng.uniform01() * 2.0 - 1.0;
+      cell(u, v) = val;
+      cell(v, u) = val;
+    }
+  }
+
+  // Same retention flexibility as LU.
+  const Version keep =
+      cfg.retention < 0 ? 1 : static_cast<Version>(cfg.retention);
+  FTDAG_ASSERT(keep <= 2, "Cholesky supports retention 0, 1 or 2");
+  store_.set_retention(keep);
+  block_ids_.resize(static_cast<std::size_t>(w_) * (w_ + 1) / 2);
+  for (int i = 0; i < w_; ++i)
+    for (int j = 0; j <= i; ++j)
+      block_ids_[static_cast<std::size_t>(i) * (i + 1) / 2 + j] =
+          store_.add_block(sizeof(double) * b_ * b_,
+                           static_cast<Version>(j + 1));
+
+  all_tasks(tasks_);
+  task_index_.reserve(tasks_.size());
+  for (std::size_t idx = 0; idx < tasks_.size(); ++idx) {
+    task_index_.emplace(tasks_[idx], idx);
+    int k, i, j;
+    decode(tasks_[idx], k, i, j);
+    store_.set_producer(blk(i, j), static_cast<Version>(k), tasks_[idx]);
+  }
+  board_.resize(tasks_.size());
+}
+
+void CholeskyProblem::predecessors(TaskKey t, KeyList& out) const {
+  int k, i, j;
+  decode(t, k, i, j);
+  if (k < j) {  // GEMM / SYRK
+    out.push_back(key(k, i, k));
+    if (j != i) out.push_back(key(k, j, k));
+    if (k > 0) out.push_back(key(k - 1, i, j));
+    return;
+  }
+  if (i == j) {  // POTRF
+    if (k > 0) out.push_back(key(k - 1, k, k));
+  } else {  // TRSM
+    out.push_back(key(k, k, k));
+    if (k > 0) out.push_back(key(k - 1, i, k));
+  }
+}
+
+void CholeskyProblem::successors(TaskKey t, KeyList& out) const {
+  int k, i, j;
+  decode(t, k, i, j);
+  if (k < j) {
+    out.push_back(key(k + 1, i, j));
+    return;
+  }
+  if (i == j) {  // POTRF(k) feeds the step-k TRSMs
+    for (int i2 = k + 1; i2 < w_; ++i2) out.push_back(key(k, i2, k));
+  } else {  // TRSM L(i,k) feeds updates in row i and column i
+    for (int j2 = k + 1; j2 <= i; ++j2) out.push_back(key(k, i, j2));
+    for (int i2 = i + 1; i2 < w_; ++i2) out.push_back(key(k, i2, i));
+  }
+}
+
+void CholeskyProblem::compute(TaskKey t, ComputeContext& ctx) {
+  int k, i, j;
+  decode(t, k, i, j);
+  const BlockId id = blk(i, j);
+  const Version ver = static_cast<Version>(k);
+
+  const double* in;
+  double* out;
+  if (k == 0) {
+    in = input_block(i, j);
+    out = ctx.write<double>(id, 0);
+  } else {
+    UpdateRef<double> ref = ctx.update<double>(id, ver - 1, ver);
+    in = ref.in;
+    out = ref.out;
+  }
+
+  if (k < j) {
+    const double* li = ctx.read<double>(blk(i, k), static_cast<Version>(k));
+    const double* lj =
+        j == i ? li : ctx.read<double>(blk(j, k), static_cast<Version>(k));
+    cholesky_gemm_kernel(b_, in, out, li, lj);
+  } else if (i == j) {
+    if (out != in) std::copy(in, in + static_cast<std::size_t>(b_) * b_, out);
+    cholesky_potrf_kernel(b_, out);
+  } else {
+    const double* diag = ctx.read<double>(blk(k, k), static_cast<Version>(k));
+    cholesky_trsm_kernel(b_, in, out, diag);
+  }
+  ctx.stage_result(board_.slot(task_index(t)),
+                   digest_array(out, static_cast<std::size_t>(b_) * b_));
+}
+
+void CholeskyProblem::all_tasks(std::vector<TaskKey>& out) const {
+  for (int k = 0; k < w_; ++k)
+    for (int i = k; i < w_; ++i)
+      for (int j = k; j <= i; ++j) out.push_back(key(k, i, j));
+}
+
+void CholeskyProblem::outputs(TaskKey t, OutputList& out) const {
+  int k, i, j;
+  decode(t, k, i, j);
+  out.push_back({blk(i, j), static_cast<Version>(k), static_cast<Version>(j)});
+}
+
+void CholeskyProblem::reset_data() {
+  store_.reset_states();
+  board_.reset();
+}
+
+std::uint64_t CholeskyProblem::reference_checksum() {
+  if (reference_cached_) return reference_;
+  // Sequential blocked Cholesky on a copy of the lower-triangle blocks.
+  std::vector<double> d(block_ids_.size() * static_cast<std::size_t>(b_) * b_);
+  auto at = [&](int i, int j) {
+    return d.data() +
+           (static_cast<std::size_t>(i) * (i + 1) / 2 + j) * b_ * b_;
+  };
+  for (int i = 0; i < w_; ++i)
+    for (int j = 0; j <= i; ++j)
+      std::copy(input_block(i, j),
+                input_block(i, j) + static_cast<std::size_t>(b_) * b_,
+                at(i, j));
+
+  DigestBoard ref;
+  ref.resize(board_.size());
+  auto dig = [&](int k, int i, int j) {
+    ref.set(task_index(key(k, i, j)),
+            digest_array(at(i, j), static_cast<std::size_t>(b_) * b_));
+  };
+  for (int k = 0; k < w_; ++k) {
+    cholesky_potrf_kernel(b_, at(k, k));
+    dig(k, k, k);
+    for (int i = k + 1; i < w_; ++i) {
+      cholesky_trsm_kernel(b_, at(i, k), at(i, k), at(k, k));
+      dig(k, i, k);
+    }
+    for (int i = k + 1; i < w_; ++i)
+      for (int j = k + 1; j <= i; ++j) {
+        cholesky_gemm_kernel(b_, at(i, j), at(i, j), at(i, k), at(j, k));
+        dig(k, i, j);
+      }
+  }
+  reference_ = ref.combined();
+  reference_cached_ = true;
+  return reference_;
+}
+
+}  // namespace ftdag

@@ -1,0 +1,84 @@
+#pragma once
+// Blocked right-looking Cholesky factorization (lower triangular, A = L L^T)
+// of a symmetric positive-definite matrix.
+//
+// Task (k, i, j) with j <= i and k <= j produces version k of lower-triangle
+// block (i, j):
+//   k == i == j      POTRF: in-place Cholesky of the diagonal block
+//   k == j <  i      TRSM:  L(i,k) = A(i,k) (L(k,k)^T)^-1
+//   k <  j           GEMM/SYRK: A(i,j) -= L(i,k) L(j,k)^T
+// Retention 1 (full in-place reuse), like LU.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/app_config.hpp"
+#include "apps/digest_board.hpp"
+#include "graph/compute_context.hpp"
+#include "graph/task_graph_problem.hpp"
+
+namespace ftdag {
+
+void cholesky_potrf_kernel(int b, double* out);
+void cholesky_trsm_kernel(int b, const double* in, double* out,
+                          const double* diag);
+void cholesky_gemm_kernel(int b, const double* in, double* out,
+                          const double* li, const double* lj);
+
+class CholeskyProblem final : public TaskGraphProblem {
+ public:
+  explicit CholeskyProblem(const AppConfig& cfg);
+
+  std::string name() const override { return "cholesky"; }
+  TaskKey sink() const override { return key(w_ - 1, w_ - 1, w_ - 1); }
+  void predecessors(TaskKey t, KeyList& out) const override;
+  void successors(TaskKey t, KeyList& out) const override;
+  void compute(TaskKey t, ComputeContext& ctx) override;
+  void all_tasks(std::vector<TaskKey>& out) const override;
+  void outputs(TaskKey t, OutputList& out) const override;
+  void reset_data() override;
+  std::uint64_t result_checksum() const override { return board_.combined(); }
+  std::uint64_t reference_checksum() override;
+
+  // Final factor block (i, j), j <= i; valid after a fault-free run. For
+  // validation and examples.
+  const double* factor_block(int i, int j) const {
+    return static_cast<const double*>(
+        store_.read(blk(i, j), static_cast<Version>(j)));
+  }
+  const double* input_matrix_block(int i, int j) const {
+    return input_block(i, j);
+  }
+
+ private:
+  TaskKey key(int k, int i, int j) const {
+    return (static_cast<TaskKey>(k) * w_ + i) * w_ + j;
+  }
+  void decode(TaskKey t, int& k, int& i, int& j) const {
+    j = static_cast<int>(t % w_);
+    i = static_cast<int>((t / w_) % w_);
+    k = static_cast<int>(t / (static_cast<TaskKey>(w_) * w_));
+  }
+  std::size_t task_index(TaskKey t) const { return task_index_.at(t); }
+  BlockId blk(int i, int j) const {  // j <= i (lower triangle)
+    return block_ids_[static_cast<std::size_t>(i) * (i + 1) / 2 + j];
+  }
+  const double* input_block(int i, int j) const {
+    return input_.data() + (static_cast<std::size_t>(i) * w_ + j) * b_ * b_;
+  }
+
+  AppConfig cfg_;
+  int w_ = 0;
+  int b_ = 0;
+  std::vector<double> input_;  // full symmetric matrix, blocked layout
+  std::vector<BlockId> block_ids_;
+  std::vector<TaskKey> tasks_;
+  std::unordered_map<TaskKey, std::size_t> task_index_;
+  DigestBoard board_;
+  std::uint64_t reference_ = 0;
+  bool reference_cached_ = false;
+};
+
+}  // namespace ftdag

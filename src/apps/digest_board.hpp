@@ -1,0 +1,73 @@
+#pragma once
+// DigestBoard: app-owned, per-task result digests.
+//
+// With memory reuse, most intermediate block versions do not survive to the
+// end of the run (and a recovery chain may even displace a block's final
+// version after all its consumers finished, which the paper's model
+// permits). Applications therefore capture a digest of each task's output
+// *during compute*, staged through ComputeContext so it is only published
+// when the compute commits. Digests are a pure function of task inputs, so
+// re-executions rewrite identical values. The board lives in application
+// memory, which the paper's fault model assumes resilient.
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+
+#include "support/xoshiro.hpp"
+
+namespace ftdag {
+
+class DigestBoard {
+ public:
+  void resize(std::size_t n) {
+    slots_ = std::make_unique<std::atomic<std::uint64_t>[]>(n);
+    size_ = n;
+    reset();
+  }
+
+  std::size_t size() const { return size_; }
+
+  std::atomic<std::uint64_t>* slot(std::size_t i) { return &slots_[i]; }
+
+  std::uint64_t get(std::size_t i) const {
+    return slots_[i].load(std::memory_order_relaxed);
+  }
+
+  void set(std::size_t i, std::uint64_t v) {
+    slots_[i].store(v, std::memory_order_relaxed);
+  }
+
+  // Order-sensitive combination over all slots.
+  std::uint64_t combined() const {
+    std::uint64_t acc = 0x2545F4914F6CDD1DULL;
+    for (std::size_t i = 0; i < size_; ++i)
+      acc = mix64(acc ^ (get(i) + 0x9e3779b97f4a7c15ULL + i));
+    return acc;
+  }
+
+  void reset() {
+    for (std::size_t i = 0; i < size_; ++i)
+      slots_[i].store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::unique_ptr<std::atomic<std::uint64_t>[]> slots_;
+  std::size_t size_ = 0;
+};
+
+// Digest of a typed array: mixes the raw bit patterns, so results must be
+// bitwise deterministic (all app kernels use a fixed operation order).
+template <typename T>
+std::uint64_t digest_array(const T* data, std::size_t count) {
+  std::uint64_t acc = 0x9E3779B97F4A7C15ULL;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &data[i], sizeof(T) < 8 ? sizeof(T) : 8);
+    acc = mix64(acc ^ bits);
+  }
+  return acc;
+}
+
+}  // namespace ftdag

@@ -1,0 +1,301 @@
+#include "apps/floyd_warshall.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/assert.hpp"
+#include "support/xoshiro.hpp"
+
+namespace ftdag {
+namespace {
+
+inline std::int32_t relax(std::int32_t d, std::int32_t a, std::int32_t b) {
+  return std::min(d, a + b);
+}
+
+void copy_block(int b, const std::int32_t* in, std::int32_t* out) {
+  std::memcpy(out, in, sizeof(std::int32_t) * b * b);
+}
+
+}  // namespace
+
+void fw_diag_kernel(int b, std::int32_t* io) {
+  for (int t = 0; t < b; ++t)
+    for (int r = 0; r < b; ++r)
+      for (int c = 0; c < b; ++c)
+        io[r * b + c] = relax(io[r * b + c], io[r * b + t], io[t * b + c]);
+}
+
+void fw_row_kernel(int b, std::int32_t* io, const std::int32_t* diag) {
+  // Row panel (k, j): paths enter through the diagonal block rows.
+  for (int t = 0; t < b; ++t)
+    for (int r = 0; r < b; ++r)
+      for (int c = 0; c < b; ++c)
+        io[r * b + c] = relax(io[r * b + c], diag[r * b + t], io[t * b + c]);
+}
+
+void fw_col_kernel(int b, std::int32_t* io, const std::int32_t* diag) {
+  for (int t = 0; t < b; ++t)
+    for (int r = 0; r < b; ++r)
+      for (int c = 0; c < b; ++c)
+        io[r * b + c] = relax(io[r * b + c], io[r * b + t], diag[t * b + c]);
+}
+
+void fw_inner_kernel(int b, const std::int32_t* in, std::int32_t* out,
+                     const std::int32_t* colp, const std::int32_t* rowp) {
+  for (int r = 0; r < b; ++r) {
+    for (int c = 0; c < b; ++c) {
+      std::int32_t best = in[r * b + c];
+      for (int t = 0; t < b; ++t)
+        best = std::min(best, colp[r * b + t] + rowp[t * b + c]);
+      out[r * b + c] = best;
+    }
+  }
+}
+
+FloydWarshallProblem::FloydWarshallProblem(const AppConfig& cfg)
+    : cfg_(cfg),
+      w_(static_cast<int>(cfg.grid())),
+      b_(static_cast<int>(cfg.block)) {
+  FTDAG_ASSERT(cfg.n % cfg.block == 0, "n must be a multiple of block");
+  sink_key_ = static_cast<TaskKey>(w_) * w_ * w_;
+
+  // Dense random weight matrix: weight(u, v) in [1, 1000], zero diagonal.
+  Xoshiro256 rng(cfg.seed);
+  input_.resize(static_cast<std::size_t>(cfg.n) * cfg.n);
+  for (int bi = 0; bi < w_; ++bi)
+    for (int bj = 0; bj < w_; ++bj) {
+      std::int32_t* block =
+          input_.data() + (static_cast<std::size_t>(bi) * w_ + bj) * b_ * b_;
+      for (int r = 0; r < b_; ++r)
+        for (int c = 0; c < b_; ++c)
+          block[r * b_ + c] =
+              (bi == bj && r == c)
+                  ? 0
+                  : static_cast<std::int32_t>(1 + rng.below(1000));
+    }
+
+  // Two retained versions per block: the paper's FW memory scheme. The WAR
+  // edges in predecessors() guard exactly this depth; single assignment (0)
+  // is also valid (the guards become redundant but stay correct). Depth 1
+  // would need one-stage guards and is rejected.
+  const Version keep =
+      cfg.retention < 0 ? 2 : static_cast<Version>(cfg.retention);
+  FTDAG_ASSERT(keep == 2 || keep == 0, "FW supports retention 2 or 0");
+  store_.set_retention(keep);
+  block_ids_.resize(static_cast<std::size_t>(w_) * w_);
+  for (int i = 0; i < w_; ++i)
+    for (int j = 0; j < w_; ++j)
+      block_ids_[static_cast<std::size_t>(i) * w_ + j] = store_.add_block(
+          sizeof(std::int32_t) * b_ * b_, static_cast<Version>(w_));
+  std::vector<TaskKey> keys;
+  all_tasks(keys);
+  for (TaskKey t : keys) {
+    if (t == sink_key_) continue;
+    int k, i, j;
+    decode(t, k, i, j);
+    store_.set_producer(blk(i, j), static_cast<Version>(k), t);
+  }
+  board_.resize(static_cast<std::size_t>(w_) * w_ * w_ + 1);
+}
+
+void FloydWarshallProblem::predecessors(TaskKey t, KeyList& out) const {
+  if (t == sink_key_) {
+    const int k = w_ - 1;
+    for (int i = 0; i < w_; ++i)
+      for (int j = 0; j < w_; ++j) out.push_back(key(k, i, j));
+    return;
+  }
+  int k, i, j;
+  decode(t, k, i, j);
+  const bool on_row = (i == k), on_col = (j == k);
+  if (on_row && on_col) {  // diagonal
+    if (k > 0) out.push_back(key(k - 1, i, j));
+  } else if (on_row || on_col) {  // panel
+    out.push_back(key(k, k, k));
+    if (k > 0) out.push_back(key(k - 1, i, j));
+  } else {  // interior
+    out.push_back(key(k, i, k));
+    out.push_back(key(k, k, j));
+    if (k > 0) out.push_back(key(k - 1, i, j));
+  }
+
+  // Anti-dependence (WAR) edges for the two-version scheme: this task
+  // overwrites version k-2 of block (i, j); every stage-(k-2) reader of
+  // that version must have finished first. Interior versions have only the
+  // k-1 updater as reader (already a predecessor via the chain above), but
+  // stage-(k-2) *panel and diagonal* versions were read by that whole
+  // stage's panels/interiors. The model requires these edges ("all uses of
+  // a data block causally precede a subsequent definition", Section II).
+  if (k >= 2) {
+    const int o = k - 2;  // stage whose version this write displaces
+    if (i == o && j == o) {  // block was the stage-o diagonal
+      for (int j2 = 0; j2 < w_; ++j2)
+        if (j2 != o) out.push_back(key(o, o, j2));
+      for (int i2 = 0; i2 < w_; ++i2)
+        if (i2 != o) out.push_back(key(o, i2, o));
+    } else if (i == o) {  // block was a stage-o row panel
+      for (int i2 = 0; i2 < w_; ++i2)
+        if (i2 != o) out.push_back(key(o, i2, j));
+    } else if (j == o) {  // block was a stage-o column panel
+      for (int j2 = 0; j2 < w_; ++j2)
+        if (j2 != o) out.push_back(key(o, i, j2));
+    }
+  }
+}
+
+void FloydWarshallProblem::successors(TaskKey t, KeyList& out) const {
+  if (t == sink_key_) return;
+  int k, i, j;
+  decode(t, k, i, j);
+  const bool on_row = (i == k), on_col = (j == k);
+  if (on_row && on_col) {
+    for (int j2 = 0; j2 < w_; ++j2)
+      if (j2 != k) out.push_back(key(k, k, j2));
+    for (int i2 = 0; i2 < w_; ++i2)
+      if (i2 != k) out.push_back(key(k, i2, k));
+  } else if (on_row) {  // row panel (k, k, j): feeds interiors in column j
+    for (int i2 = 0; i2 < w_; ++i2)
+      if (i2 != k) out.push_back(key(k, i2, j));
+  } else if (on_col) {  // col panel (k, i, k): feeds interiors in row i
+    for (int j2 = 0; j2 < w_; ++j2)
+      if (j2 != k) out.push_back(key(k, i, j2));
+  }
+  if (k + 1 < w_)
+    out.push_back(key(k + 1, i, j));
+  else
+    out.push_back(sink_key_);
+
+  // Mirrors of the WAR predecessors: a stage-k reader of a panel/diagonal
+  // version gates the stage-(k+2) writer that will displace it.
+  if (k + 2 < w_) {
+    if (on_row && on_col) {
+      // Diagonal reads only itself; its readers are the panels below.
+    } else if (on_row || on_col) {
+      out.push_back(key(k + 2, k, k));  // panels read the stage-k diagonal
+    } else {
+      out.push_back(key(k + 2, i, k));  // read col panel (i, k) @ k
+      out.push_back(key(k + 2, k, j));  // read row panel (k, j) @ k
+    }
+  }
+}
+
+void FloydWarshallProblem::compute(TaskKey t, ComputeContext& ctx) {
+  if (t == sink_key_) {
+    // Aggregating control task; transitively depends on every stage-(W-1)
+    // task but touches no versioned data.
+    ctx.stage_result(board_.slot(board_.size() - 1), 1);
+    return;
+  }
+  int k, i, j;
+  decode(t, k, i, j);
+  const BlockId id = blk(i, j);
+  const Version ver = static_cast<Version>(k);
+
+  const std::int32_t* in = nullptr;
+  std::int32_t* out = nullptr;
+  if (k == 0) {
+    in = input_block(i, j);
+    out = ctx.write<std::int32_t>(id, ver);
+  } else {
+    UpdateRef<std::int32_t> ref = ctx.update<std::int32_t>(id, ver - 1, ver);
+    in = ref.in;
+    out = ref.out;
+  }
+
+  const bool on_row = (i == k), on_col = (j == k);
+  if (on_row && on_col) {
+    if (out != in) copy_block(b_, in, out);
+    fw_diag_kernel(b_, out);
+  } else if (on_row) {
+    const std::int32_t* diag = ctx.read<std::int32_t>(blk(k, k), ver);
+    if (out != in) copy_block(b_, in, out);
+    fw_row_kernel(b_, out, diag);
+  } else if (on_col) {
+    const std::int32_t* diag = ctx.read<std::int32_t>(blk(k, k), ver);
+    if (out != in) copy_block(b_, in, out);
+    fw_col_kernel(b_, out, diag);
+  } else {
+    const std::int32_t* colp = ctx.read<std::int32_t>(blk(i, k), ver);
+    const std::int32_t* rowp = ctx.read<std::int32_t>(blk(k, j), ver);
+    fw_inner_kernel(b_, in, out, colp, rowp);
+  }
+  ctx.stage_result(board_.slot(task_index(t)),
+                   digest_array(out, static_cast<std::size_t>(b_) * b_));
+}
+
+bool FloydWarshallProblem::data_dependence(TaskKey consumer,
+                                           TaskKey producer) const {
+  if (consumer == sink_key_ || producer == sink_key_) return true;
+  int ck, ci, cj, pk, pi, pj;
+  decode(consumer, ck, ci, cj);
+  decode(producer, pk, pi, pj);
+  return pk != ck - 2;  // stage-(k-2) edges are the WAR guards
+}
+
+void FloydWarshallProblem::all_tasks(std::vector<TaskKey>& out) const {
+  const std::size_t total = static_cast<std::size_t>(w_) * w_ * w_;
+  out.reserve(out.size() + total + 1);
+  for (std::size_t t = 0; t < total; ++t)
+    out.push_back(static_cast<TaskKey>(t));
+  out.push_back(sink_key_);
+}
+
+void FloydWarshallProblem::outputs(TaskKey t, OutputList& out) const {
+  if (t == sink_key_) return;
+  int k, i, j;
+  decode(t, k, i, j);
+  out.push_back({blk(i, j), static_cast<Version>(k),
+                 static_cast<Version>(w_ - 1)});
+}
+
+void FloydWarshallProblem::reset_data() {
+  store_.reset_states();
+  board_.reset();
+}
+
+std::uint64_t FloydWarshallProblem::reference_checksum() {
+  if (reference_cached_) return reference_;
+  // Sequential blocked FW over a private copy, same kernels, same order the
+  // stage dependences impose: diag, panels, interiors.
+  std::vector<std::int32_t> d = input_;
+  DigestBoard ref;
+  ref.resize(board_.size());
+  auto at = [&](int i, int j) {
+    return d.data() + (static_cast<std::size_t>(i) * w_ + j) * b_ * b_;
+  };
+  auto dig = [&](int k, int i, int j) {
+    ref.set(task_index(key(k, i, j)),
+            digest_array(at(i, j), static_cast<std::size_t>(b_) * b_));
+  };
+  std::vector<std::int32_t> scratch(static_cast<std::size_t>(b_) * b_);
+  for (int k = 0; k < w_; ++k) {
+    fw_diag_kernel(b_, at(k, k));
+    dig(k, k, k);
+    for (int j = 0; j < w_; ++j)
+      if (j != k) {
+        fw_row_kernel(b_, at(k, j), at(k, k));
+        dig(k, k, j);
+      }
+    for (int i = 0; i < w_; ++i)
+      if (i != k) {
+        fw_col_kernel(b_, at(i, k), at(k, k));
+        dig(k, i, k);
+      }
+    for (int i = 0; i < w_; ++i) {
+      if (i == k) continue;
+      for (int j = 0; j < w_; ++j) {
+        if (j == k) continue;
+        copy_block(b_, at(i, j), scratch.data());
+        fw_inner_kernel(b_, scratch.data(), at(i, j), at(i, k), at(k, j));
+        dig(k, i, j);
+      }
+    }
+  }
+  ref.set(ref.size() - 1, 1);
+  reference_ = ref.combined();
+  reference_cached_ = true;
+  return reference_;
+}
+
+}  // namespace ftdag

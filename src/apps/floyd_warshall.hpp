@@ -1,0 +1,96 @@
+#pragma once
+// Blocked Floyd-Warshall all-pairs shortest paths.
+//
+// Task (k, i, j) produces version k of distance block (i, j) during stage k:
+//   stage-k diag     (k,k,k): in-place FW of block (k,k)
+//   stage-k row panel(k,k,j): block (k,j) updated through the diag block
+//   stage-k col panel(k,i,k): block (i,k) updated through the diag block
+//   stage-k interior (k,i,j): block (i,j) relaxed with col (i,k) / row (k,j)
+// so T = W^3 tasks plus one aggregating sink (the paper's formulation also
+// yields T = W^3; its Table I FW entry is 40^3 = 64000).
+//
+// Per the paper's Section VI, FW retains *two* versions per data block
+// (retention 2, doubling memory) to damp the cascading recomputation that
+// full reuse causes on recovery: stage k reads version k-1 while version k
+// is written into the other slot.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/app_config.hpp"
+#include "apps/digest_board.hpp"
+#include "graph/compute_context.hpp"
+#include "graph/task_graph_problem.hpp"
+
+namespace ftdag {
+
+inline constexpr std::int32_t kFwInf = 100'000'000;
+
+// Kernels shared between the task graph and the sequential reference. `io`
+// blocks are b x b row-major int32 distance blocks.
+void fw_diag_kernel(int b, std::int32_t* io);
+void fw_row_kernel(int b, std::int32_t* io, const std::int32_t* diag);
+void fw_col_kernel(int b, std::int32_t* io, const std::int32_t* diag);
+void fw_inner_kernel(int b, const std::int32_t* in, std::int32_t* out,
+                     const std::int32_t* colp, const std::int32_t* rowp);
+
+class FloydWarshallProblem final : public TaskGraphProblem {
+ public:
+  explicit FloydWarshallProblem(const AppConfig& cfg);
+
+  std::string name() const override { return "fw"; }
+  TaskKey sink() const override { return sink_key_; }
+  void predecessors(TaskKey key, KeyList& out) const override;
+  void successors(TaskKey key, KeyList& out) const override;
+  void compute(TaskKey key, ComputeContext& ctx) override;
+  void all_tasks(std::vector<TaskKey>& out) const override;
+  void outputs(TaskKey key, OutputList& out) const override;
+  // Stage-(k-2) predecessors are anti-dependences (the WAR edges guarding
+  // two-version reuse); everything else is a flow dependence.
+  bool data_dependence(TaskKey consumer, TaskKey producer) const override;
+  void reset_data() override;
+  std::uint64_t result_checksum() const override { return board_.combined(); }
+  std::uint64_t reference_checksum() override;
+
+  // Final distance block (i, j) (version W-1); valid after a fault-free run
+  // (throws DataBlockFault if the version is not resident). For validation
+  // and examples.
+  const std::int32_t* result_block(int i, int j) const {
+    return static_cast<const std::int32_t*>(
+        store_.read(blk(i, j), static_cast<Version>(w_ - 1)));
+  }
+  const std::int32_t* input_matrix_block(int i, int j) const {
+    return input_block(i, j);
+  }
+
+ private:
+  TaskKey key(int k, int i, int j) const {
+    return (static_cast<TaskKey>(k) * w_ + i) * w_ + j;
+  }
+  void decode(TaskKey t, int& k, int& i, int& j) const {
+    j = static_cast<int>(t % w_);
+    i = static_cast<int>((t / w_) % w_);
+    k = static_cast<int>(t / (static_cast<TaskKey>(w_) * w_));
+  }
+  std::size_t task_index(TaskKey t) const { return static_cast<std::size_t>(t); }
+  BlockId blk(int i, int j) const {
+    return block_ids_[static_cast<std::size_t>(i) * w_ + j];
+  }
+  const std::int32_t* input_block(int i, int j) const {
+    return input_.data() +
+           (static_cast<std::size_t>(i) * w_ + j) * b_ * b_;
+  }
+
+  AppConfig cfg_;
+  int w_ = 0;  // blocks per side (also the number of stages)
+  int b_ = 0;  // block edge
+  TaskKey sink_key_ = 0;
+  std::vector<std::int32_t> input_;  // blocked input matrix (resilient)
+  std::vector<BlockId> block_ids_;
+  DigestBoard board_;  // W^3 task digests + 1 sink slot
+  std::uint64_t reference_ = 0;
+  bool reference_cached_ = false;
+};
+
+}  // namespace ftdag

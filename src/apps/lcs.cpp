@@ -1,0 +1,140 @@
+#include "apps/lcs.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/xoshiro.hpp"
+
+namespace ftdag {
+
+void lcs_block_kernel(int b, const std::uint8_t* a_seg,
+                      const std::uint8_t* b_seg, const std::int32_t* up_row,
+                      const std::int32_t* left_col, std::int32_t diag_corner,
+                      std::int32_t* out) {
+  // Rolling two-row DP. prev/cur have b+1 entries; index 0 is the left
+  // border cell of the current row.
+  std::vector<std::int32_t> prev(b + 1), cur(b + 1);
+  prev[0] = diag_corner;
+  for (int j = 0; j < b; ++j) prev[j + 1] = up_row ? up_row[j] : 0;
+
+  std::int32_t* out_row = out;      // last row, filled after the sweep
+  std::int32_t* out_col = out + b;  // last column, collected per row
+
+  for (int i = 0; i < b; ++i) {
+    cur[0] = left_col ? left_col[i] : 0;
+    for (int j = 0; j < b; ++j) {
+      cur[j + 1] = (a_seg[i] == b_seg[j])
+                       ? prev[j] + 1
+                       : std::max(prev[j + 1], cur[j]);
+    }
+    out_col[i] = cur[b];
+    std::swap(prev, cur);
+  }
+  for (int j = 0; j < b; ++j) out_row[j] = prev[j + 1];
+}
+
+LcsProblem::LcsProblem(const AppConfig& cfg)
+    : cfg_(cfg), grid_(static_cast<int>(cfg.grid())), b_(static_cast<int>(cfg.block)) {
+  FTDAG_ASSERT(cfg.n % cfg.block == 0, "n must be a multiple of block");
+  const int w = grid_.width();
+
+  // Random 4-letter inputs (DNA-like alphabet keeps matches frequent).
+  Xoshiro256 rng(cfg.seed);
+  seq_a_.resize(cfg.n);
+  seq_b_.resize(cfg.n);
+  for (auto& c : seq_a_) c = static_cast<std::uint8_t>(rng.below(4));
+  for (auto& c : seq_b_) c = static_cast<std::uint8_t>(rng.below(4));
+
+  // Single assignment: retain every version (exactly one per block). The
+  // paper notes memory reuse is not applicable to LCS - each task's output
+  // is part of the final output.
+  FTDAG_ASSERT(cfg.retention <= 0, "LCS is inherently single assignment");
+  store_.set_retention(0);
+  block_ids_.resize(static_cast<std::size_t>(w) * w);
+  for (int bi = 0; bi < w; ++bi) {
+    for (int bj = 0; bj < w; ++bj) {
+      const TaskKey key = grid_.key(bi, bj);
+      const BlockId id =
+          store_.add_block(sizeof(std::int32_t) * 2 * b_, /*versions=*/1);
+      block_ids_[task_index(key)] = id;
+      store_.set_producer(id, 0, key);
+    }
+  }
+  board_.resize(static_cast<std::size_t>(w) * w);
+}
+
+void LcsProblem::compute(TaskKey key, ComputeContext& ctx) {
+  const int bi = grid_.row(key), bj = grid_.col(key);
+
+  const std::int32_t* up_row = nullptr;
+  const std::int32_t* left_col = nullptr;
+  std::int32_t corner = 0;
+  if (bi > 0)
+    up_row = ctx.read<std::int32_t>(block_ids_[task_index(grid_.key(bi - 1, bj))], 0);
+  if (bj > 0)
+    left_col =
+        ctx.read<std::int32_t>(block_ids_[task_index(grid_.key(bi, bj - 1))], 0) +
+        b_;
+  if (bi > 0 && bj > 0) {
+    const std::int32_t* diag = ctx.read<std::int32_t>(
+        block_ids_[task_index(grid_.key(bi - 1, bj - 1))], 0);
+    corner = diag[b_ - 1];  // last element of the diagonal's row boundary
+  }
+
+  std::int32_t* out = ctx.write<std::int32_t>(block_ids_[task_index(key)], 0);
+  lcs_block_kernel(b_, seq_a_.data() + static_cast<std::size_t>(bi) * b_,
+                   seq_b_.data() + static_cast<std::size_t>(bj) * b_, up_row,
+                   left_col, corner, out);
+  ctx.stage_result(board_.slot(task_index(key)),
+                   digest_array(out, static_cast<std::size_t>(2) * b_));
+}
+
+void LcsProblem::outputs(TaskKey key, OutputList& out) const {
+  out.push_back({block_ids_[task_index(key)], 0, 0});
+}
+
+void LcsProblem::reset_data() {
+  store_.reset_states();
+  board_.reset();
+}
+
+std::uint64_t LcsProblem::reference_checksum() {
+  if (reference_cached_) return reference_;
+  const int w = grid_.width();
+  // Sequential execution of the same kernels in row-major (topological)
+  // order against plain full-boundary storage.
+  std::vector<std::int32_t> bounds(static_cast<std::size_t>(w) * w * 2 * b_);
+  DigestBoard ref;
+  ref.resize(static_cast<std::size_t>(w) * w);
+  for (int bi = 0; bi < w; ++bi) {
+    for (int bj = 0; bj < w; ++bj) {
+      const std::size_t idx = task_index(grid_.key(bi, bj));
+      std::int32_t* out = bounds.data() + idx * 2 * b_;
+      const std::int32_t* up =
+          bi > 0 ? bounds.data() + task_index(grid_.key(bi - 1, bj)) * 2 * b_
+                 : nullptr;
+      const std::int32_t* left =
+          bj > 0
+              ? bounds.data() + task_index(grid_.key(bi, bj - 1)) * 2 * b_ + b_
+              : nullptr;
+      std::int32_t corner = 0;
+      if (bi > 0 && bj > 0)
+        corner = bounds[task_index(grid_.key(bi - 1, bj - 1)) * 2 * b_ + b_ - 1];
+      lcs_block_kernel(b_, seq_a_.data() + static_cast<std::size_t>(bi) * b_,
+                       seq_b_.data() + static_cast<std::size_t>(bj) * b_, up,
+                       left, corner, out);
+      ref.set(idx, digest_array(out, static_cast<std::size_t>(2) * b_));
+    }
+  }
+  reference_ = ref.combined();
+  reference_cached_ = true;
+  return reference_;
+}
+
+std::int32_t LcsProblem::lcs_length() const {
+  const BlockId last = block_ids_[task_index(grid_.sink())];
+  const auto* data = static_cast<const std::int32_t*>(store_.read(last, 0));
+  return data[b_ - 1];  // bottom-right cell = last element of the row boundary
+}
+
+}  // namespace ftdag

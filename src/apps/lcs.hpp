@@ -1,0 +1,76 @@
+#pragma once
+// LCS: longest common subsequence, blocked dynamic programming.
+//
+// The paper's single-assignment benchmark: every block's boundary is part of
+// the computation's final output and cannot be reused (Section VI), so the
+// store retains all versions (one per block).
+//
+// Block (bi, bj) computes the B x B region of the DP table
+//   L[i][j] = a[i] == b[j] ? L[i-1][j-1] + 1 : max(L[i-1][j], L[i][j-1])
+// from the boundary rows/columns of its up/left/diagonal neighbours, and
+// publishes its own last row and last column (2B int32 values). The
+// diagonal corner a consumer needs is the last element of the diagonal
+// neighbour's row boundary.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/app_config.hpp"
+#include "apps/digest_board.hpp"
+#include "apps/wavefront_grid.hpp"
+#include "graph/compute_context.hpp"
+#include "graph/task_graph_problem.hpp"
+
+namespace ftdag {
+
+// Computes one block's boundary. Null neighbour pointers mean matrix edge
+// (all-zero border). `out` receives [last_row (B), last_col (B)].
+void lcs_block_kernel(int b, const std::uint8_t* a_seg,
+                      const std::uint8_t* b_seg, const std::int32_t* up_row,
+                      const std::int32_t* left_col, std::int32_t diag_corner,
+                      std::int32_t* out);
+
+class LcsProblem final : public TaskGraphProblem {
+ public:
+  explicit LcsProblem(const AppConfig& cfg);
+
+  std::string name() const override { return "lcs"; }
+  TaskKey sink() const override { return grid_.sink(); }
+  void predecessors(TaskKey key, KeyList& out) const override {
+    grid_.predecessors(key, out);
+  }
+  void successors(TaskKey key, KeyList& out) const override {
+    grid_.successors(key, out);
+  }
+  void compute(TaskKey key, ComputeContext& ctx) override;
+  void all_tasks(std::vector<TaskKey>& out) const override {
+    grid_.all_tasks(out);
+  }
+  void outputs(TaskKey key, OutputList& out) const override;
+  void reset_data() override;
+  std::uint64_t result_checksum() const override { return board_.combined(); }
+  std::uint64_t reference_checksum() override;
+
+  // LCS length of the full inputs (bottom-right boundary cell); valid after
+  // a run. Used by examples.
+  std::int32_t lcs_length() const;
+
+ private:
+  std::size_t task_index(TaskKey key) const {
+    return static_cast<std::size_t>(key);  // keys are dense: bi * W + bj
+  }
+
+  AppConfig cfg_;
+  WavefrontGrid grid_;
+  int b_;  // block edge
+  std::vector<std::uint8_t> seq_a_, seq_b_;  // resilient app inputs
+  std::vector<BlockId> block_ids_;           // per grid cell
+  DigestBoard board_;
+  std::uint64_t reference_ = 0;
+  bool reference_cached_ = false;
+};
+
+}  // namespace ftdag

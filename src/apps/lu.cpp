@@ -1,0 +1,225 @@
+#include "apps/lu.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/xoshiro.hpp"
+
+namespace ftdag {
+
+void lu_diag_kernel(int b, double* out) {
+  for (int t = 0; t < b; ++t) {
+    const double pivot = out[t * b + t];
+    for (int r = t + 1; r < b; ++r) out[r * b + t] /= pivot;
+    for (int r = t + 1; r < b; ++r) {
+      const double l = out[r * b + t];
+      for (int c = t + 1; c < b; ++c) out[r * b + c] -= l * out[t * b + c];
+    }
+  }
+}
+
+void lu_col_kernel(int b, const double* in, double* out, const double* diag) {
+  // out = in * U^-1 (U = upper of diag, non-unit). Columns in order: column
+  // t reads only already-written columns < t, so in/out may alias.
+  for (int t = 0; t < b; ++t) {
+    for (int r = 0; r < b; ++r) {
+      double v = in[r * b + t];
+      for (int c = 0; c < t; ++c) v -= out[r * b + c] * diag[c * b + t];
+      out[r * b + t] = v / diag[t * b + t];
+    }
+  }
+}
+
+void lu_row_kernel(int b, const double* in, double* out, const double* diag) {
+  // out = L^-1 * in (L = unit lower of diag). Rows in order.
+  for (int t = 0; t < b; ++t) {
+    for (int c = 0; c < b; ++c) {
+      double v = in[t * b + c];
+      for (int s = 0; s < t; ++s) v -= diag[t * b + s] * out[s * b + c];
+      out[t * b + c] = v;
+    }
+  }
+}
+
+void lu_trailing_kernel(int b, const double* in, double* out, const double* l,
+                        const double* u) {
+  for (int r = 0; r < b; ++r) {
+    for (int c = 0; c < b; ++c) {
+      double v = in[r * b + c];
+      for (int t = 0; t < b; ++t) v -= l[r * b + t] * u[t * b + c];
+      out[r * b + c] = v;
+    }
+  }
+}
+
+LuProblem::LuProblem(const AppConfig& cfg)
+    : cfg_(cfg),
+      w_(static_cast<int>(cfg.grid())),
+      b_(static_cast<int>(cfg.block)) {
+  FTDAG_ASSERT(cfg.n % cfg.block == 0, "n must be a multiple of block");
+
+  // Diagonally dominant input: stable without pivoting.
+  Xoshiro256 rng(cfg.seed);
+  input_.resize(static_cast<std::size_t>(cfg.n) * cfg.n);
+  for (int bi = 0; bi < w_; ++bi)
+    for (int bj = 0; bj < w_; ++bj) {
+      double* block =
+          input_.data() + (static_cast<std::size_t>(bi) * w_ + bj) * b_ * b_;
+      for (int r = 0; r < b_; ++r)
+        for (int c = 0; c < b_; ++c) {
+          double v = rng.uniform01() * 2.0 - 1.0;
+          if (bi == bj && r == c) v += static_cast<double>(cfg.n);
+          block[r * b_ + c] = v;
+        }
+    }
+
+  // Default full in-place reuse; retention 0 (single assignment) and 2 are
+  // also valid for LU's structure (non-final versions have a single reader,
+  // the next updater).
+  const Version keep =
+      cfg.retention < 0 ? 1 : static_cast<Version>(cfg.retention);
+  FTDAG_ASSERT(keep <= 2, "LU supports retention 0, 1 or 2");
+  store_.set_retention(keep);
+  block_ids_.resize(static_cast<std::size_t>(w_) * w_);
+  for (int i = 0; i < w_; ++i)
+    for (int j = 0; j < w_; ++j)
+      block_ids_[static_cast<std::size_t>(i) * w_ + j] =
+          store_.add_block(sizeof(double) * b_ * b_,
+                           static_cast<Version>(std::min(i, j) + 1));
+
+  all_tasks(tasks_);
+  task_index_.reserve(tasks_.size());
+  for (std::size_t idx = 0; idx < tasks_.size(); ++idx) {
+    task_index_.emplace(tasks_[idx], idx);
+    int k, i, j;
+    decode(tasks_[idx], k, i, j);
+    store_.set_producer(blk(i, j), static_cast<Version>(k), tasks_[idx]);
+  }
+  board_.resize(tasks_.size());
+}
+
+void LuProblem::predecessors(TaskKey t, KeyList& out) const {
+  int k, i, j;
+  decode(t, k, i, j);
+  const int m = std::min(i, j);
+  if (k < m) {  // trailing update
+    out.push_back(key(k, i, k));
+    out.push_back(key(k, k, j));
+    if (k > 0) out.push_back(key(k - 1, i, j));
+    return;
+  }
+  if (i == k && j == k) {  // diagonal
+    if (k > 0) out.push_back(key(k - 1, k, k));
+  } else {  // panel (row or column)
+    out.push_back(key(k, k, k));
+    if (k > 0) out.push_back(key(k - 1, i, j));
+  }
+}
+
+void LuProblem::successors(TaskKey t, KeyList& out) const {
+  int k, i, j;
+  decode(t, k, i, j);
+  const int m = std::min(i, j);
+  if (k < m) {
+    out.push_back(key(k + 1, i, j));
+    return;
+  }
+  if (i == k && j == k) {  // diagonal feeds the step-k panels
+    for (int j2 = k + 1; j2 < w_; ++j2) out.push_back(key(k, k, j2));
+    for (int i2 = k + 1; i2 < w_; ++i2) out.push_back(key(k, i2, k));
+  } else if (j == k) {  // column panel L(i,k) feeds row i of the trailing set
+    for (int j2 = k + 1; j2 < w_; ++j2) out.push_back(key(k, i, j2));
+  } else {  // row panel U(k,j) feeds column j of the trailing set
+    for (int i2 = k + 1; i2 < w_; ++i2) out.push_back(key(k, i2, j));
+  }
+}
+
+void LuProblem::compute(TaskKey t, ComputeContext& ctx) {
+  int k, i, j;
+  decode(t, k, i, j);
+  const int m = std::min(i, j);
+  const BlockId id = blk(i, j);
+  const Version ver = static_cast<Version>(k);
+
+  const double* in;
+  double* out;
+  if (k == 0) {
+    in = input_block(i, j);
+    out = ctx.write<double>(id, 0);
+  } else {
+    UpdateRef<double> ref = ctx.update<double>(id, ver - 1, ver);
+    in = ref.in;
+    out = ref.out;
+  }
+
+  if (k < m) {
+    const double* l = ctx.read<double>(blk(i, k), static_cast<Version>(k));
+    const double* u = ctx.read<double>(blk(k, j), static_cast<Version>(k));
+    lu_trailing_kernel(b_, in, out, l, u);
+  } else if (i == k && j == k) {
+    if (out != in) std::copy(in, in + static_cast<std::size_t>(b_) * b_, out);
+    lu_diag_kernel(b_, out);
+  } else if (j == k) {
+    const double* diag = ctx.read<double>(blk(k, k), static_cast<Version>(k));
+    lu_col_kernel(b_, in, out, diag);
+  } else {
+    const double* diag = ctx.read<double>(blk(k, k), static_cast<Version>(k));
+    lu_row_kernel(b_, in, out, diag);
+  }
+  ctx.stage_result(board_.slot(task_index(t)),
+                   digest_array(out, static_cast<std::size_t>(b_) * b_));
+}
+
+void LuProblem::all_tasks(std::vector<TaskKey>& out) const {
+  for (int k = 0; k < w_; ++k)
+    for (int i = k; i < w_; ++i)
+      for (int j = k; j < w_; ++j) out.push_back(key(k, i, j));
+}
+
+void LuProblem::outputs(TaskKey t, OutputList& out) const {
+  int k, i, j;
+  decode(t, k, i, j);
+  out.push_back({blk(i, j), static_cast<Version>(k),
+                 static_cast<Version>(std::min(i, j))});
+}
+
+void LuProblem::reset_data() {
+  store_.reset_states();
+  board_.reset();
+}
+
+std::uint64_t LuProblem::reference_checksum() {
+  if (reference_cached_) return reference_;
+  std::vector<double> d = input_;
+  DigestBoard ref;
+  ref.resize(board_.size());
+  auto at = [&](int i, int j) {
+    return d.data() + (static_cast<std::size_t>(i) * w_ + j) * b_ * b_;
+  };
+  auto dig = [&](int k, int i, int j) {
+    ref.set(task_index(key(k, i, j)),
+            digest_array(at(i, j), static_cast<std::size_t>(b_) * b_));
+  };
+  for (int k = 0; k < w_; ++k) {
+    lu_diag_kernel(b_, at(k, k));
+    dig(k, k, k);
+    for (int j = k + 1; j < w_; ++j) {
+      lu_row_kernel(b_, at(k, j), at(k, j), at(k, k));
+      dig(k, k, j);
+    }
+    for (int i = k + 1; i < w_; ++i) {
+      lu_col_kernel(b_, at(i, k), at(i, k), at(k, k));
+      dig(k, i, k);
+    }
+    for (int i = k + 1; i < w_; ++i)
+      for (int j = k + 1; j < w_; ++j) {
+        lu_trailing_kernel(b_, at(i, j), at(i, j), at(i, k), at(k, j));
+        dig(k, i, j);
+      }
+  }
+  reference_ = ref.combined();
+  reference_cached_ = true;
+  return reference_;
+}
+
+}  // namespace ftdag

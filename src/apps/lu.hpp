@@ -1,0 +1,90 @@
+#pragma once
+// Blocked right-looking LU decomposition without pivoting (the input is made
+// diagonally dominant, so pivoting is unnecessary — the paper's dense
+// kernels are likewise pivot-free task graphs).
+//
+// Task (k, i, j), k <= min(i, j), produces version k of block (i, j):
+//   k == i == j      diagonal factorization (in-place LU of the block)
+//   k == j <  i      column panel: L(i,k) = A(i,k) U(k,k)^-1
+//   k == i <  j      row panel:    U(k,j) = L(k,k)^-1 A(k,j)
+//   k <  min(i, j)   trailing update: A(i,j) -= L(i,k) U(k,j)
+// Retention 1: version k of a block overwrites version k-1 in place, which
+// is what makes v=last failures trigger the long re-execution chains of the
+// paper's Table II.
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/app_config.hpp"
+#include "apps/digest_board.hpp"
+#include "graph/compute_context.hpp"
+#include "graph/task_graph_problem.hpp"
+
+namespace ftdag {
+
+// Kernels shared with the sequential reference. Blocks are b x b row-major
+// doubles. `in` and `out` may alias (all kernels are element-order safe).
+void lu_diag_kernel(int b, double* out);
+void lu_col_kernel(int b, const double* in, double* out, const double* diag);
+void lu_row_kernel(int b, const double* in, double* out, const double* diag);
+void lu_trailing_kernel(int b, const double* in, double* out, const double* l,
+                        const double* u);
+
+class LuProblem final : public TaskGraphProblem {
+ public:
+  explicit LuProblem(const AppConfig& cfg);
+
+  std::string name() const override { return "lu"; }
+  TaskKey sink() const override { return key(w_ - 1, w_ - 1, w_ - 1); }
+  void predecessors(TaskKey t, KeyList& out) const override;
+  void successors(TaskKey t, KeyList& out) const override;
+  void compute(TaskKey t, ComputeContext& ctx) override;
+  void all_tasks(std::vector<TaskKey>& out) const override;
+  void outputs(TaskKey t, OutputList& out) const override;
+  void reset_data() override;
+  std::uint64_t result_checksum() const override { return board_.combined(); }
+  std::uint64_t reference_checksum() override;
+
+  // Final factor block (i, j) (L below the diagonal, U on/above, unit-L
+  // implicit); valid after a fault-free run. For validation and examples.
+  const double* factor_block(int i, int j) const {
+    return static_cast<const double*>(
+        store_.read(blk(i, j), static_cast<Version>(std::min(i, j))));
+  }
+  const double* input_matrix_block(int i, int j) const {
+    return input_block(i, j);
+  }
+
+ private:
+  TaskKey key(int k, int i, int j) const {
+    return (static_cast<TaskKey>(k) * w_ + i) * w_ + j;
+  }
+  void decode(TaskKey t, int& k, int& i, int& j) const {
+    j = static_cast<int>(t % w_);
+    i = static_cast<int>((t / w_) % w_);
+    k = static_cast<int>(t / (static_cast<TaskKey>(w_) * w_));
+  }
+  std::size_t task_index(TaskKey t) const { return task_index_.at(t); }
+  BlockId blk(int i, int j) const {
+    return block_ids_[static_cast<std::size_t>(i) * w_ + j];
+  }
+  const double* input_block(int i, int j) const {
+    return input_.data() + (static_cast<std::size_t>(i) * w_ + j) * b_ * b_;
+  }
+
+  AppConfig cfg_;
+  int w_ = 0;
+  int b_ = 0;
+  std::vector<double> input_;  // blocked input matrix (resilient)
+  std::vector<BlockId> block_ids_;
+  std::vector<TaskKey> tasks_;  // deterministic enumeration
+  std::unordered_map<TaskKey, std::size_t> task_index_;
+  DigestBoard board_;
+  std::uint64_t reference_ = 0;
+  bool reference_cached_ = false;
+};
+
+}  // namespace ftdag

@@ -1,0 +1,156 @@
+#include "apps/random_chain.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/xoshiro.hpp"
+
+namespace ftdag {
+
+RandomChainProblem::RandomChainProblem(const RandomChainSpec& spec)
+    : spec_(spec) {
+  FTDAG_ASSERT(spec.blocks >= 1 && spec.versions >= 1, "degenerate spec");
+  const int B = spec.blocks, V = spec.versions;
+  const std::size_t tasks = static_cast<std::size_t>(B) * V;
+  sink_key_ = static_cast<TaskKey>(tasks);
+  reads_.resize(tasks);
+  preds_.resize(tasks + 1);
+  succs_.resize(tasks + 1);
+
+  // Random cross-block reads: task (b, v) reads lower-numbered blocks at
+  // version v-1 (the ordering that keeps the intra-stage guards acyclic).
+  Xoshiro256 rng(spec.seed);
+  for (int v = 1; v < V; ++v) {
+    for (int b = 0; b < B; ++b) {
+      KeyList& r = reads_[index(key_of(b, v))];
+      for (int e = 0; e < spec.reads && b > 0; ++e) {
+        const TaskKey cand = key_of(static_cast<int>(rng.below(b)), v - 1);
+        if (!r.contains(cand)) r.push_back(cand);
+      }
+    }
+  }
+
+  // Flow predecessors: the previous version of the own block + the reads.
+  for (int v = 0; v < V; ++v) {
+    for (int b = 0; b < B; ++b) {
+      KeyList& p = preds_[index(key_of(b, v))];
+      if (v > 0) p.push_back(key_of(b, v - 1));
+      for (TaskKey r : reads_[index(key_of(b, v))]) p.push_back(r);
+    }
+  }
+  // Guard (anti-dependence) predecessors: writer (b, v) recycles the slot
+  // of (b, v-1), so every stage-v reader of (b, v-1) must come first.
+  for (int v = 1; v < V; ++v) {
+    for (int b2 = 0; b2 < B; ++b2) {
+      for (TaskKey r : reads_[index(key_of(b2, v))]) {
+        const int b = block_of(r);  // r = (b, v-1)
+        KeyList& p = preds_[index(key_of(b, v))];
+        if (!p.contains(key_of(b2, v))) p.push_back(key_of(b2, v));
+      }
+    }
+  }
+  for (int b = 0; b < B; ++b)
+    preds_[index(sink_key_)].push_back(key_of(b, V - 1));
+
+  for (std::size_t t = 0; t <= tasks; ++t)
+    for (TaskKey p : preds_[t]) succs_[index(p)].push_back(static_cast<TaskKey>(t));
+
+  store_.set_retention(1);
+  block_ids_.resize(B);
+  for (int b = 0; b < B; ++b) {
+    block_ids_[b] =
+        store_.add_block(sizeof(std::uint64_t), static_cast<Version>(V));
+    for (int v = 0; v < V; ++v)
+      store_.set_producer(block_ids_[b], static_cast<Version>(v),
+                          key_of(b, v));
+  }
+  board_.resize(tasks + 1);
+}
+
+void RandomChainProblem::predecessors(TaskKey key, KeyList& out) const {
+  out = preds_[index(key)];
+}
+
+void RandomChainProblem::successors(TaskKey key, KeyList& out) const {
+  out = succs_[index(key)];
+}
+
+bool RandomChainProblem::data_dependence(TaskKey consumer,
+                                         TaskKey producer) const {
+  if (consumer == sink_key_) return true;
+  // Same-stage predecessors are the anti-dependence guards.
+  return version_of(consumer) != version_of(producer);
+}
+
+void RandomChainProblem::compute(TaskKey key, ComputeContext& ctx) {
+  if (key == sink_key_) {
+    ctx.stage_result(board_.slot(board_.size() - 1), 1);
+    return;
+  }
+  const int b = block_of(key), v = version_of(key);
+  std::uint64_t acc = mix64(spec_.seed ^ static_cast<std::uint64_t>(key));
+
+  std::uint64_t* out;
+  if (v == 0) {
+    out = ctx.write<std::uint64_t>(block_ids_[b], 0);
+  } else {
+    UpdateRef<std::uint64_t> ref = ctx.update<std::uint64_t>(
+        block_ids_[b], static_cast<Version>(v - 1), static_cast<Version>(v));
+    acc = mix64(acc ^ *ref.in);
+    for (TaskKey r : reads_[index(key)]) {
+      const std::uint64_t* val = ctx.read<std::uint64_t>(
+          block_ids_[block_of(r)], static_cast<Version>(v - 1));
+      acc = mix64(acc ^ *val);
+    }
+    out = ref.out;
+  }
+  for (int it = 0; it < spec_.work_iters; ++it) acc = mix64(acc);
+  *out = acc;
+  ctx.stage_result(board_.slot(index(key)), acc);
+}
+
+void RandomChainProblem::all_tasks(std::vector<TaskKey>& out) const {
+  for (std::size_t t = 0; t < preds_.size(); ++t)
+    out.push_back(static_cast<TaskKey>(t));
+}
+
+void RandomChainProblem::outputs(TaskKey key, OutputList& out) const {
+  if (key == sink_key_) return;
+  out.push_back({block_ids_[block_of(key)],
+                 static_cast<Version>(version_of(key)),
+                 static_cast<Version>(spec_.versions - 1)});
+}
+
+void RandomChainProblem::reset_data() {
+  store_.reset_states();
+  board_.reset();
+}
+
+std::uint64_t RandomChainProblem::reference_checksum() {
+  if (reference_cached_) return reference_;
+  const int B = spec_.blocks, V = spec_.versions;
+  std::vector<std::uint64_t> prev(B), cur(B);
+  DigestBoard ref;
+  ref.resize(board_.size());
+  for (int v = 0; v < V; ++v) {
+    for (int b = 0; b < B; ++b) {
+      const TaskKey key = key_of(b, v);
+      std::uint64_t acc = mix64(spec_.seed ^ static_cast<std::uint64_t>(key));
+      if (v > 0) {
+        acc = mix64(acc ^ prev[b]);
+        for (TaskKey r : reads_[index(key)])
+          acc = mix64(acc ^ prev[block_of(r)]);
+      }
+      for (int it = 0; it < spec_.work_iters; ++it) acc = mix64(acc);
+      cur[b] = acc;
+      ref.set(index(key), acc);
+    }
+    prev = cur;
+  }
+  ref.set(ref.size() - 1, 1);
+  reference_ = ref.combined();
+  reference_cached_ = true;
+  return reference_;
+}
+
+}  // namespace ftdag

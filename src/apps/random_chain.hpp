@@ -1,0 +1,77 @@
+#pragma once
+// RandomChainProblem: seeded random task graph over *versioned, reused*
+// data blocks — the property-test counterpart of RandomDagProblem for the
+// memory-reuse machinery (aliased in-place updates, overwrite chains,
+// anti-dependence guards).
+//
+// Structure: B blocks x V versions. Task (b, v) produces version v of block
+// b by updating version v-1 in place (retention 1) and mixing in reads of
+// a random set of *lower-numbered* blocks at version v-1. The paper's model
+// requires every reader of a version to causally precede the writer that
+// recycles its storage, so each task also carries anti-dependence
+// predecessors: the stage-(v-1) readers of its block. Reading only
+// lower-numbered blocks makes those intra-stage guard edges point from
+// higher to lower block ids — acyclic by construction.
+//
+// Under v=last faults this produces the paper's full-depth re-execution
+// chains on a randomized topology; under after-notify faults it produces
+// the timing-dependent cascades of Table II.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/digest_board.hpp"
+#include "graph/compute_context.hpp"
+#include "graph/task_graph_problem.hpp"
+
+namespace ftdag {
+
+struct RandomChainSpec {
+  int blocks = 12;       // chains
+  int versions = 12;     // chain depth
+  int reads = 2;         // random cross-block reads per task
+  int work_iters = 100;  // hash iterations per task
+  std::uint64_t seed = 5;
+};
+
+class RandomChainProblem final : public TaskGraphProblem {
+ public:
+  explicit RandomChainProblem(const RandomChainSpec& spec);
+
+  std::string name() const override { return "randchain"; }
+  TaskKey sink() const override { return sink_key_; }
+  void predecessors(TaskKey key, KeyList& out) const override;
+  void successors(TaskKey key, KeyList& out) const override;
+  void compute(TaskKey key, ComputeContext& ctx) override;
+  void all_tasks(std::vector<TaskKey>& out) const override;
+  void outputs(TaskKey key, OutputList& out) const override;
+  bool data_dependence(TaskKey consumer, TaskKey producer) const override;
+  void reset_data() override;
+  std::uint64_t result_checksum() const override { return board_.combined(); }
+  std::uint64_t reference_checksum() override;
+
+ private:
+  TaskKey key_of(int b, int v) const {
+    return static_cast<TaskKey>(v) * spec_.blocks + b;
+  }
+  int block_of(TaskKey key) const {
+    return static_cast<int>(key % spec_.blocks);
+  }
+  int version_of(TaskKey key) const {
+    return static_cast<int>(key / spec_.blocks);
+  }
+  std::size_t index(TaskKey key) const { return static_cast<std::size_t>(key); }
+
+  RandomChainSpec spec_;
+  TaskKey sink_key_ = 0;
+  std::vector<KeyList> reads_;       // per task: data-read predecessors
+  std::vector<KeyList> preds_;       // full predecessor list (incl. guards)
+  std::vector<KeyList> succs_;
+  std::vector<BlockId> block_ids_;   // one versioned block per chain
+  DigestBoard board_;
+  std::uint64_t reference_ = 0;
+  bool reference_cached_ = false;
+};
+
+}  // namespace ftdag

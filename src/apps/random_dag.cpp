@@ -1,0 +1,99 @@
+#include "apps/random_dag.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/xoshiro.hpp"
+
+namespace ftdag {
+
+RandomDagProblem::RandomDagProblem(const RandomDagSpec& spec) : spec_(spec) {
+  FTDAG_ASSERT(spec.layers >= 1 && spec.width >= 1, "degenerate DAG spec");
+  const int L = spec.layers, W = spec.width;
+  const std::size_t nodes = static_cast<std::size_t>(L) * W + 1;
+  sink_key_ = static_cast<TaskKey>(L) * W;
+  preds_.resize(nodes);
+  succs_.resize(nodes);
+
+  auto node = [W](int l, int p) { return static_cast<TaskKey>(l) * W + p; };
+
+  Xoshiro256 rng(spec.seed);
+  for (int l = 1; l < L; ++l) {
+    for (int p = 0; p < W; ++p) {
+      KeyList& pl = preds_[index(node(l, p))];
+      pl.push_back(node(l - 1, p));  // guarantees sink reachability
+      for (int e = 0; e < spec.extra_degree; ++e) {
+        const TaskKey cand = node(l - 1, static_cast<int>(rng.below(W)));
+        if (!pl.contains(cand)) pl.push_back(cand);
+      }
+    }
+  }
+  for (int p = 0; p < W; ++p)
+    preds_[index(sink_key_)].push_back(node(L - 1, p));
+
+  for (TaskKey k = 0; k < static_cast<TaskKey>(nodes); ++k)
+    for (TaskKey p : preds_[index(k)]) succs_[index(p)].push_back(k);
+
+  store_.set_retention(0);  // single assignment
+  blocks_.resize(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    blocks_[i] = store_.add_block(sizeof(std::uint64_t), 1);
+    store_.set_producer(blocks_[i], 0, static_cast<TaskKey>(i));
+  }
+  board_.resize(nodes);
+}
+
+void RandomDagProblem::predecessors(TaskKey key, KeyList& out) const {
+  out = preds_[index(key)];
+}
+
+void RandomDagProblem::successors(TaskKey key, KeyList& out) const {
+  out = succs_[index(key)];
+}
+
+void RandomDagProblem::compute(TaskKey key, ComputeContext& ctx) {
+  std::uint64_t acc = mix64(0xABCDULL ^ static_cast<std::uint64_t>(key));
+  for (TaskKey p : preds_[index(key)]) {
+    const std::uint64_t* v = ctx.read<std::uint64_t>(blocks_[index(p)], 0);
+    acc = mix64(acc ^ *v);
+  }
+  for (int it = 0; it < spec_.work_iters; ++it) acc = mix64(acc);
+
+  std::uint64_t* out = ctx.write<std::uint64_t>(blocks_[index(key)], 0);
+  *out = acc;
+  ctx.stage_result(board_.slot(index(key)), acc);
+}
+
+void RandomDagProblem::all_tasks(std::vector<TaskKey>& out) const {
+  for (std::size_t i = 0; i < preds_.size(); ++i)
+    out.push_back(static_cast<TaskKey>(i));
+}
+
+void RandomDagProblem::outputs(TaskKey key, OutputList& out) const {
+  out.push_back({blocks_[index(key)], 0, 0});
+}
+
+void RandomDagProblem::reset_data() {
+  store_.reset_states();
+  board_.reset();
+}
+
+std::uint64_t RandomDagProblem::reference_checksum() {
+  if (reference_cached_) return reference_;
+  // Nodes are layer-ordered, so ascending key order is topological.
+  std::vector<std::uint64_t> value(preds_.size());
+  DigestBoard ref;
+  ref.resize(preds_.size());
+  for (std::size_t i = 0; i < preds_.size(); ++i) {
+    std::uint64_t acc = mix64(0xABCDULL ^ static_cast<std::uint64_t>(i));
+    for (TaskKey p : preds_[i]) acc = mix64(acc ^ value[index(p)]);
+    for (int it = 0; it < spec_.work_iters; ++it) acc = mix64(acc);
+    value[i] = acc;
+    ref.set(i, acc);
+  }
+  reference_ = ref.combined();
+  reference_cached_ = true;
+  return reference_;
+}
+
+}  // namespace ftdag

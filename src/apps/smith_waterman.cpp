@@ -1,0 +1,172 @@
+#include "apps/smith_waterman.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/xoshiro.hpp"
+
+namespace ftdag {
+namespace {
+
+constexpr std::int32_t kMatch = 2;
+constexpr std::int32_t kMismatch = -1;
+constexpr std::int32_t kGap = 1;
+
+}  // namespace
+
+void sw_block_kernel(int b, const std::uint8_t* a_seg,
+                     const std::uint8_t* b_seg, const std::int32_t* up,
+                     const std::int32_t* left, const std::int32_t* diag,
+                     std::int32_t* out) {
+  std::vector<std::int32_t> prev(b + 1), cur(b + 1);
+  prev[0] = diag ? diag[b - 1] : 0;  // corner cell
+  for (int j = 0; j < b; ++j) prev[j + 1] = up ? up[j] : 0;
+
+  std::int32_t* out_row = out;
+  std::int32_t* out_col = out + b;
+  std::int32_t best = 0;
+
+  for (int i = 0; i < b; ++i) {
+    cur[0] = left ? left[b + i] : 0;  // left boundary's column section
+    for (int j = 0; j < b; ++j) {
+      const std::int32_t sub =
+          prev[j] + (a_seg[i] == b_seg[j] ? kMatch : kMismatch);
+      std::int32_t h = std::max<std::int32_t>(0, sub);
+      h = std::max(h, prev[j + 1] - kGap);
+      h = std::max(h, cur[j] - kGap);
+      cur[j + 1] = h;
+      best = std::max(best, h);
+    }
+    out_col[i] = cur[b];
+    std::swap(prev, cur);
+  }
+  for (int j = 0; j < b; ++j) out_row[j] = prev[j + 1];
+
+  // Running maximum across all ancestor blocks.
+  if (up) best = std::max(best, up[2 * b]);
+  if (left) best = std::max(best, left[2 * b]);
+  if (diag) best = std::max(best, diag[2 * b]);
+  out[2 * b] = best;
+}
+
+ProducedVersion SmithWatermanProblem::placement(int bi, int bj) const {
+  const int w = grid_.width();
+  const int d = bi - bj;
+  const int s = std::min(bi, bj);
+  const int len = w - std::abs(d);             // diagonal length
+  const int parity = s & 1;
+  const int chain = (d + w - 1) * 2 + parity;  // chain index
+  const int versions = (len - parity + 1) / 2; // versions in this chain
+  FTDAG_ASSERT(versions >= 1, "placement on an empty chain");
+  return {chain_block_[chain], static_cast<Version>(s >> 1),
+          static_cast<Version>(versions - 1)};
+}
+
+SmithWatermanProblem::SmithWatermanProblem(const AppConfig& cfg)
+    : cfg_(cfg),
+      grid_(static_cast<int>(cfg.grid())),
+      b_(static_cast<int>(cfg.block)),
+      bnd_(static_cast<std::size_t>(2) * cfg.block + 1) {
+  FTDAG_ASSERT(cfg.n % cfg.block == 0, "n must be a multiple of block");
+  const int w = grid_.width();
+
+  Xoshiro256 rng(cfg.seed);
+  seq_a_.resize(cfg.n);
+  seq_b_.resize(cfg.n);
+  for (auto& c : seq_a_) c = static_cast<std::uint8_t>(rng.below(4));
+  for (auto& c : seq_b_) c = static_cast<std::uint8_t>(rng.below(4));
+
+  // Default full reuse along each diagonal chain. Any depth is structurally
+  // safe for SW (version v's readers are ancestors of the v+r writer for
+  // all r >= 1); 0 gives the paper's single-assignment variant.
+  const Version keep =
+      cfg.retention < 0 ? 1 : static_cast<Version>(cfg.retention);
+  store_.set_retention(keep);
+  chain_block_.assign(static_cast<std::size_t>(2 * w - 1) * 2, BlockId{0});
+  for (int d = -(w - 1); d <= w - 1; ++d) {
+    const int len = w - std::abs(d);
+    for (int parity = 0; parity < 2; ++parity) {
+      const int versions = (len - parity + 1) / 2;
+      if (versions < 1) continue;
+      const int chain = (d + w - 1) * 2 + parity;
+      chain_block_[chain] = store_.add_block(sizeof(std::int32_t) * bnd_,
+                                             static_cast<Version>(versions));
+    }
+  }
+  for (int bi = 0; bi < w; ++bi) {
+    for (int bj = 0; bj < w; ++bj) {
+      const ProducedVersion pv = placement(bi, bj);
+      store_.set_producer(pv.block, pv.version, grid_.key(bi, bj));
+    }
+  }
+  board_.resize(static_cast<std::size_t>(w) * w + 1);  // +1: best score
+}
+
+void SmithWatermanProblem::compute(TaskKey key, ComputeContext& ctx) {
+  const int bi = grid_.row(key), bj = grid_.col(key);
+
+  const std::int32_t* up = nullptr;
+  const std::int32_t* left = nullptr;
+  const std::int32_t* diag = nullptr;
+  if (bi > 0) {
+    const ProducedVersion pv = placement(bi - 1, bj);
+    up = ctx.read<std::int32_t>(pv.block, pv.version);
+  }
+  if (bj > 0) {
+    const ProducedVersion pv = placement(bi, bj - 1);
+    left = ctx.read<std::int32_t>(pv.block, pv.version);
+  }
+  if (bi > 0 && bj > 0) {
+    const ProducedVersion pv = placement(bi - 1, bj - 1);
+    diag = ctx.read<std::int32_t>(pv.block, pv.version);
+  }
+
+  const ProducedVersion mine = placement(bi, bj);
+  std::int32_t* out = ctx.write<std::int32_t>(mine.block, mine.version);
+  sw_block_kernel(b_, seq_a_.data() + static_cast<std::size_t>(bi) * b_,
+                  seq_b_.data() + static_cast<std::size_t>(bj) * b_, up, left,
+                  diag, out);
+  ctx.stage_result(board_.slot(task_index(key)), digest_array(out, bnd_));
+  if (key == grid_.sink())
+    ctx.stage_result(board_.slot(board_.size() - 1),
+                     static_cast<std::uint64_t>(out[2 * b_]));
+}
+
+void SmithWatermanProblem::outputs(TaskKey key, OutputList& out) const {
+  out.push_back(placement(grid_.row(key), grid_.col(key)));
+}
+
+void SmithWatermanProblem::reset_data() {
+  store_.reset_states();
+  board_.reset();
+}
+
+std::uint64_t SmithWatermanProblem::reference_checksum() {
+  if (reference_cached_) return reference_;
+  const int w = grid_.width();
+  // Sequential run of the same kernels, no reuse: one boundary per block.
+  std::vector<std::int32_t> bounds(static_cast<std::size_t>(w) * w * bnd_);
+  DigestBoard ref;
+  ref.resize(static_cast<std::size_t>(w) * w + 1);
+  auto at = [&](int bi, int bj) {
+    return bounds.data() + task_index(grid_.key(bi, bj)) * bnd_;
+  };
+  for (int bi = 0; bi < w; ++bi) {
+    for (int bj = 0; bj < w; ++bj) {
+      std::int32_t* out = at(bi, bj);
+      sw_block_kernel(b_, seq_a_.data() + static_cast<std::size_t>(bi) * b_,
+                      seq_b_.data() + static_cast<std::size_t>(bj) * b_,
+                      bi > 0 ? at(bi - 1, bj) : nullptr,
+                      bj > 0 ? at(bi, bj - 1) : nullptr,
+                      (bi > 0 && bj > 0) ? at(bi - 1, bj - 1) : nullptr, out);
+      ref.set(task_index(grid_.key(bi, bj)), digest_array(out, bnd_));
+    }
+  }
+  ref.set(ref.size() - 1,
+          static_cast<std::uint64_t>(at(w - 1, w - 1)[2 * b_]));
+  reference_ = ref.combined();
+  reference_cached_ = true;
+  return reference_;
+}
+
+}  // namespace ftdag

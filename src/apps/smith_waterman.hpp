@@ -1,0 +1,83 @@
+#pragma once
+// Smith-Waterman local alignment, blocked dynamic programming with the
+// paper's *memory reuse* strategy.
+//
+//   H[i][j] = max(0, H[i-1][j-1] + score(a_i, b_j),
+//                    H[i-1][j] - gap, H[i][j-1] - gap)
+//
+// Block (bi, bj) publishes its boundary (last row, last column, running
+// maximum). Reuse scheme: a block's boundary is dead once its three
+// consumers (down/right/diagonal) finish, all of which are ancestors of
+// block (bi+2, bj+2) — so storage is recycled along diagonal chains with
+// stride two. Chain id = (bi - bj, min(bi,bj) mod 2); version along the
+// chain = min(bi,bj) / 2; retention 1. This creates the deep version chains
+// whose failure behaviour the paper reports for SW in Table II (v=last
+// faults re-execute thousands of tasks).
+//
+// The running maximum threaded through every block makes the sink's
+// boundary carry the global best alignment score.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/app_config.hpp"
+#include "apps/digest_board.hpp"
+#include "apps/wavefront_grid.hpp"
+#include "graph/compute_context.hpp"
+#include "graph/task_graph_problem.hpp"
+
+namespace ftdag {
+
+// Boundary layout: [last_row (B), last_col (B), running_max (1)].
+// Null neighbour pointers mean matrix edge (zero border, zero max).
+void sw_block_kernel(int b, const std::uint8_t* a_seg,
+                     const std::uint8_t* b_seg, const std::int32_t* up,
+                     const std::int32_t* left, const std::int32_t* diag,
+                     std::int32_t* out);
+
+class SmithWatermanProblem final : public TaskGraphProblem {
+ public:
+  explicit SmithWatermanProblem(const AppConfig& cfg);
+
+  std::string name() const override { return "sw"; }
+  TaskKey sink() const override { return grid_.sink(); }
+  void predecessors(TaskKey key, KeyList& out) const override {
+    grid_.predecessors(key, out);
+  }
+  void successors(TaskKey key, KeyList& out) const override {
+    grid_.successors(key, out);
+  }
+  void compute(TaskKey key, ComputeContext& ctx) override;
+  void all_tasks(std::vector<TaskKey>& out) const override {
+    grid_.all_tasks(out);
+  }
+  void outputs(TaskKey key, OutputList& out) const override;
+  void reset_data() override;
+  std::uint64_t result_checksum() const override { return board_.combined(); }
+  std::uint64_t reference_checksum() override;
+
+  // Global best local-alignment score; valid after a run.
+  std::int32_t best_score() const {
+    return static_cast<std::int32_t>(board_.get(board_.size() - 1));
+  }
+
+ private:
+  std::size_t task_index(TaskKey key) const {
+    return static_cast<std::size_t>(key);
+  }
+  // Chain-relative placement of a block's boundary.
+  ProducedVersion placement(int bi, int bj) const;
+
+  AppConfig cfg_;
+  WavefrontGrid grid_;
+  int b_;
+  std::size_t bnd_;  // boundary length in int32 (2B + 1)
+  std::vector<std::uint8_t> seq_a_, seq_b_;
+  std::vector<BlockId> chain_block_;  // per chain index
+  DigestBoard board_;                 // T task digests + 1 best-score slot
+  std::uint64_t reference_ = 0;
+  bool reference_cached_ = false;
+};
+
+}  // namespace ftdag

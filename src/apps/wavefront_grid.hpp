@@ -1,0 +1,56 @@
+#pragma once
+// WavefrontGrid: shared block-grid topology for the dynamic-programming
+// benchmarks (LCS, Smith-Waterman).
+//
+// Blocks form a W x W grid; block (bi, bj) depends on its up, left and
+// diagonal neighbours — the standard blocked recurrence decomposition. For
+// the paper's LCS configuration this yields exactly its Table I edge count:
+// E = 3(W-1)^2 + 2(W-1) boundary edges.
+
+#include <vector>
+
+#include "graph/task_key.hpp"
+
+namespace ftdag {
+
+class WavefrontGrid {
+ public:
+  explicit WavefrontGrid(int w) : w_(w) {}
+
+  int width() const { return w_; }
+
+  TaskKey key(int bi, int bj) const {
+    return static_cast<TaskKey>(bi) * w_ + bj;
+  }
+  int row(TaskKey k) const { return static_cast<int>(k / w_); }
+  int col(TaskKey k) const { return static_cast<int>(k % w_); }
+
+  TaskKey sink() const { return key(w_ - 1, w_ - 1); }
+
+  // Ordered: up, left, diagonal.
+  void predecessors(TaskKey k, KeyList& out) const {
+    const int bi = row(k), bj = col(k);
+    if (bi > 0) out.push_back(key(bi - 1, bj));
+    if (bj > 0) out.push_back(key(bi, bj - 1));
+    if (bi > 0 && bj > 0) out.push_back(key(bi - 1, bj - 1));
+  }
+
+  // Ordered: down, right, diagonal.
+  void successors(TaskKey k, KeyList& out) const {
+    const int bi = row(k), bj = col(k);
+    if (bi + 1 < w_) out.push_back(key(bi + 1, bj));
+    if (bj + 1 < w_) out.push_back(key(bi, bj + 1));
+    if (bi + 1 < w_ && bj + 1 < w_) out.push_back(key(bi + 1, bj + 1));
+  }
+
+  void all_tasks(std::vector<TaskKey>& out) const {
+    out.reserve(out.size() + static_cast<std::size_t>(w_) * w_);
+    for (int bi = 0; bi < w_; ++bi)
+      for (int bj = 0; bj < w_; ++bj) out.push_back(key(bi, bj));
+  }
+
+ private:
+  int w_;
+};
+
+}  // namespace ftdag

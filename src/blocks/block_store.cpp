@@ -1,0 +1,286 @@
+#include "blocks/block_store.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/xoshiro.hpp"
+
+namespace ftdag {
+
+BlockId BlockStore::add_block(std::size_t bytes, Version num_versions) {
+  FTDAG_ASSERT(num_versions >= 1, "block needs at least one version");
+  Block b;
+  b.bytes = bytes;
+  b.num_versions = num_versions;
+  b.slots = (retention_ == 0 || retention_ >= num_versions) ? num_versions
+                                                            : retention_;
+  b.storage = std::make_unique<std::byte[]>(bytes * b.slots);
+  b.producers.assign(num_versions, TaskKey{-1});
+  b.states = std::make_unique<std::atomic<VersionState>[]>(num_versions);
+  for (Version v = 0; v < num_versions; ++v)
+    b.states[v].store(VersionState::kAbsent, std::memory_order_relaxed);
+  b.slot_locks = std::make_unique<SpinLock[]>(b.slots);
+  b.sums = std::make_unique<std::atomic<std::uint64_t>[]>(num_versions);
+  for (Version v = 0; v < num_versions; ++v)
+    b.sums[v].store(0, std::memory_order_relaxed);
+  storage_bytes_ += bytes * b.slots;
+  blocks_.push_back(std::move(b));
+  return static_cast<BlockId>(blocks_.size() - 1);
+}
+
+void BlockStore::set_producer(BlockId block, Version version,
+                              TaskKey producer) {
+  Block& b = block_ref(block);
+  FTDAG_ASSERT(version < b.num_versions, "version out of range");
+  b.producers[version] = producer;
+}
+
+const BlockStore::Block& BlockStore::block_ref(BlockId id) const {
+  FTDAG_ASSERT(id < blocks_.size(), "block id out of range");
+  return blocks_[id];
+}
+
+BlockStore::Block& BlockStore::block_ref(BlockId id) {
+  FTDAG_ASSERT(id < blocks_.size(), "block id out of range");
+  return blocks_[id];
+}
+
+void BlockStore::displace_slot(Block& b, Version slot, Version keep) {
+  for (Version v = slot; v < b.num_versions; v += b.slots) {
+    if (v == keep) {
+      // The version being written: downgrade Valid -> Absent so stale
+      // readers fail re-validation while the rewrite is in progress.
+      VersionState expected = VersionState::kValid;
+      b.states[v].compare_exchange_strong(expected, VersionState::kAbsent,
+                                          std::memory_order_acq_rel);
+      continue;
+    }
+    VersionState cur = b.states[v].load(std::memory_order_acquire);
+    while (cur == VersionState::kValid || cur == VersionState::kCorrupted) {
+      if (b.states[v].compare_exchange_weak(cur, VersionState::kOverwritten,
+                                            std::memory_order_acq_rel))
+        break;
+    }
+  }
+}
+
+WriteTicket BlockStore::begin_write(BlockId block, Version version) {
+  Block& b = block_ref(block);
+  FTDAG_ASSERT(version < b.num_versions, "version out of range");
+  const Version slot = version % b.slots;
+  b.slot_locks[slot].lock();
+  displace_slot(b, slot, version);
+  return WriteTicket{
+      block, version,
+      b.storage.get() + static_cast<std::size_t>(slot) * b.bytes, true};
+}
+
+WriteTicket BlockStore::begin_update(BlockId block, Version from, Version to) {
+  Block& b = block_ref(block);
+  FTDAG_ASSERT(from < b.num_versions && to < b.num_versions,
+               "version out of range");
+  const Version slot = to % b.slots;
+  FTDAG_ASSERT(from % b.slots == slot,
+               "begin_update requires versions sharing a slot");
+  b.slot_locks[slot].lock();
+  // Validate the input under the lock: a chain re-execution that regenerated
+  // `from` has fully committed before we got the lock, and nothing can touch
+  // the slot while we hold it.
+  const VersionState st = b.states[from].load(std::memory_order_acquire);
+  if (st != VersionState::kValid) {
+    b.slot_locks[slot].unlock();
+    throw_for(b, block, from, st);
+  }
+  if (checksums_ && !verify_checksum(b, from)) {
+    b.slot_locks[slot].unlock();
+    throw_for(b, block, from, VersionState::kCorrupted);
+  }
+  // Consume `from`: its bytes stay intact until the caller overwrites them,
+  // but other readers must now fail fast and trigger producer recovery.
+  b.states[from].store(VersionState::kOverwritten, std::memory_order_release);
+  displace_slot(b, slot, to);
+  return WriteTicket{
+      block, to, b.storage.get() + static_cast<std::size_t>(slot) * b.bytes,
+      true};
+}
+
+bool BlockStore::same_slot(BlockId block, Version a, Version b_) const {
+  const Block& b = block_ref(block);
+  return a % b.slots == b_ % b.slots;
+}
+
+void BlockStore::commit(WriteTicket& ticket) {
+  FTDAG_ASSERT(ticket.active, "commit of inactive ticket");
+  Block& b = block_ref(ticket.block);
+  if (checksums_)
+    b.sums[ticket.version].store(
+        hash_bytes(static_cast<const std::byte*>(ticket.data), b.bytes),
+        std::memory_order_release);
+  b.states[ticket.version].store(VersionState::kValid,
+                                 std::memory_order_release);
+  b.slot_locks[ticket.version % b.slots].unlock();
+  ticket.active = false;
+}
+
+void BlockStore::abort(WriteTicket& ticket) {
+  FTDAG_ASSERT(ticket.active, "abort of inactive ticket");
+  Block& b = block_ref(ticket.block);
+  b.slot_locks[ticket.version % b.slots].unlock();
+  ticket.active = false;
+}
+
+const void* BlockStore::read(BlockId block, Version version) const {
+  const Block& b = block_ref(block);
+  FTDAG_ASSERT(version < b.num_versions, "version out of range");
+  const VersionState st = b.states[version].load(std::memory_order_acquire);
+  if (st != VersionState::kValid) [[unlikely]]
+    throw_for(b, block, version, st);
+  if (checksums_ && !verify_checksum(b, version)) [[unlikely]]
+    throw_for(b, block, version, VersionState::kCorrupted);
+  const Version slot = version % b.slots;
+  return b.storage.get() + static_cast<std::size_t>(slot) * b.bytes;
+}
+
+void BlockStore::revalidate(BlockId block, Version version) const {
+  const Block& b = block_ref(block);
+  const VersionState st = b.states[version].load(std::memory_order_acquire);
+  if (st != VersionState::kValid) [[unlikely]]
+    throw_for(b, block, version, st);
+  if (checksums_ && !verify_checksum(b, version)) [[unlikely]]
+    throw_for(b, block, version, VersionState::kCorrupted);
+}
+
+std::uint64_t BlockStore::hash_bytes(const std::byte* data, std::size_t n) {
+  // FNV-1a over 8-byte chunks with a mix64 finalizer: fast and sensitive to
+  // any single flipped bit.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t word = 0;
+    __builtin_memcpy(&word, data + i, 8);
+    h = (h ^ word) * 0x100000001b3ULL;
+  }
+  for (; i < n; ++i)
+    h = (h ^ static_cast<std::uint64_t>(data[i])) * 0x100000001b3ULL;
+  return mix64(h);
+}
+
+bool BlockStore::verify_checksum(const Block& b, Version v) const {
+  const Version slot = v % b.slots;
+  const std::uint64_t want = b.sums[v].load(std::memory_order_acquire);
+  const std::uint64_t got = hash_bytes(
+      b.storage.get() + static_cast<std::size_t>(slot) * b.bytes, b.bytes);
+  if (got == want) return true;
+  // Detection event: make the error sticky so traversal-side checks (which
+  // look only at states) observe exactly what this reader observed.
+  VersionState expected = VersionState::kValid;
+  b.states[v].compare_exchange_strong(expected, VersionState::kCorrupted,
+                                      std::memory_order_acq_rel);
+  return false;
+}
+
+bool BlockStore::flip_bit(BlockId block, Version version, std::size_t bit) {
+  Block& b = block_ref(block);
+  FTDAG_ASSERT(version < b.num_versions, "version out of range");
+  if (b.states[version].load(std::memory_order_acquire) !=
+      VersionState::kValid)
+    return false;
+  const Version slot = version % b.slots;
+  std::byte* base = b.storage.get() + static_cast<std::size_t>(slot) * b.bytes;
+  const std::size_t which = (bit / 8) % b.bytes;
+  base[which] ^= std::byte{static_cast<unsigned char>(1u << (bit % 8))};
+  return true;
+}
+
+void BlockStore::throw_for(const Block& b, BlockId id, Version v,
+                           VersionState st) {
+  BlockFaultReason reason;
+  switch (st) {
+    case VersionState::kCorrupted:
+      reason = BlockFaultReason::kCorrupted;
+      break;
+    case VersionState::kOverwritten:
+      reason = BlockFaultReason::kOverwritten;
+      break;
+    default:
+      reason = BlockFaultReason::kMissing;
+      break;
+  }
+  throw DataBlockFault(b.producers[v], id, v, reason);
+}
+
+TaskKey BlockStore::producer(BlockId block, Version version) const {
+  const Block& b = block_ref(block);
+  FTDAG_ASSERT(version < b.num_versions, "version out of range");
+  return b.producers[version];
+}
+
+VersionState BlockStore::state(BlockId block, Version version) const {
+  const Block& b = block_ref(block);
+  FTDAG_ASSERT(version < b.num_versions, "version out of range");
+  return b.states[version].load(std::memory_order_acquire);
+}
+
+Version BlockStore::num_versions(BlockId block) const {
+  return block_ref(block).num_versions;
+}
+
+std::size_t BlockStore::block_bytes(BlockId block) const {
+  return block_ref(block).bytes;
+}
+
+void BlockStore::corrupt(BlockId block, Version version) {
+  Block& b = block_ref(block);
+  FTDAG_ASSERT(version < b.num_versions, "version out of range");
+  VersionState expected = VersionState::kValid;
+  b.states[version].compare_exchange_strong(expected, VersionState::kCorrupted,
+                                            std::memory_order_acq_rel);
+}
+
+void BlockStore::reset_states() {
+  for (Block& b : blocks_)
+    for (Version v = 0; v < b.num_versions; ++v)
+      b.states[v].store(VersionState::kAbsent, std::memory_order_relaxed);
+}
+
+void BlockStore::clear() {
+  blocks_.clear();
+  storage_bytes_ = 0;
+}
+
+BlockStore::Snapshot BlockStore::snapshot() const {
+  Snapshot snap;
+  snap.bytes.reserve(storage_bytes_);
+  for (const Block& b : blocks_) {
+    snap.bytes.insert(snap.bytes.end(), b.storage.get(),
+                      b.storage.get() + b.bytes * b.slots);
+    for (Version v = 0; v < b.num_versions; ++v) {
+      snap.states.push_back(b.states[v].load(std::memory_order_acquire));
+      snap.sums.push_back(b.sums[v].load(std::memory_order_acquire));
+    }
+  }
+  return snap;
+}
+
+void BlockStore::restore(const Snapshot& snap) {
+  std::size_t byte_at = 0, state_at = 0;
+  for (Block& b : blocks_) {
+    const std::size_t n = b.bytes * b.slots;
+    FTDAG_ASSERT(byte_at + n <= snap.bytes.size(),
+                 "snapshot does not match block layout");
+    std::copy(snap.bytes.begin() + static_cast<std::ptrdiff_t>(byte_at),
+              snap.bytes.begin() + static_cast<std::ptrdiff_t>(byte_at + n),
+              b.storage.get());
+    byte_at += n;
+    for (Version v = 0; v < b.num_versions; ++v) {
+      b.states[v].store(snap.states[state_at], std::memory_order_release);
+      b.sums[v].store(snap.sums[state_at], std::memory_order_release);
+      ++state_at;
+    }
+  }
+  FTDAG_ASSERT(byte_at == snap.bytes.size() &&
+                   state_at == snap.states.size(),
+               "snapshot does not match block layout");
+}
+
+}  // namespace ftdag

@@ -1,0 +1,213 @@
+#pragma once
+// BlockStore: versioned data blocks with configurable retention.
+//
+// The paper's task model allows *updates* to data blocks: each task produces
+// one or more (block, version) outputs, and with the memory-reuse strategy
+// (Section VI) the storage of version v is recycled for version v + r, where
+// r is the retention depth:
+//   retention 1   -> full reuse (LU, Cholesky, SW): one slot per block
+//   retention 2   -> Floyd-Warshall's two-version scheme (doubles memory to
+//                    damp cascading recomputation)
+//   retention 0   -> single assignment (LCS): every version kept
+//
+// Every (block, version) carries a sticky state:
+//   Absent      never produced, reset, or currently being (re)written
+//   Valid       produced, readable
+//   Corrupted   fault injector hit it; reads throw (detected soft error)
+//   Overwritten storage reused by a different version; reads throw, and the
+//               producer must be re-executed to regenerate it (the paper's
+//               re-execution chains, Fig 7b)
+//
+// Reads of non-Valid versions throw DataBlockFault carrying the *producer*
+// task key, which is how the fault-tolerant executor attributes the failure
+// to the task that must be recovered.
+//
+// Writer protocol. Failure recovery can re-execute the producer of an *old*
+// version while unrelated work is in flight, so writes are bracketed:
+// begin_write/begin_update take a per-slot spin lock (serializing writers of
+// versions that share storage), displace every other version mapped to the
+// slot, and downgrade the target version itself to Absent; commit publishes
+// Valid and releases the lock. Readers never lock: they validate the state
+// on read and the executors re-validate every recorded read after the
+// compute body, so a displaced read can only ever discard a result, never
+// publish a torn one.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "blocks/block_types.hpp"
+#include "fault/fault.hpp"
+#include "graph/task_key.hpp"
+#include "support/spin_lock.hpp"
+
+namespace ftdag {
+
+enum class VersionState : std::uint8_t {
+  kAbsent = 0,
+  kValid = 1,
+  kCorrupted = 2,
+  kOverwritten = 3,
+};
+
+// Handle for an in-progress write; returned by begin_write/begin_update and
+// resolved by commit or abort (which release the slot lock).
+struct WriteTicket {
+  BlockId block = 0;
+  Version version = kNoVersion;
+  void* data = nullptr;
+  bool active = false;
+};
+
+class BlockStore {
+ public:
+  BlockStore() = default;
+  BlockStore(const BlockStore&) = delete;
+  BlockStore& operator=(const BlockStore&) = delete;
+
+  // --- setup (single-threaded, before execution) ---------------------------
+
+  // Retention depth applied to blocks added afterwards. 0 keeps all versions.
+  void set_retention(Version keep) { retention_ = keep; }
+  Version retention() const { return retention_; }
+
+  // Declares a block of `bytes` bytes that will reach `num_versions`
+  // versions over the graph's lifetime. Returns its id.
+  BlockId add_block(std::size_t bytes, Version num_versions);
+
+  // Records which task produces (block, version); required for fault
+  // attribution on reads.
+  void set_producer(BlockId block, Version version, TaskKey producer);
+
+  // --- execution-time access ------------------------------------------------
+
+  // Starts writing `version`: locks its slot, displaces every other version
+  // sharing the slot, and marks the version itself Absent until commit.
+  WriteTicket begin_write(BlockId block, Version version);
+
+  // Starts an in-place update reading `from` and producing `to` *in the same
+  // slot* (read-modify-write under retention 1). Validates `from` under the
+  // slot lock (throws DataBlockFault if it is not Valid), then marks it
+  // Overwritten — the caller reads the bytes through the returned ticket
+  // while exclusively holding the slot. Only legal when the two versions map
+  // to the same slot; use read + begin_write otherwise.
+  WriteTicket begin_update(BlockId block, Version from, Version to);
+
+  // Do `from` and `to` share physical storage in this block?
+  bool same_slot(BlockId block, Version a, Version b) const;
+
+  // Publishes the version as Valid and releases the slot lock.
+  void commit(WriteTicket& ticket);
+
+  // Releases the slot lock without publishing (failure path). The version
+  // stays Absent.
+  void abort(WriteTicket& ticket);
+
+  // Read-only pointer to a Valid version; throws DataBlockFault otherwise.
+  const void* read(BlockId block, Version version) const;
+
+  // Re-checks that a previously read version is still Valid; throws
+  // DataBlockFault if it was displaced or corrupted since.
+  void revalidate(BlockId block, Version version) const;
+
+  // --- queries ---------------------------------------------------------------
+
+  TaskKey producer(BlockId block, Version version) const;
+  VersionState state(BlockId block, Version version) const;
+  bool is_valid(BlockId block, Version version) const {
+    return state(block, version) == VersionState::kValid;
+  }
+
+  std::size_t block_count() const { return blocks_.size(); }
+  Version num_versions(BlockId block) const;
+  std::size_t block_bytes(BlockId block) const;
+  std::size_t total_storage_bytes() const { return storage_bytes_; }
+
+  // --- fault-injection & lifecycle -------------------------------------------
+
+  // Marks a Valid version Corrupted (detected soft error). No-op on versions
+  // that are Absent (nothing computed yet) or already unusable.
+  void corrupt(BlockId block, Version version);
+
+  // --- checksum (software error-detection code) mode -------------------------
+  //
+  // The paper assumes detected errors ("hardware or software error
+  // detection codes, such as ECC", Section II). The default injection path
+  // simulates the *detector* with sticky flags. Checksum mode implements a
+  // real software detector instead: commit() stores a 64-bit hash of the
+  // slot bytes, and every read/revalidate recomputes and compares it —
+  // an actual flipped data bit is then caught at the next access, flipping
+  // the version to Corrupted exactly like a flagged fault. Detection costs
+  // O(bytes) per read; it exists for fidelity experiments and tests, not
+  // for the timing benchmarks.
+
+  // Enables checksum verification for blocks of this store. Call before
+  // execution; applies to all blocks.
+  void set_checksum_mode(bool on) { checksums_ = on; }
+  bool checksum_mode() const { return checksums_; }
+
+  // Flips one bit in the *resident* bytes of a version's slot (a genuine
+  // silent data corruption). Returns false when the version is not
+  // resident/valid. Without checksum mode the corruption stays silent —
+  // which is the scenario the paper's detectability assumption excludes.
+  bool flip_bit(BlockId block, Version version, std::size_t bit);
+
+  // Resets every version state to Absent; storage is kept. Run between
+  // repeated executions of the same problem.
+  void reset_states();
+
+  // Drops all blocks entirely (used by problems that rebuild their layout).
+  void clear();
+
+  // --- snapshot / restore (collective checkpoint-restart comparator) -------
+
+  // A full copy of all slot bytes and version states. Used by the
+  // CheckpointRestartExecutor to model classic coordinated checkpointing;
+  // the selective-recovery executor never needs this.
+  struct Snapshot {
+    std::vector<std::byte> bytes;        // concatenated slot storage
+    std::vector<VersionState> states;    // concatenated version states
+    std::vector<std::uint64_t> sums;     // concatenated checksums
+  };
+
+  // Both must be called while no writes are in flight (quiescent store).
+  Snapshot snapshot() const;
+  void restore(const Snapshot& snap);
+
+ private:
+  struct Block {
+    std::size_t bytes = 0;
+    Version num_versions = 0;
+    Version slots = 0;  // number of physical slots (= retained versions)
+    std::unique_ptr<std::byte[]> storage;
+    std::vector<TaskKey> producers;  // per version
+    // Mutable: checksum verification during const reads flips a version to
+    // Corrupted when the stored hash no longer matches the bytes (that IS
+    // the detection event).
+    mutable std::unique_ptr<std::atomic<VersionState>[]> states;
+    std::unique_ptr<SpinLock[]> slot_locks;              // per slot
+    std::unique_ptr<std::atomic<std::uint64_t>[]> sums;  // per version
+  };
+
+  // Hash of a slot's bytes (checksum mode).
+  static std::uint64_t hash_bytes(const std::byte* data, std::size_t n);
+  // Verifies the stored checksum of a Valid version; on mismatch flips the
+  // state to Corrupted and returns false.
+  bool verify_checksum(const Block& b, Version v) const;
+
+  const Block& block_ref(BlockId id) const;
+  Block& block_ref(BlockId id);
+  // Marks every version mapped to `slot` other than `keep` as Overwritten
+  // (Valid/Corrupted only) and downgrades `keep` itself Valid -> Absent.
+  static void displace_slot(Block& b, Version slot, Version keep);
+  [[noreturn]] static void throw_for(const Block& b, BlockId id, Version v,
+                                     VersionState st);
+
+  std::vector<Block> blocks_;
+  Version retention_ = 1;
+  std::size_t storage_bytes_ = 0;
+  bool checksums_ = false;
+};
+
+}  // namespace ftdag

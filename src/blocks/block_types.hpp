@@ -1,0 +1,13 @@
+#pragma once
+// Basic identifiers for versioned data blocks.
+
+#include <cstdint>
+
+namespace ftdag {
+
+using BlockId = std::uint32_t;
+using Version = std::uint32_t;
+
+inline constexpr Version kNoVersion = ~Version{0};
+
+}  // namespace ftdag

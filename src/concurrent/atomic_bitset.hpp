@@ -1,0 +1,78 @@
+#pragma once
+// Fixed-size atomic bit vector.
+//
+// Implements the paper's per-task notification bit vector (Guarantee 3):
+// one bit per predecessor plus the self slot, initialized to all-ones;
+// `fetch_unset` atomically clears a bit and reports whether this caller was
+// the one to clear it, which gates the join-counter decrement so each
+// predecessor decrements exactly once even across recoveries.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "support/assert.hpp"
+
+namespace ftdag {
+
+class AtomicBitset {
+ public:
+  explicit AtomicBitset(std::size_t bits)
+      : bits_(bits), words_(new std::atomic<std::uint64_t>[word_count()]) {
+    set_all();
+  }
+
+  AtomicBitset(const AtomicBitset&) = delete;
+  AtomicBitset& operator=(const AtomicBitset&) = delete;
+
+  std::size_t size() const { return bits_; }
+
+  // Atomically clears bit i; returns true iff the bit was previously set
+  // (i.e. this caller performed the transition).
+  bool fetch_unset(std::size_t i) {
+    FTDAG_DASSERT(i < bits_, "bit index out of range");
+    const std::uint64_t mask = 1ULL << (i & 63);
+    const std::uint64_t prev =
+        words_[i >> 6].fetch_and(~mask, std::memory_order_acq_rel);
+    return (prev & mask) != 0;
+  }
+
+  // Atomically sets bit i; returns true iff the bit was previously clear.
+  bool fetch_set(std::size_t i) {
+    FTDAG_DASSERT(i < bits_, "bit index out of range");
+    const std::uint64_t mask = 1ULL << (i & 63);
+    const std::uint64_t prev =
+        words_[i >> 6].fetch_or(mask, std::memory_order_acq_rel);
+    return (prev & mask) == 0;
+  }
+
+  bool test(std::size_t i) const {
+    FTDAG_DASSERT(i < bits_, "bit index out of range");
+    return (words_[i >> 6].load(std::memory_order_acquire) >>
+            (i & 63)) & 1;
+  }
+
+  // Sets every bit (SETALLBITS in the paper's RESETNODE).
+  void set_all() {
+    const std::size_t n = word_count();
+    for (std::size_t w = 0; w < n; ++w)
+      words_[w].store(~0ULL, std::memory_order_release);
+    // Keep unused tail bits set; they are never addressed.
+  }
+
+  // Number of set bits among the addressable range.
+  std::size_t count() const {
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < bits_; ++i) total += test(i) ? 1 : 0;
+    return total;
+  }
+
+ private:
+  std::size_t word_count() const { return (bits_ + 63) / 64; }
+
+  std::size_t bits_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> words_;
+};
+
+}  // namespace ftdag

@@ -1,0 +1,169 @@
+#pragma once
+// Sharded concurrent hash map from 64-bit task keys to heap-allocated values.
+//
+// This is the paper's "concurrent hash map" that stores *pointers to tasks,
+// not the tasks themselves* (Section III): values live in individually
+// allocated nodes whose addresses stay stable across table growth, so the
+// fault-tolerant executor can atomically swap a task pointer inside an entry
+// (REPLACETASK) without holding any map lock.
+//
+// Each shard is a linear-probing open-addressing table guarded by a spin
+// lock. Entries are never erased during a graph execution (NABBIT only ever
+// inserts), which keeps probing simple; `clear` recycles everything between
+// runs.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/cache.hpp"
+#include "support/spin_lock.hpp"
+#include "support/xoshiro.hpp"
+
+namespace ftdag {
+
+using MapKey = std::int64_t;
+
+template <typename V>
+class ShardedMap {
+ public:
+  explicit ShardedMap(std::size_t shard_count = 64,
+                      std::size_t initial_per_shard = 64)
+      : shards_(round_up_pow2(shard_count)) {
+    for (auto& s : shards_) s->init(round_up_pow2(initial_per_shard));
+  }
+
+  ShardedMap(const ShardedMap&) = delete;
+  ShardedMap& operator=(const ShardedMap&) = delete;
+
+  // Inserts the heap-allocated value returned by factory() when the key is
+  // absent (ownership transfers to the map; factory is only invoked on
+  // insertion). Returns {value pointer, inserted}. The pointer is stable for
+  // the life of the map (until clear/destruction).
+  template <typename F>
+  std::pair<V*, bool> insert_if_absent(MapKey key, F&& factory) {
+    Shard& shard = shard_for(key);
+    std::lock_guard<SpinLock> guard(shard.lock);
+    std::size_t idx;
+    if (shard.locate(key, idx)) return {shard.slots[idx].value, false};
+    if ((shard.count + 1) * 10 > shard.slots.size() * 7) {
+      shard.grow();
+      bool found = shard.locate(key, idx);
+      FTDAG_ASSERT(!found, "key appeared during grow");
+    }
+    V* value = factory();
+    shard.slots[idx] = Slot{key, value};
+    ++shard.count;
+    ++size_;
+    return {value, true};
+  }
+
+  // Finds the value for key; nullptr when absent.
+  V* find(MapKey key) {
+    Shard& shard = shard_for(key);
+    std::lock_guard<SpinLock> guard(shard.lock);
+    std::size_t idx;
+    if (shard.locate(key, idx)) return shard.slots[idx].value;
+    return nullptr;
+  }
+
+  // Visits every (key, value&) pair. Not concurrent-safe with writers; used
+  // by post-run validation and statistics only.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (auto& s : shards_) {
+      std::lock_guard<SpinLock> guard(s->lock);
+      for (const Slot& slot : s->slots)
+        if (slot.value != nullptr) fn(slot.key, *slot.value);
+    }
+  }
+
+  std::size_t size() const { return size_.load(std::memory_order_relaxed); }
+
+  void clear() {
+    for (auto& s : shards_) {
+      std::lock_guard<SpinLock> guard(s->lock);
+      for (Slot& slot : s->slots) {
+        delete slot.value;
+        slot = Slot{};
+      }
+      s->count = 0;
+    }
+    size_.store(0, std::memory_order_relaxed);
+  }
+
+  ~ShardedMap() { clear(); }
+
+ private:
+  struct Slot {
+    MapKey key = 0;
+    V* value = nullptr;  // nullptr marks an empty slot
+  };
+
+  struct Shard {
+    SpinLock lock;
+    std::vector<Slot> slots;
+    std::size_t count = 0;
+
+    void init(std::size_t cap) { slots.assign(cap, Slot{}); }
+
+    // Probes for key. Returns true and its index when present; otherwise
+    // false with idx at the first empty slot for insertion.
+    bool locate(MapKey key, std::size_t& idx) const {
+      const std::size_t mask = slots.size() - 1;
+      std::size_t i = hash_key(key) & mask;
+      for (;;) {
+        const Slot& s = slots[i];
+        if (s.value == nullptr) {
+          idx = i;
+          return false;
+        }
+        if (s.key == key) {
+          idx = i;
+          return true;
+        }
+        i = (i + 1) & mask;
+      }
+    }
+
+    void grow() {
+      std::vector<Slot> old = std::move(slots);
+      slots.assign(old.size() * 2, Slot{});
+      for (const Slot& s : old) {
+        if (s.value == nullptr) continue;
+        std::size_t idx;
+        bool found = locate(s.key, idx);
+        FTDAG_ASSERT(!found, "duplicate key during rehash");
+        slots[idx] = s;
+      }
+    }
+  };
+
+  Shard& shard_for(MapKey key) {
+    return *shards_[hash_key(key) >> kShardShift &
+                    (shards_.size() - 1)];
+  }
+
+  static std::uint64_t hash_key(MapKey key) {
+    return mix64(static_cast<std::uint64_t>(key));
+  }
+
+  static std::size_t round_up_pow2(std::size_t v) {
+    std::size_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  // Shard selection uses high hash bits so in-shard probing (low bits) and
+  // shard choice stay independent.
+  static constexpr unsigned kShardShift = 48;
+
+  std::vector<CachePadded<Shard>> shards_;
+  std::atomic<std::size_t> size_{0};
+};
+
+}  // namespace ftdag

@@ -1,0 +1,179 @@
+#include "core/checkpoint_executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/compute_context.hpp"
+#include "support/assert.hpp"
+#include "support/timer.hpp"
+
+namespace ftdag {
+namespace {
+
+// Minimal corruptible descriptor for the injector.
+struct ChkTask final : CorruptibleTask {
+  explicit ChkTask(TaskKey k) : key(k) {}
+  TaskKey key;
+  std::atomic<bool> corrupted{false};
+
+  TaskKey task_key() const override { return key; }
+  void corrupt_descriptor() override {
+    corrupted.store(true, std::memory_order_release);
+  }
+};
+
+bool snapshot_is_clean(const BlockStore::Snapshot& snap) {
+  for (VersionState st : snap.states)
+    if (st == VersionState::kCorrupted) return false;
+  return true;
+}
+
+}  // namespace
+
+CheckpointReport CheckpointRestartExecutor::execute(
+    TaskGraphProblem& problem, WorkStealingPool& pool, FaultInjector* injector,
+    const CheckpointOptions& options) {
+  Timer total;
+  CheckpointReport report;
+  BlockStore& store = problem.block_store();
+
+  // --- build topological levels (the BSP schedule) ---------------------------
+  // Iterative post-order from the sink, then level = 1 + max(level(preds)).
+  struct Frame {
+    TaskKey key;
+    KeyList preds;
+    std::size_t next = 0;
+  };
+  std::vector<TaskKey> order;
+  {
+    std::vector<Frame> stack;
+    std::unordered_map<TaskKey, bool> seen;
+    stack.push_back({problem.sink(), {}, 0});
+    problem.predecessors(problem.sink(), stack.back().preds);
+    seen[problem.sink()] = false;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.next < f.preds.size()) {
+        const TaskKey p = f.preds[f.next++];
+        if (!seen.count(p)) {
+          seen[p] = false;
+          stack.push_back({p, {}, 0});
+          problem.predecessors(p, stack.back().preds);
+        }
+        continue;
+      }
+      order.push_back(f.key);
+      stack.pop_back();
+    }
+  }
+  std::unordered_map<TaskKey, std::size_t> level_of;
+  std::vector<std::vector<TaskKey>> levels;
+  {
+    KeyList preds;
+    for (TaskKey key : order) {
+      preds.clear();
+      problem.predecessors(key, preds);
+      std::size_t lvl = 0;
+      for (TaskKey p : preds) lvl = std::max(lvl, level_of.at(p) + 1);
+      level_of.emplace(key, lvl);
+      if (lvl >= levels.size()) levels.resize(lvl + 1);
+      levels[lvl].push_back(key);
+    }
+  }
+  report.levels = levels.size();
+
+  std::unordered_map<TaskKey, std::unique_ptr<ChkTask>> handles;
+  handles.reserve(order.size());
+  for (TaskKey key : order) handles.emplace(key, std::make_unique<ChkTask>(key));
+
+  // --- bulk-synchronous execution with coordinated checkpoints ---------------
+  struct Checkpoint {
+    std::size_t level;  // first level NOT contained in the snapshot
+    BlockStore::Snapshot snap;
+  };
+  std::deque<Checkpoint> checkpoints;
+  std::atomic<std::uint64_t> computes{0};
+  std::size_t level = 0;
+  int since_checkpoint = 0;
+
+  while (level < levels.size()) {
+    const std::vector<TaskKey>& tasks = levels[level];
+    std::atomic<bool> fault{false};
+    pool.parallel_for(
+        0, static_cast<std::int64_t>(tasks.size()), 1,
+        [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i) {
+            const TaskKey key = tasks[static_cast<std::size_t>(i)];
+            ChkTask& h = *handles.at(key);
+            try {
+              if (injector != nullptr)
+                injector->at_point(FaultPhase::kBeforeCompute, h, store,
+                                   problem);
+              if (h.corrupted.load(std::memory_order_acquire))
+                throw TaskDescriptorFault(key, 0);
+              {
+                ComputeContext ctx(store, key);
+                problem.compute(key, ctx);
+                ctx.finalize();
+              }
+              computes.fetch_add(1, std::memory_order_relaxed);
+              if (injector != nullptr) {
+                // In the BSP model a task's successors observe it at the
+                // level boundary, so both post-compute lifetime points of
+                // the paper's fault taxonomy fire here.
+                injector->at_point(FaultPhase::kAfterCompute, h, store,
+                                   problem);
+                injector->at_point(FaultPhase::kAfterNotify, h, store,
+                                   problem);
+              }
+            } catch (const FaultException&) {
+              fault.store(true, std::memory_order_release);
+            }
+          }
+        });
+
+    if (!fault.load(std::memory_order_acquire)) {
+      ++level;
+      if (++since_checkpoint >= options.interval_levels &&
+          level < levels.size()) {
+        Timer ck;
+        checkpoints.push_back({level, store.snapshot()});
+        if (checkpoints.size() >
+            static_cast<std::size_t>(options.max_snapshots))
+          checkpoints.pop_front();
+        report.checkpoint_seconds += ck.seconds();
+        ++report.checkpoints;
+        since_checkpoint = 0;
+      }
+      continue;
+    }
+
+    // Global rollback: restore the most recent *clean* checkpoint (a
+    // snapshot can itself contain a latent corrupted version from an
+    // after-notify fault; those are poisoned and discarded).
+    ++report.rollbacks;
+    while (!checkpoints.empty() && !snapshot_is_clean(checkpoints.back().snap))
+      checkpoints.pop_back();
+    if (checkpoints.empty()) {
+      store.reset_states();  // restart from the beginning
+      level = 0;
+    } else {
+      store.restore(checkpoints.back().snap);
+      level = checkpoints.back().level;
+    }
+    since_checkpoint = 0;
+    for (auto& [key, handle] : handles)
+      handle->corrupted.store(false, std::memory_order_relaxed);
+  }
+
+  report.computes = computes.load();
+  report.re_executed = report.computes - order.size();
+  report.seconds = total.seconds();
+  return report;
+}
+
+}  // namespace ftdag

@@ -1,0 +1,54 @@
+#pragma once
+// CheckpointRestartExecutor: the *collective* recovery comparator.
+//
+// The paper motivates selective recovery by contrast with checkpoint/
+// restart (Section II): "Collective recovery approaches ... would
+// synchronize all threads, possibly rolling them back to a prior execution.
+// These approaches will require the overhead of synchronization even when
+// there are no failures, and, with frequent errors, the application's
+// progress may be extremely slow." This executor implements exactly that
+// strawman so the claim is measurable (bench_ablation_checkpoint):
+//
+//  - the graph runs bulk-synchronously, one topological level at a time
+//    (the global synchronization a coordinated checkpoint needs anyway);
+//  - every `interval_levels` completed levels the entire block store is
+//    snapshotted (stable-storage write, modeled as an in-memory copy -
+//    generous to the comparator);
+//  - ANY detected fault rolls the whole computation back to the most recent
+//    snapshot whose state is clean, discarding every task finished since -
+//    including the work of threads the fault never touched.
+//
+// The same TaskGraphProblem and FaultInjector plug in unchanged.
+
+#include <cstdint>
+
+#include "fault/fault_injector.hpp"
+#include "graph/exec_report.hpp"
+#include "graph/task_graph_problem.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace ftdag {
+
+struct CheckpointOptions {
+  int interval_levels = 4;  // checkpoint every N completed levels
+  int max_snapshots = 8;    // older checkpoints are discarded
+};
+
+struct CheckpointReport {
+  double seconds = 0.0;
+  std::uint64_t levels = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t computes = 0;     // compute executions, including re-runs
+  std::uint64_t re_executed = 0;  // computes beyond one per task
+  double checkpoint_seconds = 0.0;  // time spent writing checkpoints
+};
+
+class CheckpointRestartExecutor {
+ public:
+  CheckpointReport execute(TaskGraphProblem& problem, WorkStealingPool& pool,
+                           FaultInjector* injector = nullptr,
+                           const CheckpointOptions& options = {});
+};
+
+}  // namespace ftdag

@@ -1,0 +1,479 @@
+#include "core/ft_executor.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "concurrent/sharded_map.hpp"
+#include "core/ft_task.hpp"
+#include "core/recovery_table.hpp"
+#include "graph/compute_context.hpp"
+#include "support/assert.hpp"
+#include "support/timer.hpp"
+
+namespace ftdag {
+namespace {
+
+// Hash-map entry: holds the *current incarnation* of a task. REPLACETASK
+// swaps the pointer; superseded incarnations are retired to a garbage list
+// (threads may still hold them) and freed after quiescence.
+struct TaskSlot {
+  explicit TaskSlot(FtTask* t) : task(t) {}
+  ~TaskSlot() { delete task.load(std::memory_order_relaxed); }
+  std::atomic<FtTask*> task;
+};
+
+// Per-key compute completions, for the re-execution statistics of Table II.
+struct ComputeCount {
+  std::atomic<std::uint32_t> runs{0};
+};
+
+struct Run {
+  TaskGraphProblem& problem;
+  WorkStealingPool& pool;
+  FaultInjector* injector;
+  ExecutionTrace* trace;
+  BlockStore& store;
+
+  ShardedMap<TaskSlot> tasks;
+  RecoveryTable recovery;
+  ShardedMap<ComputeCount> compute_counts;
+
+  SpinLock garbage_lock;
+  std::vector<FtTask*> garbage;  // superseded incarnations
+
+  std::atomic<std::uint64_t> computes{0};
+  std::atomic<std::uint64_t> faults_caught{0};
+  std::atomic<std::uint64_t> recoveries{0};
+  std::atomic<std::uint64_t> resets{0};
+
+  Run(TaskGraphProblem& p, WorkStealingPool& wp, FaultInjector* inj,
+      ExecutionTrace* tr)
+      : problem(p), pool(wp), injector(inj), trace(tr),
+        store(p.block_store()) {}
+
+  void trace_span(TraceKind kind, TaskKey key, std::uint64_t life,
+                  double begin) {
+    if (trace != nullptr)
+      trace->record(pool.current_worker_index(), kind, key, life, begin,
+                    trace->now());
+  }
+  void trace_instant(TraceKind kind, TaskKey key, std::uint64_t life) {
+    if (trace != nullptr) {
+      const double t = trace->now();
+      trace->record(pool.current_worker_index(), kind, key, life, t, t);
+    }
+  }
+
+  ~Run() {
+    for (FtTask* t : garbage) delete t;
+  }
+
+  // --- task lifetime ---------------------------------------------------------
+
+  FtTask* make_task(TaskKey key, std::uint64_t life) {
+    KeyList preds;
+    problem.predecessors(key, preds);
+    return new FtTask(key, life, std::move(preds));
+  }
+
+  // INSERTTASKIFABSENT + GETTASK fused: returns the current incarnation.
+  std::pair<FtTask*, bool> insert_task_if_absent(TaskKey key) {
+    auto [slot, inserted] = tasks.insert_if_absent(
+        key, [&] { return new TaskSlot(make_task(key, 0)); });
+    return {slot->task.load(std::memory_order_acquire), inserted};
+  }
+
+  FtTask* find_task(TaskKey key) {
+    TaskSlot* slot = tasks.find(key);
+    return slot ? slot->task.load(std::memory_order_acquire) : nullptr;
+  }
+
+  // REPLACETASK: publishes a fresh incarnation with life + 1. The superseded
+  // descriptor is poisoned first so threads still holding it observe the
+  // error on their next access and defer to the recovery table.
+  FtTask* replace_task(TaskKey key) {
+    TaskSlot* slot = tasks.find(key);
+    FTDAG_ASSERT(slot != nullptr, "REPLACETASK on unknown key");
+    FtTask* old = slot->task.load(std::memory_order_acquire);
+    FtTask* fresh = make_task(key, old->life + 1);
+    old->corrupt_descriptor();
+    const bool swapped = slot->task.compare_exchange_strong(
+        old, fresh, std::memory_order_acq_rel);
+    FTDAG_ASSERT(swapped, "concurrent REPLACETASK on the same incarnation");
+    {
+      std::lock_guard<SpinLock> guard(garbage_lock);
+      garbage.push_back(old);
+    }
+    return fresh;
+  }
+
+  // --- fault plumbing --------------------------------------------------------
+
+  void injector_point(FaultPhase phase, FtTask* a) {
+    if (injector != nullptr) injector->at_point(phase, *a, store, problem);
+  }
+
+  // Throws DataBlockFault if any output version of a task that claims to
+  // have Computed is not Valid (the "B.overwritten" test of Fig. 2
+  // TRYINITCOMPUTE, extended to corrupted outputs: a soft error matters iff
+  // it hits the descriptor or an output). Absent outputs of a Computed task
+  // are equally fatal - an aborted recovery rewrite leaves a version
+  // Absent, and a consumer's compute observes that as a missing-input
+  // fault. The traversal check must cover every state the compute can
+  // throw on, or the reset-retraverse loop of Guarantee 5 cannot converge.
+  void throw_if_outputs_unusable(TaskKey key) {
+    OutputList outs;
+    problem.outputs(key, outs);
+    for (const ProducedVersion& pv : outs) {
+      const VersionState st = store.state(pv.block, pv.version);
+      if (st == VersionState::kValid) continue;
+      BlockFaultReason reason;
+      switch (st) {
+        case VersionState::kCorrupted:
+          reason = BlockFaultReason::kCorrupted;
+          break;
+        case VersionState::kOverwritten:
+          reason = BlockFaultReason::kOverwritten;
+          break;
+        default:
+          reason = BlockFaultReason::kMissing;
+          break;
+      }
+      throw DataBlockFault(key, pv.block, pv.version, reason);
+    }
+  }
+
+  void note_compute(TaskKey key) {
+    computes.fetch_add(1, std::memory_order_relaxed);
+    auto [count, inserted] =
+        compute_counts.insert_if_absent(key, [] { return new ComputeCount; });
+    (void)inserted;
+    count->runs.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // --- Figure 2 routines -----------------------------------------------------
+
+  // INITANDCOMPUTE: traverse predecessors, then self-notify. The descriptor
+  // itself was fully initialized at construction (INIT).
+  void init_and_compute(FtTask* a, TaskKey key, std::uint64_t life) {
+    for (TaskKey pkey : a->preds)
+      pool.spawn(
+          [this, a, key, life, pkey] { try_init_compute(a, key, life, pkey); });
+    notify_once(a, key, key, life);
+  }
+
+  void try_init_compute(FtTask* a, TaskKey key, std::uint64_t life,
+                        TaskKey pkey) {
+    auto [b, inserted] = insert_task_if_absent(pkey);
+    const std::uint64_t blife = b->life;
+    if (inserted)
+      pool.spawn([this, b, pkey, blife] { init_and_compute(b, pkey, blife); });
+
+    bool finished = true;
+    try {
+      b->check();
+      {
+        std::lock_guard<SpinLock> guard(b->lock);
+        if (b->status.load(std::memory_order_acquire) <
+            TaskStatus::kComputed) {
+          // B notifies A once computed (and will produce fresh outputs).
+          b->notify_array.push_back(key);
+          finished = false;
+        }
+      }
+      // B claims Computed: for *flow* predecessors its outputs must be
+      // live. Anti-dependence predecessors' data is legitimately dead once
+      // their readers ran, so it is never checked.
+      if (finished && problem.data_dependence(key, pkey))
+        throw_if_outputs_unusable(pkey);
+    } catch (const FaultException& e) {
+      faults_caught.fetch_add(1, std::memory_order_relaxed);
+      trace_instant(TraceKind::kFault, e.failed_key(), blife);
+      finished = false;
+      recover_task_once(pkey, blife);
+    }
+    if (finished) notify_once(a, key, pkey, life);
+  }
+
+  // NOTIFYONCE: clear the bit for pkey; only the clearing thread may
+  // decrement the join counter (Guarantee 3).
+  void notify_once(FtTask* a, TaskKey key, TaskKey pkey, std::uint64_t life) {
+    try {
+      a->check();
+      const std::size_t ind = a->pred_index(pkey);
+      if (a->bits.fetch_unset(ind)) {
+        const int val = a->join.fetch_sub(1, std::memory_order_acq_rel) - 1;
+        FTDAG_ASSERT(val >= 0, "join counter went negative");
+        if (val == 0) compute_and_notify(a, key, life);
+      }
+    } catch (const FaultException& e) {
+      faults_caught.fetch_add(1, std::memory_order_relaxed);
+      trace_instant(TraceKind::kFault, e.failed_key(), life);
+      recover_task_once(key, life);
+    }
+  }
+
+  void notify_successor(TaskKey key, TaskKey skey) {
+    FtTask* s = find_task(skey);
+    FTDAG_ASSERT(s != nullptr, "notify target was never inserted");
+    notify_once(s, skey, key, s->life);
+  }
+
+  void compute_and_notify(FtTask* a, TaskKey key, std::uint64_t life) {
+    try {
+      a->check();
+      injector_point(FaultPhase::kBeforeCompute, a);
+      a->check();  // a before-compute fault is detected here, pre-COMPUTE
+
+      {
+        const double begin = trace != nullptr ? trace->now() : 0.0;
+        ComputeContext ctx(store, key);
+        problem.compute(key, ctx);  // reads throw on corrupt/overwritten input
+        a->check();                  // descriptor died mid-compute?
+        ctx.finalize();              // re-validate reads, commit outputs
+        trace_span(TraceKind::kCompute, key, life, begin);
+      }
+      note_compute(key);
+      a->status.store(TaskStatus::kComputed, std::memory_order_release);
+      injector_point(FaultPhase::kAfterCompute, a);
+
+      // Notify enqueued successors; re-check the array under the lock before
+      // flipping to Completed so late registrations are not lost.
+      std::size_t notified = 0;
+      for (;;) {
+        a->check();  // an after-compute fault on self is detected here
+        KeyList batch;
+        {
+          std::lock_guard<SpinLock> guard(a->lock);
+          for (std::size_t i = notified; i < a->notify_array.size(); ++i)
+            batch.push_back(a->notify_array[i]);
+          if (batch.empty()) {
+            a->status.store(TaskStatus::kCompleted,
+                            std::memory_order_release);
+            break;
+          }
+          notified = a->notify_array.size();
+        }
+        for (TaskKey skey : batch)
+          pool.spawn([this, key, skey] { notify_successor(key, skey); });
+      }
+      injector_point(FaultPhase::kAfterNotify, a);
+      // After-notify faults stay latent until (and unless) a later access
+      // observes them - matching the paper's after-notify scenarios.
+    } catch (const FaultException& e) {
+      faults_caught.fetch_add(1, std::memory_order_relaxed);
+      trace_instant(TraceKind::kFault, e.failed_key(), life);
+      if (e.failed_key() == key)
+        recover_task_once(key, life);  // error in A itself
+      else
+        reset_node(a, key, life);  // a predecessor's data failed mid-compute
+    }
+  }
+
+  // --- Figure 3 routines -----------------------------------------------------
+
+  void recover_task_once(TaskKey key, std::uint64_t life) {
+    if (!recovery.is_recovering(key, life)) recover_task(key);
+  }
+
+  // RESETNODE: re-arm the join counter and bit vector, then re-traverse the
+  // predecessors; the traversal observes whichever predecessor failed and
+  // recovers it (Guarantee 5). Resetting join *before* the bits keeps stale
+  // duplicate notifications harmless: in the window between the two stores
+  // all bits are clear, so stragglers cannot decrement.
+  void reset_node(FtTask* a, TaskKey key, std::uint64_t life) {
+    try {
+      FTDAG_DASSERT(a->status.load() == TaskStatus::kVisited,
+                    "reset of a task that already computed");
+      a->join.store(1 + static_cast<int>(a->preds.size()),
+                    std::memory_order_release);
+      a->bits.set_all();
+      resets.fetch_add(1, std::memory_order_relaxed);
+      trace_instant(TraceKind::kReset, key, life);
+      init_and_compute(a, key, life);
+    } catch (const FaultException& e) {
+      faults_caught.fetch_add(1, std::memory_order_relaxed);
+      trace_instant(TraceKind::kFault, e.failed_key(), life);
+      recover_task_once(key, life);
+    }
+  }
+
+  // REINITNOTIFYENTRY: while recovering T, re-enqueue successor S iff S is
+  // still Visited and has not yet been notified by T (its bit for T is still
+  // set). Entries of the lost notify array are reconstructed from successor
+  // state instead of from any backup (Guarantee 4).
+  void reinit_notify_entry(FtTask* t, TaskKey key, FtTask* s, TaskKey skey,
+                           std::uint64_t slife) {
+    try {
+      s->check();
+      if (s->status.load(std::memory_order_acquire) != TaskStatus::kVisited)
+        return;  // Computed/Completed successors need nothing from T
+      const std::size_t ind = s->pred_index(key);
+      if (s->bits.test(ind)) {
+        std::lock_guard<SpinLock> guard(t->lock);
+        t->notify_array.push_back(skey);
+      }
+    } catch (const FaultException& e) {
+      faults_caught.fetch_add(1, std::memory_order_relaxed);
+      trace_instant(TraceKind::kFault, e.failed_key(), slife);
+      if (e.failed_key() == skey)
+        recover_task_once(skey, slife);
+      else
+        throw;  // fault on T itself: let RECOVERTASK's retry loop handle it
+    }
+  }
+
+  // RECOVERTASK: replace the incarnation, rebuild its notify array from its
+  // successors, and re-process it as a fresh task. Failures during recovery
+  // restart the loop with yet another incarnation (Guarantee 6), unless a
+  // different thread already claimed the newer recovery.
+  void recover_task(TaskKey key) {
+    for (;;) {
+      bool success = true;
+      std::uint64_t life = 0;
+      const double begin = trace != nullptr ? trace->now() : 0.0;
+      try {
+        FtTask* t = replace_task(key);
+        life = t->life;
+        t->recovery.store(true, std::memory_order_relaxed);
+        recoveries.fetch_add(1, std::memory_order_relaxed);
+
+        KeyList succs;
+        problem.successors(key, succs);
+        for (TaskKey skey : succs) {
+          FtTask* s = find_task(skey);
+          if (s == nullptr) continue;  // successor not yet created: it will
+                                       // observe the fresh incarnation itself
+          reinit_notify_entry(t, key, s, skey, s->life);
+        }
+        pool.spawn([this, t, key, life] { init_and_compute(t, key, life); });
+        trace_span(TraceKind::kRecovery, key, life, begin);
+      } catch (const FaultException& e) {
+        faults_caught.fetch_add(1, std::memory_order_relaxed);
+        trace_instant(TraceKind::kFault, e.failed_key(), life);
+        if (!recovery.is_recovering(key, life)) success = false;
+      }
+      if (success) return;
+    }
+  }
+};
+
+}  // namespace
+
+namespace {
+
+// Diagnostic liveness monitor: samples the compute counter; on stall,
+// prints a status breakdown of the task map so a hung execution (e.g. a
+// lost notification) is attributable without a debugger.
+class Watchdog {
+ public:
+  Watchdog(Run& run, double interval_seconds)
+      : run_(run), interval_(interval_seconds) {
+    if (interval_ > 0.0) thread_ = std::thread([this] { main(); });
+  }
+
+  ~Watchdog() {
+    if (!thread_.joinable()) return;
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void main() {
+    std::uint64_t last = run_.computes.load(std::memory_order_relaxed);
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+      cv_.wait_for(lock, std::chrono::duration<double>(interval_),
+                   [this] { return stop_; });
+      if (stop_) return;
+      const std::uint64_t now = run_.computes.load(std::memory_order_relaxed);
+      if (now != last) {
+        last = now;
+        continue;
+      }
+      // No compute finished for a whole interval: dump status counts.
+      std::size_t visited = 0, computed = 0, completed = 0, corrupted = 0;
+      run_.tasks.for_each([&](MapKey, TaskSlot& slot) {
+        const FtTask* t = slot.task.load(std::memory_order_acquire);
+        if (t == nullptr) return;
+        if (t->corrupted.load(std::memory_order_relaxed)) ++corrupted;
+        switch (t->status.load(std::memory_order_relaxed)) {
+          case TaskStatus::kVisited:
+            ++visited;
+            break;
+          case TaskStatus::kComputed:
+            ++computed;
+            break;
+          case TaskStatus::kCompleted:
+            ++completed;
+            break;
+        }
+      });
+      std::fprintf(stderr,
+                   "[ftdag watchdog] no compute for %.1fs: computes=%llu "
+                   "tasks{visited=%zu computed=%zu completed=%zu "
+                   "corrupted=%zu} recoveries=%llu resets=%llu\n",
+                   interval_, (unsigned long long)now, visited, computed,
+                   completed, corrupted,
+                   (unsigned long long)run_.recoveries.load(),
+                   (unsigned long long)run_.resets.load());
+    }
+  }
+
+  Run& run_;
+  double interval_;
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+ExecReport FaultTolerantExecutor::execute(TaskGraphProblem& problem,
+                                          WorkStealingPool& pool,
+                                          FaultInjector* injector,
+                                          ExecutionTrace* trace,
+                                          const ExecutorOptions& options) {
+  Run run(problem, pool, injector, trace);
+  const TaskKey sink = problem.sink();
+
+  Timer timer;
+  {
+    Watchdog watchdog(run, options.watchdog_seconds);
+    pool.run_to_quiescence([&run, sink] {
+      auto [t, inserted] = run.insert_task_if_absent(sink);
+      FTDAG_ASSERT(inserted, "sink already present");
+      run.init_and_compute(t, sink, t->life);
+    });
+  }
+
+  ExecReport report;
+  report.seconds = timer.seconds();
+  report.tasks_discovered = run.tasks.size();
+  report.computes = run.computes.load();
+  run.compute_counts.for_each([&report](TaskKey, const ComputeCount& c) {
+    const std::uint32_t n = c.runs.load(std::memory_order_relaxed);
+    if (n > 1) report.re_executed += n - 1;
+  });
+  report.faults_caught = run.faults_caught.load();
+  report.recoveries = run.recoveries.load();
+  report.resets = run.resets.load();
+  report.injected = injector != nullptr ? injector->injected() : 0;
+
+  FtTask* sink_task = run.find_task(sink);
+  FTDAG_ASSERT(sink_task != nullptr &&
+                   sink_task->status.load() == TaskStatus::kCompleted,
+               "sink did not complete");
+  return report;
+}
+
+}  // namespace ftdag

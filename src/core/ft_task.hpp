@@ -1,0 +1,78 @@
+#pragma once
+// FtTask: the fault-tolerant task descriptor (shaded additions of Fig. 2).
+//
+// Compared with the baseline descriptor it adds:
+//   life       incarnation number; bumped each time REPLACETASK re-inserts
+//              the task after a failure (Guarantee 1/2)
+//   bits       notification bit vector, one bit per predecessor plus a
+//              self slot at index |preds|; a join-counter decrement is
+//              allowed only by the thread that clears the bit, so each
+//              predecessor decrements exactly once per incarnation/epoch
+//              even under re-notification (Guarantee 3)
+//   corrupted  sticky detected-error flag; every runtime access calls
+//              check() which throws TaskDescriptorFault when set
+//   recovery   marks incarnations created by RecoverTask (stats only)
+//
+// The descriptor is fully initialized at construction (join = 1 + |preds|,
+// all bits set), so publishing it in the hash map is safe without extra
+// synchronization.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "concurrent/atomic_bitset.hpp"
+#include "fault/fault.hpp"
+#include "fault/fault_injector.hpp"
+#include "graph/exec_report.hpp"
+#include "graph/task_key.hpp"
+#include "support/assert.hpp"
+#include "support/spin_lock.hpp"
+
+namespace ftdag {
+
+struct FtTask final : CorruptibleTask {
+  FtTask(TaskKey k, std::uint64_t life_number, KeyList predecessors)
+      : key(k),
+        life(life_number),
+        preds(std::move(predecessors)),
+        join(1 + static_cast<int>(preds.size())),
+        bits(preds.size() + 1) {}
+
+  const TaskKey key;
+  const std::uint64_t life;
+  const KeyList preds;  // ordered predecessor list, cached at creation
+
+  std::atomic<int> join;
+  std::atomic<TaskStatus> status{TaskStatus::kVisited};
+  SpinLock lock;                     // guards notify_array
+  std::vector<TaskKey> notify_array;  // successors awaiting notification
+  AtomicBitset bits;                  // |preds| + 1, all-ones at start
+  std::atomic<bool> corrupted{false};
+  std::atomic<bool> recovery{false};
+
+  // --- CorruptibleTask -------------------------------------------------------
+  TaskKey task_key() const override { return key; }
+  void corrupt_descriptor() override {
+    corrupted.store(true, std::memory_order_release);
+  }
+
+  // Detected-error check: "once an error is detected, all subsequent
+  // accesses to that object will observe the error" (Section II).
+  void check() const {
+    if (corrupted.load(std::memory_order_acquire)) [[unlikely]]
+      throw TaskDescriptorFault(key, life);
+  }
+
+  // CONVERTPREDKEYTOINDEX: position of pkey in the ordered predecessor
+  // list; the task's own key maps to the self slot.
+  std::size_t pred_index(TaskKey pkey) const {
+    if (pkey == key) return preds.size();
+    for (std::size_t i = 0; i < preds.size(); ++i)
+      if (preds[i] == pkey) return i;
+    FTDAG_ASSERT(false, "pkey is not a predecessor of this task");
+    return 0;
+  }
+};
+
+}  // namespace ftdag

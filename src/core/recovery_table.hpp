@@ -1,0 +1,48 @@
+#pragma once
+// RecoveryTable: the concurrent map R of Fig. 3 that deduplicates
+// recoveries (Guarantee 1: each failure is recovered at most once).
+//
+// R maps a task key to the most recent life number for which recovery has
+// been initiated. The first thread to *insert* the record — or, for
+// subsequent failures, the one whose compare-and-swap advances the stored
+// life from `life - 1` to `life` — performs the recovery; every other
+// observer of the same (key, life) failure stands down.
+
+#include <atomic>
+#include <cstdint>
+
+#include "concurrent/sharded_map.hpp"
+#include "graph/task_key.hpp"
+
+namespace ftdag {
+
+class RecoveryTable {
+ public:
+  // ISRECOVERING(key, life): returns true when recovery of this incarnation
+  // has already been claimed by another thread; false when the caller just
+  // claimed it and must perform the recovery.
+  bool is_recovering(TaskKey key, std::uint64_t life) {
+    auto [record, inserted] =
+        records_.insert_if_absent(key, [life] { return new Record(life); });
+    if (inserted) return false;  // first failure of this key: we recover
+    std::uint64_t expected = life - 1;
+    const bool claimed = record->life.compare_exchange_strong(
+        expected, life, std::memory_order_acq_rel);
+    return !claimed;
+  }
+
+  // Number of keys that ever failed (for statistics).
+  std::size_t keys_recovered() const { return records_.size(); }
+
+  void clear() { records_.clear(); }
+
+ private:
+  struct Record {
+    explicit Record(std::uint64_t l) : life(l) {}
+    std::atomic<std::uint64_t> life;
+  };
+
+  mutable ShardedMap<Record> records_;
+};
+
+}  // namespace ftdag

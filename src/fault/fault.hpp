@@ -1,0 +1,79 @@
+#pragma once
+// Fault model: exceptions thrown when a detected error is observed.
+//
+// Section II of the paper: a soft error affecting a task matters only if it
+// corrupts the task's *descriptor* or one of its *output data blocks*, and
+// detection is assumed ("once an error is detected, all subsequent accesses
+// to that object will observe the error"). We simulate exactly that: the
+// injector sets sticky corruption flags, and every runtime access checks the
+// flag and throws one of these exceptions, which the fault-tolerant executor
+// catches to trigger recovery.
+
+#include <cstdint>
+#include <exception>
+
+#include "blocks/block_types.hpp"
+#include "graph/task_key.hpp"
+
+namespace ftdag {
+
+// Why an access to a block version failed.
+enum class BlockFaultReason : std::uint8_t {
+  kCorrupted,    // version flagged corrupt by the injector
+  kOverwritten,  // version's storage was reused by a later version
+  kMissing,      // version never produced (observable only mid-recovery)
+};
+
+// Base for all detected-fault exceptions. `failed_key` identifies the task
+// whose descriptor or output is bad — the task that must be recovered.
+class FaultException : public std::exception {
+ public:
+  explicit FaultException(TaskKey failed_key) : failed_key_(failed_key) {}
+  TaskKey failed_key() const { return failed_key_; }
+  const char* what() const noexcept override { return "ftdag fault"; }
+
+ private:
+  TaskKey failed_key_;
+};
+
+// A task descriptor was observed corrupted. Carries the life number of the
+// incarnation the observer was working with, which RecoverTaskOnce uses to
+// deduplicate recoveries (Guarantee 1).
+class TaskDescriptorFault : public FaultException {
+ public:
+  TaskDescriptorFault(TaskKey key, std::uint64_t life)
+      : FaultException(key), life_(life) {}
+  std::uint64_t life() const { return life_; }
+  const char* what() const noexcept override {
+    return "ftdag task descriptor fault";
+  }
+
+ private:
+  std::uint64_t life_;
+};
+
+// A data block version was observed corrupted/overwritten/missing. The
+// failed key is the *producer* of that version.
+class DataBlockFault : public FaultException {
+ public:
+  DataBlockFault(TaskKey producer, BlockId block, Version version,
+                 BlockFaultReason reason)
+      : FaultException(producer),
+        block_(block),
+        version_(version),
+        reason_(reason) {}
+
+  BlockId block() const { return block_; }
+  Version version() const { return version_; }
+  BlockFaultReason reason() const { return reason_; }
+  const char* what() const noexcept override {
+    return "ftdag data block fault";
+  }
+
+ private:
+  BlockId block_;
+  Version version_;
+  BlockFaultReason reason_;
+};
+
+}  // namespace ftdag

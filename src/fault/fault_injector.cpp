@@ -1,0 +1,98 @@
+#include "fault/fault_injector.hpp"
+
+#include "support/xoshiro.hpp"
+
+namespace ftdag {
+
+const char* fault_phase_name(FaultPhase phase) {
+  switch (phase) {
+    case FaultPhase::kBeforeCompute:
+      return "before compute";
+    case FaultPhase::kAfterCompute:
+      return "after compute";
+    case FaultPhase::kAfterNotify:
+      return "after notify";
+  }
+  return "?";
+}
+
+BitFlipInjector::BitFlipInjector(std::vector<PlannedFault> plan) {
+  entries_.reserve(plan.size());
+  for (const PlannedFault& f : plan) {
+    auto entry = std::make_unique<Entry>();
+    entry->phase = f.phase;
+    entries_.emplace(f.key, std::move(entry));
+  }
+}
+
+void BitFlipInjector::at_point(FaultPhase phase, CorruptibleTask& task,
+                               BlockStore& store,
+                               const TaskGraphProblem& problem) {
+  auto it = entries_.find(task.task_key());
+  if (it == entries_.end()) return;
+  Entry& e = *it->second;
+  if (e.phase != phase) return;
+  if (phase == FaultPhase::kBeforeCompute) return;  // no data exists yet
+  if (e.fired.exchange(true, std::memory_order_acq_rel)) return;
+
+  OutputList outs;
+  problem.outputs(task.task_key(), outs);
+  bool any = false;
+  for (const ProducedVersion& pv : outs) {
+    // Deterministic bit position derived from the victim key.
+    const std::size_t bit = static_cast<std::size_t>(
+        mix64(static_cast<std::uint64_t>(task.task_key()) ^ pv.block));
+    any = store.flip_bit(pv.block, pv.version, bit) || any;
+  }
+  if (any) injected_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void BitFlipInjector::reset() {
+  for (auto& [key, entry] : entries_) {
+    (void)key;
+    entry->fired.store(false, std::memory_order_relaxed);
+  }
+  injected_.store(0, std::memory_order_relaxed);
+}
+
+PlannedFaultInjector::PlannedFaultInjector(std::vector<PlannedFault> plan) {
+  entries_.reserve(plan.size());
+  for (const PlannedFault& f : plan) {
+    auto entry = std::make_unique<Entry>();
+    entry->phase = f.phase;
+    entries_.emplace(f.key, std::move(entry));
+    intended_ += f.implied_reexecutions;
+  }
+}
+
+void PlannedFaultInjector::at_point(FaultPhase phase, CorruptibleTask& task,
+                                    BlockStore& store,
+                                    const TaskGraphProblem& problem) {
+  auto it = entries_.find(task.task_key());
+  if (it == entries_.end()) return;
+  Entry& e = *it->second;
+  if (e.phase != phase) return;
+  if (e.fired.exchange(true, std::memory_order_acq_rel)) return;
+
+  // The fault hits the task descriptor and every data block version the
+  // task has computed so far (Section VI: "A fault affects both a task and
+  // the data blocks it has computed"). Before compute there are no computed
+  // outputs, so only the descriptor is corrupted.
+  task.corrupt_descriptor();
+  if (phase != FaultPhase::kBeforeCompute) {
+    OutputList outs;
+    problem.outputs(task.task_key(), outs);
+    for (const ProducedVersion& pv : outs) store.corrupt(pv.block, pv.version);
+  }
+  injected_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PlannedFaultInjector::reset() {
+  for (auto& [key, entry] : entries_) {
+    (void)key;
+    entry->fired.store(false, std::memory_order_relaxed);
+  }
+  injected_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace ftdag

@@ -1,0 +1,129 @@
+#pragma once
+// Fault injection: deterministic simulation of detected soft errors.
+//
+// Exactly the paper's methodology (Section VI): "To simulate faults, we a
+// priori identify the tasks that would fail and the point in their lifetimes
+// where they would fail. When a fault is injected, a flag is set to mark the
+// fault, which is then observed by a thread accessing that task." A fault
+// affects both the task descriptor and the data block versions it has
+// computed.
+//
+// The executor calls `at_point` at the three lifetime points the paper
+// distinguishes; a planned injector fires at most once per (key, plan entry)
+// so recovered incarnations run clean unless the plan says otherwise.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "blocks/block_store.hpp"
+#include "graph/task_graph_problem.hpp"
+#include "graph/task_key.hpp"
+
+namespace ftdag {
+
+// The three lifetime points of Section VI ("Time").
+enum class FaultPhase : std::uint8_t {
+  kBeforeCompute,  // traversed predecessors, waiting/about to be scheduled
+  kAfterCompute,   // compute done, about to notify successors
+  kAfterNotify,    // all successors notified (task Completed)
+};
+
+const char* fault_phase_name(FaultPhase phase);
+
+// Minimal mutable view of a task the injector can corrupt. Implemented by
+// the fault-tolerant executor's task descriptor.
+class CorruptibleTask {
+ public:
+  virtual ~CorruptibleTask() = default;
+  virtual TaskKey task_key() const = 0;
+  virtual void corrupt_descriptor() = 0;
+};
+
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  // Invoked by the executor at each lifetime point of each task execution.
+  // Implementations mutate corruption flags only; detection happens later at
+  // access sites.
+  virtual void at_point(FaultPhase phase, CorruptibleTask& task,
+                        BlockStore& store, const TaskGraphProblem& problem) = 0;
+
+  // Number of faults actually fired so far.
+  virtual std::uint64_t injected() const = 0;
+
+  // Re-arms the injector for another run of the same plan.
+  virtual void reset() = 0;
+};
+
+// One planned failure.
+struct PlannedFault {
+  TaskKey key = 0;
+  FaultPhase phase = FaultPhase::kAfterCompute;
+  // Planner's estimate of how many task executions recovering this fault
+  // implies (see FaultPlanner for the model).
+  std::uint64_t implied_reexecutions = 1;
+};
+
+// Injects *real* silent data corruptions: flips one bit in each output
+// block version of the victim at the planned lifetime point. Requires the
+// problem's BlockStore to run in checksum mode — detection then happens via
+// the software error-detection code on the next access, end to end, instead
+// of via simulated detector flags. (Without checksum mode the flip stays
+// silent and the result is wrong: the paper's detectability assumption,
+// demonstrated as a negative test.) Descriptors are never touched: this
+// models pure data SDC.
+class BitFlipInjector final : public FaultInjector {
+ public:
+  explicit BitFlipInjector(std::vector<PlannedFault> plan);
+
+  void at_point(FaultPhase phase, CorruptibleTask& task, BlockStore& store,
+                const TaskGraphProblem& problem) override;
+
+  std::uint64_t injected() const override {
+    return injected_.load(std::memory_order_relaxed);
+  }
+  void reset() override;
+
+ private:
+  struct Entry {
+    FaultPhase phase;
+    std::atomic<bool> fired{false};
+  };
+
+  std::unordered_map<TaskKey, std::unique_ptr<Entry>> entries_;
+  std::atomic<std::uint64_t> injected_{0};
+};
+
+// Injects the faults listed in a plan, each at most once per run.
+class PlannedFaultInjector final : public FaultInjector {
+ public:
+  explicit PlannedFaultInjector(std::vector<PlannedFault> plan);
+
+  void at_point(FaultPhase phase, CorruptibleTask& task, BlockStore& store,
+                const TaskGraphProblem& problem) override;
+
+  std::uint64_t injected() const override {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+  void reset() override;
+
+  std::uint64_t planned() const { return entries_.size(); }
+  std::uint64_t intended_reexecutions() const { return intended_; }
+
+ private:
+  struct Entry {
+    FaultPhase phase;
+    std::atomic<bool> fired{false};
+  };
+
+  std::unordered_map<TaskKey, std::unique_ptr<Entry>> entries_;
+  std::atomic<std::uint64_t> injected_{0};
+  std::uint64_t intended_ = 0;
+};
+
+}  // namespace ftdag

@@ -1,0 +1,124 @@
+#pragma once
+// ComputeContext: the window through which a task body touches data blocks.
+//
+// Besides typed access, it gives the executors three correctness levers:
+//  - every plain read is recorded so the executor can *re-validate* all
+//    inputs after the body returns; a version displaced or corrupted
+//    mid-compute makes finalize() throw and the (possibly garbage) outputs
+//    are never published. This closes the read-while-overwritten race the
+//    paper's recovery chains create.
+//  - writes are staged through BlockStore write tickets: storage is handed
+//    out immediately (displacing prior versions, as the reuse model
+//    requires, and holding the slot's writer lock) but versions only become
+//    Valid in finalize(), after input re-validation succeeds.
+//  - in-place read-modify-write updates (LU/Cholesky trailing updates, FW
+//    stages under retention 1) go through update(), which validates the
+//    input version *under the slot lock* so a recovery-chain rewrite can
+//    never tear the bytes mid-update.
+//
+// If the body throws, the context's destructor aborts all uncommitted
+// tickets: slot locks are released and nothing is published.
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+#include "blocks/block_store.hpp"
+#include "graph/task_key.hpp"
+#include "support/small_vector.hpp"
+
+namespace ftdag {
+
+// Pointer pair returned by update(): `in` is the previous version's data,
+// `out` the storage for the new version. They alias when the versions share
+// a slot, so the body must only ever derive out[i] from in[i] (plus data
+// from other blocks), never from in[j] with j != i after writing out[j].
+template <typename T>
+struct UpdateRef {
+  const T* in;
+  T* out;
+};
+
+class ComputeContext {
+ public:
+  ComputeContext(BlockStore& store, TaskKey key) : store_(store), key_(key) {}
+
+  ComputeContext(const ComputeContext&) = delete;
+  ComputeContext& operator=(const ComputeContext&) = delete;
+
+  ~ComputeContext() {
+    for (WriteTicket& t : tickets_)
+      if (t.active) store_.abort(t);
+  }
+
+  TaskKey key() const { return key_; }
+  BlockStore& store() { return store_; }
+
+  // Read-only view of a Valid block version. Throws DataBlockFault when the
+  // version is corrupted, overwritten or missing.
+  template <typename T>
+  const T* read(BlockId block, Version version) {
+    const void* p = store_.read(block, version);
+    reads_.push_back({block, version});
+    return static_cast<const T*>(p);
+  }
+
+  // Writable storage for (block, version). The version becomes Valid only
+  // when finalize() runs.
+  template <typename T>
+  T* write(BlockId block, Version version) {
+    WriteTicket t = store_.begin_write(block, version);
+    tickets_.push_back(t);
+    return static_cast<T*>(t.data);
+  }
+
+  // Read version `from` of a block and produce version `to`. Handles both
+  // storage layouts: aliased in-place update when the versions share a slot
+  // (validated and consumed under the slot lock), plain read + fresh write
+  // otherwise (the read is re-validated at finalize like any other).
+  template <typename T>
+  UpdateRef<T> update(BlockId block, Version from, Version to) {
+    if (store_.same_slot(block, from, to)) {
+      WriteTicket t = store_.begin_update(block, from, to);
+      tickets_.push_back(t);
+      return {static_cast<const T*>(t.data), static_cast<T*>(t.data)};
+    }
+    const T* in = read<T>(block, from);
+    return {in, write<T>(block, to)};
+  }
+
+  // Stages a result value into app-owned (resilient) memory. Applied only
+  // if finalize() succeeds, so a compute that read displaced inputs can
+  // never publish a digest derived from torn data. Values must be a pure
+  // function of the task's inputs: re-executions then rewrite identical
+  // bytes, making concurrent duplicate stores benign.
+  void stage_result(std::atomic<std::uint64_t>* slot, std::uint64_t value) {
+    staged_results_.push_back({slot, value});
+  }
+
+  // Executor-side. Re-validates every recorded read (throwing on any input
+  // that went bad mid-compute), then commits every staged write and applies
+  // staged result stores.
+  void finalize() {
+    for (const auto& [block, version] : reads_)
+      store_.revalidate(block, version);
+    for (WriteTicket& t : tickets_) store_.commit(t);
+    for (const auto& [slot, value] : staged_results_)
+      slot->store(value, std::memory_order_relaxed);
+  }
+
+  std::size_t reads_recorded() const { return reads_.size(); }
+  std::size_t writes_staged() const { return tickets_.size(); }
+
+ private:
+  using Ref = std::pair<BlockId, Version>;
+
+  BlockStore& store_;
+  TaskKey key_;
+  SmallVector<Ref, 8> reads_;
+  SmallVector<WriteTicket, 2> tickets_;
+  SmallVector<std::pair<std::atomic<std::uint64_t>*, std::uint64_t>, 2>
+      staged_results_;
+};
+
+}  // namespace ftdag

@@ -1,0 +1,32 @@
+#pragma once
+// ExecReport: per-run outcome and counters shared by both executors.
+
+#include <cstdint>
+
+#include "runtime/sched_stats.hpp"
+
+namespace ftdag {
+
+// Task execution status (Section III). Ordering matters: the scheduler
+// compares `status < kComputed`.
+enum class TaskStatus : std::uint8_t {
+  kVisited = 0,    // inserted into the hash map, not yet computed
+  kComputed = 1,   // compute function finished
+  kCompleted = 2,  // all enqueued successors notified
+};
+
+struct ExecReport {
+  double seconds = 0.0;
+
+  std::uint64_t tasks_discovered = 0;  // distinct keys inserted
+  std::uint64_t computes = 0;          // compute-body completions
+  std::uint64_t re_executed = 0;       // computes beyond the first, per key
+
+  // Fault-tolerant executor only:
+  std::uint64_t faults_caught = 0;  // exceptions observed by the runtime
+  std::uint64_t recoveries = 0;     // task replacements (RecoverTask)
+  std::uint64_t resets = 0;         // ResetNode invocations
+  std::uint64_t injected = 0;       // faults the injector actually fired
+};
+
+}  // namespace ftdag

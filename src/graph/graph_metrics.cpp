@@ -1,0 +1,78 @@
+#include "graph/graph_metrics.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace ftdag {
+
+GraphMetrics analyze_graph(const TaskGraphProblem& problem) {
+  GraphMetrics m;
+
+  // Reverse-reachability sweep from the sink, mirroring how the dynamic
+  // scheduler discovers the graph. Iterative to survive deep DP chains.
+  std::unordered_map<TaskKey, std::size_t> depth;  // longest path ending here
+  std::vector<TaskKey> order;                      // reverse topological
+  depth.reserve(1 << 16);
+
+  struct Frame {
+    TaskKey key;
+    KeyList preds;
+    std::size_t next = 0;
+  };
+  std::vector<Frame> stack;
+  std::unordered_map<TaskKey, bool> done;  // false = on stack (grey)
+
+  stack.push_back({problem.sink(), {}, 0});
+  problem.predecessors(problem.sink(), stack.back().preds);
+  done[problem.sink()] = false;
+
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next < f.preds.size()) {
+      TaskKey p = f.preds[f.next++];
+      auto it = done.find(p);
+      if (it == done.end()) {
+        done[p] = false;
+        stack.push_back({p, {}, 0});
+        problem.predecessors(p, stack.back().preds);
+      } else {
+        FTDAG_ASSERT(it->second, "cycle detected in task graph");
+      }
+      continue;
+    }
+    // Post-order: all predecessors finished.
+    std::size_t longest = 0;
+    for (TaskKey p : f.preds) longest = std::max(longest, depth[p]);
+    depth[f.key] = longest + 1;
+    m.edges += f.preds.size();
+    m.max_in_degree = std::max(m.max_in_degree, f.preds.size());
+    if (f.preds.empty()) ++m.sources;
+    done[f.key] = true;
+    order.push_back(f.key);
+    stack.pop_back();
+  }
+
+  m.tasks = order.size();
+  m.span = depth[problem.sink()];
+
+  // Out-degrees, plus predecessor/successor consistency checks.
+  for (TaskKey key : order) {
+    KeyList succs;
+    problem.successors(key, succs);
+    m.max_out_degree = std::max(m.max_out_degree, succs.size());
+#ifndef NDEBUG
+    for (TaskKey s : succs) {
+      KeyList back;
+      problem.predecessors(s, back);
+      FTDAG_ASSERT(back.contains(key),
+                   "successor list inconsistent with predecessor list");
+    }
+#endif
+  }
+  return m;
+}
+
+}  // namespace ftdag

@@ -1,0 +1,27 @@
+#pragma once
+// Static analysis of a task graph: the quantities of the paper's Table I
+// (total tasks T, total dependence edges E, critical path length S in tasks)
+// plus the degree bound d that appears in the Theorem 2 completion-time
+// bound.
+
+#include <cstddef>
+
+#include "graph/task_graph_problem.hpp"
+
+namespace ftdag {
+
+struct GraphMetrics {
+  std::size_t tasks = 0;           // T
+  std::size_t edges = 0;           // E (sum of in-degrees)
+  std::size_t span = 0;            // S: tasks on the longest root->sink path
+  std::size_t max_in_degree = 0;   // contributes to d
+  std::size_t max_out_degree = 0;  // contributes to d
+  std::size_t sources = 0;         // tasks with no predecessors
+};
+
+// Expands the graph from the sink via the predecessor function (the same
+// reachability the dynamic scheduler performs) and computes the metrics.
+// Verifies predecessor/successor consistency in debug builds.
+GraphMetrics analyze_graph(const TaskGraphProblem& problem);
+
+}  // namespace ftdag

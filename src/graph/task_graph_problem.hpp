@@ -1,0 +1,102 @@
+#pragma once
+// TaskGraphProblem: the user-facing task graph description.
+//
+// Mirrors exactly what the paper elicits from users (Section III):
+//   - task key           : unique 64-bit identifier per task
+//   - sink task          : transitively depends on every other task
+//   - predecessors(key)  : ordered list of immediate predecessors
+//   - successors(key)    : ordered list of immediate successors (consumed by
+//                          the *recovery* path when rebuilding notify arrays)
+//   - compute(key)       : the task body, reading/writing versioned blocks
+//
+// plus the metadata the fault planner and Table I need: full task
+// enumeration and the (block, version) outputs of each task.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "blocks/block_store.hpp"
+#include "graph/task_key.hpp"
+#include "support/small_vector.hpp"
+
+namespace ftdag {
+
+class ComputeContext;
+
+// One output version a task produces. `last_version` is the final version
+// number the containing block will ever reach; the planner uses it to
+// classify tasks as v=0 / v=last / v=rand (Section VI, "Task type").
+struct ProducedVersion {
+  BlockId block = 0;
+  Version version = 0;
+  Version last_version = 0;
+};
+
+using OutputList = SmallVector<ProducedVersion, 2>;
+
+class TaskGraphProblem {
+ public:
+  virtual ~TaskGraphProblem() = default;
+
+  virtual std::string name() const = 0;
+
+  // --- structure -----------------------------------------------------------
+  virtual TaskKey sink() const = 0;
+  virtual void predecessors(TaskKey key, KeyList& out) const = 0;
+  virtual void successors(TaskKey key, KeyList& out) const = 0;
+
+  // --- behaviour -----------------------------------------------------------
+  // Executes the task body. Reads of corrupted or overwritten input versions
+  // throw (the executor catches and recovers). Must be stateless: the same
+  // inputs always produce the same outputs (Theorem 1's assumption).
+  virtual void compute(TaskKey key, ComputeContext& ctx) = 0;
+
+  // --- metadata ------------------------------------------------------------
+  // Appends every task key in the graph (order unspecified).
+  virtual void all_tasks(std::vector<TaskKey>& out) const = 0;
+
+  // Block versions produced by `key`. Empty for pure control tasks.
+  virtual void outputs(TaskKey key, OutputList& out) const = 0;
+
+  // Distinguishes flow dependences (the consumer reads the producer's data)
+  // from ordering-only anti-dependences (write-after-read edges that some
+  // memory-reuse schemes need, e.g. Floyd-Warshall's two-version scheme).
+  // Recovery treats a *flow* predecessor with overwritten/corrupted outputs
+  // as failed and re-executes it; an anti-dependence predecessor's data is
+  // expected to be dead by the time the consumer runs, so its block state
+  // must not trigger recovery. Defaults to flow (all benchmarks except FW).
+  virtual bool data_dependence(TaskKey consumer, TaskKey producer) const {
+    (void)consumer;
+    (void)producer;
+    return true;
+  }
+
+  // --- data lifecycle ------------------------------------------------------
+  BlockStore& block_store() { return store_; }
+  const BlockStore& block_store() const { return store_; }
+
+  // Re-initializes input data and clears all block version states so the
+  // graph can be executed again.
+  virtual void reset_data() = 0;
+
+  // Checksum of the computed result, for validation against the reference.
+  virtual std::uint64_t result_checksum() const = 0;
+
+  // Checksum produced by a plain sequential implementation of the same
+  // computation (computed once and cached by implementations).
+  virtual std::uint64_t reference_checksum() = 0;
+
+ protected:
+  BlockStore store_;
+};
+
+// Order-insensitive checksum combiner usable by app implementations.
+inline std::uint64_t checksum_accumulate(std::uint64_t acc, std::uint64_t v) {
+  // Multiply-xor mix; commutative-free chaining keeps order significant,
+  // which is what we want for comparing full result matrices.
+  acc ^= v + 0x9e3779b97f4a7c15ULL + (acc << 6) + (acc >> 2);
+  return acc;
+}
+
+}  // namespace ftdag

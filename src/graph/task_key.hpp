@@ -1,0 +1,20 @@
+#pragma once
+// Task keys and key lists.
+//
+// Per the paper (Section III), tasks are referred to by 64-bit keys; the
+// runtime relates all references to the same task through the key without
+// pre-allocated task objects, which is what makes the task graph *dynamic*.
+
+#include <cstdint>
+
+#include "support/small_vector.hpp"
+
+namespace ftdag {
+
+using TaskKey = std::int64_t;
+
+// Fan-in/out of the paper's benchmarks is a small constant except for a few
+// high-degree LU/Cholesky rows, so 8 inline slots avoid the heap in practice.
+using KeyList = SmallVector<TaskKey, 8>;
+
+}  // namespace ftdag

@@ -1,0 +1,55 @@
+#include "harness/experiment.hpp"
+
+#include "support/assert.hpp"
+
+namespace ftdag {
+
+Summary RepeatedRuns::reexecution_summary() const {
+  std::vector<double> counts;
+  counts.reserve(reports.size());
+  for (const ExecReport& r : reports)
+    counts.push_back(static_cast<double>(r.re_executed));
+  return summarize(counts);
+}
+
+namespace {
+
+void validate(TaskGraphProblem& problem) {
+  const std::uint64_t got = problem.result_checksum();
+  const std::uint64_t want = problem.reference_checksum();
+  FTDAG_ASSERT(got == want,
+               "result checksum does not match the sequential reference");
+}
+
+}  // namespace
+
+RepeatedRuns run_baseline(TaskGraphProblem& problem, WorkStealingPool& pool,
+                          int reps) {
+  RepeatedRuns out;
+  NabbitExecutor exec;
+  for (int r = 0; r < reps; ++r) {
+    problem.reset_data();
+    ExecReport report = exec.execute(problem, pool);
+    validate(problem);
+    out.seconds.push_back(report.seconds);
+    out.reports.push_back(report);
+  }
+  return out;
+}
+
+RepeatedRuns run_ft(TaskGraphProblem& problem, WorkStealingPool& pool,
+                    int reps, FaultInjector* injector) {
+  RepeatedRuns out;
+  FaultTolerantExecutor exec;
+  for (int r = 0; r < reps; ++r) {
+    problem.reset_data();
+    if (injector != nullptr) injector->reset();
+    ExecReport report = exec.execute(problem, pool, injector);
+    validate(problem);
+    out.seconds.push_back(report.seconds);
+    out.reports.push_back(report);
+  }
+  return out;
+}
+
+}  // namespace ftdag

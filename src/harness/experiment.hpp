@@ -1,0 +1,40 @@
+#pragma once
+// Experiment harness: repeated validated runs, the measurement protocol of
+// the paper's Section VI (10 repetitions, arithmetic mean, standard
+// deviation as error bars; every run's result checked against the
+// sequential reference — the paper's Theorem 1 made executable).
+
+#include <vector>
+
+#include "core/ft_executor.hpp"
+#include "fault/fault_injector.hpp"
+#include "graph/exec_report.hpp"
+#include "graph/task_graph_problem.hpp"
+#include "nabbit/executor.hpp"
+#include "runtime/scheduler.hpp"
+#include "support/stats.hpp"
+
+namespace ftdag {
+
+struct RepeatedRuns {
+  std::vector<double> seconds;
+  std::vector<ExecReport> reports;
+
+  Summary time_summary() const { return summarize(seconds); }
+  Summary reexecution_summary() const;
+  double mean_seconds() const { return time_summary().mean; }
+};
+
+// Runs the baseline (non-fault-tolerant) executor `reps` times; validates
+// the result checksum after every run. No injector: the baseline cannot
+// recover.
+RepeatedRuns run_baseline(TaskGraphProblem& problem, WorkStealingPool& pool,
+                          int reps);
+
+// Runs the fault-tolerant executor `reps` times, optionally under fault
+// injection; validates the result checksum after every run (with faults the
+// check is exactly the paper's same-result-with-and-without-faults claim).
+RepeatedRuns run_ft(TaskGraphProblem& problem, WorkStealingPool& pool,
+                    int reps, FaultInjector* injector = nullptr);
+
+}  // namespace ftdag

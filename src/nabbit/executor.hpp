@@ -1,0 +1,30 @@
+#pragma once
+// NabbitExecutor: the baseline dynamic task-graph scheduler of Section III
+// (the non-shaded portions of the paper's Figure 2), with *no* fault
+// tolerance structures — no life numbers, no bit vectors, no recovery table.
+// This is the `baseline` the paper compares against in Figure 4.
+//
+// Execution starts by inserting the sink task and invoking InitAndCompute;
+// the traversal expands the graph toward the sources, registering each task
+// in the notify arrays of its uncomputed predecessors. A task's join counter
+// starts at 1 + |preds| (the extra count is released by the self-notification
+// at the end of its traversal) and the thread that drives it to zero runs
+// ComputeAndNotify.
+
+#include <cstdint>
+
+#include "graph/exec_report.hpp"
+#include "graph/task_graph_problem.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace ftdag {
+
+class NabbitExecutor {
+ public:
+  // Runs the task graph to completion on the pool. The caller is responsible
+  // for problem.reset_data() before repeated runs. Not fault tolerant: must
+  // not be combined with fault injection.
+  ExecReport execute(TaskGraphProblem& problem, WorkStealingPool& pool);
+};
+
+}  // namespace ftdag

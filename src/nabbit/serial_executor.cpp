@@ -1,0 +1,80 @@
+#include "nabbit/serial_executor.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/compute_context.hpp"
+#include "support/assert.hpp"
+#include "support/timer.hpp"
+
+namespace ftdag {
+
+SerialReport SerialExecutor::execute(TaskGraphProblem& problem) {
+  Timer total;
+
+  // Iterative post-order DFS over predecessors from the sink: emits a
+  // topological order (every predecessor before its consumer).
+  struct Frame {
+    TaskKey key;
+    KeyList preds;
+    std::size_t next = 0;
+  };
+  std::vector<TaskKey> order;
+  std::vector<Frame> stack;
+  std::unordered_map<TaskKey, bool> visited;  // false = on stack
+
+  stack.push_back({problem.sink(), {}, 0});
+  problem.predecessors(problem.sink(), stack.back().preds);
+  visited[problem.sink()] = false;
+
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next < f.preds.size()) {
+      const TaskKey p = f.preds[f.next++];
+      auto it = visited.find(p);
+      if (it == visited.end()) {
+        visited[p] = false;
+        stack.push_back({p, {}, 0});
+        problem.predecessors(p, stack.back().preds);
+      } else {
+        FTDAG_ASSERT(it->second, "cycle detected in task graph");
+      }
+      continue;
+    }
+    visited[f.key] = true;
+    order.push_back(f.key);
+    stack.pop_back();
+  }
+
+  // Execute in order, timing each compute; finish[A] is the weighted
+  // longest-path completion time ending at A.
+  SerialReport report;
+  std::unordered_map<TaskKey, double> finish;
+  finish.reserve(order.size());
+  KeyList preds;
+  BlockStore& store = problem.block_store();
+  for (TaskKey key : order) {
+    Timer t;
+    {
+      ComputeContext ctx(store, key);
+      problem.compute(key, ctx);
+      ctx.finalize();
+    }
+    const double dt = t.seconds();
+    report.t1 += dt;
+    report.max_task = std::max(report.max_task, dt);
+
+    preds.clear();
+    problem.predecessors(key, preds);
+    double ready = 0.0;
+    for (TaskKey p : preds) ready = std::max(ready, finish[p]);
+    finish[key] = ready + dt;
+  }
+  report.tasks = order.size();
+  report.t_inf = finish[problem.sink()];
+  report.seconds = total.seconds();
+  return report;
+}
+
+}  // namespace ftdag

@@ -1,0 +1,35 @@
+#pragma once
+// SerialExecutor: single-threaded topological execution of a task graph
+// through the same ComputeContext machinery as the parallel executors.
+//
+// Two roles:
+//  - an independent oracle (no scheduler, no concurrency) for validating
+//    the parallel executors, and
+//  - the measurement instrument for the paper's Section V quantities: it
+//    times every compute function, yielding T1 (total work) and T_inf (the
+//    weighted critical path), which bench_theory compares against measured
+//    P-processor times via the work-stealing bound O(T1/P + T_inf).
+
+#include <cstdint>
+
+#include "graph/task_graph_problem.hpp"
+
+namespace ftdag {
+
+struct SerialReport {
+  double seconds = 0.0;   // wall clock for the whole execution
+  std::uint64_t tasks = 0;
+  double t1 = 0.0;        // sum of per-task compute times (work)
+  double t_inf = 0.0;     // longest path weighted by compute times (span)
+  double max_task = 0.0;  // heaviest single task
+};
+
+class SerialExecutor {
+ public:
+  // Expands the graph from the sink (reverse reachability, like the dynamic
+  // schedulers) and runs every task once in topological order. The caller
+  // resets problem data between runs.
+  SerialReport execute(TaskGraphProblem& problem);
+};
+
+}  // namespace ftdag

@@ -1,0 +1,34 @@
+#pragma once
+// Job: type-erased unit of work owned by the scheduler.
+//
+// Each `spawn` allocates exactly one JobNode; the deques store raw JobNode
+// pointers (Chase-Lev requires trivially copyable entries). The worker that
+// executes a job deletes it.
+
+#include <utility>
+
+namespace ftdag {
+
+class JobNode {
+ public:
+  virtual ~JobNode() = default;
+  virtual void run() = 0;
+};
+
+template <typename F>
+class JobImpl final : public JobNode {
+ public:
+  explicit JobImpl(F&& f) : fn_(std::move(f)) {}
+  explicit JobImpl(const F& f) : fn_(f) {}
+  void run() override { fn_(); }
+
+ private:
+  F fn_;
+};
+
+template <typename F>
+JobNode* make_job(F&& f) {
+  return new JobImpl<std::decay_t<F>>(std::forward<F>(f));
+}
+
+}  // namespace ftdag

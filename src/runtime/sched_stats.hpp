@@ -1,0 +1,23 @@
+#pragma once
+// Aggregated scheduler statistics, sampled after quiescence.
+
+#include <cstdint>
+
+namespace ftdag {
+
+struct SchedStats {
+  std::uint64_t jobs_executed = 0;
+  std::uint64_t steals_attempted = 0;
+  std::uint64_t steals_succeeded = 0;
+  std::uint64_t injections = 0;  // jobs spawned from non-worker threads
+
+  SchedStats& operator+=(const SchedStats& o) {
+    jobs_executed += o.jobs_executed;
+    steals_attempted += o.steals_attempted;
+    steals_succeeded += o.steals_succeeded;
+    injections += o.injections;
+    return *this;
+  }
+};
+
+}  // namespace ftdag

@@ -1,0 +1,233 @@
+#include "runtime/scheduler.hpp"
+
+#include "support/assert.hpp"
+
+namespace ftdag {
+
+thread_local WorkStealingPool::Worker* WorkStealingPool::tls_worker_ = nullptr;
+
+WorkStealingPool::WorkStealingPool(unsigned threads, std::uint64_t seed) {
+  FTDAG_ASSERT(threads >= 1, "pool needs at least one worker");
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->pool = this;
+    w->index = i;
+    w->rng = Xoshiro256(mix64(seed + i));
+    workers_.push_back(std::move(w));
+  }
+  threads_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i)
+    threads_.emplace_back([this, i] { worker_main(*workers_[i]); });
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  FTDAG_ASSERT(pending_.load() == 0, "pool destroyed with outstanding jobs");
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> guard(sleep_mutex_);
+    signal_epoch_.fetch_add(1, std::memory_order_release);
+  }
+  sleep_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+  // Quiescent pool: deques and injection queue are empty by the assert above.
+}
+
+bool WorkStealingPool::on_worker_thread() const {
+  return tls_worker_ != nullptr && tls_worker_->pool == this;
+}
+
+int WorkStealingPool::current_worker_index() const {
+  return on_worker_thread() ? static_cast<int>(tls_worker_->index) : -1;
+}
+
+void WorkStealingPool::enqueue(JobNode* job) {
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  if (on_worker_thread()) {
+    tls_worker_->deque.push(job);
+  } else {
+    std::lock_guard<SpinLock> guard(injection_lock_);
+    injected_.push_back(job);
+  }
+  signal_work();
+}
+
+void WorkStealingPool::signal_work() {
+  signal_epoch_.fetch_add(1, std::memory_order_release);
+  if (sleepers_.load(std::memory_order_acquire) > 0) {
+    // Pairs with the epoch re-check under sleep_mutex_ in worker_main; the
+    // lock/unlock ensures a worker between its epoch read and its wait still
+    // observes this signal.
+    std::lock_guard<std::mutex> guard(sleep_mutex_);
+    sleep_cv_.notify_all();
+  }
+}
+
+JobNode* WorkStealingPool::pop_injected() {
+  std::lock_guard<SpinLock> guard(injection_lock_);
+  if (injected_.empty()) return nullptr;
+  JobNode* job = injected_.front();
+  injected_.pop_front();
+  return job;
+}
+
+JobNode* WorkStealingPool::try_steal(Worker& self) {
+  const std::size_t n = workers_.size();
+  // A handful of random probes per round; the sleep path re-scans after
+  // publishing intent, so missed work is latency, never a lost wakeup.
+  const std::size_t attempts = 2 * n + 2;
+  for (std::size_t a = 0; a < attempts; ++a) {
+    ++self.stats.steals_attempted;
+    const std::size_t victim = self.rng.below(n + 1);
+    if (victim == n) {  // injection queue acts as one extra victim
+      if (JobNode* job = pop_injected()) {
+        ++self.stats.steals_succeeded;
+        return job;
+      }
+      continue;
+    }
+    Worker& w = *workers_[victim];
+    if (&w == &self) continue;
+    JobNode* job = nullptr;
+    if (w.deque.steal(job)) {
+      ++self.stats.steals_succeeded;
+      return job;
+    }
+  }
+  return nullptr;
+}
+
+JobNode* WorkStealingPool::find_work(Worker& self) {
+  JobNode* job = nullptr;
+  if (self.deque.pop(job)) return job;
+  return try_steal(self);
+}
+
+JobNode* WorkStealingPool::scan_all(Worker& self) {
+  // Deterministic sweep of every work source. Unlike the randomized
+  // try_steal, this cannot miss outstanding work, which makes it safe to
+  // sleep after it comes back empty: any job visible before the epoch read
+  // has been checked, and any job enqueued after it bumps the epoch the
+  // sleep predicate watches.
+  JobNode* job = nullptr;
+  if (self.deque.pop(job)) return job;
+  if ((job = pop_injected()) != nullptr) return job;
+  for (auto& w : workers_) {
+    if (w.get() == &self) continue;
+    if (w->deque.steal(job)) return job;
+  }
+  return nullptr;
+}
+
+void WorkStealingPool::finish_job() {
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last outstanding job: wake the run_to_quiescence waiter. Lock then
+    // notify so the waiter cannot miss the transition between its predicate
+    // check and its wait.
+    { std::lock_guard<std::mutex> guard(sleep_mutex_); }
+    done_cv_.notify_all();
+  }
+}
+
+void WorkStealingPool::worker_main(Worker& self) {
+  tls_worker_ = &self;
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (JobNode* job = find_work(self)) {
+      job->run();
+      delete job;
+      ++self.stats.jobs_executed;
+      finish_job();
+      continue;
+    }
+    // Nothing found: publish intent to sleep, re-scan once, then wait for a
+    // new-work epoch. The re-scan after reading the epoch closes the race
+    // where work arrives between the failed scan and the wait — and it must
+    // be the *exhaustive* scan: a probabilistic scan can miss a queued job
+    // and then sleep on an epoch nobody ever bumps again.
+    const std::uint64_t epoch = signal_epoch_.load(std::memory_order_acquire);
+    if (JobNode* job = scan_all(self)) {
+      job->run();
+      delete job;
+      ++self.stats.jobs_executed;
+      finish_job();
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(sleep_mutex_);
+    sleepers_.fetch_add(1, std::memory_order_acq_rel);
+    sleep_cv_.wait(lk, [&] {
+      return stop_.load(std::memory_order_acquire) ||
+             signal_epoch_.load(std::memory_order_acquire) != epoch;
+    });
+    sleepers_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  tls_worker_ = nullptr;
+}
+
+void WorkStealingPool::run_to_quiescence(std::function<void()> root) {
+  FTDAG_ASSERT(!on_worker_thread(),
+               "run_to_quiescence must be called from outside the pool");
+  bool expected = false;
+  FTDAG_ASSERT(run_active_.compare_exchange_strong(expected, true),
+               "only one run_to_quiescence at a time");
+  spawn(std::move(root));
+  {
+    std::unique_lock<std::mutex> lk(sleep_mutex_);
+    done_cv_.wait(lk, [&] { return pending_.load(std::memory_order_acquire) == 0; });
+  }
+  run_active_.store(false, std::memory_order_release);
+}
+
+void WorkStealingPool::parallel_for(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& body) {
+  FTDAG_ASSERT(grain >= 1, "grain must be positive");
+  if (begin >= end) return;
+
+  // Recursive splitter counted by an atomic latch; usable both from outside
+  // the pool (wrapped in run_to_quiescence) and from within a job.
+  struct ForCtx {
+    const std::function<void(std::int64_t, std::int64_t)>& body;
+    std::int64_t grain;
+    WorkStealingPool& pool;
+    std::atomic<std::int64_t> remaining;
+  };
+  ForCtx ctx{body, grain, *this, {end - begin}};
+
+  struct Split {
+    static void run(ForCtx& c, std::int64_t lo, std::int64_t hi) {
+      while (hi - lo > c.grain) {
+        const std::int64_t mid = lo + (hi - lo) / 2;
+        c.pool.spawn([&c, mid, hi] { run(c, mid, hi); });
+        hi = mid;
+      }
+      c.body(lo, hi);
+      c.remaining.fetch_sub(hi - lo, std::memory_order_acq_rel);
+    }
+  };
+
+  if (on_worker_thread()) {
+    Split::run(ctx, begin, end);
+    // Help with the remaining work instead of blocking the worker.
+    while (ctx.remaining.load(std::memory_order_acquire) > 0) {
+      if (JobNode* job = find_work(*tls_worker_)) {
+        job->run();
+        delete job;
+        ++tls_worker_->stats.jobs_executed;
+        finish_job();
+      } else {
+        Backoff().pause();
+      }
+    }
+  } else {
+    run_to_quiescence([&ctx, begin, end] { Split::run(ctx, begin, end); });
+    FTDAG_ASSERT(ctx.remaining.load() == 0, "parallel_for lost iterations");
+  }
+}
+
+SchedStats WorkStealingPool::stats() const {
+  SchedStats total;
+  for (const auto& w : workers_) total += w->stats;
+  return total;
+}
+
+}  // namespace ftdag

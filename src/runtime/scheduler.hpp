@@ -1,0 +1,114 @@
+#pragma once
+// WorkStealingPool: a Cilk-style randomized work-stealing scheduler.
+//
+// This is the substrate the paper's NABBIT adaptation runs on (the original
+// used the Cilk++ 8503 runtime). The structure follows the classic design
+// whose bounds the paper cites ([12] Arora/Blumofe/Plaxton, [13]
+// Blumofe/Leiserson): each worker owns a Chase-Lev deque, pushes spawned
+// jobs at the bottom, and steals from the top of a uniformly random victim
+// when idle.
+//
+// NABBIT's traversal routines are fire-and-forget spawns whose completion is
+// observed through the task graph itself (the sink task completing), so the
+// pool exposes *quiescence* as the join mechanism: `run_to_quiescence(root)`
+// runs root and every transitively spawned job, returning when the global
+// outstanding-job count drains to zero. The pool persists across runs; the
+// executors reuse one pool for a whole experiment sweep.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "concurrent/chase_lev_deque.hpp"
+#include "runtime/job.hpp"
+#include "runtime/sched_stats.hpp"
+#include "support/cache.hpp"
+#include "support/spin_lock.hpp"
+#include "support/xoshiro.hpp"
+
+namespace ftdag {
+
+class WorkStealingPool {
+ public:
+  // Creates `threads` workers. `seed` drives victim selection only.
+  explicit WorkStealingPool(unsigned threads,
+                            std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  unsigned thread_count() const { return static_cast<unsigned>(workers_.size()); }
+
+  // Schedules fn. From a worker thread: pushed onto its own deque (stealable
+  // by others). From any other thread: placed on the injection queue.
+  template <typename F>
+  void spawn(F&& fn) {
+    enqueue(make_job(std::forward<F>(fn)));
+  }
+
+  // Runs `root` plus everything it transitively spawns; blocks the calling
+  // (non-worker) thread until the pool is quiescent again. Only one
+  // run_to_quiescence may be active at a time.
+  void run_to_quiescence(std::function<void()> root);
+
+  // Divide-and-conquer parallel for over [begin, end), splitting down to
+  // `grain` iterations per leaf. Blocks until every iteration ran. Intended
+  // for app reference kernels and examples, not the executor hot path.
+  void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                    const std::function<void(std::int64_t, std::int64_t)>& body);
+
+  // True when called from one of this pool's worker threads.
+  bool on_worker_thread() const;
+
+  // Index of the calling worker thread, or -1 for external threads.
+  int current_worker_index() const;
+
+  // Aggregated statistics since construction. Safe to call when quiescent.
+  SchedStats stats() const;
+
+ private:
+  struct Worker {
+    ChaseLevDeque<JobNode*> deque;
+    Xoshiro256 rng;
+    WorkStealingPool* pool = nullptr;
+    unsigned index = 0;
+    SchedStats stats;
+  };
+
+  void worker_main(Worker& self);
+  void enqueue(JobNode* job);
+  JobNode* find_work(Worker& self);
+  JobNode* scan_all(Worker& self);
+  JobNode* try_steal(Worker& self);
+  JobNode* pop_injected();
+  void finish_job();
+  void signal_work();
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  // Jobs spawned from outside any worker (e.g. the root job).
+  SpinLock injection_lock_;
+  std::deque<JobNode*> injected_;
+
+  alignas(kCacheLine) std::atomic<std::int64_t> pending_{0};
+  alignas(kCacheLine) std::atomic<std::uint64_t> signal_epoch_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<int> sleepers_{0};
+  std::atomic<bool> run_active_{false};
+
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;  // workers wait for work
+  std::condition_variable done_cv_;   // run_to_quiescence waits for drain
+
+  static thread_local Worker* tls_worker_;
+};
+
+}  // namespace ftdag

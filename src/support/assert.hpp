@@ -1,0 +1,35 @@
+#pragma once
+// Lightweight always-on assertion support.
+//
+// FTDAG_ASSERT is active in all build types: the runtime's correctness
+// arguments (join-counter accounting, life-number monotonicity, quiescence)
+// are cheap to check and expensive to debug when silently violated.
+// FTDAG_DASSERT compiles away outside debug builds and is used on hot paths.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ftdag::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "ftdag assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace ftdag::detail
+
+#define FTDAG_ASSERT(expr, msg)                                      \
+  do {                                                               \
+    if (!(expr)) [[unlikely]]                                        \
+      ::ftdag::detail::assert_fail(#expr, __FILE__, __LINE__, msg);  \
+  } while (0)
+
+#ifndef NDEBUG
+#define FTDAG_DASSERT(expr, msg) FTDAG_ASSERT(expr, msg)
+#else
+#define FTDAG_DASSERT(expr, msg) \
+  do {                           \
+  } while (0)
+#endif

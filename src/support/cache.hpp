@@ -1,0 +1,26 @@
+#pragma once
+// Cache-line geometry and padding helpers for contended data.
+
+#include <cstddef>
+#include <new>
+
+namespace ftdag {
+
+// std::hardware_destructive_interference_size is not reliably provided by
+// all standard libraries; 64 bytes is correct for every x86-64 and most
+// AArch64 parts this library targets.
+inline constexpr std::size_t kCacheLine = 64;
+
+// Wraps a value so that adjacent instances never share a cache line,
+// eliminating false sharing between per-worker slots.
+template <typename T>
+struct alignas(kCacheLine) CachePadded {
+  T value{};
+
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+};
+
+}  // namespace ftdag

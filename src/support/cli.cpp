@@ -1,0 +1,88 @@
+#include "support/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace ftdag {
+
+Cli::Cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "true";  // bare flag, boolean style
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const {
+  seen_[name] = true;
+  return flags_.count(name) > 0;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
+  seen_[name] = true;
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double def) const {
+  seen_[name] = true;
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string Cli::get_string(const std::string& name,
+                            const std::string& def) const {
+  seen_[name] = true;
+  auto it = flags_.find(name);
+  return it == flags_.end() ? def : it->second;
+}
+
+bool Cli::get_bool(const std::string& name, bool def) const {
+  seen_[name] = true;
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return it->second != "false" && it->second != "0" && it->second != "no";
+}
+
+std::vector<std::string> Cli::get_list(const std::string& name,
+                                       const std::string& def) const {
+  return split_csv(get_string(name, def));
+}
+
+void Cli::check_unknown() const {
+  for (const auto& [name, value] : flags_) {
+    (void)value;
+    if (!seen_.count(name)) {
+      std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+      std::exit(2);
+    }
+  }
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    auto comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    if (comma > start) out.push_back(text.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace ftdag

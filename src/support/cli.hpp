@@ -1,0 +1,46 @@
+#pragma once
+// Minimal command-line flag parser for the bench harness binaries.
+//
+// Usage: Cli cli(argc, argv);
+//        int p = cli.get_int("threads", 4);
+//        auto apps = cli.get_string("apps", "lcs,sw,fw,lu,cholesky");
+// Flags are written --name=value or --name value. Unknown flags are an error
+// so experiment scripts fail loudly on typos.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ftdag {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  std::string get_string(const std::string& name, const std::string& def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  // Splits a comma-separated flag into items, e.g. --apps=lcs,fw.
+  std::vector<std::string> get_list(const std::string& name,
+                                    const std::string& def) const;
+
+  // Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Marks a flag as recognized; after parsing, `check_unknown` aborts on any
+  // flag never queried. Queries register automatically.
+  void check_unknown() const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  mutable std::map<std::string, bool> seen_;
+  std::vector<std::string> positional_;
+};
+
+std::vector<std::string> split_csv(const std::string& text);
+
+}  // namespace ftdag

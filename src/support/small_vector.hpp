@@ -1,0 +1,179 @@
+#pragma once
+// SmallVector<T, N>: vector with inline storage for the first N elements.
+//
+// Task-graph fan-in/fan-out in the paper's benchmarks is a small constant
+// (2-4 for the DP codes, O(blocks) only for a few LU/Cholesky rows), so
+// predecessor/successor lists almost never touch the heap.
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace ftdag {
+
+template <typename T, std::size_t N>
+class SmallVector {
+  static_assert(N >= 1, "inline capacity must be positive");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() = default;
+
+  SmallVector(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) push_back(v);
+  }
+
+  SmallVector(const SmallVector& other) {
+    reserve(other.size_);
+    for (std::size_t i = 0; i < other.size_; ++i) push_back(other[i]);
+  }
+
+  SmallVector(SmallVector&& other) noexcept { move_from(std::move(other)); }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      clear();
+      reserve(other.size_);
+      for (std::size_t i = 0; i < other.size_; ++i) push_back(other[i]);
+    }
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+
+  ~SmallVector() { destroy(); }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return capacity_; }
+
+  T& operator[](std::size_t i) {
+    FTDAG_DASSERT(i < size_, "SmallVector index out of range");
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    FTDAG_DASSERT(i < size_, "SmallVector index out of range");
+    return data_[i];
+  }
+
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) grow(capacity_ * 2);
+    T* slot = data_ + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    FTDAG_DASSERT(size_ > 0, "pop_back on empty SmallVector");
+    data_[--size_].~T();
+  }
+
+  void clear() {
+    for (std::size_t i = 0; i < size_; ++i) data_[i].~T();
+    size_ = 0;
+  }
+
+  void reserve(std::size_t cap) {
+    if (cap > capacity_) grow(cap);
+  }
+
+  void resize(std::size_t n) {
+    reserve(n);
+    while (size_ < n) emplace_back();
+    while (size_ > n) pop_back();
+  }
+
+  bool contains(const T& v) const {
+    return std::find(begin(), end(), v) != end();
+  }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+
+ private:
+  bool inline_storage() const {
+    return data_ == reinterpret_cast<const T*>(inline_buf_);
+  }
+
+  void grow(std::size_t cap) {
+    cap = std::max<std::size_t>(cap, N * 2);
+    T* fresh = static_cast<T*>(::operator new(cap * sizeof(T), align()));
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    release_heap();
+    data_ = fresh;
+    capacity_ = cap;
+  }
+
+  void release_heap() {
+    if (!inline_storage()) ::operator delete(data_, align());
+  }
+
+  void destroy() {
+    clear();
+    release_heap();
+    data_ = reinterpret_cast<T*>(inline_buf_);
+    capacity_ = N;
+  }
+
+  void move_from(SmallVector&& other) noexcept {
+    if (other.inline_storage()) {
+      data_ = reinterpret_cast<T*>(inline_buf_);
+      capacity_ = N;
+      size_ = 0;
+      for (std::size_t i = 0; i < other.size_; ++i)
+        emplace_back(std::move(other.data_[i]));
+      other.clear();
+    } else {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = reinterpret_cast<T*>(other.inline_buf_);
+      other.capacity_ = N;
+      other.size_ = 0;
+    }
+  }
+
+  static std::align_val_t align() { return std::align_val_t{alignof(T)}; }
+
+  alignas(T) unsigned char inline_buf_[N * sizeof(T)];
+  T* data_ = reinterpret_cast<T*>(inline_buf_);
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+}  // namespace ftdag

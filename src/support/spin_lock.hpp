@@ -1,0 +1,70 @@
+#pragma once
+// Test-and-test-and-set spin lock with exponential backoff.
+//
+// Used for the short critical sections the paper's algorithm needs: the
+// per-task notify-array lock and the hash-map shard locks. Sections are a few
+// dozen instructions, so spinning beats parking; the backoff keeps the lock
+// usable even when the machine is oversubscribed (threads > cores).
+
+#include <atomic>
+#include <thread>
+
+#include "support/cache.hpp"
+
+namespace ftdag {
+
+class Backoff {
+ public:
+  void pause() {
+    if (spins_ < kSpinLimit) {
+      for (int i = 0; i < (1 << spins_); ++i) cpu_relax();
+      ++spins_;
+    } else {
+      // Oversubscribed or long wait: cede the core so the lock holder runs.
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() { spins_ = 0; }
+
+  static void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield");
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+  }
+
+ private:
+  static constexpr int kSpinLimit = 6;
+  int spins_ = 0;
+};
+
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() {
+    Backoff backoff;
+    for (;;) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+      while (locked_.load(std::memory_order_relaxed)) backoff.pause();
+    }
+  }
+
+  bool try_lock() {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+}  // namespace ftdag

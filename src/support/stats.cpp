@@ -1,0 +1,44 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ftdag {
+
+Summary summarize(const std::vector<double>& samples) {
+  Summary s;
+  s.n = samples.size();
+  if (s.n == 0) return s;
+
+  double sum = 0.0;
+  s.min = samples.front();
+  s.max = samples.front();
+  for (double v : samples) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(s.n);
+
+  if (s.n > 1) {
+    double sq = 0.0;
+    for (double v : samples) sq += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(sq / static_cast<double>(s.n - 1));
+  }
+  return s;
+}
+
+double overhead_pct(double baseline, double measured) {
+  if (baseline == 0.0) return 0.0;
+  return (measured - baseline) / baseline * 100.0;
+}
+
+std::string format_mean_std(const Summary& s, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f +- %.*f", precision, s.mean, precision,
+                s.stddev);
+  return buf;
+}
+
+}  // namespace ftdag

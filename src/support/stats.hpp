@@ -1,0 +1,29 @@
+#pragma once
+// Summary statistics used by the experiment harness: the paper reports
+// arithmetic means over 10 runs with standard deviations as error bars
+// (Section VI), and Table II reports avg/min/max/std of re-execution counts.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ftdag {
+
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+};
+
+// Computes a Summary over the samples; all-zero Summary when empty.
+Summary summarize(const std::vector<double>& samples);
+
+// Percentage overhead of `measured` over `baseline`; 0 when baseline == 0.
+double overhead_pct(double baseline, double measured);
+
+// Renders "12.34 +- 0.56" style strings for harness tables.
+std::string format_mean_std(const Summary& s, int precision = 2);
+
+}  // namespace ftdag

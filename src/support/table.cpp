@@ -1,0 +1,53 @@
+#include "support/table.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace ftdag {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += "| ";
+      out += row[c];
+      out.append(width[c] - row[c].size() + 1, ' ');
+    }
+    out += "|\n";
+  };
+
+  std::string out;
+  emit_row(header_, out);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out += "|";
+    out.append(width[c] + 2, '-');
+  }
+  out += "|\n";
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+void Table::print() const { std::fputs(render().c_str(), stdout); }
+
+std::string strf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  char buf[256];
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+
+}  // namespace ftdag

@@ -1,0 +1,31 @@
+#pragma once
+// ASCII table rendering for the bench harness: every bench binary prints the
+// same rows/series the paper's corresponding table or figure reports.
+
+#include <string>
+#include <vector>
+
+namespace ftdag {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Adds one row; shorter rows are padded with empty cells.
+  void add_row(std::vector<std::string> row);
+
+  // Renders with column alignment and a header separator.
+  std::string render() const;
+
+  // Convenience: renders to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// printf-style formatting into std::string for table cells.
+std::string strf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace ftdag

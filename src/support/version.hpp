@@ -1,0 +1,12 @@
+#pragma once
+// Library version. Follows semver; bumped on public-API changes.
+
+namespace ftdag {
+
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+
+inline constexpr const char* kVersionString = "1.0.0";
+
+}  // namespace ftdag

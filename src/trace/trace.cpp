@@ -1,0 +1,101 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "support/assert.hpp"
+#include "support/table.hpp"
+
+namespace ftdag {
+
+const char* trace_kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kCompute:
+      return "compute";
+    case TraceKind::kRecovery:
+      return "recovery";
+    case TraceKind::kReset:
+      return "reset";
+    case TraceKind::kFault:
+      return "fault";
+  }
+  return "?";
+}
+
+ExecutionTrace::ExecutionTrace(unsigned workers) : worker_buffers_(workers) {}
+
+void ExecutionTrace::record(int worker, TraceKind kind, TaskKey key,
+                            std::uint64_t life, double begin, double end) {
+  TraceRecord r{begin, end, key, life, kind, worker};
+  if (worker >= 0 &&
+      static_cast<std::size_t>(worker) < worker_buffers_.size()) {
+    worker_buffers_[static_cast<std::size_t>(worker)]->records.push_back(r);
+  } else {
+    std::lock_guard<SpinLock> guard(overflow_lock_);
+    overflow_.records.push_back(r);
+  }
+}
+
+std::size_t ExecutionTrace::size() const {
+  std::size_t n = overflow_.records.size();
+  for (const auto& b : worker_buffers_) n += b->records.size();
+  return n;
+}
+
+std::size_t ExecutionTrace::count(TraceKind kind) const {
+  std::size_t n = 0;
+  auto tally = [&](const Buffer& b) {
+    for (const TraceRecord& r : b.records) n += (r.kind == kind);
+  };
+  tally(overflow_);
+  for (const auto& b : worker_buffers_) tally(*b);
+  return n;
+}
+
+std::vector<TraceRecord> ExecutionTrace::merged() const {
+  std::vector<TraceRecord> out;
+  out.reserve(size());
+  out.insert(out.end(), overflow_.records.begin(), overflow_.records.end());
+  for (const auto& b : worker_buffers_)
+    out.insert(out.end(), b->records.begin(), b->records.end());
+  std::sort(out.begin(), out.end(),
+            [](const TraceRecord& a, const TraceRecord& b) {
+              return a.begin < b.begin;
+            });
+  return out;
+}
+
+std::string ExecutionTrace::chrome_json() const {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const TraceRecord& r : merged()) {
+    if (!first) out += ",\n";
+    first = false;
+    const double us = r.begin * 1e6;
+    const double dur = (r.end - r.begin) * 1e6;
+    const bool span =
+        r.kind == TraceKind::kCompute || r.kind == TraceKind::kRecovery;
+    if (span) {
+      out += strf(
+          "{\"name\":\"%s k%lld\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+          "\"pid\":0,\"tid\":%d,\"args\":{\"key\":%lld,\"life\":%llu}}",
+          trace_kind_name(r.kind), (long long)r.key, us, dur, r.worker,
+          (long long)r.key, (unsigned long long)r.life);
+    } else {
+      out += strf(
+          "{\"name\":\"%s k%lld\",\"ph\":\"i\",\"ts\":%.3f,\"s\":\"t\","
+          "\"pid\":0,\"tid\":%d,\"args\":{\"key\":%lld,\"life\":%llu}}",
+          trace_kind_name(r.kind), (long long)r.key, us, r.worker,
+          (long long)r.key, (unsigned long long)r.life);
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+void ExecutionTrace::clear() {
+  overflow_.records.clear();
+  for (auto& b : worker_buffers_) b->records.clear();
+}
+
+}  // namespace ftdag

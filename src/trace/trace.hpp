@@ -1,0 +1,78 @@
+#pragma once
+// ExecutionTrace: low-overhead per-worker event recording for the
+// fault-tolerant executor, exportable to the Chrome trace-event JSON format
+// (chrome://tracing, Perfetto) for visual inspection of recovery behaviour:
+// compute spans, recoveries, resets and fault observations per worker.
+//
+// Recording is lock-free in the steady state: each worker appends to its
+// own buffer; events from non-worker threads go to a shared overflow buffer
+// under a spin lock. Merging/exporting happens after quiescence.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/task_key.hpp"
+#include "support/cache.hpp"
+#include "support/spin_lock.hpp"
+#include "support/timer.hpp"
+
+namespace ftdag {
+
+enum class TraceKind : std::uint8_t {
+  kCompute,   // span: one execution of a task's compute function
+  kRecovery,  // span: RecoverTask (replace + notify-array reconstruction)
+  kReset,     // instant: ResetNode re-arming a task
+  kFault,     // instant: a FaultException observed by the runtime
+};
+
+const char* trace_kind_name(TraceKind kind);
+
+struct TraceRecord {
+  double begin = 0.0;  // seconds since trace construction
+  double end = 0.0;    // == begin for instant events
+  TaskKey key = 0;
+  std::uint64_t life = 0;
+  TraceKind kind = TraceKind::kCompute;
+  int worker = -1;  // -1: recorded off the worker pool
+};
+
+class ExecutionTrace {
+ public:
+  explicit ExecutionTrace(unsigned workers);
+
+  ExecutionTrace(const ExecutionTrace&) = delete;
+  ExecutionTrace& operator=(const ExecutionTrace&) = delete;
+
+  // Seconds since construction; use to bracket spans.
+  double now() const { return clock_.seconds(); }
+
+  // Appends an event. `worker` is the pool worker index or -1.
+  void record(int worker, TraceKind kind, TaskKey key, std::uint64_t life,
+              double begin, double end);
+
+  // --- post-quiescence queries ------------------------------------------------
+
+  std::size_t size() const;
+  std::size_t count(TraceKind kind) const;
+
+  // All records merged and sorted by begin time.
+  std::vector<TraceRecord> merged() const;
+
+  // Chrome trace-event JSON (the "traceEvents" array form).
+  std::string chrome_json() const;
+
+  void clear();
+
+ private:
+  struct Buffer {
+    std::vector<TraceRecord> records;
+  };
+
+  Timer clock_;
+  std::vector<CachePadded<Buffer>> worker_buffers_;
+  mutable SpinLock overflow_lock_;
+  Buffer overflow_;
+};
+
+}  // namespace ftdag

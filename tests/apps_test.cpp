@@ -1,0 +1,226 @@
+// Numerical validation of the five benchmark kernels against independent
+// naive implementations (not the shared-kernel reference): full-table LCS
+// and SW, triple-loop FW, factor recomposition for LU and Cholesky.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "apps/cholesky.hpp"
+#include "apps/floyd_warshall.hpp"
+#include "apps/lcs.hpp"
+#include "apps/lu.hpp"
+#include "apps/smith_waterman.hpp"
+#include "harness/experiment.hpp"
+#include "support/xoshiro.hpp"
+
+namespace ftdag {
+namespace {
+
+// Re-generates the app input sequences exactly as the problems do (same
+// generator, same draw order).
+void gen_sequences(std::int64_t n, std::uint64_t seed,
+                   std::vector<std::uint8_t>& a, std::vector<std::uint8_t>& b) {
+  Xoshiro256 rng(seed);
+  a.resize(n);
+  b.resize(n);
+  for (auto& c : a) c = static_cast<std::uint8_t>(rng.below(4));
+  for (auto& c : b) c = static_cast<std::uint8_t>(rng.below(4));
+}
+
+TEST(LcsKernel, MatchesNaiveFullTable) {
+  const AppConfig cfg{192, 32, 77};
+  LcsProblem app(cfg);
+  WorkStealingPool pool(2);
+  run_baseline(app, pool, 1);
+
+  std::vector<std::uint8_t> a, b;
+  gen_sequences(cfg.n, cfg.seed, a, b);
+  const std::size_t n = a.size();
+  std::vector<std::int32_t> prev(n + 1, 0), cur(n + 1, 0);
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= n; ++j)
+      cur[j] = a[i - 1] == b[j - 1] ? prev[j - 1] + 1
+                                    : std::max(prev[j], cur[j - 1]);
+    std::swap(prev, cur);
+  }
+  EXPECT_EQ(app.lcs_length(), prev[n]);
+}
+
+TEST(SwKernel, MatchesNaiveFullTable) {
+  const AppConfig cfg{192, 32, 77};
+  SmithWatermanProblem app(cfg);
+  WorkStealingPool pool(2);
+  run_baseline(app, pool, 1);
+
+  std::vector<std::uint8_t> a, b;
+  gen_sequences(cfg.n, cfg.seed, a, b);
+  const std::size_t n = a.size();
+  std::vector<std::int32_t> prev(n + 1, 0), cur(n + 1, 0);
+  std::int32_t best = 0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= n; ++j) {
+      const std::int32_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 2 : -1);
+      std::int32_t h = std::max<std::int32_t>(0, sub);
+      h = std::max(h, prev[j] - 1);
+      h = std::max(h, cur[j - 1] - 1);
+      cur[j] = h;
+      best = std::max(best, h);
+    }
+    std::swap(prev, cur);
+  }
+  EXPECT_GT(best, 0);
+  EXPECT_EQ(app.best_score(), best);
+}
+
+TEST(FwKernels, MatchNaiveTripleLoop) {
+  const AppConfig cfg{96, 16, 77};  // W=6
+  FloydWarshallProblem app(cfg);
+  WorkStealingPool pool(2);
+  run_baseline(app, pool, 1);
+
+  const int n = static_cast<int>(cfg.n);
+  const int b = static_cast<int>(cfg.block);
+  const int w = n / b;
+  // Rebuild the flat input from the app's blocked input.
+  std::vector<std::int32_t> d(static_cast<std::size_t>(n) * n);
+  for (int bi = 0; bi < w; ++bi)
+    for (int bj = 0; bj < w; ++bj) {
+      const std::int32_t* blk = app.input_matrix_block(bi, bj);
+      for (int r = 0; r < b; ++r)
+        for (int c = 0; c < b; ++c)
+          d[static_cast<std::size_t>(bi * b + r) * n + bj * b + c] =
+              blk[r * b + c];
+    }
+  for (int k = 0; k < n; ++k)
+    for (int u = 0; u < n; ++u)
+      for (int v = 0; v < n; ++v)
+        d[static_cast<std::size_t>(u) * n + v] =
+            std::min(d[static_cast<std::size_t>(u) * n + v],
+                     d[static_cast<std::size_t>(u) * n + k] +
+                         d[static_cast<std::size_t>(k) * n + v]);
+
+  for (int bi = 0; bi < w; ++bi)
+    for (int bj = 0; bj < w; ++bj) {
+      const std::int32_t* blk = app.result_block(bi, bj);
+      for (int r = 0; r < b; ++r)
+        for (int c = 0; c < b; ++c)
+          ASSERT_EQ(blk[r * b + c],
+                    d[static_cast<std::size_t>(bi * b + r) * n + bj * b + c])
+              << "block (" << bi << "," << bj << ") cell (" << r << "," << c
+              << ")";
+    }
+}
+
+TEST(LuKernels, FactorsRecomposeInput) {
+  const AppConfig cfg{128, 32, 77};  // W=4
+  LuProblem app(cfg);
+  WorkStealingPool pool(2);
+  run_baseline(app, pool, 1);
+
+  const int n = static_cast<int>(cfg.n);
+  const int b = static_cast<int>(cfg.block);
+  const int w = n / b;
+  auto fetch = [&](auto getter, std::vector<double>& m) {
+    m.assign(static_cast<std::size_t>(n) * n, 0.0);
+    for (int bi = 0; bi < w; ++bi)
+      for (int bj = 0; bj < w; ++bj) {
+        const double* blk = getter(bi, bj);
+        for (int r = 0; r < b; ++r)
+          for (int c = 0; c < b; ++c)
+            m[static_cast<std::size_t>(bi * b + r) * n + bj * b + c] =
+                blk[r * b + c];
+      }
+  };
+  std::vector<double> lu, a;
+  fetch([&](int i, int j) { return app.factor_block(i, j); }, lu);
+  fetch([&](int i, int j) { return app.input_matrix_block(i, j); }, a);
+
+  // A ?= L * U with L unit-lower and U upper from the packed factors.
+  double max_err = 0.0;
+  for (int r = 0; r < n; ++r)
+    for (int c = 0; c < n; ++c) {
+      double sum = 0.0;
+      const int lim = std::min(r, c);
+      for (int t = 0; t <= lim; ++t) {
+        const double l = (t == r) ? 1.0 : lu[static_cast<std::size_t>(r) * n + t];
+        sum += l * lu[static_cast<std::size_t>(t) * n + c];
+      }
+      max_err = std::max(max_err,
+                         std::abs(sum - a[static_cast<std::size_t>(r) * n + c]));
+    }
+  EXPECT_LT(max_err, 1e-8 * n);
+}
+
+TEST(CholeskyKernels, FactorRecomposesInput) {
+  const AppConfig cfg{128, 32, 77};  // W=4
+  CholeskyProblem app(cfg);
+  WorkStealingPool pool(2);
+  run_baseline(app, pool, 1);
+
+  const int n = static_cast<int>(cfg.n);
+  const int b = static_cast<int>(cfg.block);
+  const int w = n / b;
+  // Assemble full L (zero above the diagonal).
+  std::vector<double> l(static_cast<std::size_t>(n) * n, 0.0);
+  for (int bi = 0; bi < w; ++bi)
+    for (int bj = 0; bj <= bi; ++bj) {
+      const double* blk = app.factor_block(bi, bj);
+      for (int r = 0; r < b; ++r)
+        for (int c = 0; c < b; ++c) {
+          const int gr = bi * b + r, gc = bj * b + c;
+          if (gc <= gr) l[static_cast<std::size_t>(gr) * n + gc] = blk[r * b + c];
+        }
+    }
+  double max_err = 0.0;
+  for (int r = 0; r < n; ++r)
+    for (int c = 0; c <= r; ++c) {
+      double sum = 0.0;
+      for (int t = 0; t <= c; ++t)
+        sum += l[static_cast<std::size_t>(r) * n + t] *
+               l[static_cast<std::size_t>(c) * n + t];
+      const double* blk = app.input_matrix_block(r / b, c / b);
+      const double want = blk[(r % b) * b + (c % b)];
+      max_err = std::max(max_err, std::abs(sum - want));
+    }
+  EXPECT_LT(max_err, 1e-8 * n);
+}
+
+TEST(Apps, ReferenceChecksumIsCachedAndStable) {
+  LcsProblem app({128, 32, 5});
+  const std::uint64_t a = app.reference_checksum();
+  const std::uint64_t b = app.reference_checksum();
+  EXPECT_EQ(a, b);
+}
+
+TEST(Apps, DifferentSeedsProduceDifferentResults) {
+  LcsProblem a({128, 32, 1});
+  LcsProblem b({128, 32, 2});
+  EXPECT_NE(a.reference_checksum(), b.reference_checksum());
+}
+
+TEST(Apps, ResetDataAllowsRerun) {
+  LcsProblem app({128, 32, 5});
+  WorkStealingPool pool(2);
+  run_baseline(app, pool, 1);
+  const std::uint64_t first = app.result_checksum();
+  app.reset_data();
+  EXPECT_NE(app.result_checksum(), first);  // board cleared
+  run_baseline(app, pool, 1);
+  EXPECT_EQ(app.result_checksum(), first);
+}
+
+TEST(Apps, StorageReflectsRetentionPolicy) {
+  // SW reuses storage along chains: far less than one boundary per block.
+  const AppConfig cfg{512, 32, 5};  // W=16
+  SmithWatermanProblem sw(cfg);
+  LcsProblem lcs(cfg);
+  EXPECT_LT(sw.block_store().total_storage_bytes(),
+            lcs.block_store().total_storage_bytes() / 2);
+}
+
+}  // namespace
+}  // namespace ftdag

@@ -1,0 +1,137 @@
+// Tests for the collective checkpoint/restart comparator.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/app_registry.hpp"
+#include "core/checkpoint_executor.hpp"
+#include "fault/fault_plan.hpp"
+#include "graph/graph_metrics.hpp"
+
+namespace ftdag {
+namespace {
+
+AppConfig test_config(const std::string& name) {
+  if (name == "fw") return {96, 16, 3};
+  return {256, 32, 3};
+}
+
+void expect_valid(TaskGraphProblem& app) {
+  EXPECT_EQ(app.result_checksum(), app.reference_checksum());
+}
+
+class CheckpointApps : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CheckpointApps, FaultFreeMatchesReference) {
+  const std::string name = GetParam();
+  auto app = make_app(name, test_config(name));
+  (void)app->reference_checksum();
+  WorkStealingPool pool(4);
+  CheckpointRestartExecutor exec;
+  app->reset_data();
+  CheckpointReport r = exec.execute(*app, pool);
+  expect_valid(*app);
+  EXPECT_EQ(r.computes, analyze_graph(*app).tasks);
+  EXPECT_EQ(r.re_executed, 0u);
+  EXPECT_EQ(r.rollbacks, 0u);
+  EXPECT_GT(r.levels, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, CheckpointApps,
+                         ::testing::Values("lcs", "sw", "fw", "lu", "cholesky",
+                                           "rand"));
+
+TEST(CheckpointExecutor, TakesCheckpointsAtInterval) {
+  auto app = make_app("lcs", {256, 32, 3});  // 8x8 grid: 15 levels
+  (void)app->reference_checksum();
+  WorkStealingPool pool(2);
+  CheckpointRestartExecutor exec;
+  CheckpointOptions opt;
+  opt.interval_levels = 3;
+  app->reset_data();
+  CheckpointReport r = exec.execute(*app, pool, nullptr, opt);
+  EXPECT_EQ(r.levels, 15u);
+  EXPECT_EQ(r.checkpoints, 4u);  // after levels 3, 6, 9, 12
+  EXPECT_GE(r.checkpoint_seconds, 0.0);
+}
+
+TEST(CheckpointExecutor, RollsBackOnFaultAndStaysCorrect) {
+  auto app = make_app("lu", test_config("lu"));
+  (void)app->reference_checksum();
+  FaultPlanner planner(*app);
+  FaultPlanSpec spec;
+  spec.phase = FaultPhase::kAfterCompute;
+  spec.target_count = 3;
+  spec.seed = 11;
+  PlannedFaultInjector injector(planner.plan(spec).faults);
+  WorkStealingPool pool(4);
+  CheckpointRestartExecutor exec;
+  app->reset_data();
+  CheckpointReport r = exec.execute(*app, pool, &injector);
+  expect_valid(*app);
+  EXPECT_GT(r.rollbacks, 0u);
+  EXPECT_GT(r.re_executed, 0u);
+}
+
+TEST(CheckpointExecutor, RollbackDiscardsWholeLevels) {
+  // A single fault must cost at least the work since the last checkpoint,
+  // which is the comparator's defining weakness vs selective recovery.
+  auto app = make_app("lcs", {256, 32, 3});
+  (void)app->reference_checksum();
+  FaultPlanner planner(*app);
+  FaultPlanSpec spec;
+  spec.phase = FaultPhase::kAfterCompute;
+  spec.target_count = 1;
+  spec.seed = 2;
+  FaultPlan plan = planner.plan(spec);
+  PlannedFaultInjector injector(plan.faults);
+  WorkStealingPool pool(2);
+  CheckpointRestartExecutor exec;
+  CheckpointOptions opt;
+  opt.interval_levels = 8;  // sparse checkpoints -> expensive rollback
+  app->reset_data();
+  CheckpointReport r = exec.execute(*app, pool, &injector, opt);
+  expect_valid(*app);
+  EXPECT_GE(r.re_executed, 1u);
+}
+
+TEST(CheckpointExecutor, SurvivesAfterNotifyLatentCorruption) {
+  // After-notify faults can poison a snapshot; the executor must discard
+  // poisoned checkpoints and restart from a clean one (or from scratch).
+  auto app = make_app("sw", test_config("sw"));
+  (void)app->reference_checksum();
+  FaultPlanner planner(*app);
+  FaultPlanSpec spec;
+  spec.phase = FaultPhase::kAfterNotify;
+  spec.type = VictimType::kVersionRand;
+  spec.target_count = 5;
+  spec.seed = 21;
+  PlannedFaultInjector injector(planner.plan(spec).faults);
+  WorkStealingPool pool(4);
+  CheckpointRestartExecutor exec;
+  app->reset_data();
+  (void)exec.execute(*app, pool, &injector);
+  expect_valid(*app);
+}
+
+TEST(CheckpointExecutor, ManyFaultsStillTerminate) {
+  auto app = make_app("rand", {192, 16, 9});
+  (void)app->reference_checksum();
+  std::vector<TaskKey> keys;
+  app->all_tasks(keys);
+  std::vector<PlannedFault> faults;
+  for (std::size_t i = 0; i < keys.size(); i += 3)
+    faults.push_back({keys[i], FaultPhase::kAfterCompute, 1});
+  PlannedFaultInjector injector(std::move(faults));
+  WorkStealingPool pool(4);
+  CheckpointRestartExecutor exec;
+  app->reset_data();
+  CheckpointReport r = exec.execute(*app, pool, &injector);
+  expect_valid(*app);
+  EXPECT_GT(r.rollbacks, 0u);
+}
+
+}  // namespace
+}  // namespace ftdag

@@ -1,0 +1,148 @@
+// Tests for ComputeContext: staged writes, read re-validation, aliased
+// updates and commit-gated result staging.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "graph/compute_context.hpp"
+
+namespace ftdag {
+namespace {
+
+class ComputeContextTest : public ::testing::Test {
+ protected:
+  BlockStore store_;
+};
+
+TEST_F(ComputeContextTest, WriteIsInvisibleUntilFinalize) {
+  const BlockId b = store_.add_block(sizeof(int), 1);
+  ComputeContext ctx(store_, 1);
+  int* out = ctx.write<int>(b, 0);
+  *out = 5;
+  EXPECT_EQ(store_.state(b, 0), VersionState::kAbsent);
+  ctx.finalize();
+  EXPECT_EQ(store_.state(b, 0), VersionState::kValid);
+  EXPECT_EQ(*static_cast<const int*>(store_.read(b, 0)), 5);
+}
+
+TEST_F(ComputeContextTest, DestructorAbortsUncommittedWrites) {
+  const BlockId b = store_.add_block(sizeof(int), 1);
+  {
+    ComputeContext ctx(store_, 1);
+    *ctx.write<int>(b, 0) = 5;
+    // No finalize: simulates an exception unwinding the compute.
+  }
+  EXPECT_EQ(store_.state(b, 0), VersionState::kAbsent);
+  // Slot lock must have been released.
+  ComputeContext ctx2(store_, 2);
+  *ctx2.write<int>(b, 0) = 6;
+  ctx2.finalize();
+  EXPECT_EQ(*static_cast<const int*>(store_.read(b, 0)), 6);
+}
+
+TEST_F(ComputeContextTest, FinalizeRevalidatesReads) {
+  const BlockId src = store_.add_block(sizeof(int), 1);
+  const BlockId dst = store_.add_block(sizeof(int), 1);
+  {
+    ComputeContext ctx(store_, 1);
+    *ctx.write<int>(src, 0) = 3;
+    ctx.finalize();
+  }
+  ComputeContext ctx(store_, 2);
+  const int in = *ctx.read<int>(src, 0);
+  *ctx.write<int>(dst, 0) = in + 1;
+  store_.corrupt(src, 0);  // input dies mid-compute
+  EXPECT_THROW(ctx.finalize(), DataBlockFault);
+}
+
+TEST_F(ComputeContextTest, FailedRevalidationPublishesNothing) {
+  const BlockId src = store_.add_block(sizeof(int), 1);
+  const BlockId dst = store_.add_block(sizeof(int), 1);
+  std::atomic<std::uint64_t> result{0};
+  {
+    ComputeContext ctx(store_, 1);
+    *ctx.write<int>(src, 0) = 3;
+    ctx.finalize();
+  }
+  {
+    ComputeContext ctx(store_, 2);
+    (void)ctx.read<int>(src, 0);
+    *ctx.write<int>(dst, 0) = 4;
+    ctx.stage_result(&result, 99);
+    store_.corrupt(src, 0);
+    EXPECT_THROW(ctx.finalize(), DataBlockFault);
+  }
+  EXPECT_EQ(store_.state(dst, 0), VersionState::kAbsent);
+  EXPECT_EQ(result.load(), 0u);  // staged result was discarded
+}
+
+TEST_F(ComputeContextTest, StageResultAppliedOnSuccess) {
+  const BlockId b = store_.add_block(sizeof(int), 1);
+  std::atomic<std::uint64_t> result{0};
+  ComputeContext ctx(store_, 1);
+  *ctx.write<int>(b, 0) = 1;
+  ctx.stage_result(&result, 77);
+  ctx.finalize();
+  EXPECT_EQ(result.load(), 77u);
+}
+
+TEST_F(ComputeContextTest, AliasedUpdateReadsOldBytes) {
+  store_.set_retention(1);
+  const BlockId b = store_.add_block(sizeof(int), 4);
+  {
+    ComputeContext ctx(store_, 1);
+    *ctx.write<int>(b, 0) = 10;
+    ctx.finalize();
+  }
+  ComputeContext ctx(store_, 2);
+  UpdateRef<int> r = ctx.update<int>(b, 0, 1);
+  EXPECT_EQ(r.in, r.out);  // same slot: aliased
+  EXPECT_EQ(*r.in, 10);
+  *r.out = *r.in + 5;
+  ctx.finalize();
+  EXPECT_EQ(*static_cast<const int*>(store_.read(b, 1)), 15);
+  EXPECT_EQ(store_.state(b, 0), VersionState::kOverwritten);
+}
+
+TEST_F(ComputeContextTest, NonAliasedUpdateKeepsInputAlive) {
+  store_.set_retention(2);
+  const BlockId b = store_.add_block(sizeof(int), 4);
+  {
+    ComputeContext ctx(store_, 1);
+    *ctx.write<int>(b, 0) = 10;
+    ctx.finalize();
+  }
+  ComputeContext ctx(store_, 2);
+  UpdateRef<int> r = ctx.update<int>(b, 0, 1);
+  EXPECT_NE(r.in, r.out);
+  *r.out = *r.in + 5;
+  ctx.finalize();
+  EXPECT_EQ(*static_cast<const int*>(store_.read(b, 0)), 10);
+  EXPECT_EQ(*static_cast<const int*>(store_.read(b, 1)), 15);
+}
+
+TEST_F(ComputeContextTest, ReadOfMissingVersionThrowsImmediately) {
+  const BlockId b = store_.add_block(sizeof(int), 1);
+  ComputeContext ctx(store_, 1);
+  EXPECT_THROW((void)ctx.read<int>(b, 0), DataBlockFault);
+}
+
+TEST_F(ComputeContextTest, CountsReadsAndWrites) {
+  const BlockId a = store_.add_block(sizeof(int), 1);
+  const BlockId b = store_.add_block(sizeof(int), 1);
+  {
+    ComputeContext ctx(store_, 1);
+    *ctx.write<int>(a, 0) = 1;
+    ctx.finalize();
+  }
+  ComputeContext ctx(store_, 2);
+  (void)ctx.read<int>(a, 0);
+  (void)ctx.write<int>(b, 0);
+  EXPECT_EQ(ctx.reads_recorded(), 1u);
+  EXPECT_EQ(ctx.writes_staged(), 1u);
+  ctx.finalize();
+}
+
+}  // namespace
+}  // namespace ftdag

@@ -1,0 +1,231 @@
+// Unit and stress tests for the concurrent substrate: Chase-Lev deque,
+// sharded hash map, atomic bitset.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "concurrent/atomic_bitset.hpp"
+#include "concurrent/chase_lev_deque.hpp"
+#include "concurrent/sharded_map.hpp"
+
+namespace ftdag {
+namespace {
+
+TEST(ChaseLevDeque, LifoForOwner) {
+  ChaseLevDeque<int> d;
+  d.push(1);
+  d.push(2);
+  d.push(3);
+  int v = 0;
+  ASSERT_TRUE(d.pop(v));
+  EXPECT_EQ(v, 3);
+  ASSERT_TRUE(d.pop(v));
+  EXPECT_EQ(v, 2);
+  ASSERT_TRUE(d.pop(v));
+  EXPECT_EQ(v, 1);
+  EXPECT_FALSE(d.pop(v));
+}
+
+TEST(ChaseLevDeque, FifoForThieves) {
+  ChaseLevDeque<int> d;
+  d.push(1);
+  d.push(2);
+  int v = 0;
+  ASSERT_TRUE(d.steal(v));
+  EXPECT_EQ(v, 1);  // thieves take the oldest item
+  ASSERT_TRUE(d.steal(v));
+  EXPECT_EQ(v, 2);
+  EXPECT_FALSE(d.steal(v));
+}
+
+TEST(ChaseLevDeque, GrowsPastInitialCapacity) {
+  ChaseLevDeque<int> d(4);
+  for (int i = 0; i < 1000; ++i) d.push(i);
+  EXPECT_EQ(d.size_estimate(), 1000u);
+  int v = 0;
+  for (int i = 999; i >= 0; --i) {
+    ASSERT_TRUE(d.pop(v));
+    EXPECT_EQ(v, i);
+  }
+}
+
+TEST(ChaseLevDeque, OwnerPopVsThievesStress) {
+  // Every pushed item must be consumed exactly once between the owner and
+  // the thieves, including under the single-element CAS race.
+  constexpr int kItems = 50000;
+  constexpr int kThieves = 3;
+  ChaseLevDeque<int> d;
+  std::atomic<std::int64_t> sum{0};
+  std::atomic<int> consumed{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      int v;
+      while (!done.load(std::memory_order_acquire) ||
+             consumed.load() < kItems) {
+        if (d.steal(v)) {
+          sum.fetch_add(v);
+          consumed.fetch_add(1);
+        }
+        if (consumed.load() >= kItems) break;
+      }
+    });
+  }
+
+  std::int64_t expect = 0;
+  for (int i = 1; i <= kItems; ++i) {
+    d.push(i);
+    expect += i;
+    if (i % 3 == 0) {  // owner interleaves pops
+      int v;
+      if (d.pop(v)) {
+        sum.fetch_add(v);
+        consumed.fetch_add(1);
+      }
+    }
+  }
+  done.store(true, std::memory_order_release);
+  int v;
+  while (consumed.load() < kItems)
+    if (d.pop(v)) {
+      sum.fetch_add(v);
+      consumed.fetch_add(1);
+    }
+  for (auto& t : thieves) t.join();
+
+  EXPECT_EQ(consumed.load(), kItems);
+  EXPECT_EQ(sum.load(), expect);
+}
+
+TEST(ShardedMap, InsertIfAbsentReturnsExisting) {
+  ShardedMap<int> m;
+  auto [a, ins1] = m.insert_if_absent(42, [] { return new int(7); });
+  EXPECT_TRUE(ins1);
+  EXPECT_EQ(*a, 7);
+  auto [b, ins2] = m.insert_if_absent(42, [] { return new int(9); });
+  EXPECT_FALSE(ins2);
+  EXPECT_EQ(b, a);  // same stable pointer
+  EXPECT_EQ(*b, 7);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(ShardedMap, FindMissingReturnsNull) {
+  ShardedMap<int> m;
+  EXPECT_EQ(m.find(5), nullptr);
+  m.insert_if_absent(5, [] { return new int(1); });
+  ASSERT_NE(m.find(5), nullptr);
+  EXPECT_EQ(*m.find(5), 1);
+}
+
+TEST(ShardedMap, PointersStableAcrossGrowth) {
+  ShardedMap<int> m(/*shards=*/2, /*initial=*/4);
+  std::vector<int*> ptrs;
+  for (int i = 0; i < 2000; ++i) {
+    auto [p, ins] = m.insert_if_absent(i, [i] { return new int(i); });
+    ASSERT_TRUE(ins);
+    ptrs.push_back(p);
+  }
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(m.find(i), ptrs[i]);
+    EXPECT_EQ(*ptrs[i], i);
+  }
+}
+
+TEST(ShardedMap, ForEachVisitsEverything) {
+  ShardedMap<int> m;
+  for (int i = 0; i < 100; ++i)
+    m.insert_if_absent(i * 17, [i] { return new int(i); });
+  int count = 0;
+  std::int64_t keysum = 0;
+  m.for_each([&](MapKey k, int&) {
+    ++count;
+    keysum += k;
+  });
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(keysum, 17 * 99 * 100 / 2);
+}
+
+TEST(ShardedMap, ClearEmptiesAndReuses) {
+  ShardedMap<int> m;
+  m.insert_if_absent(1, [] { return new int(1); });
+  m.clear();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.find(1), nullptr);
+  auto [p, ins] = m.insert_if_absent(1, [] { return new int(2); });
+  EXPECT_TRUE(ins);
+  EXPECT_EQ(*p, 2);
+}
+
+TEST(ShardedMap, ConcurrentInsertSingleWinner) {
+  // All threads race to insert the same keys; exactly one factory call per
+  // key must win and everyone must see the same pointer.
+  ShardedMap<std::atomic<int>> m;
+  constexpr int kKeys = 500;
+  constexpr int kThreads = 4;
+  std::atomic<int> factory_calls{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      for (int k = 0; k < kKeys; ++k) {
+        auto [p, ins] = m.insert_if_absent(k, [&] {
+          factory_calls.fetch_add(1);
+          return new std::atomic<int>(0);
+        });
+        p->fetch_add(1);
+        (void)ins;
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(factory_calls.load(), kKeys);
+  EXPECT_EQ(m.size(), static_cast<std::size_t>(kKeys));
+  m.for_each([&](MapKey, std::atomic<int>& v) { EXPECT_EQ(v.load(), kThreads); });
+}
+
+TEST(AtomicBitset, StartsAllSet) {
+  AtomicBitset b(130);  // crosses word boundaries
+  EXPECT_EQ(b.count(), 130u);
+  for (std::size_t i = 0; i < 130; ++i) EXPECT_TRUE(b.test(i));
+}
+
+TEST(AtomicBitset, FetchUnsetReportsTransition) {
+  AtomicBitset b(8);
+  EXPECT_TRUE(b.fetch_unset(3));   // we cleared it
+  EXPECT_FALSE(b.fetch_unset(3));  // already clear
+  EXPECT_FALSE(b.test(3));
+  EXPECT_EQ(b.count(), 7u);
+}
+
+TEST(AtomicBitset, SetAllRestoresEverything) {
+  AtomicBitset b(70);
+  for (std::size_t i = 0; i < 70; i += 2) b.fetch_unset(i);
+  EXPECT_EQ(b.count(), 35u);
+  b.set_all();
+  EXPECT_EQ(b.count(), 70u);
+}
+
+TEST(AtomicBitset, ConcurrentUnsetSingleWinnerPerBit) {
+  // The Guarantee-3 primitive: across threads, each bit is "won" exactly
+  // once no matter how many racers clear it.
+  constexpr std::size_t kBits = 256;
+  AtomicBitset b(kBits);
+  std::atomic<int> wins{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t) {
+    ts.emplace_back([&] {
+      for (std::size_t i = 0; i < kBits; ++i)
+        if (b.fetch_unset(i)) wins.fetch_add(1);
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(wins.load(), static_cast<int>(kBits));
+  EXPECT_EQ(b.count(), 0u);
+}
+
+}  // namespace
+}  // namespace ftdag

@@ -1,0 +1,140 @@
+// Tests for the fault planner: candidate classification, targeting,
+// determinism and the implied re-execution cost model.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/app_registry.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace ftdag {
+namespace {
+
+TEST(FaultPlanner, LcsAllTasksAreBothV0AndVLast) {
+  // Single assignment: every block has exactly one version.
+  auto app = make_app("lcs", {128, 32, 1});  // W=4, 16 tasks
+  FaultPlanner planner(*app);
+  EXPECT_EQ(planner.total_tasks(), 15u);  // sink excluded
+  EXPECT_EQ(planner.candidate_count(VictimType::kVersionZero), 15u);
+  EXPECT_EQ(planner.candidate_count(VictimType::kVersionLast), 15u);
+  EXPECT_EQ(planner.candidate_count(VictimType::kVersionRand), 15u);
+}
+
+TEST(FaultPlanner, LuPoolsMatchStructure) {
+  auto app = make_app("lu", {128, 32, 1});  // W=4
+  FaultPlanner planner(*app);
+  // v=0 victims produce version 0: the k=0 tasks (W^2 of them).
+  EXPECT_EQ(planner.candidate_count(VictimType::kVersionZero), 16u);
+  // v=last victims are the final op of each block, minus the sink (the last
+  // diag), which is excluded from candidacy.
+  EXPECT_EQ(planner.candidate_count(VictimType::kVersionLast), 15u);
+}
+
+TEST(FaultPlanner, ReachesAbsoluteTarget) {
+  auto app = make_app("lcs", {256, 32, 1});  // W=8, 64 tasks
+  FaultPlanner planner(*app);
+  FaultPlanSpec spec;
+  spec.phase = FaultPhase::kAfterCompute;
+  spec.type = VictimType::kVersionRand;
+  spec.target_count = 10;
+  FaultPlan plan = planner.plan(spec);
+  EXPECT_GE(plan.intended_reexecutions, 10u);
+  EXPECT_EQ(plan.target, 10u);
+  // LCS implied cost is 1 per victim (all versions retained).
+  EXPECT_EQ(plan.faults.size(), 10u);
+}
+
+TEST(FaultPlanner, FractionTargetScalesWithTaskCount) {
+  auto app = make_app("lcs", {256, 32, 1});
+  FaultPlanner planner(*app);
+  FaultPlanSpec spec;
+  spec.target_fraction = 0.05;
+  FaultPlan plan = planner.plan(spec);
+  EXPECT_EQ(plan.target, static_cast<std::uint64_t>(63 * 0.05));
+}
+
+TEST(FaultPlanner, DeterministicForSameSeed) {
+  auto app = make_app("lu", {256, 32, 1});
+  FaultPlanner planner(*app);
+  FaultPlanSpec spec;
+  spec.target_count = 20;
+  spec.seed = 99;
+  FaultPlan a = planner.plan(spec);
+  FaultPlan b = planner.plan(spec);
+  ASSERT_EQ(a.faults.size(), b.faults.size());
+  for (std::size_t i = 0; i < a.faults.size(); ++i)
+    EXPECT_EQ(a.faults[i].key, b.faults[i].key);
+  spec.seed = 100;
+  FaultPlan c = planner.plan(spec);
+  bool same = a.faults.size() == c.faults.size();
+  if (same)
+    for (std::size_t i = 0; i < a.faults.size(); ++i)
+      same = same && a.faults[i].key == c.faults[i].key;
+  EXPECT_FALSE(same) << "different seeds should pick different victims";
+}
+
+TEST(FaultPlanner, NoDuplicateVictims) {
+  auto app = make_app("lu", {256, 32, 1});
+  FaultPlanner planner(*app);
+  FaultPlanSpec spec;
+  spec.target_count = 50;
+  FaultPlan plan = planner.plan(spec);
+  std::set<TaskKey> keys;
+  for (const PlannedFault& f : plan.faults)
+    EXPECT_TRUE(keys.insert(f.key).second);
+}
+
+TEST(FaultPlanner, BeforeComputeCostsOneEach) {
+  auto app = make_app("lu", {256, 32, 1});
+  FaultPlanner planner(*app);
+  FaultPlanSpec spec;
+  spec.phase = FaultPhase::kBeforeCompute;
+  spec.type = VictimType::kVersionLast;
+  spec.target_count = 8;
+  FaultPlan plan = planner.plan(spec);
+  EXPECT_EQ(plan.faults.size(), 8u);
+  for (const PlannedFault& f : plan.faults)
+    EXPECT_EQ(f.implied_reexecutions, 1u);
+}
+
+TEST(FaultPlanner, VLastChainsCostVersionDepthUnderFullReuse) {
+  // LU retention 1: failing the producer of version i implies i + 1
+  // re-executions (the paper's v=last chains).
+  auto app = make_app("lu", {256, 32, 1});  // W = 8
+  FaultPlanner planner(*app);
+  FaultPlanSpec spec;
+  spec.phase = FaultPhase::kAfterCompute;
+  spec.type = VictimType::kVersionLast;
+  spec.target_count = 1000;  // exhaust the pool
+  FaultPlan plan = planner.plan(spec);
+  std::uint64_t max_cost = 0;
+  for (const PlannedFault& f : plan.faults)
+    max_cost = std::max(max_cost, f.implied_reexecutions);
+  // Deepest chain: block (7,7)'s final version has index 7 -> cost 8, but
+  // the sink (the last diag) is excluded; next deepest blocks (7,6)/(6,7)
+  // still have version index 6 -> cost 7.
+  EXPECT_EQ(max_cost, 7u);
+}
+
+TEST(FaultPlanner, PoolExhaustionCapsIntended) {
+  auto app = make_app("lcs", {128, 32, 1});  // 15 candidates
+  FaultPlanner planner(*app);
+  FaultPlanSpec spec;
+  spec.target_count = 1000;
+  FaultPlan plan = planner.plan(spec);
+  EXPECT_EQ(plan.faults.size(), 15u);
+  EXPECT_LT(plan.intended_reexecutions, 1000u);
+}
+
+TEST(FaultPhaseNames, AreHumanReadable) {
+  EXPECT_STREQ(fault_phase_name(FaultPhase::kBeforeCompute), "before compute");
+  EXPECT_STREQ(fault_phase_name(FaultPhase::kAfterCompute), "after compute");
+  EXPECT_STREQ(fault_phase_name(FaultPhase::kAfterNotify), "after notify");
+  EXPECT_STREQ(victim_type_name(VictimType::kVersionZero), "v=0");
+  EXPECT_STREQ(victim_type_name(VictimType::kVersionLast), "v=last");
+  EXPECT_STREQ(victim_type_name(VictimType::kVersionRand), "v=rand");
+}
+
+}  // namespace
+}  // namespace ftdag

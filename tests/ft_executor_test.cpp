@@ -1,0 +1,86 @@
+// Tests for the fault-tolerant executor in the *absence* of faults: it must
+// behave exactly like the baseline (same results, no re-execution, no
+// recoveries) — the paper's Figure 4 claim at the correctness level.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "apps/app_registry.hpp"
+#include "graph/graph_metrics.hpp"
+#include "harness/experiment.hpp"
+
+namespace ftdag {
+namespace {
+
+AppConfig test_config(const std::string& name) {
+  if (name == "fw") return {96, 16, 3};
+  return {256, 32, 3};
+}
+
+class FtApps : public ::testing::TestWithParam<std::tuple<const char*, int>> {
+};
+
+TEST_P(FtApps, FaultFreeMatchesReference) {
+  const std::string name = std::get<0>(GetParam());
+  const int threads = std::get<1>(GetParam());
+  auto app = make_app(name, test_config(name));
+  WorkStealingPool pool(threads);
+  RepeatedRuns runs = run_ft(*app, pool, 2);  // validates internally
+  const GraphMetrics m = analyze_graph(*app);
+  for (const ExecReport& r : runs.reports) {
+    EXPECT_EQ(r.computes, m.tasks);
+    EXPECT_EQ(r.re_executed, 0u);
+    EXPECT_EQ(r.recoveries, 0u);
+    EXPECT_EQ(r.resets, 0u);
+    EXPECT_EQ(r.faults_caught, 0u);
+    EXPECT_EQ(r.injected, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AppsByThreads, FtApps,
+    ::testing::Combine(::testing::Values("lcs", "sw", "fw", "lu", "cholesky",
+                                         "rand"),
+                       ::testing::Values(1, 4)));
+
+TEST(FtExecutor, MatchesBaselineChecksumExactly) {
+  for (const std::string& name : paper_benchmarks()) {
+    auto app = make_app(name, test_config(name));
+    WorkStealingPool pool(2);
+    run_baseline(*app, pool, 1);
+    const std::uint64_t base = app->result_checksum();
+    run_ft(*app, pool, 1);
+    EXPECT_EQ(app->result_checksum(), base) << name;
+  }
+}
+
+TEST(FtExecutor, ManyRepetitionsStayCorrect) {
+  auto app = make_app("rand", {256, 16, 11});
+  WorkStealingPool pool(4);
+  RepeatedRuns runs = run_ft(*app, pool, 10);
+  EXPECT_EQ(runs.seconds.size(), 10u);
+}
+
+TEST(FtExecutor, WatchdogEnabledRunIsUnaffected) {
+  auto app = make_app("lu", test_config("lu"));
+  (void)app->reference_checksum();
+  WorkStealingPool pool(2);
+  FaultTolerantExecutor exec;
+  ExecutorOptions opts;
+  opts.watchdog_seconds = 0.005;  // aggressive sampling; run must be clean
+  app->reset_data();
+  ExecReport r = exec.execute(*app, pool, nullptr, nullptr, opts);
+  EXPECT_EQ(app->result_checksum(), app->reference_checksum());
+  EXPECT_GT(r.computes, 0u);
+}
+
+TEST(FtExecutor, SingleTaskGraph) {
+  auto app = make_app("lcs", {32, 32, 3});
+  WorkStealingPool pool(2);
+  RepeatedRuns runs = run_ft(*app, pool, 1);
+  EXPECT_EQ(runs.reports[0].computes, 1u);
+}
+
+}  // namespace
+}  // namespace ftdag

@@ -1,0 +1,152 @@
+// Graph-structure tests: Table-I-style metrics on hand-checkable
+// configurations plus generic consistency invariants for every app.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <unordered_set>
+
+#include "apps/app_registry.hpp"
+#include "graph/graph_metrics.hpp"
+
+namespace ftdag {
+namespace {
+
+TEST(GraphMetrics, LcsSmallGrid) {
+  // 4x4 block grid: T = 16, E = 3*(W-1)^2 + 2*(W-1), span = 2W - 1.
+  auto app = make_app("lcs", {128, 32, 1});
+  GraphMetrics m = analyze_graph(*app);
+  EXPECT_EQ(m.tasks, 16u);
+  EXPECT_EQ(m.edges, 3u * 9 + 2u * 3);
+  EXPECT_EQ(m.span, 7u);
+  EXPECT_EQ(m.sources, 1u);
+  EXPECT_EQ(m.max_in_degree, 3u);
+  EXPECT_EQ(m.max_out_degree, 3u);
+}
+
+TEST(GraphMetrics, SwMatchesLcsTopology) {
+  GraphMetrics lcs = analyze_graph(*make_app("lcs", {128, 32, 1}));
+  GraphMetrics sw = analyze_graph(*make_app("sw", {128, 32, 1}));
+  EXPECT_EQ(sw.tasks, lcs.tasks);
+  EXPECT_EQ(sw.edges, lcs.edges);
+  EXPECT_EQ(sw.span, lcs.span);
+}
+
+TEST(GraphMetrics, FwCountsMatchFormula) {
+  // W = 4 stages: T = W^3 + 1 (aggregating sink), span = 3W + 1.
+  auto app = make_app("fw", {64, 16, 1});
+  GraphMetrics m = analyze_graph(*app);
+  EXPECT_EQ(m.tasks, 64u + 1);
+  EXPECT_EQ(m.span, 13u);
+  // E = stage0 [2(W-1) + 2(W-1)^2] + (W-1) stages [1 + 4(W-1) + 3(W-1)^2]
+  //   + (W-2) WAR stages [2(W-1) + 2(W-1)^2] + W^2 sink edges.
+  const std::size_t w = 4, e1 = w - 1;
+  EXPECT_EQ(m.edges, (2 * e1 + 2 * e1 * e1) + e1 * (1 + 4 * e1 + 3 * e1 * e1) +
+                         (w - 2) * (2 * e1 + 2 * e1 * e1) + w * w);
+  EXPECT_EQ(m.sources, 1u);              // only (0,0,0)
+  EXPECT_EQ(m.max_in_degree, 16u);       // the sink gathers W^2 tasks
+  EXPECT_EQ(m.max_out_degree, 2u * 3 + 1);  // diag: 2(W-1) panels + next stage
+}
+
+TEST(GraphMetrics, LuTinyGraphByHand) {
+  // W = 2: tasks (0,0,0) (0,0,1) (0,1,0) (0,1,1) (1,1,1); E = 5; span = 4.
+  auto app = make_app("lu", {64, 32, 1});
+  GraphMetrics m = analyze_graph(*app);
+  EXPECT_EQ(m.tasks, 5u);
+  EXPECT_EQ(m.edges, 5u);
+  EXPECT_EQ(m.span, 4u);
+  EXPECT_EQ(m.sources, 1u);
+}
+
+TEST(GraphMetrics, CholeskyTinyGraphByHand) {
+  // W = 2: potrf(0), trsm(0,1), syrk(0,1,1), potrf(1); E = 3; span = 4.
+  auto app = make_app("cholesky", {64, 32, 1});
+  GraphMetrics m = analyze_graph(*app);
+  EXPECT_EQ(m.tasks, 4u);
+  EXPECT_EQ(m.edges, 3u);
+  EXPECT_EQ(m.span, 4u);
+}
+
+TEST(GraphMetrics, LuSpanGrowsLinearlyWithGrid) {
+  GraphMetrics m2 = analyze_graph(*make_app("lu", {64, 32, 1}));   // W=2
+  GraphMetrics m4 = analyze_graph(*make_app("lu", {128, 32, 1}));  // W=4
+  // Right-looking LU critical path: 3 tasks per step after the first.
+  EXPECT_EQ(m4.span - m2.span, 2u * 3);
+}
+
+// Every app, small config: structural invariants that the executors rely on.
+class GraphConsistency : public ::testing::TestWithParam<const char*> {};
+
+AppConfig tiny_config(const std::string& name) {
+  if (name == "lcs" || name == "sw") return {160, 32, 1};
+  if (name == "fw") return {80, 16, 1};
+  return {160, 32, 1};  // lu, cholesky: W = 5
+}
+
+TEST_P(GraphConsistency, PredSuccMirrorAndAcyclic) {
+  const std::string name = GetParam();
+  auto app = make_app(name, tiny_config(name));
+
+  std::vector<TaskKey> keys;
+  app->all_tasks(keys);
+  std::unordered_set<TaskKey> keyset(keys.begin(), keys.end());
+  EXPECT_EQ(keyset.size(), keys.size()) << "duplicate keys in all_tasks";
+
+  std::size_t pred_edges = 0, succ_edges = 0;
+  for (TaskKey k : keys) {
+    KeyList preds, succs;
+    app->predecessors(k, preds);
+    app->successors(k, succs);
+    pred_edges += preds.size();
+    succ_edges += succs.size();
+    // No duplicates within a list; every endpoint is a known task; mirror
+    // relation holds.
+    std::unordered_set<TaskKey> seen;
+    for (TaskKey p : preds) {
+      EXPECT_TRUE(seen.insert(p).second) << "duplicate predecessor";
+      EXPECT_TRUE(keyset.count(p)) << "predecessor is not a task";
+      KeyList ps;
+      app->successors(p, ps);
+      EXPECT_TRUE(ps.contains(k)) << "pred/succ lists disagree";
+    }
+    seen.clear();
+    for (TaskKey s : succs) {
+      EXPECT_TRUE(seen.insert(s).second) << "duplicate successor";
+      EXPECT_TRUE(keyset.count(s)) << "successor is not a task";
+    }
+  }
+  EXPECT_EQ(pred_edges, succ_edges);
+
+  // analyze_graph (which asserts acyclicity internally) must reach every
+  // task from the sink: the sink dominates the graph.
+  GraphMetrics m = analyze_graph(*app);
+  EXPECT_EQ(m.tasks, keys.size());
+  EXPECT_EQ(m.edges, pred_edges);
+  EXPECT_GE(m.span, 1u);
+  EXPECT_LE(m.span, m.tasks);
+}
+
+TEST_P(GraphConsistency, OutputsHaveRegisteredProducers) {
+  const std::string name = GetParam();
+  auto app = make_app(name, tiny_config(name));
+  std::vector<TaskKey> keys;
+  app->all_tasks(keys);
+  for (TaskKey k : keys) {
+    OutputList outs;
+    app->outputs(k, outs);
+    for (const ProducedVersion& pv : outs) {
+      EXPECT_EQ(app->block_store().producer(pv.block, pv.version), k)
+          << "producer table disagrees with outputs()";
+      EXPECT_LE(pv.version, pv.last_version);
+      EXPECT_EQ(pv.last_version + 1,
+                app->block_store().num_versions(pv.block));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, GraphConsistency,
+                         ::testing::Values("lcs", "sw", "fw", "lu",
+                                           "cholesky"));
+
+}  // namespace
+}  // namespace ftdag

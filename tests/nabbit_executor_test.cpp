@@ -1,0 +1,75 @@
+// Tests for the baseline NABBIT executor: correct results on every app,
+// exactly-once compute, thread-count sweeps.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "apps/app_registry.hpp"
+#include "apps/lcs.hpp"
+#include "graph/graph_metrics.hpp"
+#include "harness/experiment.hpp"
+
+namespace ftdag {
+namespace {
+
+AppConfig test_config(const std::string& name) {
+  if (name == "fw") return {96, 16, 3};  // W=6, 217 tasks
+  return {256, 32, 3};                   // W=8 grids
+}
+
+class BaselineApps
+    : public ::testing::TestWithParam<std::tuple<const char*, int>> {};
+
+TEST_P(BaselineApps, ComputesReferenceChecksum) {
+  const std::string name = std::get<0>(GetParam());
+  const int threads = std::get<1>(GetParam());
+  auto app = make_app(name, test_config(name));
+  WorkStealingPool pool(threads);
+  RepeatedRuns runs = run_baseline(*app, pool, 2);  // validates internally
+  EXPECT_EQ(runs.seconds.size(), 2u);
+  // Baseline must compute each task exactly once.
+  const GraphMetrics m = analyze_graph(*app);
+  for (const ExecReport& r : runs.reports) {
+    EXPECT_EQ(r.computes, m.tasks);
+    EXPECT_EQ(r.tasks_discovered, m.tasks);
+    EXPECT_EQ(r.re_executed, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AppsByThreads, BaselineApps,
+    ::testing::Combine(::testing::Values("lcs", "sw", "fw", "lu", "cholesky",
+                                         "rand"),
+                       ::testing::Values(1, 4)));
+
+TEST(NabbitExecutor, RepeatedRunsStayCorrect) {
+  auto app = make_app("lu", test_config("lu"));
+  WorkStealingPool pool(3);
+  RepeatedRuns runs = run_baseline(*app, pool, 5);
+  EXPECT_EQ(runs.seconds.size(), 5u);
+}
+
+TEST(NabbitExecutor, SingleTaskGraph) {
+  // Degenerate case: one block, the sink is also the only source.
+  auto app = make_app("lcs", {32, 32, 3});
+  WorkStealingPool pool(2);
+  RepeatedRuns runs = run_baseline(*app, pool, 1);
+  EXPECT_EQ(runs.reports[0].computes, 1u);
+}
+
+TEST(NabbitExecutor, LcsLengthIsPlausible) {
+  AppConfig cfg = test_config("lcs");
+  auto app = std::make_unique<LcsProblem>(cfg);
+  WorkStealingPool pool(2);
+  run_baseline(*app, pool, 1);
+  const std::int32_t len = app->lcs_length();
+  // Random 4-letter sequences of length n: LCS length is well above n/4 and
+  // below n.
+  EXPECT_GT(len, cfg.n / 4);
+  EXPECT_LT(len, cfg.n);
+}
+
+}  // namespace
+}  // namespace ftdag

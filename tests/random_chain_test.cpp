@@ -1,0 +1,156 @@
+// Property tests for the versioned-chain random app: the memory-reuse
+// recovery machinery (aliased updates, overwrite chains, guard edges) under
+// randomized topologies, seeds and fault storms.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "apps/random_chain.hpp"
+#include "fault/fault_plan.hpp"
+#include "graph/graph_metrics.hpp"
+#include "harness/experiment.hpp"
+#include "support/xoshiro.hpp"
+
+namespace ftdag {
+namespace {
+
+RandomChainSpec spec_with(std::uint64_t seed, int blocks = 10,
+                          int versions = 10) {
+  RandomChainSpec s;
+  s.blocks = blocks;
+  s.versions = versions;
+  s.reads = 2;
+  s.work_iters = 30;
+  s.seed = seed;
+  return s;
+}
+
+TEST(RandomChain, GraphIsConsistentAndAcyclic) {
+  RandomChainProblem app(spec_with(3));
+  GraphMetrics m = analyze_graph(app);  // asserts acyclicity
+  EXPECT_EQ(m.tasks, 101u);
+  EXPECT_GE(m.span, 11u);  // at least the chain depth + sink
+}
+
+TEST(RandomChain, ExecutorsAgreeFaultFree) {
+  RandomChainProblem app(spec_with(4));
+  WorkStealingPool pool(4);
+  run_baseline(app, pool, 2);  // validates against the reference
+  run_ft(app, pool, 2);
+}
+
+TEST(RandomChain, GuardEdgesAreAntiDependences) {
+  RandomChainProblem app(spec_with(5));
+  std::vector<TaskKey> keys;
+  app.all_tasks(keys);
+  std::size_t guards = 0;
+  for (TaskKey k : keys) {
+    KeyList preds;
+    app.predecessors(k, preds);
+    for (TaskKey p : preds)
+      if (!app.data_dependence(k, p)) ++guards;
+  }
+  EXPECT_GT(guards, 0u) << "random reads should induce guard edges";
+}
+
+TEST(RandomChain, VLastFaultReexecutesWholeChain) {
+  // Pure per-block chains (no cross-block reads): demand is linear, so a
+  // deep victim re-executes exactly its version history and terminates.
+  // With cross-block reads the same fault can livelock (DESIGN.md §3a.5),
+  // which is why this test pins reads = 0.
+  RandomChainSpec s = spec_with(6);
+  s.reads = 0;
+  RandomChainProblem app(s);
+  FaultPlanner planner(app);
+  FaultPlanSpec spec;
+  spec.phase = FaultPhase::kAfterCompute;
+  spec.type = VictimType::kVersionLast;
+  spec.target_count = 10;  // one deep victim (chain depth 10) suffices
+  spec.seed = 2;
+  FaultPlan plan = planner.plan(spec);
+  ASSERT_EQ(plan.faults.size(), 1u);
+  EXPECT_EQ(plan.faults[0].implied_reexecutions, 10u);
+  PlannedFaultInjector injector(plan.faults);
+  WorkStealingPool pool(2);
+  RepeatedRuns runs = run_ft(app, pool, 1, &injector);
+  // The in-place chain forces at least the victim's whole version history;
+  // cross-block reads can pull in more.
+  EXPECT_GE(runs.reports[0].re_executed, 10u);
+}
+
+using ChainStormParam = std::tuple<int /*topology seed*/, int /*fault seed*/>;
+
+class RandomChainFaults : public ::testing::TestWithParam<ChainStormParam> {};
+
+TEST_P(RandomChainFaults, ExactResultUnderConcurrentChainFaults) {
+  // Chain-fault storms on *linear* chains (no cross-block reads): demand
+  // per block is single-consumer, so any number of concurrent chain faults
+  // terminates. Cross-version demand storms can livelock by mutual
+  // displacement — a liveness limitation of bounded-retention selective
+  // recovery that the paper's benchmarks structurally avoid (DESIGN.md
+  // §3a.5); the cross-read topology is therefore exercised fault-free and
+  // with before-compute faults below.
+  const auto [topo_seed, fault_seed] = GetParam();
+  RandomChainSpec s = spec_with(static_cast<std::uint64_t>(topo_seed));
+  s.reads = 0;
+  RandomChainProblem app(s);
+  std::vector<TaskKey> keys;
+  app.all_tasks(keys);
+  Xoshiro256 rng(static_cast<std::uint64_t>(fault_seed));
+  for (std::size_t i = keys.size(); i > 1; --i)
+    std::swap(keys[i - 1], keys[rng.below(i)]);
+  std::vector<PlannedFault> faults;
+  for (std::size_t i = 0; i < 8; ++i)
+    faults.push_back({keys[i], static_cast<FaultPhase>(rng.below(2)), 1});
+  PlannedFaultInjector injector(std::move(faults));
+  WorkStealingPool pool(4);
+  run_ft(app, pool, 2, &injector);  // validates the checksum each run
+}
+
+// NOTE deliberately absent: fault storms on the cross-read topology. Even
+// before-compute faults there make recovered tasks re-consume inputs that
+// other pending consumers still demand; convergence then depends on the
+// interleaving (measured: from ~5x10^3 re-executions to >10^7 without
+// converging). That boundary of bounded-retention selective recovery is
+// documented in DESIGN.md §3a.5 and exercised interactively via the
+// executor's liveness watchdog, not as a CI test.
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomChainFaults,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4, 5,
+                                                              6),
+                                            ::testing::Values(7, 8, 9)));
+
+TEST(RandomChain, DeepChainSingleBlock) {
+  // One block, 200 versions: a pure in-place chain; fault in the middle
+  // re-executes from the fault point down... i.e. versions 0..v again.
+  RandomChainSpec s;
+  s.blocks = 1;
+  s.versions = 200;
+  s.reads = 0;
+  s.work_iters = 5;
+  s.seed = 9;
+  RandomChainProblem app(s);
+  std::vector<PlannedFault> faults{
+      {app.sink() - 100, FaultPhase::kAfterCompute, 100}};
+  PlannedFaultInjector injector(std::move(faults));
+  WorkStealingPool pool(2);
+  RepeatedRuns runs = run_ft(app, pool, 1, &injector);
+  EXPECT_GE(runs.reports[0].re_executed, 100u);
+}
+
+TEST(RandomChain, WideStageManyBlocks) {
+  RandomChainSpec s;
+  s.blocks = 64;
+  s.versions = 4;
+  s.reads = 3;
+  s.work_iters = 10;
+  s.seed = 11;
+  RandomChainProblem app(s);
+  WorkStealingPool pool(4);
+  run_ft(app, pool, 2);
+}
+
+}  // namespace
+}  // namespace ftdag

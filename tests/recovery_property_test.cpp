@@ -1,0 +1,185 @@
+// Property tests for the recovery protocol (the paper's Theorem 1 as an
+// executable property): across random topologies, seeds, phases and fault
+// densities, execution always terminates with the exact fault-free result.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "apps/app_registry.hpp"
+#include "apps/random_dag.hpp"
+#include "fault/fault_plan.hpp"
+#include "harness/experiment.hpp"
+#include "support/xoshiro.hpp"
+
+namespace ftdag {
+namespace {
+
+// Builds a mixed-phase fault plan over a fraction of all tasks.
+std::vector<PlannedFault> storm_plan(const TaskGraphProblem& problem,
+                                     double fraction, std::uint64_t seed) {
+  std::vector<TaskKey> keys;
+  problem.all_tasks(keys);
+  Xoshiro256 rng(seed);
+  for (std::size_t i = keys.size(); i > 1; --i)
+    std::swap(keys[i - 1], keys[rng.below(i)]);
+  const std::size_t count =
+      static_cast<std::size_t>(fraction * static_cast<double>(keys.size()));
+  std::vector<PlannedFault> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    const FaultPhase phase = static_cast<FaultPhase>(rng.below(3));
+    out.push_back({keys[i], phase, 1});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Random-DAG storms: topology seed x fault seed x density.
+
+using StormParam = std::tuple<int /*dag seed*/, int /*fault seed*/,
+                              int /*density percent*/>;
+
+class RandomDagStorm : public ::testing::TestWithParam<StormParam> {};
+
+TEST_P(RandomDagStorm, ExactResultUnderMixedPhaseFaults) {
+  const auto [dag_seed, fault_seed, density] = GetParam();
+  RandomDagSpec spec;
+  spec.layers = 12;
+  spec.width = 12;
+  spec.extra_degree = 3;
+  spec.work_iters = 50;
+  spec.seed = static_cast<std::uint64_t>(dag_seed);
+  RandomDagProblem app(spec);
+
+  std::vector<PlannedFault> faults =
+      storm_plan(app, density / 100.0, static_cast<std::uint64_t>(fault_seed));
+  PlannedFaultInjector injector(std::move(faults));
+  WorkStealingPool pool(4);
+  RepeatedRuns runs = run_ft(app, pool, 2, &injector);  // validates checksum
+  EXPECT_EQ(runs.seconds.size(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomDagStorm,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(10, 20),
+                                            ::testing::Values(5, 25, 75)));
+
+// ---------------------------------------------------------------------------
+// Benchmark storms: every app under a dense mixed-phase fault plan.
+
+class AppStorm : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AppStorm, ExactResultUnderDenseFaults) {
+  const std::string name = GetParam();
+  const AppConfig cfg = name == "fw" ? AppConfig{80, 16, 3}
+                                     : AppConfig{192, 32, 3};
+  auto app = make_app(name, cfg);
+  std::vector<PlannedFault> faults = storm_plan(*app, 0.3, 99);
+  PlannedFaultInjector injector(std::move(faults));
+  WorkStealingPool pool(4);
+  RepeatedRuns runs = run_ft(*app, pool, 2, &injector);
+  EXPECT_EQ(runs.seconds.size(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppStorm,
+                         ::testing::Values("lcs", "sw", "fw", "lu",
+                                           "cholesky"));
+
+// ---------------------------------------------------------------------------
+// Adversarial shapes.
+
+TEST(RecoveryProperty, EveryTaskFailsAfterCompute) {
+  // Worst pre-completion storm: every task's outputs are corrupted the
+  // moment they are produced. The run must still converge to the exact
+  // result (each task re-executes at least once).
+  RandomDagSpec spec;
+  spec.layers = 8;
+  spec.width = 8;
+  spec.work_iters = 20;
+  spec.seed = 4;
+  RandomDagProblem app(spec);
+  std::vector<TaskKey> keys;
+  app.all_tasks(keys);
+  std::vector<PlannedFault> faults;
+  for (TaskKey k : keys) faults.push_back({k, FaultPhase::kAfterCompute, 1});
+  PlannedFaultInjector injector(std::move(faults));
+  WorkStealingPool pool(4);
+  RepeatedRuns runs = run_ft(app, pool, 1, &injector);
+  EXPECT_GE(runs.reports[0].re_executed, keys.size() - 1);  // sink may differ
+}
+
+TEST(RecoveryProperty, LinearChainWithFaults) {
+  // Depth-heavy topology: a pure chain, faults on every other node.
+  RandomDagSpec spec;
+  spec.layers = 200;
+  spec.width = 1;
+  spec.extra_degree = 0;
+  spec.work_iters = 5;
+  spec.seed = 6;
+  RandomDagProblem app(spec);
+  std::vector<TaskKey> keys;
+  app.all_tasks(keys);
+  std::vector<PlannedFault> faults;
+  for (std::size_t i = 0; i < keys.size(); i += 2)
+    faults.push_back({keys[i], FaultPhase::kAfterCompute, 1});
+  PlannedFaultInjector injector(std::move(faults));
+  WorkStealingPool pool(2);
+  run_ft(app, pool, 1, &injector);  // validates
+}
+
+TEST(RecoveryProperty, WideFanInSink) {
+  // One sink gathering a wide layer, faults on the whole layer after
+  // compute: exercises contended notify arrays and bit vectors.
+  RandomDagSpec spec;
+  spec.layers = 2;
+  spec.width = 128;
+  spec.extra_degree = 0;
+  spec.work_iters = 5;
+  spec.seed = 8;
+  RandomDagProblem app(spec);
+  std::vector<TaskKey> keys;
+  app.all_tasks(keys);
+  std::vector<PlannedFault> faults;
+  for (TaskKey k : keys) faults.push_back({k, FaultPhase::kAfterCompute, 1});
+  PlannedFaultInjector injector(std::move(faults));
+  WorkStealingPool pool(4);
+  run_ft(app, pool, 1, &injector);
+}
+
+TEST(RecoveryProperty, RepeatedStormsOnSameProblemInstance) {
+  // The same problem object must survive many injected runs (state resets,
+  // recovery table rebuilt each run).
+  RandomDagSpec spec;
+  spec.layers = 10;
+  spec.width = 10;
+  spec.work_iters = 10;
+  spec.seed = 12;
+  RandomDagProblem app(spec);
+  WorkStealingPool pool(4);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<PlannedFault> faults =
+        storm_plan(app, 0.4, static_cast<std::uint64_t>(round));
+    PlannedFaultInjector injector(std::move(faults));
+    run_ft(app, pool, 1, &injector);
+  }
+}
+
+TEST(RecoveryProperty, ThreadCountSweepUnderFaults) {
+  RandomDagSpec spec;
+  spec.layers = 10;
+  spec.width = 10;
+  spec.work_iters = 20;
+  spec.seed = 14;
+  RandomDagProblem app(spec);
+  for (int threads : {1, 2, 8}) {
+    WorkStealingPool pool(threads);
+    std::vector<PlannedFault> faults = storm_plan(app, 0.5, 21);
+    PlannedFaultInjector injector(std::move(faults));
+    run_ft(app, pool, 1, &injector);
+  }
+}
+
+}  // namespace
+}  // namespace ftdag

@@ -1,0 +1,95 @@
+// Tests for the recovery table (Guarantee 1): one recovery claim per
+// (key, life), including under contention.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/recovery_table.hpp"
+
+namespace ftdag {
+namespace {
+
+TEST(RecoveryTable, FirstObserverClaimsRecovery) {
+  RecoveryTable r;
+  EXPECT_FALSE(r.is_recovering(7, 0));  // we claimed it
+  EXPECT_TRUE(r.is_recovering(7, 0));   // someone already recovering life 0
+  EXPECT_EQ(r.keys_recovered(), 1u);
+}
+
+TEST(RecoveryTable, NextLifeClaimableOnce) {
+  RecoveryTable r;
+  EXPECT_FALSE(r.is_recovering(7, 0));
+  // The recovery created incarnation 1; when it fails, exactly one thread
+  // advances the record 0 -> 1.
+  EXPECT_FALSE(r.is_recovering(7, 1));
+  EXPECT_TRUE(r.is_recovering(7, 1));
+}
+
+TEST(RecoveryTable, StaleLifeObserversStandDown) {
+  RecoveryTable r;
+  EXPECT_FALSE(r.is_recovering(7, 0));
+  EXPECT_FALSE(r.is_recovering(7, 1));
+  // A thread still holding the life-0 incarnation observes its failure late:
+  // the record is already past it.
+  EXPECT_TRUE(r.is_recovering(7, 0));
+}
+
+TEST(RecoveryTable, SkippedLifeCannotClaim) {
+  RecoveryTable r;
+  EXPECT_FALSE(r.is_recovering(7, 0));
+  // Claiming life 2 while the record is at 0 must fail (life 1 recovery has
+  // not been claimed yet), preserving the one-at-a-time ladder.
+  EXPECT_TRUE(r.is_recovering(7, 2));
+}
+
+TEST(RecoveryTable, KeysAreIndependent) {
+  RecoveryTable r;
+  EXPECT_FALSE(r.is_recovering(1, 0));
+  EXPECT_FALSE(r.is_recovering(2, 0));
+  EXPECT_TRUE(r.is_recovering(1, 0));
+  EXPECT_EQ(r.keys_recovered(), 2u);
+}
+
+TEST(RecoveryTable, ExactlyOneWinnerUnderContention) {
+  for (int round = 0; round < 20; ++round) {
+    RecoveryTable r;
+    std::atomic<int> winners{0};
+    std::vector<std::thread> ts;
+    for (int t = 0; t < 8; ++t)
+      ts.emplace_back([&] {
+        if (!r.is_recovering(42, 0)) winners.fetch_add(1);
+      });
+    for (auto& t : ts) t.join();
+    EXPECT_EQ(winners.load(), 1);
+  }
+}
+
+TEST(RecoveryTable, LadderUnderContention) {
+  // Threads race to claim successive lives; each life has exactly one
+  // winner and the ladder never skips.
+  RecoveryTable r;
+  for (std::uint64_t life = 0; life < 50; ++life) {
+    std::atomic<int> winners{0};
+    std::vector<std::thread> ts;
+    for (int t = 0; t < 4; ++t)
+      ts.emplace_back([&] {
+        if (!r.is_recovering(9, life)) winners.fetch_add(1);
+      });
+    for (auto& t : ts) t.join();
+    EXPECT_EQ(winners.load(), 1) << "life " << life;
+  }
+}
+
+TEST(RecoveryTable, ClearResets) {
+  RecoveryTable r;
+  EXPECT_FALSE(r.is_recovering(7, 0));
+  r.clear();
+  EXPECT_EQ(r.keys_recovered(), 0u);
+  EXPECT_FALSE(r.is_recovering(7, 0));
+}
+
+}  // namespace
+}  // namespace ftdag

@@ -1,0 +1,189 @@
+// Tests for the work-stealing pool: spawn/quiescence semantics, nested
+// spawning, parallel_for, statistics and reuse across runs.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/scheduler.hpp"
+
+namespace ftdag {
+namespace {
+
+TEST(WorkStealingPool, RunsRootToQuiescence) {
+  WorkStealingPool pool(2);
+  std::atomic<int> ran{0};
+  pool.run_to_quiescence([&] { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(WorkStealingPool, RunsAllTransitivelySpawnedJobs) {
+  WorkStealingPool pool(4);
+  std::atomic<int> count{0};
+  pool.run_to_quiescence([&] {
+    for (int i = 0; i < 100; ++i)
+      pool.spawn([&] {
+        count.fetch_add(1);
+        for (int j = 0; j < 10; ++j) pool.spawn([&] { count.fetch_add(1); });
+      });
+  });
+  EXPECT_EQ(count.load(), 100 + 1000);
+}
+
+TEST(WorkStealingPool, DeepRecursiveSpawning) {
+  WorkStealingPool pool(2);
+  std::atomic<int> count{0};
+  // A chain of depth 5000: each job spawns its successor.
+  struct Chain {
+    static void step(WorkStealingPool& p, std::atomic<int>& c, int depth) {
+      c.fetch_add(1);
+      if (depth > 0) p.spawn([&p, &c, depth] { step(p, c, depth - 1); });
+    }
+  };
+  pool.run_to_quiescence([&] { Chain::step(pool, count, 4999); });
+  EXPECT_EQ(count.load(), 5000);
+}
+
+TEST(WorkStealingPool, ReusableAcrossRuns) {
+  WorkStealingPool pool(3);
+  for (int run = 0; run < 20; ++run) {
+    std::atomic<int> count{0};
+    pool.run_to_quiescence([&] {
+      for (int i = 0; i < 50; ++i) pool.spawn([&] { count.fetch_add(1); });
+    });
+    EXPECT_EQ(count.load(), 50);
+  }
+}
+
+TEST(WorkStealingPool, SingleWorkerStillCompletes) {
+  WorkStealingPool pool(1);
+  std::atomic<int> count{0};
+  pool.run_to_quiescence([&] {
+    for (int i = 0; i < 200; ++i) pool.spawn([&] { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(WorkStealingPool, OnWorkerThreadDetection) {
+  WorkStealingPool pool(2);
+  EXPECT_FALSE(pool.on_worker_thread());
+  EXPECT_EQ(pool.current_worker_index(), -1);
+  std::atomic<bool> inside{false};
+  std::atomic<int> index{-2};
+  pool.run_to_quiescence([&] {
+    inside.store(pool.on_worker_thread());
+    index.store(pool.current_worker_index());
+  });
+  EXPECT_TRUE(inside.load());
+  EXPECT_GE(index.load(), 0);
+  EXPECT_LT(index.load(), 2);
+}
+
+TEST(WorkStealingPool, StatsCountJobs) {
+  WorkStealingPool pool(2);
+  const std::uint64_t before = pool.stats().jobs_executed;
+  pool.run_to_quiescence([&] {
+    for (int i = 0; i < 10; ++i) pool.spawn([] {});
+  });
+  EXPECT_EQ(pool.stats().jobs_executed - before, 11u);  // root + 10
+}
+
+TEST(WorkStealingPool, ParallelForCoversRangeExactlyOnce) {
+  WorkStealingPool pool(4);
+  constexpr std::int64_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(0, kN, 64, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (std::int64_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(WorkStealingPool, ParallelForEmptyAndTinyRanges) {
+  WorkStealingPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallel_for(5, 5, 1, [&](std::int64_t, std::int64_t) {
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 0);
+  pool.parallel_for(0, 1, 16, [&](std::int64_t lo, std::int64_t hi) {
+    count.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(WorkStealingPool, NestedParallelForFromWorker) {
+  WorkStealingPool pool(4);
+  std::atomic<int> total{0};
+  pool.run_to_quiescence([&] {
+    pool.parallel_for(0, 100, 8, [&](std::int64_t lo, std::int64_t hi) {
+      total.fetch_add(static_cast<int>(hi - lo));
+    });
+  });
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(WorkStealingPool, StealsHappenAcrossWorkers) {
+  // With several workers and many jobs spawned from one worker's deque,
+  // other workers can only get work by stealing.
+  WorkStealingPool pool(4);
+  std::atomic<int> count{0};
+  pool.run_to_quiescence([&] {
+    for (int i = 0; i < 2000; ++i)
+      pool.spawn([&] {
+        volatile int x = 0;
+        for (int j = 0; j < 500; ++j) x = x + j;
+        count.fetch_add(1);
+      });
+  });
+  EXPECT_EQ(count.load(), 2000);
+  EXPECT_GT(pool.stats().steals_attempted, 0u);
+}
+
+TEST(WorkStealingPool, ManyQuickRunsNeverLoseTheRootJob) {
+  // Regression test for a lost-wakeup bug: the worker's pre-sleep re-scan
+  // was probabilistic (random steal attempts) and could miss the injection
+  // queue holding the next run's root job, then sleep on an epoch nobody
+  // bumps again — hanging the pool. With one worker, every root lands in
+  // the injection queue; thousands of back-to-back runs made the old code
+  // hang with near certainty. The exhaustive pre-sleep scan fixes it.
+  WorkStealingPool pool(1);
+  std::atomic<int> total{0};
+  for (int run = 0; run < 5000; ++run)
+    pool.run_to_quiescence([&] { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 5000);
+}
+
+TEST(WorkStealingPool, ManyQuickRunsMultiWorker) {
+  WorkStealingPool pool(4);
+  std::atomic<int> total{0};
+  for (int run = 0; run < 2000; ++run)
+    pool.run_to_quiescence([&] {
+      pool.spawn([&] { total.fetch_add(1); });
+      total.fetch_add(1);
+    });
+  EXPECT_EQ(total.load(), 4000);
+}
+
+TEST(WorkStealingPool, ExternalSpawnDuringRunIsExecuted) {
+  WorkStealingPool pool(2);
+  std::atomic<int> count{0};
+  std::atomic<bool> inner_done{false};
+  pool.run_to_quiescence([&] {
+    // Spawn from a non-worker thread while the run is active.
+    std::thread ext([&] {
+      pool.spawn([&] {
+        count.fetch_add(1);
+        inner_done.store(true);
+      });
+    });
+    ext.join();
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 2);
+  EXPECT_TRUE(inner_done.load());
+}
+
+}  // namespace
+}  // namespace ftdag

@@ -1,0 +1,77 @@
+// Tests for the serial (oracle) executor and its T1/T_inf measurements.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "apps/app_registry.hpp"
+#include "graph/graph_metrics.hpp"
+#include "nabbit/serial_executor.hpp"
+
+namespace ftdag {
+namespace {
+
+AppConfig test_config(const std::string& name) {
+  if (name == "fw") return {96, 16, 3};
+  return {256, 32, 3};
+}
+
+class SerialApps : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SerialApps, MatchesReferenceChecksum) {
+  const std::string name = GetParam();
+  auto app = make_app(name, test_config(name));
+  SerialExecutor exec;
+  app->reset_data();
+  SerialReport r = exec.execute(*app);
+  EXPECT_EQ(app->result_checksum(), app->reference_checksum());
+  EXPECT_EQ(r.tasks, analyze_graph(*app).tasks);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, SerialApps,
+                         ::testing::Values("lcs", "sw", "fw", "lu", "cholesky",
+                                           "rand"));
+
+TEST(SerialExecutor, WorkSpanInvariants) {
+  auto app = make_app("lu", test_config("lu"));
+  SerialExecutor exec;
+  app->reset_data();
+  SerialReport r = exec.execute(*app);
+  // Span cannot exceed work; both are positive; the heaviest task bounds
+  // neither from above.
+  EXPECT_GT(r.t1, 0.0);
+  EXPECT_GT(r.t_inf, 0.0);
+  EXPECT_LE(r.t_inf, r.t1 * 1.0001);
+  EXPECT_LE(r.max_task, r.t_inf * 1.0001);
+  EXPECT_LE(r.t1, r.seconds * 1.01);  // wall time includes traversal
+}
+
+TEST(SerialExecutor, SpanScalesWithCriticalPath) {
+  // A pure chain has T1 ~= T_inf; a wide flat graph has T1 >> T_inf.
+  auto chain = make_app("lcs", {64, 32, 3});  // 2x2 grid: near-serial
+  SerialExecutor exec;
+  chain->reset_data();
+  SerialReport rc = exec.execute(*chain);
+  EXPECT_GT(rc.t_inf / rc.t1, 0.7);  // 3 of 4 blocks on the critical path
+
+  auto wide = make_app("lcs", {512, 32, 3});  // 16x16 grid
+  wide->reset_data();
+  SerialReport rw = exec.execute(*wide);
+  // 31 of 256 blocks on the path (~0.12 ideally; generous slack for
+  // per-task overhead under instrumented builds such as ASan).
+  EXPECT_LT(rw.t_inf / rw.t1, 0.45);
+}
+
+TEST(SerialExecutor, RepeatableAfterReset) {
+  auto app = make_app("cholesky", test_config("cholesky"));
+  SerialExecutor exec;
+  app->reset_data();
+  exec.execute(*app);
+  const std::uint64_t first = app->result_checksum();
+  app->reset_data();
+  exec.execute(*app);
+  EXPECT_EQ(app->result_checksum(), first);
+}
+
+}  // namespace
+}  // namespace ftdag

@@ -1,0 +1,222 @@
+// Unit tests for the support substrate: SmallVector, Xoshiro, stats, CLI,
+// tables.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "support/cli.hpp"
+#include "support/small_vector.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/xoshiro.hpp"
+
+namespace ftdag {
+namespace {
+
+TEST(SmallVector, StartsEmptyWithInlineCapacity) {
+  SmallVector<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 4u);
+}
+
+TEST(SmallVector, PushWithinInlineStorage) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.capacity(), 4u);  // still inline
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVector, GrowsPastInlineStorage) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVector, CopyPreservesElements) {
+  SmallVector<int, 2> v{1, 2, 3, 4, 5};
+  SmallVector<int, 2> c(v);
+  EXPECT_EQ(c, v);
+  c.push_back(6);
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_EQ(c.size(), 6u);
+}
+
+TEST(SmallVector, MoveFromHeapStealsBuffer) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 50; ++i) v.push_back(i);
+  const int* data = v.data();
+  SmallVector<int, 2> m(std::move(v));
+  EXPECT_EQ(m.data(), data);
+  EXPECT_EQ(m.size(), 50u);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SmallVector, MoveFromInlineCopiesElements) {
+  SmallVector<std::string, 4> v{"a", "b"};
+  SmallVector<std::string, 4> m(std::move(v));
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m[0], "a");
+  EXPECT_EQ(m[1], "b");
+}
+
+TEST(SmallVector, PopBackDestroysLast) {
+  SmallVector<int, 4> v{1, 2, 3};
+  v.pop_back();
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.back(), 2);
+}
+
+TEST(SmallVector, ContainsFindsElements) {
+  SmallVector<int, 4> v{5, 7, 9};
+  EXPECT_TRUE(v.contains(7));
+  EXPECT_FALSE(v.contains(8));
+}
+
+TEST(SmallVector, ResizeGrowsAndShrinks) {
+  SmallVector<int, 2> v;
+  v.resize(10);
+  EXPECT_EQ(v.size(), 10u);
+  EXPECT_EQ(v[9], 0);
+  v.resize(1);
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(SmallVector, NonTrivialElementLifetimes) {
+  auto count = std::make_shared<int>(0);
+  struct Probe {
+    std::shared_ptr<int> c;
+    explicit Probe(std::shared_ptr<int> s) : c(std::move(s)) { ++*c; }
+    Probe(const Probe& o) : c(o.c) { ++*c; }
+    Probe(Probe&& o) noexcept : c(std::move(o.c)) {}
+    ~Probe() {
+      if (c) --*c;
+    }
+  };
+  {
+    SmallVector<Probe, 2> v;
+    for (int i = 0; i < 20; ++i) v.emplace_back(count);
+    EXPECT_EQ(*count, 20);
+  }
+  EXPECT_EQ(*count, 0);
+}
+
+TEST(Xoshiro, DeterministicForSameSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Xoshiro, BelowStaysInRange) {
+  Xoshiro256 rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.below(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all buckets hit over 1000 draws
+}
+
+TEST(Xoshiro, Uniform01InUnitInterval) {
+  Xoshiro256 rng(9);
+  double sum = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 1000.0, 0.5, 0.05);
+}
+
+TEST(Stats, SummaryOfKnownSamples) {
+  Summary s = summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_EQ(s.n, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Stats, EmptyAndSingleton) {
+  EXPECT_EQ(summarize({}).n, 0u);
+  Summary s = summarize({3.5});
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, OverheadPercentage) {
+  EXPECT_NEAR(overhead_pct(2.0, 2.2), 10.0, 1e-9);
+  EXPECT_NEAR(overhead_pct(2.0, 1.8), -10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(overhead_pct(0.0, 1.0), 0.0);
+}
+
+TEST(Cli, ParsesEqualsAndSpaceForms) {
+  const char* argv[] = {"prog", "--threads=4", "--apps", "lcs,fw", "--quick"};
+  Cli cli(5, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("threads", 1), 4);
+  EXPECT_EQ(cli.get_string("apps", ""), "lcs,fw");
+  EXPECT_TRUE(cli.get_bool("quick", false));
+  EXPECT_EQ(cli.get_int("missing", 7), 7);
+}
+
+TEST(Cli, ListSplitting) {
+  const char* argv[] = {"prog", "--apps=lcs,lu,"};
+  Cli cli(2, const_cast<char**>(argv));
+  auto v = cli.get_list("apps", "");
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], "lcs");
+  EXPECT_EQ(v[1], "lu");
+}
+
+TEST(Cli, PositionalArguments) {
+  const char* argv[] = {"prog", "run", "--n=5", "fast"};
+  Cli cli(4, const_cast<char**>(argv));
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "run");
+  EXPECT_EQ(cli.positional()[1], "fast");
+  EXPECT_EQ(cli.get_int("n", 0), 5);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_NE(t.render().find("| 1 |"), std::string::npos);
+}
+
+TEST(Strf, FormatsLikePrintf) {
+  EXPECT_EQ(strf("%.2f%%", 12.345), "12.35%");
+  EXPECT_EQ(strf("%d/%d", 3, 4), "3/4");
+}
+
+TEST(Mix64, AvalanchesLowBits) {
+  // Adjacent inputs should produce wildly different outputs.
+  int diff_bits = 0;
+  const std::uint64_t a = mix64(1), b = mix64(2);
+  for (int i = 0; i < 64; ++i) diff_bits += ((a >> i) & 1) != ((b >> i) & 1);
+  EXPECT_GT(diff_bits, 20);
+}
+
+}  // namespace
+}  // namespace ftdag

@@ -1,0 +1,115 @@
+// Tests for ExecutionTrace and its FT-executor integration.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "apps/app_registry.hpp"
+#include "core/ft_executor.hpp"
+#include "fault/fault_plan.hpp"
+#include "graph/graph_metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace ftdag {
+namespace {
+
+TEST(ExecutionTrace, RecordsAndMerges) {
+  ExecutionTrace trace(2);
+  trace.record(0, TraceKind::kCompute, 1, 0, 0.1, 0.2);
+  trace.record(1, TraceKind::kCompute, 2, 0, 0.05, 0.15);
+  trace.record(-1, TraceKind::kFault, 3, 1, 0.3, 0.3);  // overflow buffer
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.count(TraceKind::kCompute), 2u);
+  EXPECT_EQ(trace.count(TraceKind::kFault), 1u);
+  auto merged = trace.merged();
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].key, 2);  // sorted by begin time
+  EXPECT_EQ(merged[1].key, 1);
+  EXPECT_EQ(merged[2].key, 3);
+}
+
+TEST(ExecutionTrace, ClearResets) {
+  ExecutionTrace trace(1);
+  trace.record(0, TraceKind::kReset, 1, 0, 0.0, 0.0);
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(ExecutionTrace, ChromeJsonIsWellFormed) {
+  ExecutionTrace trace(1);
+  trace.record(0, TraceKind::kCompute, 7, 2, 0.001, 0.002);
+  trace.record(0, TraceKind::kFault, 7, 2, 0.003, 0.003);
+  const std::string json = trace.chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // span event
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);  // instant event
+  EXPECT_NE(json.find("\"life\":2"), std::string::npos);
+  // Balanced braces/brackets as a cheap well-formedness check.
+  int depth = 0;
+  for (char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(ExecutionTrace, ConcurrentWorkerRecording) {
+  ExecutionTrace trace(4);
+  std::vector<std::thread> ts;
+  for (int w = 0; w < 4; ++w)
+    ts.emplace_back([&trace, w] {
+      for (int i = 0; i < 1000; ++i)
+        trace.record(w, TraceKind::kCompute, i, 0, i * 1e-6, i * 1e-6 + 1e-7);
+    });
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(trace.size(), 4000u);
+}
+
+TEST(FtExecutorTrace, FaultFreeTraceHasOneComputePerTask) {
+  auto app = make_app("lcs", {192, 32, 3});
+  (void)app->reference_checksum();
+  WorkStealingPool pool(2);
+  ExecutionTrace trace(pool.thread_count());
+  FaultTolerantExecutor exec;
+  app->reset_data();
+  ExecReport r = exec.execute(*app, pool, nullptr, &trace);
+  EXPECT_EQ(trace.count(TraceKind::kCompute), r.computes);
+  EXPECT_EQ(trace.count(TraceKind::kRecovery), 0u);
+  EXPECT_EQ(trace.count(TraceKind::kFault), 0u);
+  // Spans are well-ordered.
+  for (const TraceRecord& rec : trace.merged()) {
+    EXPECT_LE(rec.begin, rec.end);
+    EXPECT_GE(rec.worker, 0);
+  }
+}
+
+TEST(FtExecutorTrace, FaultyTraceShowsRecoveries) {
+  auto app = make_app("lu", {256, 32, 3});
+  (void)app->reference_checksum();
+  FaultPlanner planner(*app);
+  FaultPlanSpec spec;
+  spec.phase = FaultPhase::kAfterCompute;
+  spec.target_count = 3;
+  PlannedFaultInjector injector(planner.plan(spec).faults);
+  WorkStealingPool pool(2);
+  ExecutionTrace trace(pool.thread_count());
+  FaultTolerantExecutor exec;
+  app->reset_data();
+  ExecReport r = exec.execute(*app, pool, &injector, &trace);
+  EXPECT_EQ(app->result_checksum(), app->reference_checksum());
+  EXPECT_EQ(trace.count(TraceKind::kRecovery), r.recoveries);
+  EXPECT_EQ(trace.count(TraceKind::kFault), r.faults_caught);
+  EXPECT_EQ(trace.count(TraceKind::kReset), r.resets);
+  EXPECT_GT(trace.count(TraceKind::kCompute), 0u);
+}
+
+TEST(TraceKindNames, AreHumanReadable) {
+  EXPECT_STREQ(trace_kind_name(TraceKind::kCompute), "compute");
+  EXPECT_STREQ(trace_kind_name(TraceKind::kRecovery), "recovery");
+  EXPECT_STREQ(trace_kind_name(TraceKind::kReset), "reset");
+  EXPECT_STREQ(trace_kind_name(TraceKind::kFault), "fault");
+}
+
+}  // namespace
+}  // namespace ftdag
