@@ -8,6 +8,7 @@
 //   --threads=a,b,c                thread counts for scaling sweeps
 //   --seed=S                       fault-plan seed
 //   --n-<app>, --block-<app>       explicit size overrides per app
+//   --replicate=<policy>           off | all | sample:<p> | cost:<bytes>
 
 #include <cstdio>
 #include <memory>
@@ -16,6 +17,7 @@
 
 #include "apps/app_config.hpp"
 #include "apps/app_registry.hpp"
+#include "replication/replication_policy.hpp"
 #include "support/cli.hpp"
 
 namespace ftdag {
@@ -26,6 +28,7 @@ struct BenchOptions {
   int reps = 5;
   double scale = 1.0;
   std::uint64_t seed = 12345;
+  ReplicationPolicy replication;
 };
 
 inline BenchOptions parse_bench_options(const Cli& cli,
@@ -38,6 +41,15 @@ inline BenchOptions parse_bench_options(const Cli& cli,
   o.reps = static_cast<int>(cli.get_int("reps", 5));
   o.scale = cli.get_double("scale", 1.0);
   o.seed = static_cast<std::uint64_t>(cli.get_int("seed", 12345));
+  o.replication = ReplicationPolicy::parse(cli.get_string("replicate", "off"));
+  // Register the per-app override flags up front: config_for only queries
+  // them for the apps actually selected, which would make check_unknown()
+  // reject documented flags for deselected apps (and --help miss them).
+  for (const std::string& app : paper_benchmarks()) {
+    const AppConfig cfg = scale_config(default_config(app), o.scale);
+    (void)cli.get_int("n-" + app, cfg.n);
+    (void)cli.get_int("block-" + app, cfg.block);
+  }
   return o;
 }
 

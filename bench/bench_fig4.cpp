@@ -24,6 +24,13 @@ int main(int argc, char** argv) {
 
   print_header("Figure 4 - no-fault overhead of FT support vs baseline",
                "Fig. 4: speedup, baseline vs w/ FT support, no faults");
+  // --replicate shifts the FT column's detection posture (default off, the
+  // paper's configuration); the overhead column then prices that posture.
+  ExecutorOptions ft_options;
+  ft_options.replication = opt.replication;
+  if (opt.replication.enabled())
+    std::printf("FT runs with --replicate=%s\n\n",
+                opt.replication.to_string().c_str());
 
   Table t({"bench", "P", "baseline(s)", "ft(s)", "ft-overhead(%)",
            "speedup-base", "speedup-ft"});
@@ -36,7 +43,7 @@ int main(int argc, char** argv) {
     for (int threads : opt.threads) {
       WorkStealingPool pool(static_cast<unsigned>(threads));
       RepeatedRuns base = run_baseline(*app, pool, opt.reps);
-      RepeatedRuns ft = run_ft(*app, pool, opt.reps);
+      RepeatedRuns ft = run_ft(*app, pool, opt.reps, nullptr, ft_options);
       const Summary bs = base.time_summary();
       const Summary fs = ft.time_summary();
       if (threads == opt.threads.front()) base_p1 = bs.mean;

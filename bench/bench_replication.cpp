@@ -1,0 +1,122 @@
+// Measures the cost of silent-data-corruption detection by task
+// replication (dual execution + digest voting) against the two cheaper
+// postures the repo already has: no detection at all, and checksum mode
+// (software EDC on every block read/commit).
+//
+// Per app, fault-free, at the largest requested thread count:
+//   undefended   NABBIT baseline executor, no FT structures
+//   ft-off       FT executor, detection disabled (the Fig. 4 configuration)
+//   checksum     FT executor + BlockStore checksum mode
+//   sample:0.5   FT executor, replicate ~half the tasks
+//   all          FT executor, replicate every task (full DMR)
+//
+// Overheads are reported against the undefended baseline, so the ft-off row
+// reproduces Figure 4's no-fault FT cost and the detection rows show what
+// each posture adds on top. Expected shape: checksum costs a few percent
+// (hash per commit/read), sample:0.5 about half of `all`, and `all`
+// somewhat less than 2x because replicas skip commit/notify work. A
+// machine-readable summary lands in --out (default BENCH_replication.json).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "harness/experiment.hpp"
+#include "support/table.hpp"
+
+using namespace ftdag;
+
+namespace {
+
+struct Config {
+  const char* name;
+  bool checksum;
+  const char* policy;  // nullptr = undefended baseline executor
+};
+
+constexpr Config kConfigs[] = {
+    {"undefended", false, nullptr},
+    {"ft-off", false, "off"},
+    {"checksum", true, "off"},
+    {"sample:0.5", false, "sample:0.5"},
+    {"all", false, "all"},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  BenchOptions opt = parse_bench_options(cli, "4");
+  const std::string out_path =
+      cli.get_string("out", "BENCH_replication.json");
+  cli.check_unknown();
+
+  print_header("replication - SDC-detection overhead, no faults",
+               "extension: dual-execution voting vs checksum EDC");
+
+  Table t({"bench", "mode", "time(s)", "overhead(%)", "replicated",
+           "mismatches"});
+  std::string json = "[\n";
+  bool first = true;
+  const int threads = opt.threads.back();
+  WorkStealingPool pool(static_cast<unsigned>(threads));
+
+  for (const std::string& name : opt.apps) {
+    AppConfig cfg = config_for(cli, opt, name);
+    auto app = make_app(name, cfg);
+    (void)app->reference_checksum();  // cache outside the timed region
+
+    double baseline_mean = 0.0;
+    for (const Config& c : kConfigs) {
+      app->block_store().set_checksum_mode(c.checksum);
+      RepeatedRuns runs;
+      if (c.policy == nullptr) {
+        runs = run_baseline(*app, pool, opt.reps);
+      } else {
+        ExecutorOptions eo;
+        eo.replication = ReplicationPolicy::parse(c.policy);
+        runs = run_ft(*app, pool, opt.reps, nullptr, eo);
+      }
+      app->block_store().set_checksum_mode(false);
+
+      const Summary s = runs.time_summary();
+      if (c.policy == nullptr) baseline_mean = s.mean;
+      std::uint64_t replicated = 0, mismatches = 0;
+      for (const ExecReport& r : runs.reports) {
+        replicated += r.replicated;
+        mismatches += r.digest_mismatches;
+      }
+      const bool have_ref = baseline_mean > 0.0;
+      t.add_row({name, c.name, format_mean_std(s, 3),
+                 have_ref ? strf("%+.2f", overhead_pct(baseline_mean, s.mean))
+                          : "-",
+                 strf("%llu", (unsigned long long)replicated),
+                 strf("%llu", (unsigned long long)mismatches)});
+      if (!first) json += ",\n";
+      first = false;
+      json += strf(
+          "  {\"app\":\"%s\",\"mode\":\"%s\",\"threads\":%d,"
+          "\"mean_s\":%.6f,\"std_s\":%.6f,\"overhead_pct\":%s,"
+          "\"replicated\":%llu,\"digest_mismatches\":%llu}",
+          name.c_str(), c.name, threads, s.mean, s.stddev,
+          have_ref ? strf("%.2f", overhead_pct(baseline_mean, s.mean)).c_str()
+                   : "null",
+          (unsigned long long)replicated, (unsigned long long)mismatches);
+    }
+  }
+  json += "\n]\n";
+  t.print();
+
+  if (FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("\nWrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: could not write %s\n", out_path.c_str());
+  }
+  std::printf(
+      "Expected shape: checksum adds a few %%; sample:0.5 roughly half the\n"
+      "cost of all; all < 2x because replicas skip commit/notify work.\n");
+  return 0;
+}

@@ -17,7 +17,8 @@ ctest --test-dir build 2>&1 | tee test_output.txt
            build/bench/bench_fig5a build/bench/bench_fig5b \
            build/bench/bench_table2_fig6 build/bench/bench_fig7 \
            build/bench/bench_theory build/bench/bench_ablation_retention \
-           build/bench/bench_ablation_checkpoint; do
+           build/bench/bench_ablation_checkpoint \
+           build/bench/bench_replication; do
     echo "##### $b"
     "$b" "$@"
     echo

@@ -192,6 +192,19 @@ bool BlockStore::flip_bit(BlockId block, Version version, std::size_t bit) {
   return true;
 }
 
+bool BlockStore::content_hash(BlockId block, Version version,
+                              std::uint64_t& out) const {
+  const Block& b = block_ref(block);
+  FTDAG_ASSERT(version < b.num_versions, "version out of range");
+  if (b.states[version].load(std::memory_order_acquire) !=
+      VersionState::kValid)
+    return false;
+  const Version slot = version % b.slots;
+  out = hash_bytes(b.storage.get() + static_cast<std::size_t>(slot) * b.bytes,
+                   b.bytes);
+  return true;
+}
+
 void BlockStore::throw_for(const Block& b, BlockId id, Version v,
                            VersionState st) {
   BlockFaultReason reason;

@@ -153,6 +153,17 @@ class BlockStore {
   // which is the scenario the paper's detectability assumption excludes.
   bool flip_bit(BlockId block, Version version, std::size_t bit);
 
+  // Hash of the resident bytes of a Valid version (the digest the
+  // replication voter compares against a replica run). Returns false
+  // without touching `out` when the version is not Valid — the voter
+  // treats that as a failed vote.
+  bool content_hash(BlockId block, Version version, std::uint64_t& out) const;
+
+  // The checksum/digest function shared by checksum mode and the
+  // replication subsystem's digest voting: FNV-1a over 8-byte chunks with a
+  // mix64 finalizer — fast and sensitive to any single flipped bit.
+  static std::uint64_t hash_bytes(const std::byte* data, std::size_t n);
+
   // Resets every version state to Absent; storage is kept. Run between
   // repeated executions of the same problem.
   void reset_states();
@@ -190,8 +201,6 @@ class BlockStore {
     std::unique_ptr<std::atomic<std::uint64_t>[]> sums;  // per version
   };
 
-  // Hash of a slot's bytes (checksum mode).
-  static std::uint64_t hash_bytes(const std::byte* data, std::size_t n);
   // Verifies the stored checksum of a Valid version; on mismatch flips the
   // state to Corrupted and returns false.
   bool verify_checksum(const Block& b, Version v) const;

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdio>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -11,6 +12,8 @@
 #include "core/ft_task.hpp"
 #include "core/recovery_table.hpp"
 #include "graph/compute_context.hpp"
+#include "replication/digest_voter.hpp"
+#include "replication/shadow_context.hpp"
 #include "support/assert.hpp"
 #include "support/timer.hpp"
 
@@ -37,6 +40,7 @@ struct Run {
   FaultInjector* injector;
   ExecutionTrace* trace;
   BlockStore& store;
+  const ReplicationPolicy replication;
 
   ShardedMap<TaskSlot> tasks;
   RecoveryTable recovery;
@@ -45,15 +49,33 @@ struct Run {
   SpinLock garbage_lock;
   std::vector<FtTask*> garbage;  // superseded incarnations
 
+  // One replica scratch arena per worker (index current_worker_index();
+  // external callers share arena 0 — the arena itself is thread-safe).
+  // Empty when replication is off: the fast path allocates nothing.
+  std::vector<std::unique_ptr<ShadowArena>> arenas;
+
   std::atomic<std::uint64_t> computes{0};
   std::atomic<std::uint64_t> faults_caught{0};
   std::atomic<std::uint64_t> recoveries{0};
   std::atomic<std::uint64_t> resets{0};
+  std::atomic<std::uint64_t> replicated{0};
+  std::atomic<std::uint64_t> digest_mismatches{0};
+  std::atomic<std::uint64_t> votes_resolved{0};
 
   Run(TaskGraphProblem& p, WorkStealingPool& wp, FaultInjector* inj,
-      ExecutionTrace* tr)
+      ExecutionTrace* tr, const ReplicationPolicy& rp)
       : problem(p), pool(wp), injector(inj), trace(tr),
-        store(p.block_store()) {}
+        store(p.block_store()), replication(rp) {
+    if (replication.enabled()) {
+      arenas.resize(pool.thread_count());
+      for (auto& a : arenas) a = std::make_unique<ShadowArena>();
+    }
+  }
+
+  ShadowArena& arena() {
+    const int w = pool.current_worker_index();
+    return *arenas[w >= 0 ? static_cast<std::size_t>(w) : 0];
+  }
 
   void trace_span(TraceKind kind, TaskKey key, std::uint64_t life,
                   double begin) {
@@ -223,23 +245,115 @@ struct Run {
     notify_once(s, skey, key, s->life);
   }
 
+  // --- replication (dual-execution digest voting) ----------------------------
+
+  // Replicate iff the policy selects this task; pure control tasks (no
+  // outputs) are never replicated. `outs` is filled as a side effect for the
+  // voter. Called only when replication is enabled.
+  bool should_replicate(TaskKey key, OutputList& outs) {
+    problem.outputs(key, outs);
+    std::uint64_t bytes = 0;
+    for (const ProducedVersion& pv : outs) bytes += store.block_bytes(pv.block);
+    return replication.should_replicate(key, bytes);
+  }
+
+  // Runs the compute body once against shadow scratch buffers. Reads are
+  // re-validated like a primary run's; a DataBlockFault propagates into the
+  // ordinary recovery path of the caller. Returns the replica's digests.
+  DigestList run_replica(TaskKey key, std::uint64_t life,
+                         ComputeContext::StagedResults& staged) {
+    const double begin = trace != nullptr ? trace->now() : 0.0;
+    ShadowContext sctx(store, key, arena());
+    problem.compute(key, sctx);
+    sctx.finalize();  // re-validate replica reads; publishes nothing
+    replicated.fetch_add(1, std::memory_order_relaxed);
+    trace_span(TraceKind::kReplica, key, life, begin);
+    staged = sctx.staged_results();
+    return sctx.output_digests();
+  }
+
+  // Votes replica vs. published outputs after commit. On mismatch, tries a
+  // tie-breaking third run (TMR) when the primary did not consume its
+  // inputs in place; if the tie-breaker sides with the primary, execution
+  // proceeds (the replica was the corrupted run). Otherwise the outputs are
+  // marked Corrupted and ReplicaMismatchFault sends the task — a detected
+  // fault now — through RECOVERTASK, whose re-execution (and, for consumed
+  // inputs, the re-execution chain behind it) regenerates everything.
+  void vote_or_recover(TaskKey key, const OutputList& outs,
+                       const DigestList& replica_digests,
+                       const ComputeContext::StagedResults& replica_staged,
+                       const ComputeContext::StagedResults& primary_staged,
+                       bool primary_consumed_inputs, std::uint64_t life) {
+    DigestList published;
+    const bool readable = DigestVoter::committed_digests(store, outs, published);
+    if (readable && DigestVoter::agree(published, replica_digests) &&
+        DigestVoter::agree(primary_staged, replica_staged))
+      return;
+
+    digest_mismatches.fetch_add(1, std::memory_order_relaxed);
+    if (readable && !primary_consumed_inputs) {
+      try {
+        ComputeContext::StagedResults tie_staged;
+        const DigestList tie = run_replica(key, life, tie_staged);
+        if (DigestVoter::agree(tie, published) &&
+            DigestVoter::agree(tie_staged, primary_staged)) {
+          // Two against one for the published outputs: the shadow replica
+          // was the corrupted execution. Nothing to repair.
+          votes_resolved.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      } catch (const FaultException&) {
+        // An input vanished under the tie-breaker (displaced by unrelated
+        // recovery): the vote stays unresolved, fall through to recovery.
+      }
+    }
+    // Unresolved: turn the silent corruption into a detected one. Consumers
+    // cannot have read these outputs yet — the task has not been marked
+    // Computed nor notified anyone.
+    for (const ProducedVersion& pv : outs) store.corrupt(pv.block, pv.version);
+    throw ReplicaMismatchFault(key);
+  }
+
+  // --- Figure 2 routines (continued) -----------------------------------------
+
   void compute_and_notify(FtTask* a, TaskKey key, std::uint64_t life) {
     try {
       a->check();
       injector_point(FaultPhase::kBeforeCompute, a);
       a->check();  // a before-compute fault is detected here, pre-COMPUTE
 
+      OutputList outs;
+      DigestList replica_digests;
+      ComputeContext::StagedResults replica_staged, primary_staged;
+      bool replicate = false, primary_consumed_inputs = false;
+      if (replication.enabled()) replicate = should_replicate(key, outs);
+
       {
+        // Replica first: it must observe the same inputs as the primary,
+        // and with memory reuse the primary consumes same-slot inputs.
+        if (replicate) replica_digests = run_replica(key, life, replica_staged);
+
         const double begin = trace != nullptr ? trace->now() : 0.0;
         ComputeContext ctx(store, key);
         problem.compute(key, ctx);  // reads throw on corrupt/overwritten input
         a->check();                  // descriptor died mid-compute?
         ctx.finalize();              // re-validate reads, commit outputs
         trace_span(TraceKind::kCompute, key, life, begin);
+        if (replicate) {
+          primary_staged = ctx.staged_results();
+          primary_consumed_inputs = ctx.consumed_inputs();
+        }
       }
       note_compute(key);
-      a->status.store(TaskStatus::kComputed, std::memory_order_release);
+      // The injector fires before the digest vote and before the Computed
+      // status is published: a bit flipped in the committed outputs here is
+      // precisely the silent corruption the vote must catch, and no
+      // consumer can read the outputs until the status flips below.
       injector_point(FaultPhase::kAfterCompute, a);
+      if (replicate)
+        vote_or_recover(key, outs, replica_digests, replica_staged,
+                        primary_staged, primary_consumed_inputs, life);
+      a->status.store(TaskStatus::kComputed, std::memory_order_release);
 
       // Notify enqueued successors; re-check the array under the lock before
       // flipping to Completed so late registrations are not lost.
@@ -443,7 +557,7 @@ ExecReport FaultTolerantExecutor::execute(TaskGraphProblem& problem,
                                           FaultInjector* injector,
                                           ExecutionTrace* trace,
                                           const ExecutorOptions& options) {
-  Run run(problem, pool, injector, trace);
+  Run run(problem, pool, injector, trace, options.replication);
   const TaskKey sink = problem.sink();
 
   Timer timer;
@@ -468,6 +582,9 @@ ExecReport FaultTolerantExecutor::execute(TaskGraphProblem& problem,
   report.recoveries = run.recoveries.load();
   report.resets = run.resets.load();
   report.injected = injector != nullptr ? injector->injected() : 0;
+  report.replicated = run.replicated.load();
+  report.digest_mismatches = run.digest_mismatches.load();
+  report.votes_resolved = run.votes_resolved.load();
 
   FtTask* sink_task = run.find_task(sink);
   FTDAG_ASSERT(sink_task != nullptr &&

@@ -16,6 +16,7 @@
 #include "fault/fault_injector.hpp"
 #include "graph/exec_report.hpp"
 #include "graph/task_graph_problem.hpp"
+#include "replication/replication_policy.hpp"
 #include "runtime/scheduler.hpp"
 #include "trace/trace.hpp"
 
@@ -28,6 +29,14 @@ struct ExecutorOptions {
   // counts, join-counter histogram of stuck tasks). Diagnostic only; the
   // execution continues. 0 disables.
   double watchdog_seconds = 0.0;
+
+  // Silent-data-corruption detection by task replication: selected tasks
+  // run their compute body twice (once into shadow scratch buffers), the
+  // output digests are voted on before successors are notified, and an
+  // unresolved mismatch marks the outputs Corrupted and hands the task to
+  // the ordinary selective-recovery path. Default off: the fast path then
+  // does no shadow allocation and no digest work.
+  ReplicationPolicy replication;
 };
 
 class FaultTolerantExecutor {

@@ -52,6 +52,20 @@ class TaskDescriptorFault : public FaultException {
   std::uint64_t life_;
 };
 
+// Dual-execution digest voting (src/replication/) found a task's published
+// outputs disagreeing with an independent replica run and could not resolve
+// the vote in the primary's favour. The failed key is the task itself: its
+// outputs were marked Corrupted and it must be recovered — a silent data
+// corruption turned into exactly the detected fault the recovery protocol
+// consumes.
+class ReplicaMismatchFault : public FaultException {
+ public:
+  explicit ReplicaMismatchFault(TaskKey key) : FaultException(key) {}
+  const char* what() const noexcept override {
+    return "ftdag replica digest mismatch";
+  }
+};
+
 // A data block version was observed corrupted/overwritten/missing. The
 // failed key is the *producer* of that version.
 class DataBlockFault : public FaultException {

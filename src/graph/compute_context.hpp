@@ -18,6 +18,12 @@
 //
 // If the body throws, the context's destructor aborts all uncommitted
 // tickets: slot locks are released and nothing is published.
+//
+// The raw storage operations behind the typed accessors are virtual so the
+// replication subsystem can substitute a ShadowContext that runs the same
+// compute body against scratch buffers (never publishing, never consuming
+// inputs) for dual-execution digest voting. Task bodies are written against
+// this interface and never observe which concrete context runs them.
 
 #include <atomic>
 #include <cstdint>
@@ -46,7 +52,7 @@ class ComputeContext {
   ComputeContext(const ComputeContext&) = delete;
   ComputeContext& operator=(const ComputeContext&) = delete;
 
-  ~ComputeContext() {
+  virtual ~ComputeContext() {
     for (WriteTicket& t : tickets_)
       if (t.active) store_.abort(t);
   }
@@ -58,18 +64,14 @@ class ComputeContext {
   // version is corrupted, overwritten or missing.
   template <typename T>
   const T* read(BlockId block, Version version) {
-    const void* p = store_.read(block, version);
-    reads_.push_back({block, version});
-    return static_cast<const T*>(p);
+    return static_cast<const T*>(raw_read(block, version));
   }
 
   // Writable storage for (block, version). The version becomes Valid only
   // when finalize() runs.
   template <typename T>
   T* write(BlockId block, Version version) {
-    WriteTicket t = store_.begin_write(block, version);
-    tickets_.push_back(t);
-    return static_cast<T*>(t.data);
+    return static_cast<T*>(raw_write(block, version));
   }
 
   // Read version `from` of a block and produce version `to`. Handles both
@@ -78,13 +80,8 @@ class ComputeContext {
   // otherwise (the read is re-validated at finalize like any other).
   template <typename T>
   UpdateRef<T> update(BlockId block, Version from, Version to) {
-    if (store_.same_slot(block, from, to)) {
-      WriteTicket t = store_.begin_update(block, from, to);
-      tickets_.push_back(t);
-      return {static_cast<const T*>(t.data), static_cast<T*>(t.data)};
-    }
-    const T* in = read<T>(block, from);
-    return {in, write<T>(block, to)};
+    const RawUpdate u = raw_update(block, from, to);
+    return {static_cast<const T*>(u.in), static_cast<T*>(u.out)};
   }
 
   // Stages a result value into app-owned (resilient) memory. Applied only
@@ -99,9 +96,8 @@ class ComputeContext {
   // Executor-side. Re-validates every recorded read (throwing on any input
   // that went bad mid-compute), then commits every staged write and applies
   // staged result stores.
-  void finalize() {
-    for (const auto& [block, version] : reads_)
-      store_.revalidate(block, version);
+  virtual void finalize() {
+    revalidate_reads();
     for (WriteTicket& t : tickets_) store_.commit(t);
     for (const auto& [slot, value] : staged_results_)
       slot->store(value, std::memory_order_relaxed);
@@ -110,15 +106,58 @@ class ComputeContext {
   std::size_t reads_recorded() const { return reads_.size(); }
   std::size_t writes_staged() const { return tickets_.size(); }
 
- private:
+  // Did any update() consume its input in place (aliased same-slot ticket)?
+  // After such a compute the input bytes no longer exist, so a digest vote
+  // cannot run a tie-breaking third replica.
+  bool consumed_inputs() const { return in_place_updates_ > 0; }
+
+  using StagedResults =
+      SmallVector<std::pair<std::atomic<std::uint64_t>*, std::uint64_t>, 2>;
+  const StagedResults& staged_results() const { return staged_results_; }
+
+ protected:
+  // Untyped pointer pair backing update<T>().
+  struct RawUpdate {
+    const void* in;
+    void* out;
+  };
+
+  virtual const void* raw_read(BlockId block, Version version) {
+    const void* p = store_.read(block, version);
+    reads_.push_back({block, version});
+    return p;
+  }
+
+  virtual void* raw_write(BlockId block, Version version) {
+    WriteTicket t = store_.begin_write(block, version);
+    tickets_.push_back(t);
+    return t.data;
+  }
+
+  virtual RawUpdate raw_update(BlockId block, Version from, Version to) {
+    if (store_.same_slot(block, from, to)) {
+      WriteTicket t = store_.begin_update(block, from, to);
+      tickets_.push_back(t);
+      ++in_place_updates_;
+      return {t.data, t.data};
+    }
+    const void* in = raw_read(block, from);
+    return {in, raw_write(block, to)};
+  }
+
+  void revalidate_reads() const {
+    for (const auto& [block, version] : reads_)
+      store_.revalidate(block, version);
+  }
+
   using Ref = std::pair<BlockId, Version>;
 
   BlockStore& store_;
   TaskKey key_;
   SmallVector<Ref, 8> reads_;
   SmallVector<WriteTicket, 2> tickets_;
-  SmallVector<std::pair<std::atomic<std::uint64_t>*, std::uint64_t>, 2>
-      staged_results_;
+  StagedResults staged_results_;
+  std::uint32_t in_place_updates_ = 0;
 };
 
 }  // namespace ftdag

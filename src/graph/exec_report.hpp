@@ -27,6 +27,12 @@ struct ExecReport {
   std::uint64_t recoveries = 0;     // task replacements (RecoverTask)
   std::uint64_t resets = 0;         // ResetNode invocations
   std::uint64_t injected = 0;       // faults the injector actually fired
+
+  // Replication subsystem (src/replication/), all zero with policy off:
+  std::uint64_t replicated = 0;         // shadow replica runs
+  std::uint64_t digest_mismatches = 0;  // votes where replica != published
+  std::uint64_t votes_resolved = 0;     // mismatches a third run settled in
+                                        // the primary's favour (no recovery)
 };
 
 }  // namespace ftdag

@@ -38,13 +38,14 @@ RepeatedRuns run_baseline(TaskGraphProblem& problem, WorkStealingPool& pool,
 }
 
 RepeatedRuns run_ft(TaskGraphProblem& problem, WorkStealingPool& pool,
-                    int reps, FaultInjector* injector) {
+                    int reps, FaultInjector* injector,
+                    const ExecutorOptions& options) {
   RepeatedRuns out;
   FaultTolerantExecutor exec;
   for (int r = 0; r < reps; ++r) {
     problem.reset_data();
     if (injector != nullptr) injector->reset();
-    ExecReport report = exec.execute(problem, pool, injector);
+    ExecReport report = exec.execute(problem, pool, injector, nullptr, options);
     validate(problem);
     out.seconds.push_back(report.seconds);
     out.reports.push_back(report);

@@ -34,7 +34,10 @@ RepeatedRuns run_baseline(TaskGraphProblem& problem, WorkStealingPool& pool,
 // Runs the fault-tolerant executor `reps` times, optionally under fault
 // injection; validates the result checksum after every run (with faults the
 // check is exactly the paper's same-result-with-and-without-faults claim).
+// `options` passes through executor configuration, notably the replication
+// policy for dual-execution digest voting.
 RepeatedRuns run_ft(TaskGraphProblem& problem, WorkStealingPool& pool,
-                    int reps, FaultInjector* injector = nullptr);
+                    int reps, FaultInjector* injector = nullptr,
+                    const ExecutorOptions& options = {});
 
 }  // namespace ftdag

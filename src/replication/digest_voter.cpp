@@ -1,0 +1,31 @@
+#include "replication/digest_voter.hpp"
+
+namespace ftdag {
+
+bool DigestVoter::agree(const DigestList& a, const DigestList& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!(a[i] == b[i])) return false;
+  return true;
+}
+
+bool DigestVoter::agree(const ComputeContext::StagedResults& a,
+                        const ComputeContext::StagedResults& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].first != b[i].first || a[i].second != b[i].second) return false;
+  return true;
+}
+
+bool DigestVoter::committed_digests(const BlockStore& store,
+                                    const OutputList& outs, DigestList& out) {
+  out.clear();
+  for (const ProducedVersion& pv : outs) {
+    std::uint64_t h = 0;
+    if (!store.content_hash(pv.block, pv.version, h)) return false;
+    out.push_back({pv.block, pv.version, h});
+  }
+  return true;
+}
+
+}  // namespace ftdag

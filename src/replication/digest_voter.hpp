@@ -1,0 +1,53 @@
+#pragma once
+// DigestVoter: compares the output digests of independent executions of the
+// same task.
+//
+// A task execution is summarized as the list of (block, version, hash)
+// triples of its outputs plus the values it staged into app-owned result
+// memory (both are pure functions of the inputs, per the task model's
+// determinism requirement). Two executions agree iff the summaries are
+// identical; anything else is a detected silent data corruption. The hashes
+// reuse BlockStore::hash_bytes — the same error-detection code checksum
+// mode uses, so a single flipped bit is always visible.
+
+#include <cstdint>
+
+#include "blocks/block_store.hpp"
+#include "graph/compute_context.hpp"
+#include "graph/task_graph_problem.hpp"
+#include "support/small_vector.hpp"
+
+namespace ftdag {
+
+struct OutputDigest {
+  BlockId block = 0;
+  Version version = 0;
+  std::uint64_t digest = 0;
+
+  bool operator==(const OutputDigest& o) const {
+    return block == o.block && version == o.version && digest == o.digest;
+  }
+};
+
+using DigestList = SmallVector<OutputDigest, 2>;
+
+class DigestVoter {
+ public:
+  // Digest lists agree iff identical element-wise. Both sides come from the
+  // same deterministic compute body, so the output order is identical by
+  // construction and no sorting is needed.
+  static bool agree(const DigestList& a, const DigestList& b);
+
+  // Staged result values agree iff identical (slot, value) sequences.
+  static bool agree(const ComputeContext::StagedResults& a,
+                    const ComputeContext::StagedResults& b);
+
+  // Hashes the *committed* bytes of every output of a task, i.e. what the
+  // store actually published (so a bit flipped between commit and the vote
+  // is caught too, not just a wrong compute). Returns false when any output
+  // is not Valid — the caller treats that exactly like a digest mismatch.
+  static bool committed_digests(const BlockStore& store, const OutputList& outs,
+                                DigestList& out);
+};
+
+}  // namespace ftdag

@@ -1,0 +1,74 @@
+#include "replication/replication_policy.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/assert.hpp"
+
+namespace ftdag {
+
+const char* replication_mode_name(ReplicationMode mode) {
+  switch (mode) {
+    case ReplicationMode::kOff:
+      return "off";
+    case ReplicationMode::kAll:
+      return "all";
+    case ReplicationMode::kSample:
+      return "sample";
+    case ReplicationMode::kCostThreshold:
+      return "cost";
+  }
+  return "?";
+}
+
+ReplicationPolicy ReplicationPolicy::parse(const std::string& spec) {
+  ReplicationPolicy p;
+  if (spec == "off" || spec.empty()) return p;
+  if (spec == "all") {
+    p.mode = ReplicationMode::kAll;
+    return p;
+  }
+  const auto colon = spec.find(':');
+  const std::string head = spec.substr(0, colon);
+  const std::string arg =
+      colon == std::string::npos ? std::string() : spec.substr(colon + 1);
+  if (head == "sample") {
+    p.mode = ReplicationMode::kSample;
+    char* end = nullptr;
+    p.sample_rate = std::strtod(arg.c_str(), &end);
+    FTDAG_ASSERT(end != arg.c_str() && *end == '\0' && p.sample_rate >= 0.0 &&
+                     p.sample_rate <= 1.0,
+                 "--replicate=sample:<p> needs p in [0,1]");
+    return p;
+  }
+  if (head == "cost") {
+    p.mode = ReplicationMode::kCostThreshold;
+    char* end = nullptr;
+    p.min_output_bytes = std::strtoull(arg.c_str(), &end, 10);
+    FTDAG_ASSERT(end != arg.c_str() && *end == '\0',
+                 "--replicate=cost:<bytes> needs an integer byte count");
+    return p;
+  }
+  FTDAG_ASSERT(false,
+               "unknown replication policy (want off|all|sample:<p>|cost:<bytes>)");
+  return p;
+}
+
+std::string ReplicationPolicy::to_string() const {
+  char buf[64];
+  switch (mode) {
+    case ReplicationMode::kOff:
+    case ReplicationMode::kAll:
+      return replication_mode_name(mode);
+    case ReplicationMode::kSample:
+      std::snprintf(buf, sizeof(buf), "sample:%g", sample_rate);
+      return buf;
+    case ReplicationMode::kCostThreshold:
+      std::snprintf(buf, sizeof(buf), "cost:%llu",
+                    static_cast<unsigned long long>(min_output_bytes));
+      return buf;
+  }
+  return "?";
+}
+
+}  // namespace ftdag

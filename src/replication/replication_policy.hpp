@@ -1,0 +1,79 @@
+#pragma once
+// ReplicationPolicy: per-task decision whether to re-execute the compute
+// body for silent-data-corruption detection by digest voting.
+//
+// The paper assumes soft errors are *detected* (Section II: hardware or
+// software error-detection codes); the selective-replication literature
+// (Reitz & Fohry; Nather, Fohry & Reitz — see PAPERS.md) supplies the
+// standard software alternative when no such code exists: run each task
+// twice, hash the outputs, and treat a digest mismatch as a detected fault.
+// Replicating everything doubles compute, so the policy spectrum mirrors
+// those papers' selective schemes:
+//
+//   off              no replication (the seed executor's fast path)
+//   all              every task with outputs runs twice (full DMR)
+//   sample(p)        a deterministic, key-hashed fraction p of tasks
+//   cost(bytes)      only tasks whose total output footprint is at least
+//                    `bytes` (big outputs are the expensive ones to lose:
+//                    their recovery chains re-execute the most work)
+//
+// Decisions are pure functions of (key, output bytes), so a recovered
+// incarnation of a task makes the same choice as its first run.
+
+#include <cstdint>
+#include <string>
+
+#include "graph/task_key.hpp"
+#include "support/xoshiro.hpp"
+
+namespace ftdag {
+
+enum class ReplicationMode : std::uint8_t {
+  kOff = 0,
+  kAll,
+  kSample,
+  kCostThreshold,
+};
+
+const char* replication_mode_name(ReplicationMode mode);
+
+struct ReplicationPolicy {
+  ReplicationMode mode = ReplicationMode::kOff;
+  double sample_rate = 0.0;            // kSample: fraction of tasks in [0,1]
+  std::uint64_t min_output_bytes = 0;  // kCostThreshold
+  std::uint64_t seed = 0x5DEECE66DULL; // salts the kSample key hash
+
+  bool enabled() const { return mode != ReplicationMode::kOff; }
+
+  // Should this task run a verification replica? `output_bytes` is the sum
+  // of the task's output block sizes (0 for pure control tasks, which are
+  // never replicated: there is nothing to vote on).
+  bool should_replicate(TaskKey key, std::uint64_t output_bytes) const {
+    if (output_bytes == 0) return false;
+    switch (mode) {
+      case ReplicationMode::kOff:
+        return false;
+      case ReplicationMode::kAll:
+        return true;
+      case ReplicationMode::kSample:
+        // Deterministic coin: the top 53 bits of a salted key hash give a
+        // uniform double in [0, 1).
+        return static_cast<double>(
+                   mix64(static_cast<std::uint64_t>(key) ^ seed) >> 11) *
+                   0x1.0p-53 <
+               sample_rate;
+      case ReplicationMode::kCostThreshold:
+        return output_bytes >= min_output_bytes;
+    }
+    return false;
+  }
+
+  // Parses "off" | "all" | "sample:<p>" | "cost:<bytes>" (the --replicate
+  // CLI syntax). Aborts on malformed specs so scripts fail loudly.
+  static ReplicationPolicy parse(const std::string& spec);
+
+  // Inverse of parse(), for report headers.
+  std::string to_string() const;
+};
+
+}  // namespace ftdag

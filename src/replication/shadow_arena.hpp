@@ -1,0 +1,56 @@
+#pragma once
+// ShadowArena: recycled scratch buffers for replica runs.
+//
+// A ShadowContext needs one private buffer per output block so the replica
+// compute never touches BlockStore slots. Buffers are recycled through a
+// per-size free list because replica runs are as frequent as computes under
+// --replicate=all and a malloc/free pair per output would dominate small
+// tasks. The fault-tolerant executor keeps one arena per worker thread, so
+// the lock below is effectively uncontended; it exists only for the
+// external-thread fallback and keeps the arena safe under any caller.
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "support/spin_lock.hpp"
+
+namespace ftdag {
+
+class ShadowArena {
+ public:
+  ShadowArena() = default;
+  ShadowArena(const ShadowArena&) = delete;
+  ShadowArena& operator=(const ShadowArena&) = delete;
+
+  std::byte* acquire(std::size_t bytes) {
+    {
+      std::lock_guard<SpinLock> guard(lock_);
+      auto it = free_.find(bytes);
+      if (it != free_.end() && !it->second.empty()) {
+        std::byte* p = it->second.back().release();
+        it->second.pop_back();
+        return p;
+      }
+      ++allocations_;
+    }
+    return new std::byte[bytes];
+  }
+
+  void release(std::byte* p, std::size_t bytes) {
+    std::lock_guard<SpinLock> guard(lock_);
+    free_[bytes].emplace_back(p);
+  }
+
+  // Buffers that had to be allocated fresh (not served from the free list);
+  // steady-state replication should plateau at the high-water buffer count.
+  std::size_t allocations() const { return allocations_; }
+
+ private:
+  SpinLock lock_;
+  std::map<std::size_t, std::vector<std::unique_ptr<std::byte[]>>> free_;
+  std::size_t allocations_ = 0;
+};
+
+}  // namespace ftdag

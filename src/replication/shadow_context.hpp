@@ -1,0 +1,90 @@
+#pragma once
+// ShadowContext: runs a task's compute body without side effects on the
+// BlockStore — the replica half of dual-execution digest voting.
+//
+// The replica must observe exactly the inputs the primary will observe and
+// produce bytes the voter can hash, while never publishing, locking, or
+// consuming anything:
+//  - reads go to the store like any other read (recorded, re-validated in
+//    finalize(), throwing the usual DataBlockFault on displaced inputs —
+//    which routes the replica run into the ordinary recovery path);
+//  - writes land in ShadowArena scratch buffers keyed by (block, version);
+//  - update() NEVER takes the in-place path: the input version is read
+//    (not consumed, not locked) and its bytes are copied into the scratch
+//    output buffer first, reproducing the aliased-update semantics where
+//    unwritten cells retain the input's values;
+//  - finalize() re-validates reads only — no commits, no staged-result
+//    stores. The staged values stay queued for the voter to compare.
+//
+// The digest contract assumes what determinism (Theorem 1's precondition)
+// already requires of compute bodies: every byte of an output block is a
+// pure function of the inputs — fully written, or (via update) inherited
+// from the input version.
+
+#include <cstddef>
+
+#include "graph/compute_context.hpp"
+#include "replication/digest_voter.hpp"
+#include "replication/shadow_arena.hpp"
+
+namespace ftdag {
+
+class ShadowContext final : public ComputeContext {
+ public:
+  ShadowContext(BlockStore& store, TaskKey key, ShadowArena& arena)
+      : ComputeContext(store, key), arena_(arena) {}
+
+  ~ShadowContext() override {
+    for (const ShadowOutput& o : outputs_) arena_.release(o.data, o.bytes);
+  }
+
+  // Re-validates recorded reads (throws DataBlockFault if an input went bad
+  // mid-replica); publishes and applies nothing.
+  void finalize() override { revalidate_reads(); }
+
+  // Digest of every scratch output buffer, in production order.
+  DigestList output_digests() const {
+    DigestList out;
+    for (const ShadowOutput& o : outputs_)
+      out.push_back({o.block, o.version,
+                     BlockStore::hash_bytes(o.data, o.bytes)});
+    return out;
+  }
+
+  std::size_t outputs_produced() const { return outputs_.size(); }
+
+ protected:
+  void* raw_write(BlockId block, Version version) override {
+    return stage_shadow_output(block, version);
+  }
+
+  RawUpdate raw_update(BlockId block, Version from, Version to) override {
+    const void* in = raw_read(block, from);
+    std::byte* out = stage_shadow_output(block, to);
+    // Aliased-update semantics without the aliasing: cells the body leaves
+    // untouched must hold the input version's bytes, as they would when the
+    // primary updates the slot in place.
+    __builtin_memcpy(out, in, store_.block_bytes(block));
+    return {in, out};
+  }
+
+ private:
+  struct ShadowOutput {
+    BlockId block;
+    Version version;
+    std::byte* data;
+    std::size_t bytes;
+  };
+
+  std::byte* stage_shadow_output(BlockId block, Version version) {
+    const std::size_t bytes = store_.block_bytes(block);
+    std::byte* buf = arena_.acquire(bytes);
+    outputs_.push_back({block, version, buf, bytes});
+    return buf;
+  }
+
+  ShadowArena& arena_;
+  SmallVector<ShadowOutput, 2> outputs_;
+};
+
+}  // namespace ftdag

@@ -1,6 +1,7 @@
 #pragma once
 // Aggregated scheduler statistics, sampled after quiescence.
 
+#include <atomic>
 #include <cstdint>
 
 namespace ftdag {
@@ -17,6 +18,28 @@ struct SchedStats {
     steals_succeeded += o.steals_succeeded;
     injections += o.injections;
     return *this;
+  }
+};
+
+// Per-worker counters. Relaxed atomics, not plain fields: quiescence drains
+// *jobs*, but idle workers keep probing victims (bumping steals_attempted)
+// until they park, so an aggregating reader can overlap a bump.
+struct WorkerStats {
+  std::atomic<std::uint64_t> jobs_executed{0};
+  std::atomic<std::uint64_t> steals_attempted{0};
+  std::atomic<std::uint64_t> steals_succeeded{0};
+
+  void bump(std::atomic<std::uint64_t>& c) {
+    c.store(c.load(std::memory_order_relaxed) + 1,
+            std::memory_order_relaxed);  // single writer: no RMW needed
+  }
+
+  SchedStats snapshot() const {
+    SchedStats s;
+    s.jobs_executed = jobs_executed.load(std::memory_order_relaxed);
+    s.steals_attempted = steals_attempted.load(std::memory_order_relaxed);
+    s.steals_succeeded = steals_succeeded.load(std::memory_order_relaxed);
+    return s;
   }
 };
 

@@ -77,11 +77,11 @@ JobNode* WorkStealingPool::try_steal(Worker& self) {
   // publishing intent, so missed work is latency, never a lost wakeup.
   const std::size_t attempts = 2 * n + 2;
   for (std::size_t a = 0; a < attempts; ++a) {
-    ++self.stats.steals_attempted;
+    self.stats.bump(self.stats.steals_attempted);
     const std::size_t victim = self.rng.below(n + 1);
     if (victim == n) {  // injection queue acts as one extra victim
       if (JobNode* job = pop_injected()) {
-        ++self.stats.steals_succeeded;
+        self.stats.bump(self.stats.steals_succeeded);
         return job;
       }
       continue;
@@ -90,7 +90,7 @@ JobNode* WorkStealingPool::try_steal(Worker& self) {
     if (&w == &self) continue;
     JobNode* job = nullptr;
     if (w.deque.steal(job)) {
-      ++self.stats.steals_succeeded;
+      self.stats.bump(self.stats.steals_succeeded);
       return job;
     }
   }
@@ -135,7 +135,7 @@ void WorkStealingPool::worker_main(Worker& self) {
     if (JobNode* job = find_work(self)) {
       job->run();
       delete job;
-      ++self.stats.jobs_executed;
+      self.stats.bump(self.stats.jobs_executed);
       finish_job();
       continue;
     }
@@ -148,7 +148,7 @@ void WorkStealingPool::worker_main(Worker& self) {
     if (JobNode* job = scan_all(self)) {
       job->run();
       delete job;
-      ++self.stats.jobs_executed;
+      self.stats.bump(self.stats.jobs_executed);
       finish_job();
       continue;
     }
@@ -212,7 +212,7 @@ void WorkStealingPool::parallel_for(
       if (JobNode* job = find_work(*tls_worker_)) {
         job->run();
         delete job;
-        ++tls_worker_->stats.jobs_executed;
+        tls_worker_->stats.bump(tls_worker_->stats.jobs_executed);
         finish_job();
       } else {
         Backoff().pause();
@@ -226,7 +226,7 @@ void WorkStealingPool::parallel_for(
 
 SchedStats WorkStealingPool::stats() const {
   SchedStats total;
-  for (const auto& w : workers_) total += w->stats;
+  for (const auto& w : workers_) total += w->stats.snapshot();
   return total;
 }
 

@@ -79,7 +79,7 @@ class WorkStealingPool {
     Xoshiro256 rng;
     WorkStealingPool* pool = nullptr;
     unsigned index = 0;
-    SchedStats stats;
+    WorkerStats stats;
   };
 
   void worker_main(Worker& self);

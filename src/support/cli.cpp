@@ -4,9 +4,12 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "support/version.hpp"
+
 namespace ftdag {
 
 Cli::Cli(int argc, char** argv) {
+  if (argc > 0) program_ = argv[0];
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
@@ -25,20 +28,27 @@ Cli::Cli(int argc, char** argv) {
   }
 }
 
+void Cli::note(const std::string& name, std::string def) const {
+  seen_[name] = true;
+  defaults_.emplace(name, std::move(def));
+}
+
 bool Cli::has(const std::string& name) const {
   seen_[name] = true;
   return flags_.count(name) > 0;
 }
 
 std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
-  seen_[name] = true;
+  note(name, std::to_string(def));
   auto it = flags_.find(name);
   if (it == flags_.end()) return def;
   return std::strtoll(it->second.c_str(), nullptr, 10);
 }
 
 double Cli::get_double(const std::string& name, double def) const {
-  seen_[name] = true;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", def);
+  note(name, buf);
   auto it = flags_.find(name);
   if (it == flags_.end()) return def;
   return std::strtod(it->second.c_str(), nullptr);
@@ -46,13 +56,13 @@ double Cli::get_double(const std::string& name, double def) const {
 
 std::string Cli::get_string(const std::string& name,
                             const std::string& def) const {
-  seen_[name] = true;
+  note(name, def.empty() ? "\"\"" : def);
   auto it = flags_.find(name);
   return it == flags_.end() ? def : it->second;
 }
 
 bool Cli::get_bool(const std::string& name, bool def) const {
-  seen_[name] = true;
+  note(name, def ? "true" : "false");
   auto it = flags_.find(name);
   if (it == flags_.end()) return def;
   return it->second != "false" && it->second != "0" && it->second != "no";
@@ -64,13 +74,24 @@ std::vector<std::string> Cli::get_list(const std::string& name,
 }
 
 void Cli::check_unknown() const {
+  if (flags_.count("help")) print_help();
   for (const auto& [name, value] : flags_) {
     (void)value;
     if (!seen_.count(name)) {
-      std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+      std::fprintf(stderr, "unknown flag: --%s (try --help)\n", name.c_str());
       std::exit(2);
     }
   }
+}
+
+void Cli::print_help() const {
+  std::printf("%s (ftdag %s)\n",
+              program_.empty() ? "ftdag" : program_.c_str(), kVersionString);
+  std::printf("\nFlags (--name=value or --name value):\n");
+  for (const auto& [name, def] : defaults_)
+    std::printf("  --%-24s (default: %s)\n", name.c_str(), def.c_str());
+  std::printf("  --%-24s (this message)\n", "help");
+  std::exit(0);
 }
 
 std::vector<std::string> split_csv(const std::string& text) {

@@ -6,6 +6,11 @@
 //        auto apps = cli.get_string("apps", "lcs,sw,fw,lu,cholesky");
 // Flags are written --name=value or --name value. Unknown flags are an error
 // so experiment scripts fail loudly on typos.
+//
+// Every get_* query registers the flag and its default, so `--help` (handled
+// in check_unknown(), after a binary has declared all its flags by querying
+// them) can print the full flag list with defaults plus the library version
+// — making scripted bench failures debuggable without reading the source.
 
 #include <cstdint>
 #include <map>
@@ -32,12 +37,19 @@ class Cli {
   const std::vector<std::string>& positional() const { return positional_; }
 
   // Marks a flag as recognized; after parsing, `check_unknown` aborts on any
-  // flag never queried. Queries register automatically.
+  // flag never queried. Queries register automatically. When --help was
+  // passed, prints every registered flag with its default plus version info
+  // and exits 0 instead.
   void check_unknown() const;
 
  private:
+  void note(const std::string& name, std::string def) const;
+  [[noreturn]] void print_help() const;
+
+  std::string program_;
   std::map<std::string, std::string> flags_;
   mutable std::map<std::string, bool> seen_;
+  mutable std::map<std::string, std::string> defaults_;
   std::vector<std::string> positional_;
 };
 

@@ -18,6 +18,8 @@ const char* trace_kind_name(TraceKind kind) {
       return "reset";
     case TraceKind::kFault:
       return "fault";
+    case TraceKind::kReplica:
+      return "replica";
   }
   return "?";
 }
@@ -73,8 +75,9 @@ std::string ExecutionTrace::chrome_json() const {
     first = false;
     const double us = r.begin * 1e6;
     const double dur = (r.end - r.begin) * 1e6;
-    const bool span =
-        r.kind == TraceKind::kCompute || r.kind == TraceKind::kRecovery;
+    const bool span = r.kind == TraceKind::kCompute ||
+                      r.kind == TraceKind::kRecovery ||
+                      r.kind == TraceKind::kReplica;
     if (span) {
       out += strf(
           "{\"name\":\"%s k%lld\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"

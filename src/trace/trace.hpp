@@ -24,6 +24,7 @@ enum class TraceKind : std::uint8_t {
   kRecovery,  // span: RecoverTask (replace + notify-array reconstruction)
   kReset,     // instant: ResetNode re-arming a task
   kFault,     // instant: a FaultException observed by the runtime
+  kReplica,   // span: a shadow replica run for digest voting
 };
 
 const char* trace_kind_name(TraceKind kind);

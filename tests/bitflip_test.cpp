@@ -58,6 +58,46 @@ TEST(BlockChecksum, FlipWithoutChecksumModeStaysSilent) {
   EXPECT_NE(data[0], 0);  // silently wrong
 }
 
+TEST(BlockChecksum, FlipBitOnAbsentVersionReturnsFalse) {
+  BlockStore s;
+  const BlockId b = s.add_block(sizeof(int) * 4, 2);
+  EXPECT_FALSE(s.flip_bit(b, 0, 5));  // never produced: nothing to corrupt
+}
+
+TEST(BlockChecksum, FlipBitOnDisplacedVersionReturnsFalse) {
+  BlockStore s;  // default retention 1: both versions share one slot
+  const BlockId b = s.add_block(sizeof(int) * 4, 2);
+  WriteTicket t0 = s.begin_write(b, 0);
+  std::memset(t0.data, 1, sizeof(int) * 4);
+  s.commit(t0);
+  WriteTicket t1 = s.begin_write(b, 1);  // displaces v0
+  std::memset(t1.data, 2, sizeof(int) * 4);
+  s.commit(t1);
+  ASSERT_EQ(s.state(b, 0), VersionState::kOverwritten);
+  // v0's bytes no longer exist; flipping "v0" would corrupt v1's data under
+  // the wrong identity, so the injector must refuse.
+  EXPECT_FALSE(s.flip_bit(b, 0, 5));
+  EXPECT_TRUE(s.flip_bit(b, 1, 5));  // the resident version is fair game
+}
+
+TEST(BlockChecksum, DoubleFlipRestoresBytesAndPassesVerification) {
+  BlockStore s;
+  s.set_checksum_mode(true);
+  const BlockId b = s.add_block(sizeof(int) * 4, 1);
+  WriteTicket t = s.begin_write(b, 0);
+  std::memset(t.data, 0x5A, sizeof(int) * 4);
+  s.commit(t);
+  ASSERT_TRUE(s.flip_bit(b, 0, 17));
+  ASSERT_TRUE(s.flip_bit(b, 0, 17));  // same bit: bytes are original again
+  // Hash-based detection compares content at access time, so an even number
+  // of cancelling flips *between accesses* is invisible — harmless here
+  // (the data is bit-identical to what was committed), but it documents
+  // that the EDC detects state, not events.
+  const int* data = static_cast<const int*>(s.read(b, 0));  // no throw
+  EXPECT_EQ(data[0], 0x5A5A5A5A);
+  EXPECT_EQ(s.state(b, 0), VersionState::kValid);
+}
+
 TEST(BlockChecksum, RewriteRefreshesChecksum) {
   BlockStore s;
   s.set_checksum_mode(true);

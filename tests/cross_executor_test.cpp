@@ -60,6 +60,25 @@ TEST_P(CrossExecutor, AllFourExecutorsAgree) {
   ft.execute(*app, pool, &injector);
   EXPECT_EQ(app->result_checksum(), want) << "ft+faults";
 
+  // FT with full dual-execution replication, fault-free: replicas must be
+  // pure (no published side effects), so the result is still identical.
+  ExecutorOptions replicated;
+  replicated.replication = ReplicationPolicy::parse("all");
+  app->reset_data();
+  ExecReport rep = ft.execute(*app, pool, nullptr, nullptr, replicated);
+  EXPECT_EQ(app->result_checksum(), want) << "ft+replication";
+  EXPECT_GT(rep.replicated, 0u);
+  EXPECT_EQ(rep.digest_mismatches, 0u);
+
+  // Replication as the *detector*: real bit flips in committed outputs,
+  // checksum mode off — digest voting must catch them all before any
+  // successor reads, and recovery must restore the exact result.
+  BitFlipInjector flips(planner.plan(spec).faults);
+  app->reset_data();
+  rep = ft.execute(*app, pool, &flips, nullptr, replicated);
+  EXPECT_EQ(app->result_checksum(), want) << "ft+replication+bitflips";
+  EXPECT_GE(rep.digest_mismatches, rep.injected);
+
   // And serial again after all of that (no state leaked between runs).
   app->reset_data();
   serial.execute(*app);

@@ -1,0 +1,289 @@
+// Replication subsystem: policy decisions, shadow (side-effect-free)
+// execution, digest voting, and the end-to-end claim — a real bit flip is
+// detected and recovered WITHOUT checksum mode, replication being the
+// software detector the paper's detectability assumption otherwise
+// presupposes.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+
+#include "apps/random_chain.hpp"
+#include "core/ft_executor.hpp"
+#include "fault/fault_injector.hpp"
+#include "harness/experiment.hpp"
+#include "replication/digest_voter.hpp"
+#include "replication/replication_policy.hpp"
+#include "replication/shadow_arena.hpp"
+#include "replication/shadow_context.hpp"
+
+namespace ftdag {
+namespace {
+
+// --- policy ----------------------------------------------------------------
+
+TEST(ReplicationPolicy, ParseAllForms) {
+  EXPECT_EQ(ReplicationPolicy::parse("off").mode, ReplicationMode::kOff);
+  EXPECT_EQ(ReplicationPolicy::parse("").mode, ReplicationMode::kOff);
+  EXPECT_FALSE(ReplicationPolicy::parse("off").enabled());
+
+  EXPECT_EQ(ReplicationPolicy::parse("all").mode, ReplicationMode::kAll);
+
+  const ReplicationPolicy s = ReplicationPolicy::parse("sample:0.25");
+  EXPECT_EQ(s.mode, ReplicationMode::kSample);
+  EXPECT_DOUBLE_EQ(s.sample_rate, 0.25);
+
+  const ReplicationPolicy c = ReplicationPolicy::parse("cost:4096");
+  EXPECT_EQ(c.mode, ReplicationMode::kCostThreshold);
+  EXPECT_EQ(c.min_output_bytes, 4096u);
+}
+
+TEST(ReplicationPolicy, ToStringRoundTrips) {
+  for (const char* spec : {"off", "all", "sample:0.5", "cost:1024"}) {
+    const ReplicationPolicy p = ReplicationPolicy::parse(spec);
+    const ReplicationPolicy q = ReplicationPolicy::parse(p.to_string());
+    EXPECT_EQ(q.mode, p.mode) << spec;
+    EXPECT_DOUBLE_EQ(q.sample_rate, p.sample_rate) << spec;
+    EXPECT_EQ(q.min_output_bytes, p.min_output_bytes) << spec;
+  }
+}
+
+TEST(ReplicationPolicy, ControlTasksNeverReplicate) {
+  // No outputs -> nothing to vote on, under every mode.
+  EXPECT_FALSE(ReplicationPolicy::parse("all").should_replicate(7, 0));
+  EXPECT_FALSE(ReplicationPolicy::parse("sample:1").should_replicate(7, 0));
+  EXPECT_FALSE(ReplicationPolicy::parse("cost:0").should_replicate(7, 0));
+}
+
+TEST(ReplicationPolicy, SampleExtremesAndDeterminism) {
+  const ReplicationPolicy none = ReplicationPolicy::parse("sample:0");
+  const ReplicationPolicy full = ReplicationPolicy::parse("sample:1");
+  const ReplicationPolicy half = ReplicationPolicy::parse("sample:0.5");
+  int hits = 0;
+  for (TaskKey k = 0; k < 1000; ++k) {
+    EXPECT_FALSE(none.should_replicate(k, 64));
+    EXPECT_TRUE(full.should_replicate(k, 64));
+    const bool h = half.should_replicate(k, 64);
+    EXPECT_EQ(h, half.should_replicate(k, 64));  // pure function of the key
+    hits += h;
+  }
+  // Key-hash coin: proportion close to p (loose bounds; deterministic seed).
+  EXPECT_GT(hits, 400);
+  EXPECT_LT(hits, 600);
+}
+
+TEST(ReplicationPolicy, CostThresholdComparesOutputFootprint) {
+  const ReplicationPolicy p = ReplicationPolicy::parse("cost:1000");
+  EXPECT_FALSE(p.should_replicate(1, 999));
+  EXPECT_TRUE(p.should_replicate(1, 1000));
+  EXPECT_TRUE(p.should_replicate(1, 100000));
+}
+
+// --- shadow arena ----------------------------------------------------------
+
+TEST(ShadowArena, RecyclesReleasedBuffers) {
+  ShadowArena arena;
+  std::byte* a = arena.acquire(256);
+  arena.release(a, 256);
+  std::byte* b = arena.acquire(256);
+  EXPECT_EQ(b, a);  // reused, not reallocated
+  EXPECT_EQ(arena.allocations(), 1u);
+  std::byte* c = arena.acquire(256);  // first buffer still out
+  EXPECT_NE(c, b);
+  EXPECT_EQ(arena.allocations(), 2u);
+  arena.release(b, 256);
+  arena.release(c, 256);
+}
+
+// --- shadow context --------------------------------------------------------
+
+TEST(ShadowContext, WritesNeverTouchTheStore) {
+  BlockStore store;
+  const BlockId b = store.add_block(sizeof(int) * 8, 1);
+  ShadowArena arena;
+  ShadowContext sc(store, /*key=*/3, arena);
+  int* out = sc.write<int>(b, 0);
+  for (int i = 0; i < 8; ++i) out[i] = i * i;
+  sc.finalize();
+  // Nothing published, no ticket held, no staged commit.
+  EXPECT_EQ(store.state(b, 0), VersionState::kAbsent);
+  EXPECT_EQ(sc.outputs_produced(), 1u);
+}
+
+TEST(ShadowContext, DigestMatchesACommittedPrimaryRun) {
+  BlockStore store;
+  const BlockId b = store.add_block(sizeof(int) * 8, 1);
+  ShadowArena arena;
+
+  ShadowContext sc(store, 3, arena);
+  int* shadow = sc.write<int>(b, 0);
+  for (int i = 0; i < 8; ++i) shadow[i] = 100 - i;
+  sc.finalize();
+  const DigestList shadow_digests = sc.output_digests();
+  ASSERT_EQ(shadow_digests.size(), 1u);
+
+  ComputeContext primary(store, 3);
+  int* real = primary.write<int>(b, 0);
+  for (int i = 0; i < 8; ++i) real[i] = 100 - i;
+  primary.finalize();
+
+  DigestList committed;
+  ASSERT_TRUE(DigestVoter::committed_digests(
+      store, {{b, 0, 0}}, committed));
+  EXPECT_TRUE(DigestVoter::agree(shadow_digests, committed));
+}
+
+TEST(ShadowContext, UpdateReadsWithoutConsumingTheInput) {
+  BlockStore store;  // default retention 1: versions share one slot
+  const BlockId b = store.add_block(sizeof(int) * 4, 2);
+  {
+    ComputeContext seed_ctx(store, 1);
+    int* v0 = seed_ctx.write<int>(b, 0);
+    for (int i = 0; i < 4; ++i) v0[i] = 10 + i;
+    seed_ctx.finalize();
+  }
+  ShadowArena arena;
+  ShadowContext sc(store, 2, arena);
+  UpdateRef<int> u = sc.update<int>(b, 0, 1);
+  EXPECT_EQ(u.in[2], 12);   // sees the input version
+  EXPECT_EQ(u.out[3], 13);  // untouched cells inherit the input's bytes
+  u.out[0] = 999;
+  sc.finalize();
+  // The primary's in-place update would have consumed v0; the shadow's must
+  // not, or the primary (which runs after the replica) finds nothing to read.
+  EXPECT_EQ(store.state(b, 0), VersionState::kValid);
+  EXPECT_EQ(store.state(b, 1), VersionState::kAbsent);
+  EXPECT_FALSE(sc.consumed_inputs());
+  EXPECT_EQ(*static_cast<const int*>(store.read(b, 0)), 10);
+}
+
+TEST(ShadowContext, StagedResultsAreQueuedButNeverApplied) {
+  BlockStore store;
+  const BlockId b = store.add_block(sizeof(int), 1);
+  ShadowArena arena;
+  std::atomic<std::uint64_t> slot{7};
+  ShadowContext sc(store, 1, arena);
+  *sc.write<int>(b, 0) = 1;
+  sc.stage_result(&slot, 99);
+  sc.finalize();
+  EXPECT_EQ(slot.load(), 7u);  // not applied: replica has no side effects
+  ASSERT_EQ(sc.staged_results().size(), 1u);
+  EXPECT_EQ(sc.staged_results()[0].second, 99u);  // but voteable
+}
+
+// --- digest voter ----------------------------------------------------------
+
+TEST(DigestVoter, AgreementIsElementWise) {
+  DigestList a, b;
+  a.push_back({1, 0, 0xABCD});
+  b.push_back({1, 0, 0xABCD});
+  EXPECT_TRUE(DigestVoter::agree(a, b));
+  b[0].digest ^= 1;
+  EXPECT_FALSE(DigestVoter::agree(a, b));
+  b[0].digest ^= 1;
+  b.push_back({2, 0, 0x1234});
+  EXPECT_FALSE(DigestVoter::agree(a, b));  // length mismatch
+}
+
+TEST(DigestVoter, StagedResultAgreement) {
+  std::atomic<std::uint64_t> slot{0};
+  ComputeContext::StagedResults a, b;
+  a.push_back({&slot, 42});
+  b.push_back({&slot, 42});
+  EXPECT_TRUE(DigestVoter::agree(a, b));
+  b[0].second = 43;
+  EXPECT_FALSE(DigestVoter::agree(a, b));
+}
+
+TEST(DigestVoter, CommittedDigestsFailOnNonValidOutputs) {
+  BlockStore store;
+  store.add_block(sizeof(int), 1);
+  DigestList out;
+  EXPECT_FALSE(DigestVoter::committed_digests(store, {{0, 0, 0}}, out));
+}
+
+// --- end to end ------------------------------------------------------------
+
+RandomChainSpec chain_spec() {
+  RandomChainSpec s;
+  s.blocks = 1;  // linear chain: bounded recovery under any fault
+  s.versions = 30;
+  s.reads = 0;
+  s.work_iters = 20;
+  s.seed = 31;
+  return s;
+}
+
+ExecutorOptions replicate(const char* policy) {
+  ExecutorOptions o;
+  o.replication = ReplicationPolicy::parse(policy);
+  return o;
+}
+
+// The headline test: checksum mode OFF (the store has no error-detection
+// code), a real bit flip lands in a committed mid-chain output, and digest
+// voting alone detects it and routes the task into the ordinary selective
+// recovery — same scenario bitflip_test.cpp shows producing a silently
+// wrong result when undefended.
+TEST(Replication, DetectsRealBitFlipWithoutChecksums) {
+  RandomChainProblem app(chain_spec());
+  ASSERT_FALSE(app.block_store().checksum_mode());
+  BitFlipInjector injector({{10, FaultPhase::kAfterCompute, 1}});
+  WorkStealingPool pool(2);
+  RepeatedRuns runs =
+      run_ft(app, pool, 2, &injector, replicate("all"));  // validates result
+  for (const ExecReport& r : runs.reports) {
+    EXPECT_EQ(r.injected, 1u);
+    EXPECT_GE(r.digest_mismatches, 1u);
+    EXPECT_GT(r.recoveries, 0u);
+    EXPECT_GT(r.re_executed, 0u);
+    EXPECT_GT(r.replicated, 0u);
+  }
+}
+
+TEST(Replication, OffPolicyKeepsFastPathCountersZero) {
+  RandomChainProblem app(chain_spec());
+  WorkStealingPool pool(2);
+  RepeatedRuns runs = run_ft(app, pool, 2);  // default options: off
+  for (const ExecReport& r : runs.reports) {
+    EXPECT_EQ(r.replicated, 0u);
+    EXPECT_EQ(r.digest_mismatches, 0u);
+    EXPECT_EQ(r.votes_resolved, 0u);
+  }
+}
+
+TEST(Replication, FaultFreeReplicatedRunIsCleanAndCorrect) {
+  RandomChainSpec s;
+  s.blocks = 4;
+  s.versions = 10;
+  s.seed = 17;
+  RandomChainProblem app(s);
+  WorkStealingPool pool(3);
+  RepeatedRuns runs = run_ft(app, pool, 2, nullptr, replicate("all"));
+  for (const ExecReport& r : runs.reports) {
+    EXPECT_GT(r.replicated, 0u);
+    EXPECT_LE(r.replicated, r.computes);
+    EXPECT_EQ(r.digest_mismatches, 0u);
+    EXPECT_EQ(r.re_executed, 0u);
+  }
+}
+
+TEST(Replication, SamplePolicyReplicatesAStrictSubset) {
+  RandomChainSpec s;
+  s.blocks = 6;
+  s.versions = 12;
+  s.seed = 23;
+  RandomChainProblem app(s);
+  WorkStealingPool pool(2);
+  RepeatedRuns runs = run_ft(app, pool, 2, nullptr, replicate("sample:0.5"));
+  for (const ExecReport& r : runs.reports) {
+    EXPECT_GT(r.replicated, 0u);
+    EXPECT_LT(r.replicated, r.computes);
+  }
+  // Deterministic policy: both repetitions replicated the same task set.
+  EXPECT_EQ(runs.reports[0].replicated, runs.reports[1].replicated);
+}
+
+}  // namespace
+}  // namespace ftdag
