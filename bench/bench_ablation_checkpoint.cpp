@@ -53,33 +53,26 @@ int main(int argc, char** argv) {
 
       // Selective (the paper's scheme).
       PlannedFaultInjector sel_inj(plan.faults);
-      RepeatedRuns sel = run_ft(*app, pool, opt.reps,
-                                faults ? &sel_inj : nullptr);
+      RunSpec sel_spec;
+      sel_spec.kind = ExecutorKind::kFaultTolerant;
+      sel_spec.reps = opt.reps;
+      sel_spec.injector = faults ? &sel_inj : nullptr;
+      RepeatedRuns sel = run_executor(*app, pool, sel_spec);
 
       // Collective comparator.
-      CheckpointOptions copt;
-      copt.interval_levels = interval;
       PlannedFaultInjector ck_inj(plan.faults);
-      CheckpointRestartExecutor ck;
-      std::vector<double> ck_secs;
-      CheckpointReport last{};
-      for (int r = 0; r < opt.reps; ++r) {
-        app->reset_data();
-        ck_inj.reset();
-        last = ck.execute(*app, pool, faults ? &ck_inj : nullptr, copt);
-        const std::uint64_t got = app->result_checksum();
-        const std::uint64_t want = app->reference_checksum();
-        if (got != want) {
-          std::fprintf(stderr, "checkpoint executor result mismatch\n");
-          return 1;
-        }
-        ck_secs.push_back(last.seconds);
-      }
+      RunSpec ck_spec;
+      ck_spec.kind = ExecutorKind::kCheckpoint;
+      ck_spec.reps = opt.reps;
+      ck_spec.injector = faults ? &ck_inj : nullptr;
+      ck_spec.checkpoint.interval_levels = interval;
+      RepeatedRuns ck = run_executor(*app, pool, ck_spec);
+      const ExecReport& last = ck.reports.back();
 
       t.add_row({name, strf("%llu", (unsigned long long)faults),
                  strf("%.3f", sel.mean_seconds()),
                  strf("%.0f", sel.reexecution_summary().mean),
-                 strf("%.3f", summarize(ck_secs).mean),
+                 strf("%.3f", ck.time_summary().mean),
                  strf("%llu", (unsigned long long)last.re_executed),
                  strf("%llu", (unsigned long long)last.rollbacks),
                  strf("%.3f", last.checkpoint_seconds)});

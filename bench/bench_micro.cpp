@@ -10,7 +10,7 @@
 #include "concurrent/chase_lev_deque.hpp"
 #include "concurrent/sharded_map.hpp"
 #include "core/ft_executor.hpp"
-#include "core/recovery_table.hpp"
+#include "engine/recovery_table.hpp"
 #include "nabbit/executor.hpp"
 #include "runtime/scheduler.hpp"
 

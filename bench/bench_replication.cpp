@@ -31,16 +31,17 @@ namespace {
 
 struct Config {
   const char* name;
+  ExecutorKind kind;
   bool checksum;
-  const char* policy;  // nullptr = undefended baseline executor
+  const char* policy;  // replication policy for the FT configurations
 };
 
 constexpr Config kConfigs[] = {
-    {"undefended", false, nullptr},
-    {"ft-off", false, "off"},
-    {"checksum", true, "off"},
-    {"sample:0.5", false, "sample:0.5"},
-    {"all", false, "all"},
+    {"undefended", ExecutorKind::kBaseline, false, "off"},
+    {"ft-off", ExecutorKind::kFaultTolerant, false, "off"},
+    {"checksum", ExecutorKind::kFaultTolerant, true, "off"},
+    {"sample:0.5", ExecutorKind::kFaultTolerant, false, "sample:0.5"},
+    {"all", ExecutorKind::kFaultTolerant, false, "all"},
 };
 
 }  // namespace
@@ -70,18 +71,15 @@ int main(int argc, char** argv) {
     double baseline_mean = 0.0;
     for (const Config& c : kConfigs) {
       app->block_store().set_checksum_mode(c.checksum);
-      RepeatedRuns runs;
-      if (c.policy == nullptr) {
-        runs = run_baseline(*app, pool, opt.reps);
-      } else {
-        ExecutorOptions eo;
-        eo.replication = ReplicationPolicy::parse(c.policy);
-        runs = run_ft(*app, pool, opt.reps, nullptr, eo);
-      }
+      RunSpec spec;
+      spec.kind = c.kind;
+      spec.reps = opt.reps;
+      spec.ft.replication = ReplicationPolicy::parse(c.policy);
+      RepeatedRuns runs = run_executor(*app, pool, spec);
       app->block_store().set_checksum_mode(false);
 
       const Summary s = runs.time_summary();
-      if (c.policy == nullptr) baseline_mean = s.mean;
+      if (c.kind == ExecutorKind::kBaseline) baseline_mean = s.mean;
       std::uint64_t replicated = 0, mismatches = 0;
       for (const ExecReport& r : runs.reports) {
         replicated += r.replicated;

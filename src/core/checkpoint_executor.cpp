@@ -2,13 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
-#include <deque>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "engine/discovery.hpp"
+#include "engine/observation.hpp"
+#include "engine/retention_policy.hpp"
 #include "graph/compute_context.hpp"
-#include "support/assert.hpp"
 #include "support/timer.hpp"
 
 namespace ftdag {
@@ -26,12 +27,6 @@ struct ChkTask final : CorruptibleTask {
   }
 };
 
-bool snapshot_is_clean(const BlockStore::Snapshot& snap) {
-  for (VersionState st : snap.states)
-    if (st == VersionState::kCorrupted) return false;
-  return true;
-}
-
 }  // namespace
 
 CheckpointReport CheckpointRestartExecutor::execute(
@@ -41,35 +36,11 @@ CheckpointReport CheckpointRestartExecutor::execute(
   CheckpointReport report;
   BlockStore& store = problem.block_store();
 
-  // --- build topological levels (the BSP schedule) ---------------------------
-  // Iterative post-order from the sink, then level = 1 + max(level(preds)).
-  struct Frame {
-    TaskKey key;
-    KeyList preds;
-    std::size_t next = 0;
-  };
-  std::vector<TaskKey> order;
-  {
-    std::vector<Frame> stack;
-    std::unordered_map<TaskKey, bool> seen;
-    stack.push_back({problem.sink(), {}, 0});
-    problem.predecessors(problem.sink(), stack.back().preds);
-    seen[problem.sink()] = false;
-    while (!stack.empty()) {
-      Frame& f = stack.back();
-      if (f.next < f.preds.size()) {
-        const TaskKey p = f.preds[f.next++];
-        if (!seen.count(p)) {
-          seen[p] = false;
-          stack.push_back({p, {}, 0});
-          problem.predecessors(p, stack.back().preds);
-        }
-        continue;
-      }
-      order.push_back(f.key);
-      stack.pop_back();
-    }
-  }
+  // --- the BSP schedule: engine discovery walk + level assignment ------------
+  // The traversal engine (inline backend, no-op computes) emits the
+  // reachable graph in topological order; level = 1 + max(level(preds)) is
+  // then a plain post-pass.
+  const std::vector<TaskKey> order = engine::topological_order(problem);
   std::unordered_map<TaskKey, std::size_t> level_of;
   std::vector<std::vector<TaskKey>> levels;
   {
@@ -85,20 +56,20 @@ CheckpointReport CheckpointRestartExecutor::execute(
     }
   }
   report.levels = levels.size();
+  report.tasks_discovered = order.size();
 
   std::unordered_map<TaskKey, std::unique_ptr<ChkTask>> handles;
   handles.reserve(order.size());
   for (TaskKey key : order) handles.emplace(key, std::make_unique<ChkTask>(key));
 
   // --- bulk-synchronous execution with coordinated checkpoints ---------------
-  struct Checkpoint {
-    std::size_t level;  // first level NOT contained in the snapshot
-    BlockStore::Snapshot snap;
-  };
-  std::deque<Checkpoint> checkpoints;
-  std::atomic<std::uint64_t> computes{0};
+  // Levels run under a global barrier; the retention policy fires at the
+  // barrier — the one place a consistent whole-store snapshot exists — and
+  // decides rollback targets when a level observes a fault.
+  engine::ObservationPolicy obs;
+  engine::CheckpointRetention retention(options.interval_levels,
+                                        options.max_snapshots);
   std::size_t level = 0;
-  int since_checkpoint = 0;
 
   while (level < levels.size()) {
     const std::vector<TaskKey>& tasks = levels[level];
@@ -120,7 +91,7 @@ CheckpointReport CheckpointRestartExecutor::execute(
                 problem.compute(key, ctx);
                 ctx.finalize();
               }
-              computes.fetch_add(1, std::memory_order_relaxed);
+              obs.count_compute();
               if (injector != nullptr) {
                 // In the BSP model a task's successors observe it at the
                 // level boundary, so both post-compute lifetime points of
@@ -131,6 +102,7 @@ CheckpointReport CheckpointRestartExecutor::execute(
                                    problem);
               }
             } catch (const FaultException&) {
+              obs.count_fault();
               fault.store(true, std::memory_order_release);
             }
           }
@@ -138,40 +110,21 @@ CheckpointReport CheckpointRestartExecutor::execute(
 
     if (!fault.load(std::memory_order_acquire)) {
       ++level;
-      if (++since_checkpoint >= options.interval_levels &&
-          level < levels.size()) {
-        Timer ck;
-        checkpoints.push_back({level, store.snapshot()});
-        if (checkpoints.size() >
-            static_cast<std::size_t>(options.max_snapshots))
-          checkpoints.pop_front();
-        report.checkpoint_seconds += ck.seconds();
-        ++report.checkpoints;
-        since_checkpoint = 0;
-      }
+      retention.on_barrier(store, level, levels.size(), report);
       continue;
     }
 
-    // Global rollback: restore the most recent *clean* checkpoint (a
-    // snapshot can itself contain a latent corrupted version from an
-    // after-notify fault; those are poisoned and discarded).
-    ++report.rollbacks;
-    while (!checkpoints.empty() && !snapshot_is_clean(checkpoints.back().snap))
-      checkpoints.pop_back();
-    if (checkpoints.empty()) {
-      store.reset_states();  // restart from the beginning
-      level = 0;
-    } else {
-      store.restore(checkpoints.back().snap);
-      level = checkpoints.back().level;
-    }
-    since_checkpoint = 0;
+    // Global rollback to the most recent clean snapshot (or level 0 with a
+    // full state reset), discarding every task finished since — including
+    // the work of threads the fault never touched.
+    level = retention.rollback(store, report);
     for (auto& [key, handle] : handles)
       handle->corrupted.store(false, std::memory_order_relaxed);
   }
 
-  report.computes = computes.load();
+  obs.fill(report);
   report.re_executed = report.computes - order.size();
+  report.injected = injector != nullptr ? injector->injected() : 0;
   report.seconds = total.seconds();
   return report;
 }

@@ -34,15 +34,10 @@ struct CheckpointOptions {
   int max_snapshots = 8;    // older checkpoints are discarded
 };
 
-struct CheckpointReport {
-  double seconds = 0.0;
-  std::uint64_t levels = 0;
-  std::uint64_t checkpoints = 0;
-  std::uint64_t rollbacks = 0;
-  std::uint64_t computes = 0;     // compute executions, including re-runs
-  std::uint64_t re_executed = 0;  // computes beyond one per task
-  double checkpoint_seconds = 0.0;  // time spent writing checkpoints
-};
+// The comparator reports through the same uniform record as every other
+// executor; the checkpoint-specific counters (levels, checkpoints,
+// rollbacks, checkpoint_seconds) are zero for the dynamic-walk executors.
+using CheckpointReport = ExecReport;
 
 class CheckpointRestartExecutor {
  public:

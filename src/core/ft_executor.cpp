@@ -1,492 +1,33 @@
 #include "core/ft_executor.hpp"
 
-#include <atomic>
 #include <condition_variable>
 #include <cstdio>
-#include <memory>
 #include <mutex>
 #include <thread>
-#include <vector>
 
-#include "concurrent/sharded_map.hpp"
-#include "core/ft_task.hpp"
-#include "core/recovery_table.hpp"
-#include "graph/compute_context.hpp"
-#include "replication/digest_voter.hpp"
-#include "replication/shadow_context.hpp"
+#include "engine/backend.hpp"
+#include "engine/detection_policy.hpp"
+#include "engine/fault_policy.hpp"
+#include "engine/retention_policy.hpp"
+#include "engine/traversal_engine.hpp"
 #include "support/assert.hpp"
-#include "support/timer.hpp"
 
 namespace ftdag {
 namespace {
 
-// Hash-map entry: holds the *current incarnation* of a task. REPLACETASK
-// swaps the pointer; superseded incarnations are retired to a garbage list
-// (threads may still hold them) and freed after quiescence.
-struct TaskSlot {
-  explicit TaskSlot(FtTask* t) : task(t) {}
-  ~TaskSlot() { delete task.load(std::memory_order_relaxed); }
-  std::atomic<FtTask*> task;
-};
-
-// Per-key compute completions, for the re-execution statistics of Table II.
-struct ComputeCount {
-  std::atomic<std::uint32_t> runs{0};
-};
-
-struct Run {
-  TaskGraphProblem& problem;
-  WorkStealingPool& pool;
-  FaultInjector* injector;
-  ExecutionTrace* trace;
-  BlockStore& store;
-  const ReplicationPolicy replication;
-
-  ShardedMap<TaskSlot> tasks;
-  RecoveryTable recovery;
-  ShardedMap<ComputeCount> compute_counts;
-
-  SpinLock garbage_lock;
-  std::vector<FtTask*> garbage;  // superseded incarnations
-
-  // One replica scratch arena per worker (index current_worker_index();
-  // external callers share arena 0 — the arena itself is thread-safe).
-  // Empty when replication is off: the fast path allocates nothing.
-  std::vector<std::unique_ptr<ShadowArena>> arenas;
-
-  std::atomic<std::uint64_t> computes{0};
-  std::atomic<std::uint64_t> faults_caught{0};
-  std::atomic<std::uint64_t> recoveries{0};
-  std::atomic<std::uint64_t> resets{0};
-  std::atomic<std::uint64_t> replicated{0};
-  std::atomic<std::uint64_t> digest_mismatches{0};
-  std::atomic<std::uint64_t> votes_resolved{0};
-
-  Run(TaskGraphProblem& p, WorkStealingPool& wp, FaultInjector* inj,
-      ExecutionTrace* tr, const ReplicationPolicy& rp)
-      : problem(p), pool(wp), injector(inj), trace(tr),
-        store(p.block_store()), replication(rp) {
-    if (replication.enabled()) {
-      arenas.resize(pool.thread_count());
-      for (auto& a : arenas) a = std::make_unique<ShadowArena>();
-    }
-  }
-
-  ShadowArena& arena() {
-    const int w = pool.current_worker_index();
-    return *arenas[w >= 0 ? static_cast<std::size_t>(w) : 0];
-  }
-
-  void trace_span(TraceKind kind, TaskKey key, std::uint64_t life,
-                  double begin) {
-    if (trace != nullptr)
-      trace->record(pool.current_worker_index(), kind, key, life, begin,
-                    trace->now());
-  }
-  void trace_instant(TraceKind kind, TaskKey key, std::uint64_t life) {
-    if (trace != nullptr) {
-      const double t = trace->now();
-      trace->record(pool.current_worker_index(), kind, key, life, t, t);
-    }
-  }
-
-  ~Run() {
-    for (FtTask* t : garbage) delete t;
-  }
-
-  // --- task lifetime ---------------------------------------------------------
-
-  FtTask* make_task(TaskKey key, std::uint64_t life) {
-    KeyList preds;
-    problem.predecessors(key, preds);
-    return new FtTask(key, life, std::move(preds));
-  }
-
-  // INSERTTASKIFABSENT + GETTASK fused: returns the current incarnation.
-  std::pair<FtTask*, bool> insert_task_if_absent(TaskKey key) {
-    auto [slot, inserted] = tasks.insert_if_absent(
-        key, [&] { return new TaskSlot(make_task(key, 0)); });
-    return {slot->task.load(std::memory_order_acquire), inserted};
-  }
-
-  FtTask* find_task(TaskKey key) {
-    TaskSlot* slot = tasks.find(key);
-    return slot ? slot->task.load(std::memory_order_acquire) : nullptr;
-  }
-
-  // REPLACETASK: publishes a fresh incarnation with life + 1. The superseded
-  // descriptor is poisoned first so threads still holding it observe the
-  // error on their next access and defer to the recovery table.
-  FtTask* replace_task(TaskKey key) {
-    TaskSlot* slot = tasks.find(key);
-    FTDAG_ASSERT(slot != nullptr, "REPLACETASK on unknown key");
-    FtTask* old = slot->task.load(std::memory_order_acquire);
-    FtTask* fresh = make_task(key, old->life + 1);
-    old->corrupt_descriptor();
-    const bool swapped = slot->task.compare_exchange_strong(
-        old, fresh, std::memory_order_acq_rel);
-    FTDAG_ASSERT(swapped, "concurrent REPLACETASK on the same incarnation");
-    {
-      std::lock_guard<SpinLock> guard(garbage_lock);
-      garbage.push_back(old);
-    }
-    return fresh;
-  }
-
-  // --- fault plumbing --------------------------------------------------------
-
-  void injector_point(FaultPhase phase, FtTask* a) {
-    if (injector != nullptr) injector->at_point(phase, *a, store, problem);
-  }
-
-  // Throws DataBlockFault if any output version of a task that claims to
-  // have Computed is not Valid (the "B.overwritten" test of Fig. 2
-  // TRYINITCOMPUTE, extended to corrupted outputs: a soft error matters iff
-  // it hits the descriptor or an output). Absent outputs of a Computed task
-  // are equally fatal - an aborted recovery rewrite leaves a version
-  // Absent, and a consumer's compute observes that as a missing-input
-  // fault. The traversal check must cover every state the compute can
-  // throw on, or the reset-retraverse loop of Guarantee 5 cannot converge.
-  void throw_if_outputs_unusable(TaskKey key) {
-    OutputList outs;
-    problem.outputs(key, outs);
-    for (const ProducedVersion& pv : outs) {
-      const VersionState st = store.state(pv.block, pv.version);
-      if (st == VersionState::kValid) continue;
-      BlockFaultReason reason;
-      switch (st) {
-        case VersionState::kCorrupted:
-          reason = BlockFaultReason::kCorrupted;
-          break;
-        case VersionState::kOverwritten:
-          reason = BlockFaultReason::kOverwritten;
-          break;
-        default:
-          reason = BlockFaultReason::kMissing;
-          break;
-      }
-      throw DataBlockFault(key, pv.block, pv.version, reason);
-    }
-  }
-
-  void note_compute(TaskKey key) {
-    computes.fetch_add(1, std::memory_order_relaxed);
-    auto [count, inserted] =
-        compute_counts.insert_if_absent(key, [] { return new ComputeCount; });
-    (void)inserted;
-    count->runs.fetch_add(1, std::memory_order_relaxed);
-  }
-
-  // --- Figure 2 routines -----------------------------------------------------
-
-  // INITANDCOMPUTE: traverse predecessors, then self-notify. The descriptor
-  // itself was fully initialized at construction (INIT).
-  void init_and_compute(FtTask* a, TaskKey key, std::uint64_t life) {
-    for (TaskKey pkey : a->preds)
-      pool.spawn(
-          [this, a, key, life, pkey] { try_init_compute(a, key, life, pkey); });
-    notify_once(a, key, key, life);
-  }
-
-  void try_init_compute(FtTask* a, TaskKey key, std::uint64_t life,
-                        TaskKey pkey) {
-    auto [b, inserted] = insert_task_if_absent(pkey);
-    const std::uint64_t blife = b->life;
-    if (inserted)
-      pool.spawn([this, b, pkey, blife] { init_and_compute(b, pkey, blife); });
-
-    bool finished = true;
-    try {
-      b->check();
-      {
-        std::lock_guard<SpinLock> guard(b->lock);
-        if (b->status.load(std::memory_order_acquire) <
-            TaskStatus::kComputed) {
-          // B notifies A once computed (and will produce fresh outputs).
-          b->notify_array.push_back(key);
-          finished = false;
-        }
-      }
-      // B claims Computed: for *flow* predecessors its outputs must be
-      // live. Anti-dependence predecessors' data is legitimately dead once
-      // their readers ran, so it is never checked.
-      if (finished && problem.data_dependence(key, pkey))
-        throw_if_outputs_unusable(pkey);
-    } catch (const FaultException& e) {
-      faults_caught.fetch_add(1, std::memory_order_relaxed);
-      trace_instant(TraceKind::kFault, e.failed_key(), blife);
-      finished = false;
-      recover_task_once(pkey, blife);
-    }
-    if (finished) notify_once(a, key, pkey, life);
-  }
-
-  // NOTIFYONCE: clear the bit for pkey; only the clearing thread may
-  // decrement the join counter (Guarantee 3).
-  void notify_once(FtTask* a, TaskKey key, TaskKey pkey, std::uint64_t life) {
-    try {
-      a->check();
-      const std::size_t ind = a->pred_index(pkey);
-      if (a->bits.fetch_unset(ind)) {
-        const int val = a->join.fetch_sub(1, std::memory_order_acq_rel) - 1;
-        FTDAG_ASSERT(val >= 0, "join counter went negative");
-        if (val == 0) compute_and_notify(a, key, life);
-      }
-    } catch (const FaultException& e) {
-      faults_caught.fetch_add(1, std::memory_order_relaxed);
-      trace_instant(TraceKind::kFault, e.failed_key(), life);
-      recover_task_once(key, life);
-    }
-  }
-
-  void notify_successor(TaskKey key, TaskKey skey) {
-    FtTask* s = find_task(skey);
-    FTDAG_ASSERT(s != nullptr, "notify target was never inserted");
-    notify_once(s, skey, key, s->life);
-  }
-
-  // --- replication (dual-execution digest voting) ----------------------------
-
-  // Replicate iff the policy selects this task; pure control tasks (no
-  // outputs) are never replicated. `outs` is filled as a side effect for the
-  // voter. Called only when replication is enabled.
-  bool should_replicate(TaskKey key, OutputList& outs) {
-    problem.outputs(key, outs);
-    std::uint64_t bytes = 0;
-    for (const ProducedVersion& pv : outs) bytes += store.block_bytes(pv.block);
-    return replication.should_replicate(key, bytes);
-  }
-
-  // Runs the compute body once against shadow scratch buffers. Reads are
-  // re-validated like a primary run's; a DataBlockFault propagates into the
-  // ordinary recovery path of the caller. Returns the replica's digests.
-  DigestList run_replica(TaskKey key, std::uint64_t life,
-                         ComputeContext::StagedResults& staged) {
-    const double begin = trace != nullptr ? trace->now() : 0.0;
-    ShadowContext sctx(store, key, arena());
-    problem.compute(key, sctx);
-    sctx.finalize();  // re-validate replica reads; publishes nothing
-    replicated.fetch_add(1, std::memory_order_relaxed);
-    trace_span(TraceKind::kReplica, key, life, begin);
-    staged = sctx.staged_results();
-    return sctx.output_digests();
-  }
-
-  // Votes replica vs. published outputs after commit. On mismatch, tries a
-  // tie-breaking third run (TMR) when the primary did not consume its
-  // inputs in place; if the tie-breaker sides with the primary, execution
-  // proceeds (the replica was the corrupted run). Otherwise the outputs are
-  // marked Corrupted and ReplicaMismatchFault sends the task — a detected
-  // fault now — through RECOVERTASK, whose re-execution (and, for consumed
-  // inputs, the re-execution chain behind it) regenerates everything.
-  void vote_or_recover(TaskKey key, const OutputList& outs,
-                       const DigestList& replica_digests,
-                       const ComputeContext::StagedResults& replica_staged,
-                       const ComputeContext::StagedResults& primary_staged,
-                       bool primary_consumed_inputs, std::uint64_t life) {
-    DigestList published;
-    const bool readable = DigestVoter::committed_digests(store, outs, published);
-    if (readable && DigestVoter::agree(published, replica_digests) &&
-        DigestVoter::agree(primary_staged, replica_staged))
-      return;
-
-    digest_mismatches.fetch_add(1, std::memory_order_relaxed);
-    if (readable && !primary_consumed_inputs) {
-      try {
-        ComputeContext::StagedResults tie_staged;
-        const DigestList tie = run_replica(key, life, tie_staged);
-        if (DigestVoter::agree(tie, published) &&
-            DigestVoter::agree(tie_staged, primary_staged)) {
-          // Two against one for the published outputs: the shadow replica
-          // was the corrupted execution. Nothing to repair.
-          votes_resolved.fetch_add(1, std::memory_order_relaxed);
-          return;
-        }
-      } catch (const FaultException&) {
-        // An input vanished under the tie-breaker (displaced by unrelated
-        // recovery): the vote stays unresolved, fall through to recovery.
-      }
-    }
-    // Unresolved: turn the silent corruption into a detected one. Consumers
-    // cannot have read these outputs yet — the task has not been marked
-    // Computed nor notified anyone.
-    for (const ProducedVersion& pv : outs) store.corrupt(pv.block, pv.version);
-    throw ReplicaMismatchFault(key);
-  }
-
-  // --- Figure 2 routines (continued) -----------------------------------------
-
-  void compute_and_notify(FtTask* a, TaskKey key, std::uint64_t life) {
-    try {
-      a->check();
-      injector_point(FaultPhase::kBeforeCompute, a);
-      a->check();  // a before-compute fault is detected here, pre-COMPUTE
-
-      OutputList outs;
-      DigestList replica_digests;
-      ComputeContext::StagedResults replica_staged, primary_staged;
-      bool replicate = false, primary_consumed_inputs = false;
-      if (replication.enabled()) replicate = should_replicate(key, outs);
-
-      {
-        // Replica first: it must observe the same inputs as the primary,
-        // and with memory reuse the primary consumes same-slot inputs.
-        if (replicate) replica_digests = run_replica(key, life, replica_staged);
-
-        const double begin = trace != nullptr ? trace->now() : 0.0;
-        ComputeContext ctx(store, key);
-        problem.compute(key, ctx);  // reads throw on corrupt/overwritten input
-        a->check();                  // descriptor died mid-compute?
-        ctx.finalize();              // re-validate reads, commit outputs
-        trace_span(TraceKind::kCompute, key, life, begin);
-        if (replicate) {
-          primary_staged = ctx.staged_results();
-          primary_consumed_inputs = ctx.consumed_inputs();
-        }
-      }
-      note_compute(key);
-      // The injector fires before the digest vote and before the Computed
-      // status is published: a bit flipped in the committed outputs here is
-      // precisely the silent corruption the vote must catch, and no
-      // consumer can read the outputs until the status flips below.
-      injector_point(FaultPhase::kAfterCompute, a);
-      if (replicate)
-        vote_or_recover(key, outs, replica_digests, replica_staged,
-                        primary_staged, primary_consumed_inputs, life);
-      a->status.store(TaskStatus::kComputed, std::memory_order_release);
-
-      // Notify enqueued successors; re-check the array under the lock before
-      // flipping to Completed so late registrations are not lost.
-      std::size_t notified = 0;
-      for (;;) {
-        a->check();  // an after-compute fault on self is detected here
-        KeyList batch;
-        {
-          std::lock_guard<SpinLock> guard(a->lock);
-          for (std::size_t i = notified; i < a->notify_array.size(); ++i)
-            batch.push_back(a->notify_array[i]);
-          if (batch.empty()) {
-            a->status.store(TaskStatus::kCompleted,
-                            std::memory_order_release);
-            break;
-          }
-          notified = a->notify_array.size();
-        }
-        for (TaskKey skey : batch)
-          pool.spawn([this, key, skey] { notify_successor(key, skey); });
-      }
-      injector_point(FaultPhase::kAfterNotify, a);
-      // After-notify faults stay latent until (and unless) a later access
-      // observes them - matching the paper's after-notify scenarios.
-    } catch (const FaultException& e) {
-      faults_caught.fetch_add(1, std::memory_order_relaxed);
-      trace_instant(TraceKind::kFault, e.failed_key(), life);
-      if (e.failed_key() == key)
-        recover_task_once(key, life);  // error in A itself
-      else
-        reset_node(a, key, life);  // a predecessor's data failed mid-compute
-    }
-  }
-
-  // --- Figure 3 routines -----------------------------------------------------
-
-  void recover_task_once(TaskKey key, std::uint64_t life) {
-    if (!recovery.is_recovering(key, life)) recover_task(key);
-  }
-
-  // RESETNODE: re-arm the join counter and bit vector, then re-traverse the
-  // predecessors; the traversal observes whichever predecessor failed and
-  // recovers it (Guarantee 5). Resetting join *before* the bits keeps stale
-  // duplicate notifications harmless: in the window between the two stores
-  // all bits are clear, so stragglers cannot decrement.
-  void reset_node(FtTask* a, TaskKey key, std::uint64_t life) {
-    try {
-      FTDAG_DASSERT(a->status.load() == TaskStatus::kVisited,
-                    "reset of a task that already computed");
-      a->join.store(1 + static_cast<int>(a->preds.size()),
-                    std::memory_order_release);
-      a->bits.set_all();
-      resets.fetch_add(1, std::memory_order_relaxed);
-      trace_instant(TraceKind::kReset, key, life);
-      init_and_compute(a, key, life);
-    } catch (const FaultException& e) {
-      faults_caught.fetch_add(1, std::memory_order_relaxed);
-      trace_instant(TraceKind::kFault, e.failed_key(), life);
-      recover_task_once(key, life);
-    }
-  }
-
-  // REINITNOTIFYENTRY: while recovering T, re-enqueue successor S iff S is
-  // still Visited and has not yet been notified by T (its bit for T is still
-  // set). Entries of the lost notify array are reconstructed from successor
-  // state instead of from any backup (Guarantee 4).
-  void reinit_notify_entry(FtTask* t, TaskKey key, FtTask* s, TaskKey skey,
-                           std::uint64_t slife) {
-    try {
-      s->check();
-      if (s->status.load(std::memory_order_acquire) != TaskStatus::kVisited)
-        return;  // Computed/Completed successors need nothing from T
-      const std::size_t ind = s->pred_index(key);
-      if (s->bits.test(ind)) {
-        std::lock_guard<SpinLock> guard(t->lock);
-        t->notify_array.push_back(skey);
-      }
-    } catch (const FaultException& e) {
-      faults_caught.fetch_add(1, std::memory_order_relaxed);
-      trace_instant(TraceKind::kFault, e.failed_key(), slife);
-      if (e.failed_key() == skey)
-        recover_task_once(skey, slife);
-      else
-        throw;  // fault on T itself: let RECOVERTASK's retry loop handle it
-    }
-  }
-
-  // RECOVERTASK: replace the incarnation, rebuild its notify array from its
-  // successors, and re-process it as a fresh task. Failures during recovery
-  // restart the loop with yet another incarnation (Guarantee 6), unless a
-  // different thread already claimed the newer recovery.
-  void recover_task(TaskKey key) {
-    for (;;) {
-      bool success = true;
-      std::uint64_t life = 0;
-      const double begin = trace != nullptr ? trace->now() : 0.0;
-      try {
-        FtTask* t = replace_task(key);
-        life = t->life;
-        t->recovery.store(true, std::memory_order_relaxed);
-        recoveries.fetch_add(1, std::memory_order_relaxed);
-
-        KeyList succs;
-        problem.successors(key, succs);
-        for (TaskKey skey : succs) {
-          FtTask* s = find_task(skey);
-          if (s == nullptr) continue;  // successor not yet created: it will
-                                       // observe the fresh incarnation itself
-          reinit_notify_entry(t, key, s, skey, s->life);
-        }
-        pool.spawn([this, t, key, life] { init_and_compute(t, key, life); });
-        trace_span(TraceKind::kRecovery, key, life, begin);
-      } catch (const FaultException& e) {
-        faults_caught.fetch_add(1, std::memory_order_relaxed);
-        trace_instant(TraceKind::kFault, e.failed_key(), life);
-        if (!recovery.is_recovering(key, life)) success = false;
-      }
-      if (success) return;
-    }
-  }
-};
-
-}  // namespace
-
-namespace {
+using FtEngine =
+    engine::TraversalEngine<engine::SelectiveRecoveryPolicy,
+                            engine::ReplicationDetection, engine::NoRetention,
+                            engine::WorkStealingBackend>;
 
 // Diagnostic liveness monitor: samples the compute counter; on stall,
 // prints a status breakdown of the task map so a hung execution (e.g. a
 // lost notification) is attributable without a debugger.
 class Watchdog {
  public:
-  Watchdog(Run& run, double interval_seconds)
-      : run_(run), interval_(interval_seconds) {
+  Watchdog(FtEngine& eng, engine::ObservationPolicy& obs,
+           double interval_seconds)
+      : eng_(eng), obs_(obs), interval_(interval_seconds) {
     if (interval_ > 0.0) thread_ = std::thread([this] { main(); });
   }
 
@@ -502,21 +43,20 @@ class Watchdog {
 
  private:
   void main() {
-    std::uint64_t last = run_.computes.load(std::memory_order_relaxed);
+    std::uint64_t last = obs_.computes();
     std::unique_lock<std::mutex> lock(mutex_);
     while (!stop_) {
       cv_.wait_for(lock, std::chrono::duration<double>(interval_),
                    [this] { return stop_; });
       if (stop_) return;
-      const std::uint64_t now = run_.computes.load(std::memory_order_relaxed);
+      const std::uint64_t now = obs_.computes();
       if (now != last) {
         last = now;
         continue;
       }
       // No compute finished for a whole interval: dump status counts.
       std::size_t visited = 0, computed = 0, completed = 0, corrupted = 0;
-      run_.tasks.for_each([&](MapKey, TaskSlot& slot) {
-        const FtTask* t = slot.task.load(std::memory_order_acquire);
+      eng_.for_each_task([&](TaskKey, const engine::FtTask* t) {
         if (t == nullptr) return;
         if (t->corrupted.load(std::memory_order_relaxed)) ++corrupted;
         switch (t->status.load(std::memory_order_relaxed)) {
@@ -537,12 +77,13 @@ class Watchdog {
                    "corrupted=%zu} recoveries=%llu resets=%llu\n",
                    interval_, (unsigned long long)now, visited, computed,
                    completed, corrupted,
-                   (unsigned long long)run_.recoveries.load(),
-                   (unsigned long long)run_.resets.load());
+                   (unsigned long long)obs_.recoveries(),
+                   (unsigned long long)obs_.resets());
     }
   }
 
-  Run& run_;
+  FtEngine& eng_;
+  engine::ObservationPolicy& obs_;
   double interval_;
   std::thread thread_;
   std::mutex mutex_;
@@ -557,40 +98,16 @@ ExecReport FaultTolerantExecutor::execute(TaskGraphProblem& problem,
                                           FaultInjector* injector,
                                           ExecutionTrace* trace,
                                           const ExecutorOptions& options) {
-  Run run(problem, pool, injector, trace, options.replication);
-  const TaskKey sink = problem.sink();
+  engine::WorkStealingBackend backend(pool);
+  engine::ObservationPolicy obs(trace);
+  engine::SelectiveRecoveryPolicy fault(obs, injector);
+  engine::ReplicationDetection detection(options.replication,
+                                         pool.thread_count(), obs);
+  engine::NoRetention retention;
+  FtEngine eng(problem, backend, fault, detection, retention, obs);
 
-  Timer timer;
-  {
-    Watchdog watchdog(run, options.watchdog_seconds);
-    pool.run_to_quiescence([&run, sink] {
-      auto [t, inserted] = run.insert_task_if_absent(sink);
-      FTDAG_ASSERT(inserted, "sink already present");
-      run.init_and_compute(t, sink, t->life);
-    });
-  }
-
-  ExecReport report;
-  report.seconds = timer.seconds();
-  report.tasks_discovered = run.tasks.size();
-  report.computes = run.computes.load();
-  run.compute_counts.for_each([&report](TaskKey, const ComputeCount& c) {
-    const std::uint32_t n = c.runs.load(std::memory_order_relaxed);
-    if (n > 1) report.re_executed += n - 1;
-  });
-  report.faults_caught = run.faults_caught.load();
-  report.recoveries = run.recoveries.load();
-  report.resets = run.resets.load();
-  report.injected = injector != nullptr ? injector->injected() : 0;
-  report.replicated = run.replicated.load();
-  report.digest_mismatches = run.digest_mismatches.load();
-  report.votes_resolved = run.votes_resolved.load();
-
-  FtTask* sink_task = run.find_task(sink);
-  FTDAG_ASSERT(sink_task != nullptr &&
-                   sink_task->status.load() == TaskStatus::kCompleted,
-               "sink did not complete");
-  return report;
+  Watchdog watchdog(eng, obs, options.watchdog_seconds);
+  return eng.run();
 }
 
 }  // namespace ftdag

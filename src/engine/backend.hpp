@@ -1,0 +1,66 @@
+#pragma once
+// ExecutionBackend seam: where the traversal engine's fire-and-forget jobs
+// run. The engine only ever (a) spawns a job, (b) runs a root job to
+// quiescence, and (c) asks which worker it is on (for trace attribution and
+// per-worker scratch arenas) — so that is the whole interface.
+//
+// WorkStealingBackend forwards to the Cilk-style pool (the paper's
+// substrate). InlineBackend is a single-threaded FIFO run queue: the same
+// traversal code becomes the serial oracle, with task completion order
+// doubling as a topological order of the reachable graph.
+
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include "runtime/scheduler.hpp"
+
+namespace ftdag::engine {
+
+class WorkStealingBackend {
+ public:
+  explicit WorkStealingBackend(WorkStealingPool& pool) : pool_(pool) {}
+
+  template <typename F>
+  void spawn(F&& fn) {
+    pool_.spawn(std::forward<F>(fn));
+  }
+
+  void run_to_quiescence(std::function<void()> root) {
+    pool_.run_to_quiescence(std::move(root));
+  }
+
+  int worker_index() const { return pool_.current_worker_index(); }
+  unsigned concurrency() const { return pool_.thread_count(); }
+
+ private:
+  WorkStealingPool& pool_;
+};
+
+// Deterministic single-threaded backend. Jobs run in FIFO spawn order on
+// the calling thread; quiescence is simply an empty queue. A job may spawn
+// more jobs while running (the traversal does), which land at the back.
+class InlineBackend {
+ public:
+  template <typename F>
+  void spawn(F&& fn) {
+    queue_.emplace_back(std::forward<F>(fn));
+  }
+
+  void run_to_quiescence(const std::function<void()>& root) {
+    root();
+    while (!queue_.empty()) {
+      std::function<void()> job = std::move(queue_.front());
+      queue_.pop_front();
+      job();
+    }
+  }
+
+  int worker_index() const { return -1; }
+  unsigned concurrency() const { return 1; }
+
+ private:
+  std::deque<std::function<void()>> queue_;
+};
+
+}  // namespace ftdag::engine

@@ -1,0 +1,168 @@
+#pragma once
+// DetectionPolicy: silent-data-corruption detection layered over the walk.
+//
+// The paper assumes detection ("once an error is detected, all subsequent
+// accesses ... observe the error"); this policy supplies it for errors that
+// would otherwise stay silent. NoDetectionPolicy compiles to nothing — its
+// Plan says `replicate` is a compile-time false, so every hook call folds
+// away. ReplicationDetection is the dual-execution digest-voting subsystem
+// (src/replication/): selected tasks run their compute body once more into
+// shadow scratch buffers *before* the primary, output digests are voted
+// after commit but before the Computed status is published, and an
+// unresolved mismatch marks the outputs Corrupted and throws
+// ReplicaMismatchFault — turning a silent corruption into exactly the
+// detected fault the selective-recovery FaultPolicy consumes.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "blocks/block_store.hpp"
+#include "engine/observation.hpp"
+#include "fault/fault.hpp"
+#include "graph/compute_context.hpp"
+#include "graph/task_graph_problem.hpp"
+#include "replication/digest_voter.hpp"
+#include "replication/replication_policy.hpp"
+#include "replication/shadow_context.hpp"
+
+namespace ftdag::engine {
+
+struct NoDetectionPolicy {
+  struct Plan {
+    static constexpr bool replicate = false;
+  };
+
+  static constexpr bool enabled() { return false; }
+  template <class Engine>
+  void pre_compute(Engine&, TaskKey, std::uint64_t, Plan&) {}
+  void capture_primary(ComputeContext&, Plan&) {}
+  template <class Engine>
+  void vote_or_recover(Engine&, TaskKey, std::uint64_t, Plan&) {}
+};
+
+class ReplicationDetection {
+ public:
+  // Per-task voting state, stack-allocated in the engine's compute step.
+  struct Plan {
+    bool replicate = false;
+    OutputList outs;  // filled by the replicate decision, reused by the vote
+    DigestList replica_digests;
+    ComputeContext::StagedResults replica_staged;
+    ComputeContext::StagedResults primary_staged;
+    bool primary_consumed_inputs = false;
+  };
+
+  // One replica scratch arena per worker (indexed by the backend's worker
+  // index; external callers share arena 0 — the arena itself is
+  // thread-safe). Empty when replication is off: the fast path allocates
+  // nothing.
+  ReplicationDetection(const ReplicationPolicy& policy, unsigned workers,
+                       ObservationPolicy& obs)
+      : policy_(policy), obs_(obs) {
+    if (policy_.enabled()) {
+      arenas_.resize(workers);
+      for (auto& a : arenas_) a = std::make_unique<ShadowArena>();
+    }
+  }
+
+  bool enabled() const { return policy_.enabled(); }
+
+  // Decides replication for this task and, if selected, runs the replica.
+  // Replica first: it must observe the same inputs as the primary, and with
+  // memory reuse the primary consumes same-slot inputs.
+  template <class Engine>
+  void pre_compute(Engine& eng, TaskKey key, std::uint64_t life, Plan& plan) {
+    plan.replicate = should_replicate(eng.problem(), eng.store(), key,
+                                      plan.outs);
+    if (plan.replicate)
+      plan.replica_digests = run_replica(eng, key, life, plan.replica_staged);
+  }
+
+  void capture_primary(ComputeContext& ctx, Plan& plan) {
+    plan.primary_staged = ctx.staged_results();
+    plan.primary_consumed_inputs = ctx.consumed_inputs();
+  }
+
+  // Votes replica vs. published outputs after commit. On mismatch, tries a
+  // tie-breaking third run (TMR) when the primary did not consume its
+  // inputs in place; if the tie-breaker sides with the primary, execution
+  // proceeds (the replica was the corrupted run). Otherwise the outputs are
+  // marked Corrupted and ReplicaMismatchFault sends the task — a detected
+  // fault now — through RECOVERTASK, whose re-execution (and, for consumed
+  // inputs, the re-execution chain behind it) regenerates everything.
+  template <class Engine>
+  void vote_or_recover(Engine& eng, TaskKey key, std::uint64_t life,
+                       Plan& plan) {
+    BlockStore& store = eng.store();
+    DigestList published;
+    const bool readable =
+        DigestVoter::committed_digests(store, plan.outs, published);
+    if (readable && DigestVoter::agree(published, plan.replica_digests) &&
+        DigestVoter::agree(plan.primary_staged, plan.replica_staged))
+      return;
+
+    obs_.count_digest_mismatch();
+    if (readable && !plan.primary_consumed_inputs) {
+      try {
+        ComputeContext::StagedResults tie_staged;
+        const DigestList tie = run_replica(eng, key, life, tie_staged);
+        if (DigestVoter::agree(tie, published) &&
+            DigestVoter::agree(tie_staged, plan.primary_staged)) {
+          // Two against one for the published outputs: the shadow replica
+          // was the corrupted execution. Nothing to repair.
+          obs_.count_vote_resolved();
+          return;
+        }
+      } catch (const FaultException&) {
+        // An input vanished under the tie-breaker (displaced by unrelated
+        // recovery): the vote stays unresolved, fall through to recovery.
+      }
+    }
+    // Unresolved: turn the silent corruption into a detected one. Consumers
+    // cannot have read these outputs yet — the task has not been marked
+    // Computed nor notified anyone.
+    for (const ProducedVersion& pv : plan.outs)
+      store.corrupt(pv.block, pv.version);
+    throw ReplicaMismatchFault(key);
+  }
+
+ private:
+  // Replicate iff the policy selects this task; pure control tasks (no
+  // outputs) are never replicated. `outs` is filled as a side effect for
+  // the voter. Called only when replication is enabled.
+  bool should_replicate(const TaskGraphProblem& problem,
+                        const BlockStore& store, TaskKey key,
+                        OutputList& outs) const {
+    problem.outputs(key, outs);
+    std::uint64_t bytes = 0;
+    for (const ProducedVersion& pv : outs) bytes += store.block_bytes(pv.block);
+    return policy_.should_replicate(key, bytes);
+  }
+
+  ShadowArena& arena(int worker) {
+    return *arenas_[worker >= 0 ? static_cast<std::size_t>(worker) : 0];
+  }
+
+  // Runs the compute body once against shadow scratch buffers. Reads are
+  // re-validated like a primary run's; a DataBlockFault propagates into the
+  // ordinary recovery path of the caller. Returns the replica's digests.
+  template <class Engine>
+  DigestList run_replica(Engine& eng, TaskKey key, std::uint64_t life,
+                         ComputeContext::StagedResults& staged) {
+    const double begin = obs_.span_begin();
+    ShadowContext sctx(eng.store(), key, arena(eng.worker_index()));
+    eng.problem().compute(key, sctx);
+    sctx.finalize();  // re-validate replica reads; publishes nothing
+    obs_.count_replica();
+    obs_.trace_span(eng.worker_index(), TraceKind::kReplica, key, life, begin);
+    staged = sctx.staged_results();
+    return sctx.output_digests();
+  }
+
+  const ReplicationPolicy policy_;
+  ObservationPolicy& obs_;
+  std::vector<std::unique_ptr<ShadowArena>> arenas_;
+};
+
+}  // namespace ftdag::engine

@@ -1,0 +1,67 @@
+#include "engine/discovery.hpp"
+
+#include <string>
+
+#include "engine/backend.hpp"
+#include "engine/detection_policy.hpp"
+#include "engine/fault_policy.hpp"
+#include "engine/retention_policy.hpp"
+#include "engine/traversal_engine.hpp"
+
+namespace ftdag::engine {
+namespace {
+
+// Structure-only view of a problem: same graph, empty compute bodies, its
+// own detached BlockStore (TaskGraphProblem::block_store is non-virtual),
+// so running it cannot touch the real problem's data.
+class DiscoveryProblem final : public TaskGraphProblem {
+ public:
+  explicit DiscoveryProblem(const TaskGraphProblem& inner) : inner_(inner) {}
+
+  std::string name() const override { return inner_.name() + "-discovery"; }
+  TaskKey sink() const override { return inner_.sink(); }
+  void predecessors(TaskKey key, KeyList& out) const override {
+    inner_.predecessors(key, out);
+  }
+  void successors(TaskKey key, KeyList& out) const override {
+    inner_.successors(key, out);
+  }
+  void compute(TaskKey, ComputeContext&) override {}  // structure only
+  void all_tasks(std::vector<TaskKey>& out) const override {
+    inner_.all_tasks(out);
+  }
+  void outputs(TaskKey key, OutputList& out) const override {
+    inner_.outputs(key, out);
+  }
+  bool data_dependence(TaskKey consumer, TaskKey producer) const override {
+    return inner_.data_dependence(consumer, producer);
+  }
+  void reset_data() override {}
+  std::uint64_t result_checksum() const override { return 0; }
+  std::uint64_t reference_checksum() override { return 0; }
+
+ private:
+  const TaskGraphProblem& inner_;
+};
+
+}  // namespace
+
+std::vector<TaskKey> topological_order(const TaskGraphProblem& problem) {
+  DiscoveryProblem shadow(problem);
+  InlineBackend backend;
+  ComputeTimeline timeline;
+  ObservationPolicy obs(nullptr, &timeline);
+  NoFaultPolicy fault;
+  NoDetectionPolicy detection;
+  NoRetention retention;
+  TraversalEngine<NoFaultPolicy, NoDetectionPolicy, NoRetention, InlineBackend>
+      eng(shadow, backend, fault, detection, retention, obs);
+  eng.run();
+
+  std::vector<TaskKey> order;
+  order.reserve(timeline.events.size());
+  for (const auto& [key, seconds] : timeline.events) order.push_back(key);
+  return order;
+}
+
+}  // namespace ftdag::engine

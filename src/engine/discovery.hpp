@@ -1,0 +1,21 @@
+#pragma once
+// Graph discovery through the traversal engine: runs the NABBIT walk with
+// no-op compute bodies on the inline backend, so the engine's completion
+// order — every predecessor notified before its consumer fires — doubles as
+// a topological order of the sink-reachable graph. This keeps the visit/
+// notify/join-counter logic in exactly one place: drivers that need a
+// static schedule (the bulk-synchronous checkpoint comparator) obtain it
+// from the same walk the dynamic executors run.
+
+#include <vector>
+
+#include "graph/task_graph_problem.hpp"
+
+namespace ftdag::engine {
+
+// Topological order (sources first, sink last) of every task reachable from
+// the sink. Touches no block data: computes run against a detached empty
+// store and commit nothing.
+std::vector<TaskKey> topological_order(const TaskGraphProblem& problem);
+
+}  // namespace ftdag::engine

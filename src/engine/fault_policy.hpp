@@ -1,0 +1,226 @@
+#pragma once
+// FaultPolicy: the fault-tolerance layer over the traversal engine.
+//
+// NoFaultPolicy is the baseline NABBIT configuration: no descriptor checks,
+// no recovery table, Guarantee 3's claim-before-decrement degenerates to an
+// unconditional decrement. All its hooks are empty and `kSelective` is
+// false, so the engine's `if constexpr` gates compile the fault machinery
+// (try/catch, bit vectors, output liveness checks) out of the baseline
+// entirely.
+//
+// SelectiveRecoveryPolicy is the paper's contribution: the shaded additions
+// of Figure 2 plus the Figure 3 recovery routines, expressed as hooks over
+// the unchanged walk:
+//   - claim()                  per-predecessor notification bits (G3)
+//   - recover_task_once()      recovery table R dedup (G1)
+//   - recover_task()           REPLACETASK fresh incarnations (G2), retry
+//                              loop for failures during recovery (G6)
+//   - reinit_notify_entry()    notify-array reconstruction from successor
+//                              state, no backups (G4)
+//   - reset_node()             re-arm and re-traverse after a predecessor's
+//                              data failed (G5)
+// The Figure 3 routines are templated on the engine so the policy stays
+// independent of the backend/detection/retention choices it composes with.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "blocks/block_store.hpp"
+#include "concurrent/sharded_map.hpp"
+#include "engine/observation.hpp"
+#include "engine/recovery_table.hpp"
+#include "engine/task_types.hpp"
+#include "fault/fault.hpp"
+#include "fault/fault_injector.hpp"
+#include "graph/task_graph_problem.hpp"
+
+namespace ftdag::engine {
+
+struct NoFaultPolicy {
+  using Task = PlainTask;
+  static constexpr bool kSelective = false;
+
+  void check(const Task*) const {}
+  bool claim(Task*, TaskKey) const { return true; }
+  void injection_point(FaultPhase, Task*, BlockStore&,
+                       const TaskGraphProblem&) const {}
+  void note_compute(TaskKey) const {}
+  void fill(ExecReport&) const {}
+};
+
+class SelectiveRecoveryPolicy {
+ public:
+  using Task = FtTask;
+  static constexpr bool kSelective = true;
+
+  SelectiveRecoveryPolicy(ObservationPolicy& obs, FaultInjector* injector)
+      : obs_(obs), injector_(injector) {}
+
+  void check(const FtTask* t) const { t->check(); }
+
+  // NOTIFYONCE's bit clearing: only the thread that clears the bit may
+  // decrement the join counter (Guarantee 3).
+  bool claim(FtTask* t, TaskKey pkey) const {
+    return t->bits.fetch_unset(t->pred_index(pkey));
+  }
+
+  void injection_point(FaultPhase phase, FtTask* t, BlockStore& store,
+                       const TaskGraphProblem& problem) const {
+    if (injector_ != nullptr) injector_->at_point(phase, *t, store, problem);
+  }
+
+  // Per-key compute completions, for the re-execution statistics of Table II.
+  void note_compute(TaskKey key) {
+    auto [count, inserted] =
+        compute_counts_.insert_if_absent(key, [] { return new ComputeCount; });
+    (void)inserted;
+    count->runs.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Throws DataBlockFault if any output version of a task that claims to
+  // have Computed is not Valid (the "B.overwritten" test of Fig. 2
+  // TRYINITCOMPUTE, extended to corrupted outputs: a soft error matters iff
+  // it hits the descriptor or an output). Absent outputs of a Computed task
+  // are equally fatal - an aborted recovery rewrite leaves a version
+  // Absent, and a consumer's compute observes that as a missing-input
+  // fault. The traversal check must cover every state the compute can
+  // throw on, or the reset-retraverse loop of Guarantee 5 cannot converge.
+  void throw_if_outputs_unusable(const TaskGraphProblem& problem,
+                                 const BlockStore& store, TaskKey key) const {
+    OutputList outs;
+    problem.outputs(key, outs);
+    for (const ProducedVersion& pv : outs) {
+      const VersionState st = store.state(pv.block, pv.version);
+      if (st == VersionState::kValid) continue;
+      BlockFaultReason reason;
+      switch (st) {
+        case VersionState::kCorrupted:
+          reason = BlockFaultReason::kCorrupted;
+          break;
+        case VersionState::kOverwritten:
+          reason = BlockFaultReason::kOverwritten;
+          break;
+        default:
+          reason = BlockFaultReason::kMissing;
+          break;
+      }
+      throw DataBlockFault(key, pv.block, pv.version, reason);
+    }
+  }
+
+  // --- Figure 3 routines -----------------------------------------------------
+
+  template <class Engine>
+  void recover_task_once(Engine& eng, TaskKey key, std::uint64_t life) {
+    if (!recovery_.is_recovering(key, life)) recover_task(eng, key);
+  }
+
+  // RESETNODE: re-arm the join counter and bit vector, then re-traverse the
+  // predecessors; the traversal observes whichever predecessor failed and
+  // recovers it (Guarantee 5). Resetting join *before* the bits keeps stale
+  // duplicate notifications harmless: in the window between the two stores
+  // all bits are clear, so stragglers cannot decrement.
+  template <class Engine>
+  void reset_node(Engine& eng, FtTask* a, TaskKey key, std::uint64_t life) {
+    try {
+      FTDAG_DASSERT(a->status.load() == TaskStatus::kVisited,
+                    "reset of a task that already computed");
+      a->join.store(1 + static_cast<int>(a->preds.size()),
+                    std::memory_order_release);
+      a->bits.set_all();
+      obs_.count_reset();
+      obs_.trace_instant(eng.worker_index(), TraceKind::kReset, key, life);
+      eng.init_and_compute(a, key, life);
+    } catch (const FaultException& e) {
+      obs_.count_fault();
+      obs_.trace_instant(eng.worker_index(), TraceKind::kFault, e.failed_key(),
+                         life);
+      recover_task_once(eng, key, life);
+    }
+  }
+
+  // REINITNOTIFYENTRY: while recovering T, re-enqueue successor S iff S is
+  // still Visited and has not yet been notified by T (its bit for T is still
+  // set). Entries of the lost notify array are reconstructed from successor
+  // state instead of from any backup (Guarantee 4).
+  template <class Engine>
+  void reinit_notify_entry(Engine& eng, FtTask* t, TaskKey key, FtTask* s,
+                           TaskKey skey, std::uint64_t slife) {
+    try {
+      s->check();
+      if (s->status.load(std::memory_order_acquire) != TaskStatus::kVisited)
+        return;  // Computed/Completed successors need nothing from T
+      const std::size_t ind = s->pred_index(key);
+      if (s->bits.test(ind)) {
+        std::lock_guard<SpinLock> guard(t->lock);
+        t->notify_array.push_back(skey);
+      }
+    } catch (const FaultException& e) {
+      obs_.count_fault();
+      obs_.trace_instant(eng.worker_index(), TraceKind::kFault, e.failed_key(),
+                         slife);
+      if (e.failed_key() == skey)
+        recover_task_once(eng, skey, slife);
+      else
+        throw;  // fault on T itself: let RECOVERTASK's retry loop handle it
+    }
+  }
+
+  // RECOVERTASK: replace the incarnation, rebuild its notify array from its
+  // successors, and re-process it as a fresh task. Failures during recovery
+  // restart the loop with yet another incarnation (Guarantee 6), unless a
+  // different thread already claimed the newer recovery.
+  template <class Engine>
+  void recover_task(Engine& eng, TaskKey key) {
+    for (;;) {
+      bool success = true;
+      std::uint64_t life = 0;
+      const double begin = obs_.span_begin();
+      try {
+        FtTask* t = eng.replace_task(key);
+        life = t->life;
+        t->recovery.store(true, std::memory_order_relaxed);
+        obs_.count_recovery();
+
+        KeyList succs;
+        eng.problem().successors(key, succs);
+        for (TaskKey skey : succs) {
+          FtTask* s = eng.find_task(skey);
+          if (s == nullptr) continue;  // successor not yet created: it will
+                                       // observe the fresh incarnation itself
+          reinit_notify_entry(eng, t, key, s, skey, s->life);
+        }
+        eng.spawn_init_and_compute(t, key, life);
+        obs_.trace_span(eng.worker_index(), TraceKind::kRecovery, key, life,
+                        begin);
+      } catch (const FaultException& e) {
+        obs_.count_fault();
+        obs_.trace_instant(eng.worker_index(), TraceKind::kFault,
+                           e.failed_key(), life);
+        if (!recovery_.is_recovering(key, life)) success = false;
+      }
+      if (success) return;
+    }
+  }
+
+  void fill(ExecReport& report) const {
+    compute_counts_.for_each([&report](MapKey, const ComputeCount& c) {
+      const std::uint32_t n = c.runs.load(std::memory_order_relaxed);
+      if (n > 1) report.re_executed += n - 1;
+    });
+    report.injected = injector_ != nullptr ? injector_->injected() : 0;
+  }
+
+ private:
+  struct ComputeCount {
+    std::atomic<std::uint32_t> runs{0};
+  };
+
+  ObservationPolicy& obs_;
+  FaultInjector* injector_;
+  RecoveryTable recovery_;
+  mutable ShardedMap<ComputeCount> compute_counts_;
+};
+
+}  // namespace ftdag::engine

@@ -1,0 +1,122 @@
+#pragma once
+// ObservationPolicy: the single place run counters and trace events are
+// recorded, and the single place an ExecReport is populated from. Every
+// engine instantiation reports through this policy, so counters a given
+// configuration never touches come back as real zeroes instead of
+// meaningless unset fields.
+//
+// Optionally carries an ExecutionTrace (per-worker Chrome-trace spans) and
+// a ComputeTimeline (completion-ordered per-task durations, used by the
+// serial oracle to derive T1 / T_inf / topological order).
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/exec_report.hpp"
+#include "graph/task_key.hpp"
+#include "support/timer.hpp"
+#include "trace/trace.hpp"
+
+namespace ftdag::engine {
+
+// Per-task compute durations in completion order. Single-threaded use only
+// (the inline backend); the parallel backends leave it null.
+struct ComputeTimeline {
+  std::vector<std::pair<TaskKey, double>> events;
+};
+
+class ObservationPolicy {
+ public:
+  explicit ObservationPolicy(ExecutionTrace* trace = nullptr,
+                             ComputeTimeline* timeline = nullptr)
+      : trace_(trace), timeline_(timeline) {}
+
+  // --- counters --------------------------------------------------------------
+
+  void count_compute() { computes_.fetch_add(1, std::memory_order_relaxed); }
+  void count_fault() { faults_caught_.fetch_add(1, std::memory_order_relaxed); }
+  void count_recovery() { recoveries_.fetch_add(1, std::memory_order_relaxed); }
+  void count_reset() { resets_.fetch_add(1, std::memory_order_relaxed); }
+  void count_replica() { replicated_.fetch_add(1, std::memory_order_relaxed); }
+  void count_digest_mismatch() {
+    digest_mismatches_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_vote_resolved() {
+    votes_resolved_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t computes() const {
+    return computes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t recoveries() const {
+    return recoveries_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t resets() const {
+    return resets_.load(std::memory_order_relaxed);
+  }
+
+  // --- spans and instants ----------------------------------------------------
+
+  // Timestamp opening a compute/replica/recovery span; 0.0 when nothing is
+  // recording (the subtraction is then never observed).
+  double span_begin() const {
+    if (trace_ != nullptr) return trace_->now();
+    if (timeline_ != nullptr) return clock_.seconds();
+    return 0.0;
+  }
+
+  // Closes a compute span: traced like any span, and additionally appended
+  // to the timeline when one is attached.
+  void compute_span_end(int worker, TaskKey key, std::uint64_t life,
+                        double begin) {
+    if (trace_ != nullptr)
+      trace_->record(worker, TraceKind::kCompute, key, life, begin,
+                     trace_->now());
+    if (timeline_ != nullptr)
+      timeline_->events.emplace_back(key, clock_.seconds() - begin);
+  }
+
+  void trace_span(int worker, TraceKind kind, TaskKey key, std::uint64_t life,
+                  double begin) {
+    if (trace_ != nullptr)
+      trace_->record(worker, kind, key, life, begin, trace_->now());
+  }
+
+  void trace_instant(int worker, TraceKind kind, TaskKey key,
+                     std::uint64_t life) {
+    if (trace_ != nullptr) {
+      const double t = trace_->now();
+      trace_->record(worker, kind, key, life, t, t);
+    }
+  }
+
+  // --- uniform report population ---------------------------------------------
+
+  void fill(ExecReport& report) const {
+    report.computes = computes_.load(std::memory_order_relaxed);
+    report.faults_caught = faults_caught_.load(std::memory_order_relaxed);
+    report.recoveries = recoveries_.load(std::memory_order_relaxed);
+    report.resets = resets_.load(std::memory_order_relaxed);
+    report.replicated = replicated_.load(std::memory_order_relaxed);
+    report.digest_mismatches =
+        digest_mismatches_.load(std::memory_order_relaxed);
+    report.votes_resolved = votes_resolved_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  ExecutionTrace* trace_;
+  ComputeTimeline* timeline_;
+  Timer clock_;  // timeline timestamps (trace has its own clock)
+
+  std::atomic<std::uint64_t> computes_{0};
+  std::atomic<std::uint64_t> faults_caught_{0};
+  std::atomic<std::uint64_t> recoveries_{0};
+  std::atomic<std::uint64_t> resets_{0};
+  std::atomic<std::uint64_t> replicated_{0};
+  std::atomic<std::uint64_t> digest_mismatches_{0};
+  std::atomic<std::uint64_t> votes_resolved_{0};
+};
+
+}  // namespace ftdag::engine

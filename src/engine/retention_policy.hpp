@@ -1,0 +1,92 @@
+#pragma once
+// RetentionPolicy: what happens to committed block state as execution
+// proceeds.
+//
+// NoRetention — blocks live by the BlockStore's ordinary version rules;
+// this is every dynamic-walk executor.
+//
+// CheckpointRetention — the coordinated snapshot/rollback machinery of the
+// collective-recovery comparator (Section II's strawman). A *consistent*
+// coordinated snapshot requires a point with no writers in flight, which
+// the free-running walk never provides — that is the paper's own argument
+// for why collective recovery pays a synchronization overhead even without
+// faults. The policy therefore composes with the bulk-synchronous level
+// driver in CheckpointRestartExecutor (which obtains its schedule from the
+// engine's discovery walk) rather than hooking the walk itself: its
+// entry points fire at level barriers, the one place a global snapshot is
+// well-defined.
+
+#include <cstddef>
+#include <deque>
+
+#include "blocks/block_store.hpp"
+#include "graph/exec_report.hpp"
+#include "graph/task_key.hpp"
+#include "support/timer.hpp"
+
+namespace ftdag::engine {
+
+struct NoRetention {
+  // In-walk hook, fired after a task's outputs commit. Versioned blocks
+  // already carry their own lifetime rules, so there is nothing to do.
+  void on_committed(BlockStore&, TaskKey) const {}
+};
+
+class CheckpointRetention {
+ public:
+  CheckpointRetention(int interval_levels, int max_snapshots)
+      : interval_levels_(interval_levels), max_snapshots_(max_snapshots) {}
+
+  // Level barrier after `next_level` levels committed cleanly: snapshot the
+  // whole store every `interval_levels` levels (stable-storage write,
+  // modeled as an in-memory copy — generous to the comparator). The final
+  // barrier never snapshots.
+  void on_barrier(BlockStore& store, std::size_t next_level,
+                  std::size_t total_levels, ExecReport& report) {
+    if (++since_checkpoint_ >= interval_levels_ && next_level < total_levels) {
+      Timer ck;
+      checkpoints_.push_back({next_level, store.snapshot()});
+      if (checkpoints_.size() > static_cast<std::size_t>(max_snapshots_))
+        checkpoints_.pop_front();
+      report.checkpoint_seconds += ck.seconds();
+      ++report.checkpoints;
+      since_checkpoint_ = 0;
+    }
+  }
+
+  // Global rollback: restore the most recent *clean* checkpoint (a snapshot
+  // can itself contain a latent corrupted version from an after-notify
+  // fault; those are poisoned and discarded). Returns the level to resume
+  // from — 0 with full state reset when no clean snapshot survives.
+  std::size_t rollback(BlockStore& store, ExecReport& report) {
+    ++report.rollbacks;
+    while (!checkpoints_.empty() && !snapshot_is_clean(checkpoints_.back().snap))
+      checkpoints_.pop_back();
+    since_checkpoint_ = 0;
+    if (checkpoints_.empty()) {
+      store.reset_states();  // restart from the beginning
+      return 0;
+    }
+    store.restore(checkpoints_.back().snap);
+    return checkpoints_.back().level;
+  }
+
+ private:
+  struct Checkpoint {
+    std::size_t level;  // first level NOT contained in the snapshot
+    BlockStore::Snapshot snap;
+  };
+
+  static bool snapshot_is_clean(const BlockStore::Snapshot& snap) {
+    for (VersionState st : snap.states)
+      if (st == VersionState::kCorrupted) return false;
+    return true;
+  }
+
+  const int interval_levels_;  // checkpoint every N completed levels
+  const int max_snapshots_;    // older checkpoints are discarded
+  int since_checkpoint_ = 0;
+  std::deque<Checkpoint> checkpoints_;
+};
+
+}  // namespace ftdag::engine

@@ -1,7 +1,13 @@
 #pragma once
-// FtTask: the fault-tolerant task descriptor (shaded additions of Fig. 2).
+// Task descriptors for the traversal engine.
 //
-// Compared with the baseline descriptor it adds:
+// TaskCore is the baseline NABBIT descriptor of Section III: join counter
+// (1 + |preds|, the extra slot released by the traversal's self-
+// notification), status, and the notify array successors register in.
+//
+// PlainTask is TaskCore unchanged — the null-fault-policy instantiation.
+//
+// FtTask adds the shaded fields of the paper's Figure 2:
 //   life       incarnation number; bumped each time REPLACETASK re-inserts
 //              the task after a failure (Guarantee 1/2)
 //   bits       notification bit vector, one bit per predecessor plus a
@@ -11,10 +17,10 @@
 //              even under re-notification (Guarantee 3)
 //   corrupted  sticky detected-error flag; every runtime access calls
 //              check() which throws TaskDescriptorFault when set
-//   recovery   marks incarnations created by RecoverTask (stats only)
+//   recovery   marks incarnations created by RecOVERTASK (stats only)
 //
-// The descriptor is fully initialized at construction (join = 1 + |preds|,
-// all bits set), so publishing it in the hash map is safe without extra
+// Descriptors are fully initialized at construction (join = 1 + |preds|,
+// all bits set), so publishing them in the hash map is safe without extra
 // synchronization.
 
 #include <atomic>
@@ -29,25 +35,42 @@
 #include "support/assert.hpp"
 #include "support/spin_lock.hpp"
 
-namespace ftdag {
+namespace ftdag::engine {
 
-struct FtTask final : CorruptibleTask {
-  FtTask(TaskKey k, std::uint64_t life_number, KeyList predecessors)
+struct TaskCore {
+  TaskCore(TaskKey k, KeyList predecessors)
       : key(k),
-        life(life_number),
         preds(std::move(predecessors)),
-        join(1 + static_cast<int>(preds.size())),
-        bits(preds.size() + 1) {}
+        join(1 + static_cast<int>(preds.size())) {}
 
   const TaskKey key;
-  const std::uint64_t life;
   const KeyList preds;  // ordered predecessor list, cached at creation
 
   std::atomic<int> join;
   std::atomic<TaskStatus> status{TaskStatus::kVisited};
-  SpinLock lock;                     // guards notify_array
+  SpinLock lock;                      // guards notify_array
   std::vector<TaskKey> notify_array;  // successors awaiting notification
-  AtomicBitset bits;                  // |preds| + 1, all-ones at start
+};
+
+// Baseline descriptor: no life numbers, no bit vector, no corruption flag.
+// The life constant lets engine code thread incarnation numbers through
+// uniformly; for the baseline they are compile-time zero.
+struct PlainTask final : TaskCore {
+  PlainTask(TaskKey k, std::uint64_t /*life*/, KeyList predecessors)
+      : TaskCore(k, std::move(predecessors)) {}
+
+  static constexpr std::uint64_t life = 0;
+};
+
+// Fault-tolerant descriptor (the shaded additions of Fig. 2).
+struct FtTask final : TaskCore, CorruptibleTask {
+  FtTask(TaskKey k, std::uint64_t life_number, KeyList predecessors)
+      : TaskCore(k, std::move(predecessors)),
+        life(life_number),
+        bits(preds.size() + 1) {}
+
+  const std::uint64_t life;
+  AtomicBitset bits;  // |preds| + 1, all-ones at start
   std::atomic<bool> corrupted{false};
   std::atomic<bool> recovery{false};
 
@@ -75,4 +98,4 @@ struct FtTask final : CorruptibleTask {
   }
 };
 
-}  // namespace ftdag
+}  // namespace ftdag::engine

@@ -1,0 +1,378 @@
+#pragma once
+// TraversalEngine: the one home of NABBIT's dynamic task-graph walk.
+//
+// The walk is the paper's Figure 2 — visit from the sink toward the
+// sources, join counters of 1 + |preds| (the extra slot released by the
+// traversal's self-notification), notify arrays registered under the task
+// lock, and ComputeAndNotify run by whichever thread drives a join counter
+// to zero. Everything else is a *layer over* that walk, expressed as
+// orthogonal policies the engine is parameterized on:
+//
+//   Fault      life numbers + recovery table + notify-array reconstruction
+//              (SelectiveRecoveryPolicy), or nothing (NoFaultPolicy). When
+//              Fault::kSelective is false the fault machinery — try/catch,
+//              descriptor checks, notification-bit claims, output liveness
+//              tests — compiles out of the walk entirely, so the baseline
+//              instantiation pays none of it.
+//   Detection  silent-corruption detection before successors are notified
+//              (ReplicationDetection's dual-execution digest voting), or
+//              nothing.
+//   Retention  what happens to committed block state as tasks finish.
+//              NoRetention for every dynamic-walk executor; the coordinated
+//              checkpoint comparator composes CheckpointRetention with a
+//              bulk-synchronous driver instead (see retention_policy.hpp
+//              for why a consistent snapshot cannot be an in-walk hook).
+//   (Observation is a shared service rather than a template parameter: all
+//   counters and trace events flow through one ObservationPolicy, which is
+//   also the single place an ExecReport is populated from.)
+//
+// The Backend parameter picks where the walk's fire-and-forget jobs run:
+// the work-stealing pool, or an inline FIFO queue that turns the same code
+// into the serial oracle.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "concurrent/sharded_map.hpp"
+#include "engine/observation.hpp"
+#include "engine/task_types.hpp"
+#include "fault/fault.hpp"
+#include "fault/fault_injector.hpp"
+#include "graph/compute_context.hpp"
+#include "graph/exec_report.hpp"
+#include "graph/task_graph_problem.hpp"
+#include "support/assert.hpp"
+#include "support/spin_lock.hpp"
+#include "support/timer.hpp"
+#include "trace/trace.hpp"
+
+namespace ftdag::engine {
+
+template <class Fault, class Detection, class Retention, class Backend>
+class TraversalEngine {
+ public:
+  using Task = typename Fault::Task;
+  static constexpr bool kFT = Fault::kSelective;
+
+  TraversalEngine(TaskGraphProblem& problem, Backend& backend, Fault& fault,
+                  Detection& detection, Retention& retention,
+                  ObservationPolicy& obs)
+      : problem_(problem),
+        backend_(backend),
+        fault_(fault),
+        detection_(detection),
+        retention_(retention),
+        obs_(obs),
+        store_(problem.block_store()) {}
+
+  ~TraversalEngine() {
+    for (Task* t : garbage_) delete t;
+  }
+
+  TraversalEngine(const TraversalEngine&) = delete;
+  TraversalEngine& operator=(const TraversalEngine&) = delete;
+
+  // --- policy-facing surface -------------------------------------------------
+
+  TaskGraphProblem& problem() { return problem_; }
+  BlockStore& store() { return store_; }
+  int worker_index() const { return backend_.worker_index(); }
+
+  Task* find_task(TaskKey key) {
+    if constexpr (kFT) {
+      Slot* slot = tasks_.find(key);
+      return slot != nullptr ? slot->task.load(std::memory_order_acquire)
+                             : nullptr;
+    } else {
+      return tasks_.find(key);
+    }
+  }
+
+  // REPLACETASK: publishes a fresh incarnation with life + 1. The superseded
+  // descriptor is poisoned first so threads still holding it observe the
+  // error on their next access and defer to the recovery table. Fault-
+  // tolerant instantiations only.
+  Task* replace_task(TaskKey key) {
+    static_assert(kFT, "REPLACETASK requires the selective-recovery policy");
+    Slot* slot = tasks_.find(key);
+    FTDAG_ASSERT(slot != nullptr, "REPLACETASK on unknown key");
+    Task* old = slot->task.load(std::memory_order_acquire);
+    Task* fresh = make_task(key, old->life + 1);
+    old->corrupt_descriptor();
+    const bool swapped = slot->task.compare_exchange_strong(
+        old, fresh, std::memory_order_acq_rel);
+    FTDAG_ASSERT(swapped, "concurrent REPLACETASK on the same incarnation");
+    {
+      std::lock_guard<SpinLock> guard(garbage_lock_);
+      garbage_.push_back(old);
+    }
+    return fresh;
+  }
+
+  void spawn_init_and_compute(Task* t, TaskKey key, std::uint64_t life) {
+    backend_.spawn([this, t, key, life] { init_and_compute(t, key, life); });
+  }
+
+  // Post-quiescence inspection (watchdog, statistics). fn(key, const Task*).
+  template <typename Fn>
+  void for_each_task(Fn&& fn) {
+    tasks_.for_each([&fn](MapKey key, MapValue& value) {
+      if constexpr (kFT)
+        fn(key, value.task.load(std::memory_order_acquire));
+      else
+        fn(key, &value);
+    });
+  }
+
+  std::size_t tasks_discovered() const { return tasks_.size(); }
+
+  // --- Figure 2: the walk ----------------------------------------------------
+
+  // INITANDCOMPUTE: traverse predecessors, then self-notify. The descriptor
+  // itself was fully initialized at construction (INIT).
+  void init_and_compute(Task* a, TaskKey key, std::uint64_t life) {
+    for (TaskKey pkey : a->preds)
+      backend_.spawn(
+          [this, a, key, life, pkey] { try_init_compute(a, key, life, pkey); });
+    notify_once(a, key, key, life);
+  }
+
+  // --- whole-graph execution -------------------------------------------------
+
+  // Inserts the sink and runs the walk to quiescence; returns the uniform
+  // report (every counter a real value, zero when the configuration never
+  // touches it).
+  ExecReport run() {
+    const TaskKey sink = problem_.sink();
+    Timer timer;
+    backend_.run_to_quiescence([this, sink] {
+      auto [t, inserted] = insert_task_if_absent(sink);
+      FTDAG_ASSERT(inserted, "sink already present");
+      init_and_compute(t, sink, t->life);
+    });
+
+    ExecReport report;
+    report.seconds = timer.seconds();
+    report.tasks_discovered = tasks_.size();
+    obs_.fill(report);
+    fault_.fill(report);
+
+    Task* sink_task = find_task(sink);
+    FTDAG_ASSERT(sink_task != nullptr &&
+                     sink_task->status.load() == TaskStatus::kCompleted,
+                 "sink did not complete");
+    return report;
+  }
+
+ private:
+  // Hash-map entry for fault-tolerant instantiations: holds the *current
+  // incarnation* of a task so REPLACETASK can swap the pointer; superseded
+  // incarnations are retired to the garbage list (threads may still hold
+  // them) and freed after quiescence. Baseline instantiations store the
+  // descriptor directly — no indirection on the fast path.
+  struct Slot {
+    explicit Slot(Task* t) : task(t) {}
+    ~Slot() { delete task.load(std::memory_order_relaxed); }
+    std::atomic<Task*> task;
+  };
+  using MapValue = std::conditional_t<kFT, Slot, Task>;
+
+  Task* make_task(TaskKey key, std::uint64_t life) {
+    KeyList preds;
+    problem_.predecessors(key, preds);
+    return new Task(key, life, std::move(preds));
+  }
+
+  // INSERTTASKIFABSENT + GETTASK fused: returns the current incarnation.
+  std::pair<Task*, bool> insert_task_if_absent(TaskKey key) {
+    if constexpr (kFT) {
+      auto [slot, inserted] = tasks_.insert_if_absent(
+          key, [this, key] { return new Slot(make_task(key, 0)); });
+      return {slot->task.load(std::memory_order_acquire), inserted};
+    } else {
+      return tasks_.insert_if_absent(key,
+                                     [this, key] { return make_task(key, 0); });
+    }
+  }
+
+  void note_fault(const FaultException& e, std::uint64_t life) {
+    obs_.count_fault();
+    obs_.trace_instant(worker_index(), TraceKind::kFault, e.failed_key(), life);
+  }
+
+  // TRYINITCOMPUTE: visit predecessor B of A; register A in B's notify array
+  // unless B already computed (then A self-notifies for this edge).
+  void try_init_compute(Task* a, TaskKey key, std::uint64_t life,
+                        TaskKey pkey) {
+    auto [b, inserted] = insert_task_if_absent(pkey);
+    const std::uint64_t blife = b->life;
+    if (inserted) spawn_init_and_compute(b, pkey, blife);
+
+    bool finished = true;
+    if constexpr (kFT) {
+      try {
+        finished = register_or_skip(b, key, pkey);
+      } catch (const FaultException& e) {
+        note_fault(e, blife);
+        finished = false;
+        fault_.recover_task_once(*this, pkey, blife);
+      }
+    } else {
+      finished = register_or_skip(b, key, pkey);
+    }
+    if (finished) notify_once(a, key, pkey, life);
+  }
+
+  // Returns true when B is already computed and (for fault-tolerant
+  // instantiations) its outputs are live, i.e. A may self-notify for the
+  // edge; false when B will notify A itself once computed.
+  bool register_or_skip(Task* b, TaskKey key, TaskKey pkey) {
+    fault_.check(b);
+    {
+      std::lock_guard<SpinLock> guard(b->lock);
+      if (b->status.load(std::memory_order_acquire) < TaskStatus::kComputed) {
+        // B notifies A once computed (and will produce fresh outputs).
+        b->notify_array.push_back(key);
+        return false;
+      }
+    }
+    if constexpr (kFT) {
+      // B claims Computed: for *flow* predecessors its outputs must be
+      // live. Anti-dependence predecessors' data is legitimately dead once
+      // their readers ran, so it is never checked.
+      if (problem_.data_dependence(key, pkey))
+        fault_.throw_if_outputs_unusable(problem_, store_, pkey);
+    }
+    return true;
+  }
+
+ public:
+  // NOTIFYONCE: claim the notification for pkey (always granted in the
+  // baseline; a bit-vector claim under selective recovery so each
+  // predecessor decrements exactly once per incarnation — Guarantee 3), and
+  // decrement the join counter. Public because the fault policy's reset and
+  // recovery paths re-enter the walk here.
+  void notify_once(Task* a, TaskKey key, TaskKey pkey, std::uint64_t life) {
+    if constexpr (kFT) {
+      try {
+        notify_once_body(a, key, pkey, life);
+      } catch (const FaultException& e) {
+        note_fault(e, life);
+        fault_.recover_task_once(*this, key, life);
+      }
+    } else {
+      notify_once_body(a, key, pkey, life);
+    }
+  }
+
+ private:
+  void notify_once_body(Task* a, TaskKey key, TaskKey pkey,
+                        std::uint64_t life) {
+    fault_.check(a);
+    if (fault_.claim(a, pkey)) {
+      const int val = a->join.fetch_sub(1, std::memory_order_acq_rel) - 1;
+      FTDAG_ASSERT(val >= 0, "join counter went negative");
+      if (val == 0) compute_and_notify(a, key, life);
+    }
+  }
+
+  void notify_successor(TaskKey key, TaskKey skey) {
+    Task* s = find_task(skey);
+    FTDAG_ASSERT(s != nullptr, "notify target was never inserted");
+    notify_once(s, skey, key, s->life);
+  }
+
+  // COMPUTEANDNOTIFY: run the compute body, publish Computed, drain the
+  // notify array, publish Completed. Faults on A itself go to RECOVERTASK;
+  // a predecessor's data failing mid-compute re-arms A via RESETNODE.
+  void compute_and_notify(Task* a, TaskKey key, std::uint64_t life) {
+    if constexpr (kFT) {
+      try {
+        compute_and_notify_body(a, key, life);
+      } catch (const FaultException& e) {
+        note_fault(e, life);
+        if (e.failed_key() == key)
+          fault_.recover_task_once(*this, key, life);  // error in A itself
+        else
+          fault_.reset_node(*this, a, key, life);  // a predecessor's data
+                                                   // failed mid-compute
+      }
+    } else {
+      compute_and_notify_body(a, key, life);
+    }
+  }
+
+  void compute_and_notify_body(Task* a, TaskKey key, std::uint64_t life) {
+    fault_.check(a);
+    fault_.injection_point(FaultPhase::kBeforeCompute, a, store_, problem_);
+    fault_.check(a);  // a before-compute fault is detected here, pre-COMPUTE
+
+    // Replica first when the detection policy selects this task: the
+    // replica must observe the same inputs as the primary, and with memory
+    // reuse the primary consumes same-slot inputs.
+    typename Detection::Plan plan;
+    if (detection_.enabled()) detection_.pre_compute(*this, key, life, plan);
+
+    {
+      const double begin = obs_.span_begin();
+      ComputeContext ctx(store_, key);
+      problem_.compute(key, ctx);  // reads throw on corrupt/overwritten input
+      fault_.check(a);             // descriptor died mid-compute?
+      ctx.finalize();              // re-validate reads, commit outputs
+      obs_.compute_span_end(worker_index(), key, life, begin);
+      if (plan.replicate) detection_.capture_primary(ctx, plan);
+    }
+    obs_.count_compute();
+    fault_.note_compute(key);
+    retention_.on_committed(store_, key);
+    // The injector fires before the digest vote and before the Computed
+    // status is published: a bit flipped in the committed outputs here is
+    // precisely the silent corruption the vote must catch, and no consumer
+    // can read the outputs until the status flips below.
+    fault_.injection_point(FaultPhase::kAfterCompute, a, store_, problem_);
+    if (plan.replicate) detection_.vote_or_recover(*this, key, life, plan);
+    a->status.store(TaskStatus::kComputed, std::memory_order_release);
+
+    // Notify enqueued successors; re-check the array under the lock before
+    // flipping to Completed so late registrations are not lost.
+    std::size_t notified = 0;
+    for (;;) {
+      fault_.check(a);  // an after-compute fault on self is detected here
+      KeyList batch;
+      {
+        std::lock_guard<SpinLock> guard(a->lock);
+        for (std::size_t i = notified; i < a->notify_array.size(); ++i)
+          batch.push_back(a->notify_array[i]);
+        if (batch.empty()) {
+          a->status.store(TaskStatus::kCompleted, std::memory_order_release);
+          break;
+        }
+        notified = a->notify_array.size();
+      }
+      for (TaskKey skey : batch)
+        backend_.spawn([this, key, skey] { notify_successor(key, skey); });
+    }
+    fault_.injection_point(FaultPhase::kAfterNotify, a, store_, problem_);
+    // After-notify faults stay latent until (and unless) a later access
+    // observes them — matching the paper's after-notify scenarios.
+  }
+
+  TaskGraphProblem& problem_;
+  Backend& backend_;
+  Fault& fault_;
+  Detection& detection_;
+  Retention& retention_;
+  ObservationPolicy& obs_;
+  BlockStore& store_;
+
+  ShardedMap<MapValue> tasks_;
+
+  SpinLock garbage_lock_;
+  std::vector<Task*> garbage_;  // superseded incarnations
+};
+
+}  // namespace ftdag::engine

@@ -1,5 +1,9 @@
 #pragma once
-// ExecReport: per-run outcome and counters shared by both executors.
+// ExecReport: the uniform per-run outcome and counter record shared by
+// every executor. All fields are zero-initialized, and every engine
+// instantiation populates them through the same ObservationPolicy
+// (src/engine/observation.hpp), so counters a given configuration never
+// touches read as real zeroes — never as unset memory.
 
 #include <cstdint>
 
@@ -33,6 +37,12 @@ struct ExecReport {
   std::uint64_t digest_mismatches = 0;  // votes where replica != published
   std::uint64_t votes_resolved = 0;     // mismatches a third run settled in
                                         // the primary's favour (no recovery)
+
+  // Checkpoint/restart comparator only (the CheckpointRetention policy):
+  std::uint64_t levels = 0;       // topological levels in the BSP schedule
+  std::uint64_t checkpoints = 0;  // coordinated snapshots taken
+  std::uint64_t rollbacks = 0;    // global rollbacks triggered by faults
+  double checkpoint_seconds = 0.0;  // time spent writing checkpoints
 };
 
 }  // namespace ftdag

@@ -4,6 +4,20 @@
 
 namespace ftdag {
 
+const char* executor_kind_name(ExecutorKind kind) {
+  switch (kind) {
+    case ExecutorKind::kSerial:
+      return "serial";
+    case ExecutorKind::kBaseline:
+      return "baseline";
+    case ExecutorKind::kFaultTolerant:
+      return "ft";
+    case ExecutorKind::kCheckpoint:
+      return "checkpoint";
+  }
+  return "?";
+}
+
 Summary RepeatedRuns::reexecution_summary() const {
   std::vector<double> counts;
   counts.reserve(reports.size());
@@ -21,36 +35,67 @@ void validate(TaskGraphProblem& problem) {
                "result checksum does not match the sequential reference");
 }
 
+ExecReport run_once(TaskGraphProblem& problem, WorkStealingPool& pool,
+                    const RunSpec& spec) {
+  switch (spec.kind) {
+    case ExecutorKind::kSerial: {
+      SerialExecutor exec;
+      return exec.execute(problem).exec;
+    }
+    case ExecutorKind::kBaseline: {
+      NabbitExecutor exec;
+      return exec.execute(problem, pool);
+    }
+    case ExecutorKind::kFaultTolerant: {
+      FaultTolerantExecutor exec;
+      return exec.execute(problem, pool, spec.injector, spec.trace, spec.ft);
+    }
+    case ExecutorKind::kCheckpoint: {
+      CheckpointRestartExecutor exec;
+      return exec.execute(problem, pool, spec.injector, spec.checkpoint);
+    }
+  }
+  FTDAG_ASSERT(false, "unknown executor kind");
+  return {};
+}
+
 }  // namespace
 
-RepeatedRuns run_baseline(TaskGraphProblem& problem, WorkStealingPool& pool,
-                          int reps) {
+RepeatedRuns run_executor(TaskGraphProblem& problem, WorkStealingPool& pool,
+                          const RunSpec& spec) {
+  FTDAG_ASSERT(spec.injector == nullptr ||
+                   spec.kind == ExecutorKind::kFaultTolerant ||
+                   spec.kind == ExecutorKind::kCheckpoint,
+               "fault injection requires a fault-tolerant executor");
   RepeatedRuns out;
-  NabbitExecutor exec;
-  for (int r = 0; r < reps; ++r) {
+  for (int r = 0; r < spec.reps; ++r) {
     problem.reset_data();
-    ExecReport report = exec.execute(problem, pool);
-    validate(problem);
+    if (spec.injector != nullptr) spec.injector->reset();
+    ExecReport report = run_once(problem, pool, spec);
+    if (spec.validate) validate(problem);
     out.seconds.push_back(report.seconds);
     out.reports.push_back(report);
   }
   return out;
 }
 
+RepeatedRuns run_baseline(TaskGraphProblem& problem, WorkStealingPool& pool,
+                          int reps) {
+  RunSpec spec;
+  spec.kind = ExecutorKind::kBaseline;
+  spec.reps = reps;
+  return run_executor(problem, pool, spec);
+}
+
 RepeatedRuns run_ft(TaskGraphProblem& problem, WorkStealingPool& pool,
                     int reps, FaultInjector* injector,
                     const ExecutorOptions& options) {
-  RepeatedRuns out;
-  FaultTolerantExecutor exec;
-  for (int r = 0; r < reps; ++r) {
-    problem.reset_data();
-    if (injector != nullptr) injector->reset();
-    ExecReport report = exec.execute(problem, pool, injector, nullptr, options);
-    validate(problem);
-    out.seconds.push_back(report.seconds);
-    out.reports.push_back(report);
-  }
-  return out;
+  RunSpec spec;
+  spec.kind = ExecutorKind::kFaultTolerant;
+  spec.reps = reps;
+  spec.injector = injector;
+  spec.ft = options;
+  return run_executor(problem, pool, spec);
 }
 
 }  // namespace ftdag

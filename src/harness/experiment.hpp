@@ -3,18 +3,51 @@
 // the paper's Section VI (10 repetitions, arithmetic mean, standard
 // deviation as error bars; every run's result checked against the
 // sequential reference — the paper's Theorem 1 made executable).
+//
+// `run_executor` is the single driver shared by benches and tests: pick an
+// executor kind, pass its options through RunSpec, and get back uniform
+// ExecReports. The older run_baseline/run_ft entry points are thin wrappers
+// kept for their many call sites.
 
 #include <vector>
 
+#include "core/checkpoint_executor.hpp"
 #include "core/ft_executor.hpp"
 #include "fault/fault_injector.hpp"
 #include "graph/exec_report.hpp"
 #include "graph/task_graph_problem.hpp"
 #include "nabbit/executor.hpp"
+#include "nabbit/serial_executor.hpp"
 #include "runtime/scheduler.hpp"
 #include "support/stats.hpp"
 
 namespace ftdag {
+
+// The four engine instantiations (src/engine/traversal_engine.hpp) behind
+// one switch. kSerial runs the inline-backend oracle; kBaseline the NABBIT
+// walk with all policies compiled out; kFaultTolerant the selective-recovery
+// + detection composition; kCheckpoint the BSP collective comparator.
+enum class ExecutorKind {
+  kSerial,
+  kBaseline,
+  kFaultTolerant,
+  kCheckpoint,
+};
+
+const char* executor_kind_name(ExecutorKind kind);
+
+struct RunSpec {
+  ExecutorKind kind = ExecutorKind::kBaseline;
+  int reps = 1;
+  // Fault injection is honoured by the fault-tolerant and checkpoint
+  // executors only; passing an injector to kSerial/kBaseline is an error
+  // (they cannot recover).
+  FaultInjector* injector = nullptr;
+  ExecutorOptions ft;            // kFaultTolerant knobs (replication, watchdog)
+  CheckpointOptions checkpoint;  // kCheckpoint knobs (interval, snapshots)
+  ExecutionTrace* trace = nullptr;  // kFaultTolerant only
+  bool validate = true;  // checksum against the sequential reference per run
+};
 
 struct RepeatedRuns {
   std::vector<double> seconds;
@@ -25,6 +58,13 @@ struct RepeatedRuns {
   double mean_seconds() const { return time_summary().mean; }
 };
 
+// Runs `spec.reps` repetitions of the selected executor, resetting problem
+// data and the injector before each and validating the result checksum
+// after each (with faults the check is exactly the paper's
+// same-result-with-and-without-faults claim).
+RepeatedRuns run_executor(TaskGraphProblem& problem, WorkStealingPool& pool,
+                          const RunSpec& spec);
+
 // Runs the baseline (non-fault-tolerant) executor `reps` times; validates
 // the result checksum after every run. No injector: the baseline cannot
 // recover.
@@ -32,10 +72,9 @@ RepeatedRuns run_baseline(TaskGraphProblem& problem, WorkStealingPool& pool,
                           int reps);
 
 // Runs the fault-tolerant executor `reps` times, optionally under fault
-// injection; validates the result checksum after every run (with faults the
-// check is exactly the paper's same-result-with-and-without-faults claim).
-// `options` passes through executor configuration, notably the replication
-// policy for dual-execution digest voting.
+// injection; validates the result checksum after every run. `options`
+// passes through executor configuration, notably the replication policy
+// for dual-execution digest voting.
 RepeatedRuns run_ft(TaskGraphProblem& problem, WorkStealingPool& pool,
                     int reps, FaultInjector* injector = nullptr,
                     const ExecutorOptions& options = {});

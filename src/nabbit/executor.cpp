@@ -1,142 +1,26 @@
 #include "nabbit/executor.hpp"
 
-#include <atomic>
-#include <vector>
-
-#include "concurrent/sharded_map.hpp"
-#include "graph/compute_context.hpp"
+#include "engine/backend.hpp"
+#include "engine/detection_policy.hpp"
+#include "engine/fault_policy.hpp"
+#include "engine/retention_policy.hpp"
+#include "engine/traversal_engine.hpp"
 #include "support/assert.hpp"
-#include "support/spin_lock.hpp"
-#include "support/timer.hpp"
 
 namespace ftdag {
-namespace {
-
-// Baseline task descriptor: join counter, status, notify array (Section III).
-struct NbTask {
-  explicit NbTask(TaskKey k) : key(k) {}
-
-  TaskKey key;
-  std::atomic<int> join{0};
-  std::atomic<TaskStatus> status{TaskStatus::kVisited};
-  SpinLock lock;
-  std::vector<TaskKey> notify_array;
-};
-
-struct Run {
-  TaskGraphProblem& problem;
-  WorkStealingPool& pool;
-  ShardedMap<NbTask> tasks;
-  std::atomic<std::uint64_t> computes{0};
-
-  explicit Run(TaskGraphProblem& p, WorkStealingPool& wp)
-      : problem(p), pool(wp) {}
-
-  NbTask* get_task(TaskKey key) {
-    NbTask* t = tasks.find(key);
-    FTDAG_ASSERT(t != nullptr, "task referenced before insertion");
-    return t;
-  }
-
-  // Returns {task, inserted}.
-  std::pair<NbTask*, bool> insert_task_if_absent(TaskKey key) {
-    return tasks.insert_if_absent(key, [key] { return new NbTask(key); });
-  }
-
-  void init_and_compute(NbTask* a, TaskKey key) {
-    KeyList preds;
-    problem.predecessors(key, preds);
-    // join = 1 + |preds|: the +1 holds the task back until this traversal
-    // finishes, released by the self-notification below.
-    a->join.store(1 + static_cast<int>(preds.size()),
-                  std::memory_order_release);
-    for (TaskKey pkey : preds)
-      pool.spawn([this, a, key, pkey] { try_init_compute(a, key, pkey); });
-    notify_once(a, key);
-  }
-
-  void try_init_compute(NbTask* a, TaskKey key, TaskKey pkey) {
-    auto [b, inserted] = insert_task_if_absent(pkey);
-    if (inserted)
-      pool.spawn([this, b, pkey] { init_and_compute(b, pkey); });
-
-    bool finished = true;
-    {
-      std::lock_guard<SpinLock> guard(b->lock);
-      if (b->status.load(std::memory_order_acquire) < TaskStatus::kComputed) {
-        // B will notify A once computed.
-        b->notify_array.push_back(key);
-        finished = false;
-      }
-    }
-    if (finished) notify_once(a, key);
-  }
-
-  void notify_once(NbTask* a, TaskKey key) {
-    const int val = a->join.fetch_sub(1, std::memory_order_acq_rel) - 1;
-    FTDAG_DASSERT(val >= 0, "baseline join counter went negative");
-    if (val == 0) compute_and_notify(a, key);
-  }
-
-  void compute_and_notify(NbTask* a, TaskKey key) {
-    {
-      ComputeContext ctx(problem.block_store(), key);
-      problem.compute(key, ctx);
-      ctx.finalize();
-    }
-    computes.fetch_add(1, std::memory_order_relaxed);
-    a->status.store(TaskStatus::kComputed, std::memory_order_release);
-
-    // Drain the notify array; late registrations are picked up by the
-    // re-check under the lock before flipping to Completed.
-    std::size_t notified = 0;
-    for (;;) {
-      KeyList batch;
-      {
-        std::lock_guard<SpinLock> guard(a->lock);
-        for (std::size_t i = notified; i < a->notify_array.size(); ++i)
-          batch.push_back(a->notify_array[i]);
-        if (batch.empty()) {
-          a->status.store(TaskStatus::kCompleted, std::memory_order_release);
-          return;
-        }
-        notified = a->notify_array.size();
-      }
-      for (TaskKey skey : batch)
-        pool.spawn([this, skey] { notify_successor(skey); });
-    }
-  }
-
-  void notify_successor(TaskKey skey) {
-    NbTask* s = get_task(skey);
-    notify_once(s, skey);
-  }
-};
-
-}  // namespace
 
 ExecReport NabbitExecutor::execute(TaskGraphProblem& problem,
                                    WorkStealingPool& pool) {
-  Run run(problem, pool);
-  const TaskKey sink = problem.sink();
+  engine::WorkStealingBackend backend(pool);
+  engine::ObservationPolicy obs;
+  engine::NoFaultPolicy fault;
+  engine::NoDetectionPolicy detection;
+  engine::NoRetention retention;
+  engine::TraversalEngine<engine::NoFaultPolicy, engine::NoDetectionPolicy,
+                          engine::NoRetention, engine::WorkStealingBackend>
+      eng(problem, backend, fault, detection, retention, obs);
 
-  Timer timer;
-  pool.run_to_quiescence([&run, sink] {
-    auto [t, inserted] = run.insert_task_if_absent(sink);
-    FTDAG_ASSERT(inserted, "sink already present");
-    run.init_and_compute(t, sink);
-  });
-
-  ExecReport report;
-  report.seconds = timer.seconds();
-  report.tasks_discovered = run.tasks.size();
-  report.computes = run.computes.load();
-  report.re_executed = 0;  // baseline never re-executes
-
-  NbTask* sink_task = run.tasks.find(sink);
-  FTDAG_ASSERT(sink_task != nullptr &&
-                   sink_task->status.load() == TaskStatus::kCompleted,
-               "sink did not complete");
+  ExecReport report = eng.run();
   FTDAG_ASSERT(report.computes == report.tasks_discovered,
                "baseline computed a task more than once");
   return report;

@@ -2,66 +2,42 @@
 
 #include <algorithm>
 #include <unordered_map>
-#include <vector>
 
-#include "graph/compute_context.hpp"
-#include "support/assert.hpp"
-#include "support/timer.hpp"
+#include "engine/backend.hpp"
+#include "engine/detection_policy.hpp"
+#include "engine/fault_policy.hpp"
+#include "engine/retention_policy.hpp"
+#include "engine/traversal_engine.hpp"
 
 namespace ftdag {
 
 SerialReport SerialExecutor::execute(TaskGraphProblem& problem) {
-  Timer total;
+  // The same traversal as the parallel executors, on the inline backend: a
+  // single-threaded FIFO run queue. The join-counter discipline already
+  // guarantees every task computes after all its predecessors, so the
+  // engine's compute timeline arrives in topological order.
+  engine::InlineBackend backend;
+  engine::ComputeTimeline timeline;
+  engine::ObservationPolicy obs(nullptr, &timeline);
+  engine::NoFaultPolicy fault;
+  engine::NoDetectionPolicy detection;
+  engine::NoRetention retention;
+  engine::TraversalEngine<engine::NoFaultPolicy, engine::NoDetectionPolicy,
+                          engine::NoRetention, engine::InlineBackend>
+      eng(problem, backend, fault, detection, retention, obs);
 
-  // Iterative post-order DFS over predecessors from the sink: emits a
-  // topological order (every predecessor before its consumer).
-  struct Frame {
-    TaskKey key;
-    KeyList preds;
-    std::size_t next = 0;
-  };
-  std::vector<TaskKey> order;
-  std::vector<Frame> stack;
-  std::unordered_map<TaskKey, bool> visited;  // false = on stack
-
-  stack.push_back({problem.sink(), {}, 0});
-  problem.predecessors(problem.sink(), stack.back().preds);
-  visited[problem.sink()] = false;
-
-  while (!stack.empty()) {
-    Frame& f = stack.back();
-    if (f.next < f.preds.size()) {
-      const TaskKey p = f.preds[f.next++];
-      auto it = visited.find(p);
-      if (it == visited.end()) {
-        visited[p] = false;
-        stack.push_back({p, {}, 0});
-        problem.predecessors(p, stack.back().preds);
-      } else {
-        FTDAG_ASSERT(it->second, "cycle detected in task graph");
-      }
-      continue;
-    }
-    visited[f.key] = true;
-    order.push_back(f.key);
-    stack.pop_back();
-  }
-
-  // Execute in order, timing each compute; finish[A] is the weighted
-  // longest-path completion time ending at A.
   SerialReport report;
+  report.exec = eng.run();
+  report.seconds = report.exec.seconds;
+  report.tasks = report.exec.tasks_discovered;
+
+  // Section V quantities from the per-task timings: T1 is total work,
+  // finish[A] the weighted longest-path completion time ending at A, so
+  // finish[sink] is T_inf (the span).
   std::unordered_map<TaskKey, double> finish;
-  finish.reserve(order.size());
+  finish.reserve(timeline.events.size());
   KeyList preds;
-  BlockStore& store = problem.block_store();
-  for (TaskKey key : order) {
-    Timer t;
-    {
-      ComputeContext ctx(store, key);
-      problem.compute(key, ctx);
-      ctx.finalize();
-    }
-    const double dt = t.seconds();
+  for (const auto& [key, dt] : timeline.events) {
     report.t1 += dt;
     report.max_task = std::max(report.max_task, dt);
 
@@ -71,9 +47,7 @@ SerialReport SerialExecutor::execute(TaskGraphProblem& problem) {
     for (TaskKey p : preds) ready = std::max(ready, finish[p]);
     finish[key] = ready + dt;
   }
-  report.tasks = order.size();
   report.t_inf = finish[problem.sink()];
-  report.seconds = total.seconds();
   return report;
 }
 

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "graph/exec_report.hpp"
 #include "graph/task_graph_problem.hpp"
 
 namespace ftdag {
@@ -22,6 +23,7 @@ struct SerialReport {
   double t1 = 0.0;        // sum of per-task compute times (work)
   double t_inf = 0.0;     // longest path weighted by compute times (span)
   double max_task = 0.0;  // heaviest single task
+  ExecReport exec;        // the uniform counters (all fault counters zero)
 };
 
 class SerialExecutor {

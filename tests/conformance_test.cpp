@@ -1,0 +1,211 @@
+// Executor conformance suite: every engine instantiation (serial oracle,
+// baseline NABBIT, fault-tolerant, checkpoint/restart) runs the same
+// app scenarios through the shared run_executor driver and must
+//
+//  - produce the bitwise-identical result (checksum against the sequential
+//    reference — the paper's Theorem 1, and with faults its
+//    same-result-with-and-without-failures claim), and
+//  - satisfy the uniform ExecReport counter invariants: discovery count
+//    equals the reachable graph, computes == tasks + re-executions, and
+//    every counter a configuration never touches stays exactly zero.
+//
+// Fault-injection and replication scenarios are gated on the capabilities
+// of each executor kind rather than hand-copied per executor.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "apps/app_registry.hpp"
+#include "engine/discovery.hpp"
+#include "fault/fault_plan.hpp"
+#include "harness/experiment.hpp"
+
+namespace ftdag {
+namespace {
+
+AppConfig test_config(const std::string& name) {
+  if (name == "fw") return {96, 16, 3};
+  return {256, 32, 3};
+}
+
+bool supports_injection(ExecutorKind kind) {
+  return kind == ExecutorKind::kFaultTolerant ||
+         kind == ExecutorKind::kCheckpoint;
+}
+
+bool supports_replication(ExecutorKind kind) {
+  return kind == ExecutorKind::kFaultTolerant;
+}
+
+constexpr ExecutorKind kAllKinds[] = {
+    ExecutorKind::kSerial,
+    ExecutorKind::kBaseline,
+    ExecutorKind::kFaultTolerant,
+    ExecutorKind::kCheckpoint,
+};
+
+// Counters every fault-free run must leave at zero, whatever the executor.
+void expect_clean_counters(const ExecReport& r, const char* ctx) {
+  EXPECT_EQ(r.re_executed, 0u) << ctx;
+  EXPECT_EQ(r.faults_caught, 0u) << ctx;
+  EXPECT_EQ(r.recoveries, 0u) << ctx;
+  EXPECT_EQ(r.resets, 0u) << ctx;
+  EXPECT_EQ(r.injected, 0u) << ctx;
+  EXPECT_EQ(r.replicated, 0u) << ctx;
+  EXPECT_EQ(r.digest_mismatches, 0u) << ctx;
+  EXPECT_EQ(r.votes_resolved, 0u) << ctx;
+  EXPECT_EQ(r.rollbacks, 0u) << ctx;
+}
+
+class Conformance
+    : public ::testing::TestWithParam<std::tuple<const char*, ExecutorKind>> {
+ protected:
+  std::string app_name() const { return std::get<0>(GetParam()); }
+  ExecutorKind kind() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(Conformance, FaultFreeResultAndCounterInvariants) {
+  auto app = make_app(app_name(), test_config(app_name()));
+  const std::uint64_t want = app->reference_checksum();
+  const std::size_t reachable = engine::topological_order(*app).size();
+  WorkStealingPool pool(3);
+
+  RunSpec spec;
+  spec.kind = kind();
+  spec.reps = 2;  // repeated runs must not leak state between repetitions
+  RepeatedRuns runs = run_executor(*app, pool, spec);
+  EXPECT_EQ(app->result_checksum(), want);
+
+  ASSERT_EQ(runs.reports.size(), 2u);
+  for (const ExecReport& r : runs.reports) {
+    EXPECT_EQ(r.tasks_discovered, reachable);
+    EXPECT_EQ(r.computes, reachable);
+    expect_clean_counters(r, "fault-free");
+    if (kind() == ExecutorKind::kCheckpoint) {
+      EXPECT_GT(r.levels, 0u);
+    } else {
+      EXPECT_EQ(r.levels, 0u);
+      EXPECT_EQ(r.checkpoints, 0u);
+      EXPECT_EQ(r.checkpoint_seconds, 0.0);
+    }
+  }
+}
+
+TEST_P(Conformance, InjectedFaultsStillYieldTheReferenceResult) {
+  if (!supports_injection(kind()))
+    GTEST_SKIP() << executor_kind_name(kind()) << " cannot recover";
+  auto app = make_app(app_name(), test_config(app_name()));
+  const std::uint64_t want = app->reference_checksum();
+  WorkStealingPool pool(3);
+
+  FaultPlanner planner(*app);
+  FaultPlanSpec fault_spec;
+  fault_spec.phase = FaultPhase::kAfterCompute;
+  fault_spec.target_count = 5;
+  PlannedFaultInjector injector(planner.plan(fault_spec).faults);
+
+  RunSpec spec;
+  spec.kind = kind();
+  spec.reps = 2;
+  spec.injector = &injector;
+  RepeatedRuns runs = run_executor(*app, pool, spec);
+  EXPECT_EQ(app->result_checksum(), want);
+
+  for (const ExecReport& r : runs.reports) {
+    EXPECT_GT(r.injected, 0u);
+    EXPECT_GE(r.faults_caught, 1u);
+    EXPECT_GT(r.re_executed, 0u);
+    // Re-execution accounting: every compute beyond the first per key.
+    EXPECT_EQ(r.computes, r.tasks_discovered + r.re_executed);
+    if (kind() == ExecutorKind::kFaultTolerant) {
+      EXPECT_GE(r.recoveries, 1u);  // selective: RecoverTask replacements
+      EXPECT_EQ(r.rollbacks, 0u);
+    } else {
+      EXPECT_GE(r.rollbacks, 1u);  // collective: global rollbacks
+      EXPECT_EQ(r.recoveries, 0u);
+    }
+  }
+}
+
+TEST_P(Conformance, ReplicationIsPureAndDetectsBitFlips) {
+  if (!supports_replication(kind()))
+    GTEST_SKIP() << executor_kind_name(kind()) << " has no detection policy";
+  auto app = make_app(app_name(), test_config(app_name()));
+  const std::uint64_t want = app->reference_checksum();
+  WorkStealingPool pool(3);
+
+  RunSpec spec;
+  spec.kind = kind();
+  spec.reps = 1;
+  spec.ft.replication = ReplicationPolicy::parse("all");
+
+  // Fault-free full DMR: replicas must be pure (no published side effects),
+  // so the result is identical and no digest ever disagrees.
+  RepeatedRuns clean = run_executor(*app, pool, spec);
+  EXPECT_EQ(app->result_checksum(), want);
+  {
+    const ExecReport& r = clean.reports.front();
+    EXPECT_EQ(r.computes, r.tasks_discovered);
+    EXPECT_GT(r.replicated, 0u);
+    EXPECT_EQ(r.digest_mismatches, 0u);
+    EXPECT_EQ(r.recoveries, 0u);
+  }
+
+  // Replication as the *detector*: real bit flips in committed outputs,
+  // checksum mode off — digest voting must catch them all before any
+  // successor reads, and recovery must restore the exact result.
+  FaultPlanner planner(*app);
+  FaultPlanSpec fault_spec;
+  fault_spec.phase = FaultPhase::kAfterCompute;
+  fault_spec.target_count = 5;
+  BitFlipInjector flips(planner.plan(fault_spec).faults);
+  spec.injector = &flips;
+  RepeatedRuns flipped = run_executor(*app, pool, spec);
+  EXPECT_EQ(app->result_checksum(), want);
+  {
+    const ExecReport& r = flipped.reports.front();
+    EXPECT_GT(r.injected, 0u);
+    EXPECT_GE(r.digest_mismatches, r.injected);
+  }
+}
+
+std::string conformance_name(
+    const ::testing::TestParamInfo<Conformance::ParamType>& info) {
+  return std::string(std::get<0>(info.param)) + "_" +
+         executor_kind_name(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAppsAllExecutors, Conformance,
+                         ::testing::Combine(::testing::Values("lcs", "sw", "fw",
+                                                              "lu", "cholesky",
+                                                              "rand"),
+                                            ::testing::ValuesIn(kAllKinds)),
+                         conformance_name);
+
+TEST(FwDependenceClasses, WarEdgesAreOrderingOnly) {
+  auto app = make_app("fw", {96, 16, 3});  // W = 6
+  const int w = 6;
+  auto key = [w](int k, int i, int j) {
+    return (static_cast<TaskKey>(k) * w + i) * w + j;
+  };
+  // Stage-internal and previous-version edges carry data...
+  EXPECT_TRUE(app->data_dependence(key(3, 1, 2), key(3, 1, 3)));  // col panel
+  EXPECT_TRUE(app->data_dependence(key(3, 1, 2), key(2, 1, 2)));  // prev ver
+  EXPECT_TRUE(app->data_dependence(key(3, 3, 2), key(3, 3, 3)));  // diag
+  // ...while stage-(k-2) guards do not.
+  EXPECT_FALSE(app->data_dependence(key(3, 1, 1), key(1, 2, 1)));
+  EXPECT_FALSE(app->data_dependence(key(4, 2, 3), key(2, 1, 3)));
+
+  // Every WAR predecessor really appears in the successor's pred list.
+  KeyList preds;
+  app->predecessors(key(4, 2, 2), preds);  // block (2,2) was stage-2 diag
+  int war = 0;
+  for (TaskKey p : preds)
+    if (!app->data_dependence(key(4, 2, 2), p)) ++war;
+  EXPECT_EQ(war, 2 * (w - 1));  // the whole stage-2 panel set
+}
+
+}  // namespace
+}  // namespace ftdag

@@ -7,7 +7,7 @@
 #include <thread>
 #include <vector>
 
-#include "core/recovery_table.hpp"
+#include "engine/recovery_table.hpp"
 
 namespace ftdag {
 namespace {
