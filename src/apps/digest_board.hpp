@@ -53,6 +53,11 @@ class DigestBoard {
   }
 
  private:
+  // Concurrency contract: lock-free by design. Slots are written through
+  // ComputeContext::stage_result at commit time only; relaxed order suffices
+  // because a slot value is a pure function of task inputs (re-executions
+  // rewrite identical bytes) and combined()/get() run post-quiescence.
+  // resize()/reset() are setup-time, single-threaded.
   std::unique_ptr<std::atomic<std::uint64_t>[]> slots_;
   std::size_t size_ = 0;
 };

@@ -64,7 +64,14 @@ void BlockStore::displace_slot(Block& b, Version slot, Version keep) {
   }
 }
 
-WriteTicket BlockStore::begin_write(BlockId block, Version version) {
+// Write-ticket protocol: the slot lock acquired here is released by
+// commit()/abort() on the same ticket, possibly on another call path. The
+// lock identity (slot_locks[version % slots]) is runtime data, so the
+// acquire/release pairing cannot be expressed to the thread-safety analysis;
+// the pairing is instead enforced by WriteTicket::active asserts and
+// exercised by the block-store and conformance test suites.
+WriteTicket BlockStore::begin_write(BlockId block, Version version)
+    FTDAG_NO_THREAD_SAFETY_ANALYSIS {
   Block& b = block_ref(block);
   FTDAG_ASSERT(version < b.num_versions, "version out of range");
   const Version slot = version % b.slots;
@@ -75,7 +82,9 @@ WriteTicket BlockStore::begin_write(BlockId block, Version version) {
       b.storage.get() + static_cast<std::size_t>(slot) * b.bytes, true};
 }
 
-WriteTicket BlockStore::begin_update(BlockId block, Version from, Version to) {
+// See begin_write: the slot lock outlives this function by design.
+WriteTicket BlockStore::begin_update(BlockId block, Version from, Version to)
+    FTDAG_NO_THREAD_SAFETY_ANALYSIS {
   Block& b = block_ref(block);
   FTDAG_ASSERT(from < b.num_versions && to < b.num_versions,
                "version out of range");
@@ -109,7 +118,8 @@ bool BlockStore::same_slot(BlockId block, Version a, Version b_) const {
   return a % b.slots == b_ % b.slots;
 }
 
-void BlockStore::commit(WriteTicket& ticket) {
+// Releases the slot lock taken by begin_write/begin_update (see there).
+void BlockStore::commit(WriteTicket& ticket) FTDAG_NO_THREAD_SAFETY_ANALYSIS {
   FTDAG_ASSERT(ticket.active, "commit of inactive ticket");
   Block& b = block_ref(ticket.block);
   if (checksums_)
@@ -122,7 +132,8 @@ void BlockStore::commit(WriteTicket& ticket) {
   ticket.active = false;
 }
 
-void BlockStore::abort(WriteTicket& ticket) {
+// Releases the slot lock taken by begin_write/begin_update (see there).
+void BlockStore::abort(WriteTicket& ticket) FTDAG_NO_THREAD_SAFETY_ANALYSIS {
   FTDAG_ASSERT(ticket.active, "abort of inactive ticket");
   Block& b = block_ref(ticket.block);
   b.slot_locks[ticket.version % b.slots].unlock();

@@ -41,6 +41,7 @@
 #include "fault/fault.hpp"
 #include "graph/task_key.hpp"
 #include "support/spin_lock.hpp"
+#include "support/thread_safety.hpp"
 
 namespace ftdag {
 
@@ -197,6 +198,13 @@ class BlockStore {
     // Corrupted when the stored hash no longer matches the bytes (that IS
     // the detection event).
     mutable std::unique_ptr<std::atomic<VersionState>[]> states;
+    // Per-slot writer locks. Held from begin_write/begin_update until
+    // commit/abort — across function boundaries, with the lock chosen by
+    // slot index at runtime — so the write-ticket protocol sits outside
+    // clang's lock-scope model; the four protocol functions carry
+    // FTDAG_NO_THREAD_SAFETY_ANALYSIS with the invariant documented there.
+    // Readers never take these locks: they validate `states` on access and
+    // the executors re-validate every recorded read after the compute body.
     std::unique_ptr<SpinLock[]> slot_locks;              // per slot
     std::unique_ptr<std::atomic<std::uint64_t>[]> sums;  // per version
   };

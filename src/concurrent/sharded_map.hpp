@@ -15,13 +15,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "support/assert.hpp"
 #include "support/cache.hpp"
 #include "support/spin_lock.hpp"
+#include "support/thread_safety.hpp"
 #include "support/xoshiro.hpp"
 
 namespace ftdag {
@@ -47,7 +47,7 @@ class ShardedMap {
   template <typename F>
   std::pair<V*, bool> insert_if_absent(MapKey key, F&& factory) {
     Shard& shard = shard_for(key);
-    std::lock_guard<SpinLock> guard(shard.lock);
+    SpinLockGuard guard(shard.lock);
     std::size_t idx;
     if (shard.locate(key, idx)) return {shard.slots[idx].value, false};
     if ((shard.count + 1) * 10 > shard.slots.size() * 7) {
@@ -65,7 +65,7 @@ class ShardedMap {
   // Finds the value for key; nullptr when absent.
   V* find(MapKey key) {
     Shard& shard = shard_for(key);
-    std::lock_guard<SpinLock> guard(shard.lock);
+    SpinLockGuard guard(shard.lock);
     std::size_t idx;
     if (shard.locate(key, idx)) return shard.slots[idx].value;
     return nullptr;
@@ -76,7 +76,7 @@ class ShardedMap {
   template <typename Fn>
   void for_each(Fn&& fn) {
     for (auto& s : shards_) {
-      std::lock_guard<SpinLock> guard(s->lock);
+      SpinLockGuard guard(s->lock);
       for (const Slot& slot : s->slots)
         if (slot.value != nullptr) fn(slot.key, *slot.value);
     }
@@ -86,7 +86,7 @@ class ShardedMap {
 
   void clear() {
     for (auto& s : shards_) {
-      std::lock_guard<SpinLock> guard(s->lock);
+      SpinLockGuard guard(s->lock);
       for (Slot& slot : s->slots) {
         delete slot.value;
         slot = Slot{};
@@ -106,14 +106,18 @@ class ShardedMap {
 
   struct Shard {
     SpinLock lock;
-    std::vector<Slot> slots;
-    std::size_t count = 0;
+    std::vector<Slot> slots FTDAG_GUARDED_BY(lock);
+    std::size_t count FTDAG_GUARDED_BY(lock) = 0;
 
-    void init(std::size_t cap) { slots.assign(cap, Slot{}); }
+    // Setup only; runs inside the ShardedMap constructor, before the shard
+    // is visible to any other thread.
+    void init(std::size_t cap) FTDAG_REQUIRES(lock) {
+      slots.assign(cap, Slot{});
+    }
 
     // Probes for key. Returns true and its index when present; otherwise
     // false with idx at the first empty slot for insertion.
-    bool locate(MapKey key, std::size_t& idx) const {
+    bool locate(MapKey key, std::size_t& idx) const FTDAG_REQUIRES(lock) {
       const std::size_t mask = slots.size() - 1;
       std::size_t i = hash_key(key) & mask;
       for (;;) {
@@ -130,7 +134,7 @@ class ShardedMap {
       }
     }
 
-    void grow() {
+    void grow() FTDAG_REQUIRES(lock) {
       std::vector<Slot> old = std::move(slots);
       slots.assign(old.size() * 2, Slot{});
       for (const Slot& s : old) {

@@ -24,7 +24,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 
 #include "blocks/block_store.hpp"
 #include "concurrent/sharded_map.hpp"
@@ -153,7 +152,7 @@ class SelectiveRecoveryPolicy {
         return;  // Computed/Completed successors need nothing from T
       const std::size_t ind = s->pred_index(key);
       if (s->bits.test(ind)) {
-        std::lock_guard<SpinLock> guard(t->lock);
+        SpinLockGuard guard(t->lock);
         t->notify_array.push_back(skey);
       }
     } catch (const FaultException& e) {

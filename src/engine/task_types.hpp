@@ -34,6 +34,7 @@
 #include "graph/task_key.hpp"
 #include "support/assert.hpp"
 #include "support/spin_lock.hpp"
+#include "support/thread_safety.hpp"
 
 namespace ftdag::engine {
 
@@ -48,8 +49,11 @@ struct TaskCore {
 
   std::atomic<int> join;
   std::atomic<TaskStatus> status{TaskStatus::kVisited};
-  SpinLock lock;                      // guards notify_array
-  std::vector<TaskKey> notify_array;  // successors awaiting notification
+  SpinLock lock;
+  // Successors awaiting notification. Registration (TRYINITCOMPUTE) and the
+  // drain loop (COMPUTEANDNOTIFY) both run under `lock`; the drain re-checks
+  // the array before publishing Completed so late registrations are not lost.
+  std::vector<TaskKey> notify_array FTDAG_GUARDED_BY(lock);
 };
 
 // Baseline descriptor: no life numbers, no bit vector, no corruption flag.

@@ -32,7 +32,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -47,6 +46,7 @@
 #include "graph/task_graph_problem.hpp"
 #include "support/assert.hpp"
 #include "support/spin_lock.hpp"
+#include "support/thread_safety.hpp"
 #include "support/timer.hpp"
 #include "trace/trace.hpp"
 
@@ -107,7 +107,7 @@ class TraversalEngine {
         old, fresh, std::memory_order_acq_rel);
     FTDAG_ASSERT(swapped, "concurrent REPLACETASK on the same incarnation");
     {
-      std::lock_guard<SpinLock> guard(garbage_lock_);
+      SpinLockGuard guard(garbage_lock_);
       garbage_.push_back(old);
     }
     return fresh;
@@ -233,7 +233,7 @@ class TraversalEngine {
   bool register_or_skip(Task* b, TaskKey key, TaskKey pkey) {
     fault_.check(b);
     {
-      std::lock_guard<SpinLock> guard(b->lock);
+      SpinLockGuard guard(b->lock);
       if (b->status.load(std::memory_order_acquire) < TaskStatus::kComputed) {
         // B notifies A once computed (and will produce fresh outputs).
         b->notify_array.push_back(key);
@@ -344,7 +344,7 @@ class TraversalEngine {
       fault_.check(a);  // an after-compute fault on self is detected here
       KeyList batch;
       {
-        std::lock_guard<SpinLock> guard(a->lock);
+        SpinLockGuard guard(a->lock);
         for (std::size_t i = notified; i < a->notify_array.size(); ++i)
           batch.push_back(a->notify_array[i]);
         if (batch.empty()) {
@@ -372,7 +372,8 @@ class TraversalEngine {
   ShardedMap<MapValue> tasks_;
 
   SpinLock garbage_lock_;
-  std::vector<Task*> garbage_;  // superseded incarnations
+  // Superseded incarnations, freed in the (single-threaded) destructor.
+  std::vector<Task*> garbage_ FTDAG_GUARDED_BY(garbage_lock_);
 };
 
 }  // namespace ftdag::engine

@@ -94,6 +94,9 @@ class BitFlipInjector final : public FaultInjector {
     std::atomic<bool> fired{false};
   };
 
+  // Concurrency contract: the map itself is immutable after construction
+  // (reset() rewrites entry *contents*, never the map, and runs only when
+  // the pool is quiescent); workers race only on the atomic `fired` flags.
   std::unordered_map<TaskKey, std::unique_ptr<Entry>> entries_;
   std::atomic<std::uint64_t> injected_{0};
 };
@@ -121,6 +124,7 @@ class PlannedFaultInjector final : public FaultInjector {
     std::atomic<bool> fired{false};
   };
 
+  // Immutable after construction; see BitFlipInjector::entries_.
   std::unordered_map<TaskKey, std::unique_ptr<Entry>> entries_;
   std::atomic<std::uint64_t> injected_{0};
   std::uint64_t intended_ = 0;

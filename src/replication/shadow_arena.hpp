@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "support/spin_lock.hpp"
+#include "support/thread_safety.hpp"
 
 namespace ftdag {
 
@@ -26,7 +27,7 @@ class ShadowArena {
 
   std::byte* acquire(std::size_t bytes) {
     {
-      std::lock_guard<SpinLock> guard(lock_);
+      SpinLockGuard guard(lock_);
       auto it = free_.find(bytes);
       if (it != free_.end() && !it->second.empty()) {
         std::byte* p = it->second.back().release();
@@ -39,18 +40,22 @@ class ShadowArena {
   }
 
   void release(std::byte* p, std::size_t bytes) {
-    std::lock_guard<SpinLock> guard(lock_);
+    SpinLockGuard guard(lock_);
     free_[bytes].emplace_back(p);
   }
 
   // Buffers that had to be allocated fresh (not served from the free list);
   // steady-state replication should plateau at the high-water buffer count.
-  std::size_t allocations() const { return allocations_; }
+  std::size_t allocations() const {
+    SpinLockGuard guard(lock_);
+    return allocations_;
+  }
 
  private:
-  SpinLock lock_;
-  std::map<std::size_t, std::vector<std::unique_ptr<std::byte[]>>> free_;
-  std::size_t allocations_ = 0;
+  mutable SpinLock lock_;
+  std::map<std::size_t, std::vector<std::unique_ptr<std::byte[]>>> free_
+      FTDAG_GUARDED_BY(lock_);
+  std::size_t allocations_ FTDAG_GUARDED_BY(lock_) = 0;
 };
 
 }  // namespace ftdag

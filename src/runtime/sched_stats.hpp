@@ -24,6 +24,12 @@ struct SchedStats {
 // Per-worker counters. Relaxed atomics, not plain fields: quiescence drains
 // *jobs*, but idle workers keep probing victims (bumping steals_attempted)
 // until they park, so an aggregating reader can overlap a bump.
+//
+// Concurrency contract: single-writer (the owning worker) / any-reader.
+// bump() is a load+store rather than fetch_add — no other thread ever
+// writes, so the RMW would buy nothing — and every access is relaxed: the
+// counters carry no ordering obligations, readers tolerate slightly stale
+// values, and the aggregate is only trusted after the pool is quiescent.
 struct WorkerStats {
   std::atomic<std::uint64_t> jobs_executed{0};
   std::atomic<std::uint64_t> steals_attempted{0};

@@ -46,7 +46,7 @@ void WorkStealingPool::enqueue(JobNode* job) {
   if (on_worker_thread()) {
     tls_worker_->deque.push(job);
   } else {
-    std::lock_guard<SpinLock> guard(injection_lock_);
+    SpinLockGuard guard(injection_lock_);
     injected_.push_back(job);
   }
   signal_work();
@@ -64,7 +64,7 @@ void WorkStealingPool::signal_work() {
 }
 
 JobNode* WorkStealingPool::pop_injected() {
-  std::lock_guard<SpinLock> guard(injection_lock_);
+  SpinLockGuard guard(injection_lock_);
   if (injected_.empty()) return nullptr;
   JobNode* job = injected_.front();
   injected_.pop_front();

@@ -30,6 +30,7 @@
 #include "runtime/sched_stats.hpp"
 #include "support/cache.hpp"
 #include "support/spin_lock.hpp"
+#include "support/thread_safety.hpp"
 #include "support/xoshiro.hpp"
 
 namespace ftdag {
@@ -96,7 +97,7 @@ class WorkStealingPool {
 
   // Jobs spawned from outside any worker (e.g. the root job).
   SpinLock injection_lock_;
-  std::deque<JobNode*> injected_;
+  std::deque<JobNode*> injected_ FTDAG_GUARDED_BY(injection_lock_);
 
   alignas(kCacheLine) std::atomic<std::int64_t> pending_{0};
   alignas(kCacheLine) std::atomic<std::uint64_t> signal_epoch_{0};

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "support/cache.hpp"
+#include "support/thread_safety.hpp"
 
 namespace ftdag {
 
@@ -42,29 +43,53 @@ class Backoff {
   int spins_ = 0;
 };
 
-class SpinLock {
+class FTDAG_CAPABILITY("spin lock") SpinLock {
  public:
   SpinLock() = default;
   SpinLock(const SpinLock&) = delete;
   SpinLock& operator=(const SpinLock&) = delete;
 
-  void lock() {
+  void lock() FTDAG_ACQUIRE() {
     Backoff backoff;
     for (;;) {
+      // pairs: spinlock — the acquire exchange synchronizes with the release
+      // store in unlock(), making everything the previous holder wrote under
+      // the lock visible to this new holder.
       if (!locked_.exchange(true, std::memory_order_acquire)) return;
       while (locked_.load(std::memory_order_relaxed)) backoff.pause();
     }
   }
 
-  bool try_lock() {
+  bool try_lock() FTDAG_TRY_ACQUIRE(true) {
     return !locked_.load(std::memory_order_relaxed) &&
+           // pairs: spinlock
            !locked_.exchange(true, std::memory_order_acquire);
   }
 
-  void unlock() { locked_.store(false, std::memory_order_release); }
+  void unlock() FTDAG_RELEASE() {
+    // pairs: spinlock — publishes the critical section to the next acquirer.
+    locked_.store(false, std::memory_order_release);
+  }
 
  private:
   std::atomic<bool> locked_{false};
+};
+
+// RAII guard for SpinLock, annotated so clang's thread-safety analysis
+// tracks the critical section (std::lock_guard in libstdc++ has no
+// annotations and would leave FTDAG_GUARDED_BY fields unprovable).
+class FTDAG_SCOPED_CAPABILITY SpinLockGuard {
+ public:
+  explicit SpinLockGuard(SpinLock& lock) FTDAG_ACQUIRE(lock) : lock_(lock) {
+    lock_.lock();
+  }
+  ~SpinLockGuard() FTDAG_RELEASE() { lock_.unlock(); }
+
+  SpinLockGuard(const SpinLockGuard&) = delete;
+  SpinLockGuard& operator=(const SpinLockGuard&) = delete;
+
+ private:
+  SpinLock& lock_;
 };
 
 }  // namespace ftdag

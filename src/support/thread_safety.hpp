@@ -1,0 +1,74 @@
+#pragma once
+// Clang thread-safety-analysis annotations (-Wthread-safety).
+//
+// These macros make the repo's locking discipline a *compile-time contract*:
+// which lock guards which field (FTDAG_GUARDED_BY), which functions may only
+// run with a lock held (FTDAG_REQUIRES), and which functions acquire or
+// release a capability (FTDAG_ACQUIRE / FTDAG_RELEASE). Clang's analysis
+// checks every annotated access path; the static-analysis CI job compiles
+// the tree with `-Wthread-safety -Werror`, so an unguarded access to an
+// annotated field is a build break, not a TSan roll of the dice.
+//
+// Under GCC (which has no thread-safety analysis) and under clang versions
+// without the capability attribute, every macro expands to nothing, so the
+// annotations cost nothing in any build.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define FTDAG_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+
+#ifndef FTDAG_THREAD_ANNOTATION
+#define FTDAG_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+// Declares a class to be a capability (a lock). The string names the
+// capability kind in diagnostics ("spin lock 'shard.lock' is not held...").
+#define FTDAG_CAPABILITY(x) FTDAG_THREAD_ANNOTATION(capability(x))
+
+// Declares an RAII class whose constructor acquires and destructor releases
+// a capability (our SpinLockGuard; std::lock_guard in libstdc++ carries no
+// annotations, which is why the repo uses its own guard for annotated locks).
+#define FTDAG_SCOPED_CAPABILITY FTDAG_THREAD_ANNOTATION(scoped_lockable)
+
+// Field annotation: may only be read or written while holding `x`.
+#define FTDAG_GUARDED_BY(x) FTDAG_THREAD_ANNOTATION(guarded_by(x))
+
+// Pointer-field annotation: the *pointee* is guarded by `x` (the pointer
+// itself may be read freely).
+#define FTDAG_PT_GUARDED_BY(x) FTDAG_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Function annotation: callers must hold the listed capabilities.
+#define FTDAG_REQUIRES(...) \
+  FTDAG_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+// Function annotation: acquires the listed capabilities (held on return).
+#define FTDAG_ACQUIRE(...) \
+  FTDAG_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+// Function annotation: releases the listed capabilities.
+#define FTDAG_RELEASE(...) \
+  FTDAG_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+// Function annotation: acquires the capability iff the return value equals
+// the first argument (e.g. FTDAG_TRY_ACQUIRE(true) for bool try_lock()).
+#define FTDAG_TRY_ACQUIRE(...) \
+  FTDAG_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+// Function annotation: callers must NOT hold the listed capabilities
+// (deadlock prevention for functions that acquire them internally).
+#define FTDAG_EXCLUDES(...) FTDAG_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Function annotation: returns a reference to the given capability.
+#define FTDAG_RETURN_CAPABILITY(x) FTDAG_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch: disables the analysis for one function. Used only where the
+// locking protocol is correct but outside the analysis' model — e.g. the
+// BlockStore write-ticket protocol, which holds a dynamically-indexed
+// per-slot lock across begin_write()/commit() function boundaries. Every
+// use must carry a comment explaining why the analysis cannot follow.
+#define FTDAG_NO_THREAD_SAFETY_ANALYSIS \
+  FTDAG_THREAD_ANNOTATION(no_thread_safety_analysis)

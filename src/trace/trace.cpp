@@ -1,7 +1,6 @@
 #include "trace/trace.hpp"
 
 #include <algorithm>
-#include <mutex>
 
 #include "support/assert.hpp"
 #include "support/table.hpp"
@@ -33,13 +32,17 @@ void ExecutionTrace::record(int worker, TraceKind kind, TaskKey key,
       static_cast<std::size_t>(worker) < worker_buffers_.size()) {
     worker_buffers_[static_cast<std::size_t>(worker)]->records.push_back(r);
   } else {
-    std::lock_guard<SpinLock> guard(overflow_lock_);
+    SpinLockGuard guard(overflow_lock_);
     overflow_.records.push_back(r);
   }
 }
 
 std::size_t ExecutionTrace::size() const {
-  std::size_t n = overflow_.records.size();
+  std::size_t n;
+  {
+    SpinLockGuard guard(overflow_lock_);
+    n = overflow_.records.size();
+  }
   for (const auto& b : worker_buffers_) n += b->records.size();
   return n;
 }
@@ -49,7 +52,10 @@ std::size_t ExecutionTrace::count(TraceKind kind) const {
   auto tally = [&](const Buffer& b) {
     for (const TraceRecord& r : b.records) n += (r.kind == kind);
   };
-  tally(overflow_);
+  {
+    SpinLockGuard guard(overflow_lock_);
+    tally(overflow_);
+  }
   for (const auto& b : worker_buffers_) tally(*b);
   return n;
 }
@@ -57,7 +63,10 @@ std::size_t ExecutionTrace::count(TraceKind kind) const {
 std::vector<TraceRecord> ExecutionTrace::merged() const {
   std::vector<TraceRecord> out;
   out.reserve(size());
-  out.insert(out.end(), overflow_.records.begin(), overflow_.records.end());
+  {
+    SpinLockGuard guard(overflow_lock_);
+    out.insert(out.end(), overflow_.records.begin(), overflow_.records.end());
+  }
   for (const auto& b : worker_buffers_)
     out.insert(out.end(), b->records.begin(), b->records.end());
   std::sort(out.begin(), out.end(),
@@ -97,7 +106,10 @@ std::string ExecutionTrace::chrome_json() const {
 }
 
 void ExecutionTrace::clear() {
-  overflow_.records.clear();
+  {
+    SpinLockGuard guard(overflow_lock_);
+    overflow_.records.clear();
+  }
   for (auto& b : worker_buffers_) b->records.clear();
 }
 

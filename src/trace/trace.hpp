@@ -15,6 +15,7 @@
 #include "graph/task_key.hpp"
 #include "support/cache.hpp"
 #include "support/spin_lock.hpp"
+#include "support/thread_safety.hpp"
 #include "support/timer.hpp"
 
 namespace ftdag {
@@ -71,9 +72,11 @@ class ExecutionTrace {
   };
 
   Timer clock_;
+  // Per-worker buffers are single-writer (each worker appends to its own);
+  // the post-quiescence queries below read them unguarded by contract.
   std::vector<CachePadded<Buffer>> worker_buffers_;
   mutable SpinLock overflow_lock_;
-  Buffer overflow_;
+  Buffer overflow_ FTDAG_GUARDED_BY(overflow_lock_);
 };
 
 }  // namespace ftdag
