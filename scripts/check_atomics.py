@@ -1,0 +1,496 @@
+#!/usr/bin/env python3
+"""check_atomics.py — memory-order lint for the ftdag concurrency contract.
+
+Walks C++ sources (default: src/) and enforces three rules:
+
+  A. explicit-order: every std::atomic load/store/exchange/fetch_*/
+     compare_exchange_* call must pass an explicit std::memory_order
+     argument, and operator-form atomic RMWs (++x, x += 1, x = v, the
+     implicit seq_cst forms) on variables declared std::atomic in the same
+     file are rejected outright — write the .fetch_add/.store call with the
+     order the algorithm actually needs.
+
+  B. seq_cst-justified: in the hot-path files (--hot-path, default:
+     traversal_engine.hpp chase_lev_deque.hpp atomic_bitset.hpp
+     executor.cpp) every appearance of memory_order_seq_cst must carry a
+     `seq_cst: <reason>` comment on the same line or within the preceding
+     comment block. Sequential consistency is the most expensive order on
+     weakly-ordered hardware; on the hot path it must be an argument, not a
+     default.
+
+  C. acquire-release-pairs: every memory_order_acquire / _release /
+     _acq_rel / _consume site must carry a `pairs: <tag>` comment (same
+     line or preceding comment block) naming the synchronizes-with edge it
+     participates in, and across the whole scanned tree every tag must have
+     at least one acquire-side and one release-side site. An acquire whose
+     release counterpart nobody can point to is a bug waiting for a weaker
+     memory model.
+
+Escape hatch: a line containing `NOLINT-ATOMICS(<reason>)` in a comment is
+exempt from rules A and B (never from tag-pairing bookkeeping).
+
+Zero dependencies by design: the container and CI runners need only a
+Python 3 interpreter. When the libclang python bindings are importable the
+script additionally cross-checks rule A against the AST (catching calls the
+tokenizer cannot see, e.g. through type aliases); absence of libclang only
+loses that cross-check, never produces different pass/fail results on this
+tree.
+
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+DEFAULT_HOT_PATH = (
+    "traversal_engine.hpp",
+    "chase_lev_deque.hpp",
+    "atomic_bitset.hpp",
+    "executor.cpp",
+)
+
+# Member calls that are atomic operations when the receiver is a std::atomic.
+ATOMIC_METHODS = (
+    "load",
+    "store",
+    "exchange",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "compare_exchange_strong",
+    "compare_exchange_weak",
+)
+
+ACQUIRE_SIDE = ("memory_order_acquire", "memory_order_consume")
+RELEASE_SIDE = ("memory_order_release",)
+BOTH_SIDES = ("memory_order_acq_rel",)
+ORDERED = ACQUIRE_SIDE + RELEASE_SIDE + BOTH_SIDES
+
+SOURCE_EXTENSIONS = (".hpp", ".h", ".cpp", ".cc", ".cxx")
+
+# How many lines above an atomic site a justification comment may sit.
+COMMENT_LOOKBACK = 4
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class FileText:
+    path: str
+    raw_lines: list[str]
+    # raw_lines with comment text and string/char literal contents blanked,
+    # line structure preserved — safe for code-pattern matching.
+    code_lines: list[str] = field(default_factory=list)
+    # comment text per line (block + line comments), for directive lookup.
+    comment_lines: list[str] = field(default_factory=list)
+
+
+def split_code_and_comments(raw_lines: list[str]) -> tuple[list[str], list[str]]:
+    """Blanks comments/strings out of code; collects comment text per line."""
+    code_lines: list[str] = []
+    comment_lines: list[str] = []
+    in_block = False
+    for raw in raw_lines:
+        code: list[str] = []
+        comment: list[str] = []
+        i, n = 0, len(raw)
+        while i < n:
+            c = raw[i]
+            nxt = raw[i + 1] if i + 1 < n else ""
+            if in_block:
+                if c == "*" and nxt == "/":
+                    in_block = False
+                    i += 2
+                else:
+                    comment.append(c)
+                    i += 1
+            elif c == "/" and nxt == "/":
+                comment.append(raw[i + 2 :])
+                break
+            elif c == "/" and nxt == "*":
+                in_block = True
+                i += 2
+            elif c in "\"'":
+                quote = c
+                code.append(quote)
+                i += 1
+                while i < n:
+                    if raw[i] == "\\":
+                        i += 2
+                        continue
+                    if raw[i] == quote:
+                        code.append(quote)
+                        i += 1
+                        break
+                    i += 1
+            else:
+                code.append(c)
+                i += 1
+        code_lines.append("".join(code))
+        comment_lines.append("".join(comment))
+    return code_lines, comment_lines
+
+
+def load_file(path: str) -> FileText:
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        raw = f.read().splitlines()
+    ft = FileText(path=path, raw_lines=raw)
+    ft.code_lines, ft.comment_lines = split_code_and_comments(raw)
+    return ft
+
+
+def comment_window(ft: FileText, line_idx: int) -> str:
+    """Comment text on the site's line plus the contiguous run of
+    comment/blank lines directly above it (bounded by COMMENT_LOOKBACK)."""
+    parts = [ft.comment_lines[line_idx]]
+    for j in range(line_idx - 1, max(-1, line_idx - 1 - COMMENT_LOOKBACK), -1):
+        code = ft.code_lines[j].strip()
+        has_comment = bool(ft.comment_lines[j].strip())
+        if code and not has_comment:
+            break  # a pure-code line breaks the comment block
+        parts.append(ft.comment_lines[j])
+        if code:
+            break  # trailing comment on a code line: include it, then stop
+    return "\n".join(parts)
+
+
+def has_nolint(ft: FileText, line_idx: int) -> bool:
+    return "NOLINT-ATOMICS(" in comment_window(ft, line_idx)
+
+
+def gather_args(ft: FileText, line_idx: int, open_paren_col: int) -> str:
+    """Returns the text of a balanced parenthesized argument list that opens
+    at (line_idx, open_paren_col) in code_lines, possibly spanning lines."""
+    depth = 0
+    out: list[str] = []
+    i, col = line_idx, open_paren_col
+    while i < len(ft.code_lines):
+        line = ft.code_lines[i]
+        while col < len(line):
+            c = line[col]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+                if depth == 0:
+                    out.append(line[: col + 1])
+                    return "".join(out)[open_paren_col:] if i == line_idx else (
+                        "".join(out)
+                    )
+            col += 1
+        out.append(line[col:] if i == line_idx else line)
+        out.append("\n")
+        i, col = i + 1, 0
+    return "".join(out)  # unbalanced: caller treats as missing order
+
+
+ATOMIC_DECL_RE = re.compile(
+    r"std\s*::\s*atomic\s*<[^;={]*?>\s*(?:\[\s*\]\s*)?([A-Za-z_]\w*)\s*[{;=(]"
+)
+
+PLAIN_TYPES = (
+    r"(?:std\s*::\s*)?(?:u?int(?:8|16|32|64)?_t|int|unsigned(?:\s+long)?"
+    r"(?:\s+long)?|size_t|bool|long(?:\s+long)?|float|double|char)"
+)
+
+
+def collect_atomic_names(ft: FileText) -> set[str]:
+    """Names declared std::atomic in this file — minus any name that is
+    *also* declared with a plain integral type in the same file (e.g. a
+    plain aggregate mirroring per-worker atomic counters): the tokenizer
+    cannot attribute an unqualified use to one declaration, so ambiguous
+    names are skipped rather than guessed at. Keep atomic field names
+    distinct from plain ones to get full operator-form coverage."""
+    names: set[str] = set()
+    text = "\n".join(ft.code_lines)
+    for m in ATOMIC_DECL_RE.finditer(text):
+        names.add(m.group(1))
+    ambiguous = {
+        n
+        for n in names
+        if re.search(r"\b" + PLAIN_TYPES + r"\s+" + re.escape(n) + r"\s*[;={]",
+                     text)
+    }
+    return names - ambiguous
+
+
+METHOD_CALL_RE = re.compile(
+    r"(?:\.|->)\s*(" + "|".join(ATOMIC_METHODS) + r")\s*\("
+)
+
+
+def check_method_calls(ft: FileText, findings: list[Finding]) -> None:
+    for idx, code in enumerate(ft.code_lines):
+        for m in METHOD_CALL_RE.finditer(code):
+            method = m.group(1)
+            args = gather_args(ft, idx, m.end() - 1)
+            inner = args[1:-1] if args.startswith("(") else args
+            stripped = inner.strip()
+            # `.store()` / `.exchange()` with no argument cannot be the
+            # std::atomic member (it requires a value); treat as an
+            # unrelated accessor of the same name (e.g. engine.store()).
+            if method != "load" and stripped == "":
+                continue
+            if "memory_order" in args:
+                continue
+            if has_nolint(ft, idx):
+                continue
+            findings.append(
+                Finding(
+                    ft.path,
+                    idx + 1,
+                    "explicit-order",
+                    f"atomic .{method}({stripped[:40]}"
+                    f"{'…' if len(stripped) > 40 else ''}) without an explicit "
+                    "std::memory_order argument (defaults to seq_cst)",
+                )
+            )
+
+
+def check_operator_rmw(
+    ft: FileText, atomic_names: set[str], findings: list[Finding]
+) -> None:
+    if not atomic_names:
+        return
+    alt = "|".join(re.escape(n) for n in sorted(atomic_names))
+    member = r"(?:\w+\s*(?:\.|->)\s*)*"
+    patterns = (
+        (re.compile(r"(?P<op>\+\+|--)\s*" + member +
+                    r"(?P<name>" + alt + r")\b"),
+         "pre-{op} on atomic '{name}'"),
+        (re.compile(r"\b" + member + r"(?P<name>" + alt +
+                    r")\s*(?P<op>\+\+|--)"),
+         "post-{op} on atomic '{name}'"),
+        (re.compile(r"\b" + member + r"(?P<name>" + alt +
+                    r")\s*(?P<op>[-+&|^]=)[^=]"),
+         "compound assignment '{op}' on atomic '{name}'"),
+        (re.compile(r"\b" + member + r"(?P<name>" + alt +
+                    r")\s*(?P<op>=)(?![=])"),
+         "plain assignment to atomic '{name}'"),
+    )
+    decl_re = re.compile(r"std\s*::\s*atomic\s*<")
+    for idx, code in enumerate(ft.code_lines):
+        if decl_re.search(code):
+            continue  # declaration lines ({}-init etc.) are not operations
+        for pat, msg in patterns:
+            for m in pat.finditer(code):
+                if has_nolint(ft, idx):
+                    continue
+                findings.append(
+                    Finding(
+                        ft.path,
+                        idx + 1,
+                        "explicit-order",
+                        msg.format(op=m.group("op"), name=m.group("name"))
+                        + " is an implicit seq_cst operation; spell out the "
+                        ".fetch_*/.store call with the order the algorithm "
+                        "needs",
+                    )
+                )
+
+
+def check_seq_cst(ft: FileText, hot: bool, findings: list[Finding]) -> None:
+    for idx, code in enumerate(ft.code_lines):
+        if "memory_order_seq_cst" not in code:
+            continue
+        if not hot:
+            continue
+        window = comment_window(ft, idx)
+        if "seq_cst:" in window or "NOLINT-ATOMICS(" in window:
+            continue
+        findings.append(
+            Finding(
+                ft.path,
+                idx + 1,
+                "seq_cst-justified",
+                "memory_order_seq_cst in a hot-path file without a "
+                "'// seq_cst: <reason>' justification comment",
+            )
+        )
+
+
+PAIRS_TAG_RE = re.compile(r"pairs:\s*([A-Za-z0-9_,\- ]+)")
+
+
+def check_pairs(
+    ft: FileText,
+    tags: dict[str, dict[str, list[str]]],
+    findings: list[Finding],
+) -> None:
+    for idx, code in enumerate(ft.code_lines):
+        sides: set[str] = set()
+        if any(t in code for t in ACQUIRE_SIDE):
+            sides.add("acquire")
+        if any(t in code for t in RELEASE_SIDE):
+            sides.add("release")
+        if any(t in code for t in BOTH_SIDES):
+            sides.update(("acquire", "release"))
+        if not sides:
+            continue
+        window = comment_window(ft, idx)
+        m = PAIRS_TAG_RE.search(window)
+        if not m:
+            findings.append(
+                Finding(
+                    ft.path,
+                    idx + 1,
+                    "acquire-release-pairs",
+                    "acquire/release ordering without a '// pairs: <tag>' "
+                    "comment naming its synchronizes-with counterpart",
+                )
+            )
+            continue
+        where = f"{ft.path}:{idx + 1}"
+        for tag in (t.strip() for t in m.group(1).split(",")):
+            if not tag:
+                continue
+            entry = tags.setdefault(tag, {"acquire": [], "release": []})
+            for side in sides:
+                entry[side].append(where)
+
+
+def finish_pairs(
+    tags: dict[str, dict[str, list[str]]], findings: list[Finding]
+) -> None:
+    for tag, sides in sorted(tags.items()):
+        if not sides["acquire"]:
+            findings.append(
+                Finding(
+                    sides["release"][0].rsplit(":", 1)[0],
+                    int(sides["release"][0].rsplit(":", 1)[1]),
+                    "acquire-release-pairs",
+                    f"tag '{tag}' has release sites but no acquire "
+                    f"counterpart anywhere in the scanned tree "
+                    f"(releases at: {', '.join(sides['release'])})",
+                )
+            )
+        if not sides["release"]:
+            findings.append(
+                Finding(
+                    sides["acquire"][0].rsplit(":", 1)[0],
+                    int(sides["acquire"][0].rsplit(":", 1)[1]),
+                    "acquire-release-pairs",
+                    f"tag '{tag}' has acquire sites but no release "
+                    f"counterpart anywhere in the scanned tree "
+                    f"(acquires at: {', '.join(sides['acquire'])})",
+                )
+            )
+
+
+def libclang_cross_check(paths: list[str], findings: list[Finding]) -> None:
+    """Best-effort AST cross-check of rule A via libclang, when available."""
+    try:
+        from clang import cindex  # type: ignore
+    except Exception:
+        return
+    try:
+        index = cindex.Index.create()
+    except Exception:
+        return
+    for path in paths:
+        try:
+            tu = index.parse(path, args=["-std=c++20", "-I", "src"])
+        except Exception:
+            continue
+        for cur in tu.cursor.walk_preorder():
+            if cur.kind != cindex.CursorKind.CALL_EXPR:
+                continue
+            if cur.spelling not in ATOMIC_METHODS:
+                continue
+            toks = " ".join(t.spelling for t in cur.get_tokens())
+            if "atomic" not in toks and "memory_order" in toks:
+                continue
+            if "memory_order" not in toks and "atomic" in toks:
+                findings.append(
+                    Finding(
+                        path,
+                        cur.location.line,
+                        "explicit-order",
+                        f"[libclang] atomic {cur.spelling} call without "
+                        "explicit memory order",
+                    )
+                )
+
+
+def iter_sources(paths: list[str]) -> list[str]:
+    out: list[str] = []
+    for p in paths:
+        if os.path.isfile(p):
+            out.append(p)
+        elif os.path.isdir(p):
+            for root, _dirs, files in os.walk(p):
+                for f in sorted(files):
+                    if f.endswith(SOURCE_EXTENSIONS):
+                        out.append(os.path.join(root, f))
+        else:
+            print(f"error: no such file or directory: {p}", file=sys.stderr)
+            sys.exit(2)
+    return out
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("paths", nargs="*", default=["src"],
+                    help="files or directories to scan (default: src)")
+    ap.add_argument("--hot-path", action="append", default=[],
+                    metavar="BASENAME",
+                    help="treat BASENAME as a hot-path file for the seq_cst "
+                         "rule (repeatable; default: "
+                         + " ".join(DEFAULT_HOT_PATH) + ")")
+    ap.add_argument("--no-pairs-check", action="store_true",
+                    help="skip the acquire/release pairing rule")
+    ap.add_argument("--use-libclang", action="store_true",
+                    help="also cross-check rule A against the libclang AST "
+                         "when the bindings are importable")
+    args = ap.parse_args()
+
+    hot_names = set(args.hot_path) if args.hot_path else set(DEFAULT_HOT_PATH)
+    files = iter_sources(args.paths or ["src"])
+    if not files:
+        print("error: nothing to scan", file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    tags: dict[str, dict[str, list[str]]] = {}
+    for path in files:
+        ft = load_file(path)
+        check_method_calls(ft, findings)
+        check_operator_rmw(ft, collect_atomic_names(ft), findings)
+        check_seq_cst(ft, os.path.basename(path) in hot_names, findings)
+        if not args.no_pairs_check:
+            check_pairs(ft, tags, findings)
+    if not args.no_pairs_check:
+        finish_pairs(tags, findings)
+    if args.use_libclang:
+        libclang_cross_check(files, findings)
+
+    for f in findings:
+        print(f)
+    n_tags = len(tags)
+    if findings:
+        print(f"\ncheck_atomics: {len(findings)} finding(s) in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"check_atomics: clean ({len(files)} files, "
+          f"{n_tags} synchronizes-with tags verified)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+// Lint fixture: MUST FAIL check_atomics.py with explicit-order findings —
+// a bare .load(), a bare .store(v), and an operator-form increment, all of
+// which silently default to the strongest (and slowest) ordering.
+
+#include <atomic>
+
+namespace fixture {
+
+class Counter {
+ public:
+  int get() { return value_.load(); }           // finding: bare load
+  void set(int v) { value_.store(v); }          // finding: bare store
+  void bump() { ++value_; }                     // finding: implicit RMW
+
+ private:
+  std::atomic<int> value_{0};
+};
+
+}  // namespace fixture

@@ -1,0 +1,49 @@
+// Lint fixture: everything here satisfies scripts/check_atomics.py.
+// Exercises explicit orders, tag pairing across both sides, the zero-arg
+// accessor exemption, the seq_cst justification comment, and the escape
+// hatch. Compiled by no target; scanned by the lint fixture test only.
+
+#include <atomic>
+
+namespace fixture {
+
+struct Engine {
+  int store_ = 0;
+  // Zero-argument member named like the atomic op: must NOT be flagged
+  // (std::atomic::store requires a value argument).
+  int store() { return store_; }
+};
+
+class Publisher {
+ public:
+  void publish(int v) {
+    payload_ = v;
+    // pairs: fixture-flag — makes payload_ visible to the consumer.
+    flag_.store(true, std::memory_order_release);
+  }
+
+  int consume() {
+    // pairs: fixture-flag
+    while (!flag_.load(std::memory_order_acquire)) {
+    }
+    return payload_;
+  }
+
+  void tally() { count_.fetch_add(1, std::memory_order_relaxed); }
+
+  // seq_cst: fixture demonstrates a justified fence; the justification
+  // comment satisfies the hot-path rule when this file is marked hot.
+  void fence() { std::atomic_thread_fence(std::memory_order_seq_cst); }
+
+  void escape_hatch() {
+    // NOLINT-ATOMICS(fixture demonstrates the escape hatch)
+    count_.fetch_add(1);
+  }
+
+ private:
+  int payload_ = 0;
+  std::atomic<bool> flag_{false};
+  std::atomic<int> count_{0};
+};
+
+}  // namespace fixture

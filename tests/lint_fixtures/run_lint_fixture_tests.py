@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Fixture tests for scripts/check_atomics.py, run as a ctest entry.
+
+Each case invokes the lint as a subprocess (the same way CI does) and
+asserts on both the exit status and the diagnostics, so a regression in
+either the rules or the reporting fails the suite.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+REPO = HERE.parent.parent
+LINT = REPO / "scripts" / "check_atomics.py"
+
+failures: list[str] = []
+
+
+def run(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(LINT), *args],
+        capture_output=True,
+        text=True,
+        cwd=str(REPO),
+    )
+
+
+def case(name: str, proc: subprocess.CompletedProcess, want_exit: int,
+         want_substrings: tuple[str, ...] = (),
+         forbid_substrings: tuple[str, ...] = ()) -> None:
+    out = proc.stdout + proc.stderr
+    problems = []
+    if proc.returncode != want_exit:
+        problems.append(f"exit {proc.returncode}, want {want_exit}")
+    for s in want_substrings:
+        if s not in out:
+            problems.append(f"missing diagnostic {s!r}")
+    for s in forbid_substrings:
+        if s in out:
+            problems.append(f"unexpected diagnostic {s!r}")
+    if problems:
+        failures.append(f"{name}: {'; '.join(problems)}\n--- output ---\n{out}")
+        print(f"[FAIL] {name}")
+    else:
+        print(f"[ ok ] {name}")
+
+
+fx = str(HERE)
+
+# A clean fixture passes even with itself marked hot (its seq_cst carries a
+# justification) and with the pairing rule on (both sides tagged in-file).
+case(
+    "clean_passes",
+    run(f"{fx}/clean_atomics.cpp", "--hot-path", "clean_atomics.cpp"),
+    want_exit=0,
+    want_substrings=("check_atomics: clean",),
+)
+
+case(
+    "bare_load_fails",
+    run(f"{fx}/bare_load.cpp"),
+    want_exit=1,
+    want_substrings=(
+        "[explicit-order]",
+        "atomic .load(",
+        "atomic .store(",
+        "pre-++ on atomic 'value_'",
+    ),
+)
+
+# The seq_cst rule only applies to files named hot: same file, two verdicts.
+case(
+    "seq_cst_ignored_off_hot_path",
+    run(f"{fx}/unjustified_seq_cst.cpp", "--no-pairs-check"),
+    want_exit=0,
+)
+case(
+    "seq_cst_flagged_on_hot_path",
+    run(f"{fx}/unjustified_seq_cst.cpp", "--no-pairs-check",
+        "--hot-path", "unjustified_seq_cst.cpp"),
+    want_exit=1,
+    want_substrings=("[seq_cst-justified]", "memory_order_seq_cst"),
+)
+
+case(
+    "unpaired_acquire_fails",
+    run(f"{fx}/unpaired_acquire.cpp"),
+    want_exit=1,
+    want_substrings=(
+        "[acquire-release-pairs]",
+        "without a '// pairs: <tag>' comment",
+        "fixture-orphan-tag",
+        "no release",
+    ),
+)
+case(
+    "pairing_rule_can_be_disabled",
+    run(f"{fx}/unpaired_acquire.cpp", "--no-pairs-check"),
+    want_exit=0,
+)
+
+if failures:
+    print("\n" + "\n\n".join(failures), file=sys.stderr)
+    sys.exit(1)
+print(f"\nall {6} lint fixture cases passed")

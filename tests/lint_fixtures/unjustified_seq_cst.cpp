@@ -1,0 +1,23 @@
+// Lint fixture: MUST FAIL check_atomics.py when scanned with
+// `--hot-path unjustified_seq_cst.cpp` — sequential consistency on a hot
+// path without a written justification.
+
+#include <atomic>
+
+namespace fixture {
+
+class HotPath {
+ public:
+  bool claim() {
+    int expected = 0;
+    // finding: seq_cst in a hot-path file with no `seq_cst:` comment
+    return slot_.compare_exchange_strong(expected, 1,
+                                         std::memory_order_seq_cst,
+                                         std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int> slot_{0};
+};
+
+}  // namespace fixture

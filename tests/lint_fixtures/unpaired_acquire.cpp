@@ -1,0 +1,25 @@
+// Lint fixture: MUST FAIL check_atomics.py with acquire-release-pairs
+// findings — one acquire with no `pairs:` comment at all, and one whose tag
+// names a release counterpart that exists nowhere in the scanned tree.
+
+#include <atomic>
+
+namespace fixture {
+
+class Waiter {
+ public:
+  bool poll_untagged() {
+    // finding: no pairs tag naming the synchronizes-with edge
+    return ready_.load(std::memory_order_acquire);
+  }
+
+  bool poll_orphan() {
+    // pairs: fixture-orphan-tag — finding: no release side with this tag
+    return ready_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> ready_{false};
+};
+
+}  // namespace fixture
