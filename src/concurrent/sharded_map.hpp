@@ -58,7 +58,9 @@ class ShardedMap {
     V* value = factory();
     shard.slots[idx] = Slot{key, value};
     ++shard.count;
-    ++size_;
+    // Relaxed: size_ is a statistic, not a publication point — readers of
+    // the map synchronize through the shard locks, never through size_.
+    size_.fetch_add(1, std::memory_order_relaxed);
     return {value, true};
   }
 

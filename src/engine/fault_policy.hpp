@@ -123,7 +123,10 @@ class SelectiveRecoveryPolicy {
   template <class Engine>
   void reset_node(Engine& eng, FtTask* a, TaskKey key, std::uint64_t life) {
     try {
-      FTDAG_DASSERT(a->status.load() == TaskStatus::kVisited,
+      // Acquire pairs with the release transition into kVisited so the
+      // debug assert reads a coherent status.
+      FTDAG_DASSERT(a->status.load(std::memory_order_acquire) ==
+                        TaskStatus::kVisited,
                     "reset of a task that already computed");
       a->join.store(1 + static_cast<int>(a->preds.size()),
                     std::memory_order_release);

@@ -162,8 +162,11 @@ class TraversalEngine {
     fault_.fill(report);
 
     Task* sink_task = find_task(sink);
+    // Acquire pairs with the worker's release store of kCompleted so the
+    // sink's outputs are visible to the caller reading the report.
     FTDAG_ASSERT(sink_task != nullptr &&
-                     sink_task->status.load() == TaskStatus::kCompleted,
+                     sink_task->status.load(std::memory_order_acquire) ==
+                         TaskStatus::kCompleted,
                  "sink did not complete");
     return report;
   }

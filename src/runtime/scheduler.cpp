@@ -22,7 +22,11 @@ WorkStealingPool::WorkStealingPool(unsigned threads, std::uint64_t seed) {
 }
 
 WorkStealingPool::~WorkStealingPool() {
-  FTDAG_ASSERT(pending_.load() == 0, "pool destroyed with outstanding jobs");
+  // Relaxed: by contract the destructor runs after quiescence, so any
+  // ordering was already established by run_to_quiescence; this only
+  // asserts the final counter value.
+  FTDAG_ASSERT(pending_.load(std::memory_order_relaxed) == 0,
+               "pool destroyed with outstanding jobs");
   stop_.store(true, std::memory_order_release);
   {
     std::lock_guard<std::mutex> guard(sleep_mutex_);
@@ -167,7 +171,12 @@ void WorkStealingPool::run_to_quiescence(std::function<void()> root) {
   FTDAG_ASSERT(!on_worker_thread(),
                "run_to_quiescence must be called from outside the pool");
   bool expected = false;
-  FTDAG_ASSERT(run_active_.compare_exchange_strong(expected, true),
+  // Acquire on success so a back-to-back caller observes everything the
+  // previous run published before its release-store of false below;
+  // relaxed on failure, which only feeds the assert.
+  FTDAG_ASSERT(run_active_.compare_exchange_strong(
+                   expected, true, std::memory_order_acquire,
+                   std::memory_order_relaxed),
                "only one run_to_quiescence at a time");
   spawn(std::move(root));
   {
@@ -220,7 +229,10 @@ void WorkStealingPool::parallel_for(
     }
   } else {
     run_to_quiescence([&ctx, begin, end] { Split::run(ctx, begin, end); });
-    FTDAG_ASSERT(ctx.remaining.load() == 0, "parallel_for lost iterations");
+    // Acquire to order against the workers' acq_rel fetch_sub of the
+    // iteration count, matching the helper loop above.
+    FTDAG_ASSERT(ctx.remaining.load(std::memory_order_acquire) == 0,
+                 "parallel_for lost iterations");
   }
 }
 
