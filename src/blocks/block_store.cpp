@@ -52,13 +52,13 @@ void BlockStore::displace_slot(Block& b, Version slot, Version keep) {
       // readers fail re-validation while the rewrite is in progress.
       VersionState expected = VersionState::kValid;
       b.states[v].compare_exchange_strong(expected, VersionState::kAbsent,
-                                          std::memory_order_acq_rel);
+                                          std::memory_order_acq_rel);  // pairs: block-state
       continue;
     }
-    VersionState cur = b.states[v].load(std::memory_order_acquire);
+    VersionState cur = b.states[v].load(std::memory_order_acquire);  // pairs: block-state
     while (cur == VersionState::kValid || cur == VersionState::kCorrupted) {
       if (b.states[v].compare_exchange_weak(cur, VersionState::kOverwritten,
-                                            std::memory_order_acq_rel))
+                                            std::memory_order_acq_rel))  // pairs: block-state
         break;
     }
   }
@@ -95,7 +95,7 @@ WriteTicket BlockStore::begin_update(BlockId block, Version from, Version to)
   // Validate the input under the lock: a chain re-execution that regenerated
   // `from` has fully committed before we got the lock, and nothing can touch
   // the slot while we hold it.
-  const VersionState st = b.states[from].load(std::memory_order_acquire);
+  const VersionState st = b.states[from].load(std::memory_order_acquire);  // pairs: block-state
   if (st != VersionState::kValid) {
     b.slot_locks[slot].unlock();
     throw_for(b, block, from, st);
@@ -106,7 +106,7 @@ WriteTicket BlockStore::begin_update(BlockId block, Version from, Version to)
   }
   // Consume `from`: its bytes stay intact until the caller overwrites them,
   // but other readers must now fail fast and trigger producer recovery.
-  b.states[from].store(VersionState::kOverwritten, std::memory_order_release);
+  b.states[from].store(VersionState::kOverwritten, std::memory_order_release);  // pairs: block-state
   displace_slot(b, slot, to);
   return WriteTicket{
       block, to, b.storage.get() + static_cast<std::size_t>(slot) * b.bytes,
@@ -125,9 +125,9 @@ void BlockStore::commit(WriteTicket& ticket) FTDAG_NO_THREAD_SAFETY_ANALYSIS {
   if (checksums_)
     b.sums[ticket.version].store(
         hash_bytes(static_cast<const std::byte*>(ticket.data), b.bytes),
-        std::memory_order_release);
+        std::memory_order_release);  // pairs: block-sum
   b.states[ticket.version].store(VersionState::kValid,
-                                 std::memory_order_release);
+                                 std::memory_order_release);  // pairs: block-state
   b.slot_locks[ticket.version % b.slots].unlock();
   ticket.active = false;
 }
@@ -143,7 +143,7 @@ void BlockStore::abort(WriteTicket& ticket) FTDAG_NO_THREAD_SAFETY_ANALYSIS {
 const void* BlockStore::read(BlockId block, Version version) const {
   const Block& b = block_ref(block);
   FTDAG_ASSERT(version < b.num_versions, "version out of range");
-  const VersionState st = b.states[version].load(std::memory_order_acquire);
+  const VersionState st = b.states[version].load(std::memory_order_acquire);  // pairs: block-state
   if (st != VersionState::kValid) [[unlikely]]
     throw_for(b, block, version, st);
   if (checksums_ && !verify_checksum(b, version)) [[unlikely]]
@@ -154,7 +154,7 @@ const void* BlockStore::read(BlockId block, Version version) const {
 
 void BlockStore::revalidate(BlockId block, Version version) const {
   const Block& b = block_ref(block);
-  const VersionState st = b.states[version].load(std::memory_order_acquire);
+  const VersionState st = b.states[version].load(std::memory_order_acquire);  // pairs: block-state
   if (st != VersionState::kValid) [[unlikely]]
     throw_for(b, block, version, st);
   if (checksums_ && !verify_checksum(b, version)) [[unlikely]]
@@ -178,7 +178,7 @@ std::uint64_t BlockStore::hash_bytes(const std::byte* data, std::size_t n) {
 
 bool BlockStore::verify_checksum(const Block& b, Version v) const {
   const Version slot = v % b.slots;
-  const std::uint64_t want = b.sums[v].load(std::memory_order_acquire);
+  const std::uint64_t want = b.sums[v].load(std::memory_order_acquire);  // pairs: block-sum
   const std::uint64_t got = hash_bytes(
       b.storage.get() + static_cast<std::size_t>(slot) * b.bytes, b.bytes);
   if (got == want) return true;
@@ -186,14 +186,14 @@ bool BlockStore::verify_checksum(const Block& b, Version v) const {
   // look only at states) observe exactly what this reader observed.
   VersionState expected = VersionState::kValid;
   b.states[v].compare_exchange_strong(expected, VersionState::kCorrupted,
-                                      std::memory_order_acq_rel);
+                                      std::memory_order_acq_rel);  // pairs: block-state
   return false;
 }
 
 bool BlockStore::flip_bit(BlockId block, Version version, std::size_t bit) {
   Block& b = block_ref(block);
   FTDAG_ASSERT(version < b.num_versions, "version out of range");
-  if (b.states[version].load(std::memory_order_acquire) !=
+  if (b.states[version].load(std::memory_order_acquire) !=  // pairs: block-state
       VersionState::kValid)
     return false;
   const Version slot = version % b.slots;
@@ -207,7 +207,7 @@ bool BlockStore::content_hash(BlockId block, Version version,
                               std::uint64_t& out) const {
   const Block& b = block_ref(block);
   FTDAG_ASSERT(version < b.num_versions, "version out of range");
-  if (b.states[version].load(std::memory_order_acquire) !=
+  if (b.states[version].load(std::memory_order_acquire) !=  // pairs: block-state
       VersionState::kValid)
     return false;
   const Version slot = version % b.slots;
@@ -242,7 +242,7 @@ TaskKey BlockStore::producer(BlockId block, Version version) const {
 VersionState BlockStore::state(BlockId block, Version version) const {
   const Block& b = block_ref(block);
   FTDAG_ASSERT(version < b.num_versions, "version out of range");
-  return b.states[version].load(std::memory_order_acquire);
+  return b.states[version].load(std::memory_order_acquire);  // pairs: block-state
 }
 
 Version BlockStore::num_versions(BlockId block) const {
@@ -258,7 +258,7 @@ void BlockStore::corrupt(BlockId block, Version version) {
   FTDAG_ASSERT(version < b.num_versions, "version out of range");
   VersionState expected = VersionState::kValid;
   b.states[version].compare_exchange_strong(expected, VersionState::kCorrupted,
-                                            std::memory_order_acq_rel);
+                                            std::memory_order_acq_rel);  // pairs: block-state
 }
 
 void BlockStore::reset_states() {
@@ -279,8 +279,8 @@ BlockStore::Snapshot BlockStore::snapshot() const {
     snap.bytes.insert(snap.bytes.end(), b.storage.get(),
                       b.storage.get() + b.bytes * b.slots);
     for (Version v = 0; v < b.num_versions; ++v) {
-      snap.states.push_back(b.states[v].load(std::memory_order_acquire));
-      snap.sums.push_back(b.sums[v].load(std::memory_order_acquire));
+      snap.states.push_back(b.states[v].load(std::memory_order_acquire));  // pairs: block-state
+      snap.sums.push_back(b.sums[v].load(std::memory_order_acquire));  // pairs: block-sum
     }
   }
   return snap;
@@ -297,8 +297,8 @@ void BlockStore::restore(const Snapshot& snap) {
               b.storage.get());
     byte_at += n;
     for (Version v = 0; v < b.num_versions; ++v) {
-      b.states[v].store(snap.states[state_at], std::memory_order_release);
-      b.sums[v].store(snap.sums[state_at], std::memory_order_release);
+      b.states[v].store(snap.states[state_at], std::memory_order_release);  // pairs: block-state
+      b.sums[v].store(snap.sums[state_at], std::memory_order_release);  // pairs: block-sum
       ++state_at;
     }
   }

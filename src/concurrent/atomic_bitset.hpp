@@ -33,8 +33,11 @@ class AtomicBitset {
   bool fetch_unset(std::size_t i) {
     FTDAG_DASSERT(i < bits_, "bit index out of range");
     const std::uint64_t mask = 1ULL << (i & 63);
+    // acq_rel chains claim/reset edges through the word: the winner of a
+    // bit observes everything the resetter published.
     const std::uint64_t prev =
-        words_[i >> 6].fetch_and(~mask, std::memory_order_acq_rel);
+        words_[i >> 6].fetch_and(~mask,
+                                 std::memory_order_acq_rel);  // pairs: bitset-word
     return (prev & mask) != 0;
   }
 
@@ -43,12 +46,14 @@ class AtomicBitset {
     FTDAG_DASSERT(i < bits_, "bit index out of range");
     const std::uint64_t mask = 1ULL << (i & 63);
     const std::uint64_t prev =
-        words_[i >> 6].fetch_or(mask, std::memory_order_acq_rel);
+        words_[i >> 6].fetch_or(mask,
+                                std::memory_order_acq_rel);  // pairs: bitset-word
     return (prev & mask) == 0;
   }
 
   bool test(std::size_t i) const {
     FTDAG_DASSERT(i < bits_, "bit index out of range");
+    // pairs: bitset-word
     return (words_[i >> 6].load(std::memory_order_acquire) >>
             (i & 63)) & 1;
   }
@@ -57,6 +62,8 @@ class AtomicBitset {
   void set_all() {
     const std::size_t n = word_count();
     for (std::size_t w = 0; w < n; ++w)
+      // pairs: bitset-word — RESETNODE republishes all bits; claimants
+      // synchronize via their acq_rel RMWs on the same word.
       words_[w].store(~0ULL, std::memory_order_release);
     // Keep unused tail bits set; they are never addressed.
   }

@@ -40,6 +40,7 @@ class ChaseLevDeque {
   // Owner only. Pushes one element at the bottom.
   void push(T item) {
     std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    // pairs: deque-top — observe thief CAS advances of top_ before sizing.
     std::int64_t t = top_.load(std::memory_order_acquire);
     Buffer* buf = buffer_.load(std::memory_order_relaxed);
     if (b - t > static_cast<std::int64_t>(buf->capacity) - 1) {
@@ -51,6 +52,7 @@ class ChaseLevDeque {
     // store of bottom_, so the two are equivalent for every acquire reader —
     // and ThreadSanitizer does not model fences, so the fence formulation
     // reports the steal path as racing on the job payload.
+    // pairs: deque-bottom
     bottom_.store(b + 1, std::memory_order_release);
   }
 
@@ -59,6 +61,9 @@ class ChaseLevDeque {
     std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
     Buffer* buf = buffer_.load(std::memory_order_relaxed);
     bottom_.store(b, std::memory_order_relaxed);
+    // seq_cst: Dekker-style conflict with steal() — the bottom_ store must
+    // be globally ordered before the top_ load, or a concurrent thief and
+    // the owner could both take the last element (paper Fig. 4, PPoPP'13).
     std::atomic_thread_fence(std::memory_order_seq_cst);
     std::int64_t t = top_.load(std::memory_order_relaxed);
 
@@ -69,6 +74,8 @@ class ChaseLevDeque {
     out = buf->get(b);
     if (t == b) {
       // Last element: race with thieves via CAS on top.
+      // seq_cst: must be in the same total order as the thieves' top_ CAS
+      // so exactly one side wins the last element. pairs: deque-top
       if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                         std::memory_order_relaxed)) {
         bottom_.store(b + 1, std::memory_order_relaxed);
@@ -81,12 +88,22 @@ class ChaseLevDeque {
 
   // Any thread. Steals from the top; false when empty or lost a race.
   bool steal(T& out) {
+    // pairs: deque-top
     std::int64_t t = top_.load(std::memory_order_acquire);
+    // seq_cst: mirror of the owner's pop() fence — orders this thief's
+    // top_ load before its bottom_ load in the single total order, closing
+    // the window where both sides believe the last element is theirs.
     std::atomic_thread_fence(std::memory_order_seq_cst);
+    // pairs: deque-bottom — synchronizes with push()'s release store, making
+    // the pushed payload in the buffer visible before we read it.
     std::int64_t b = bottom_.load(std::memory_order_acquire);
     if (t >= b) return false;
+    // pairs: deque-buffer — dependency-ordered read of the buffer published
+    // by grow(); the thief may see the old buffer, which stays valid.
     Buffer* buf = buffer_.load(std::memory_order_consume);
     out = buf->get(t);
+    // seq_cst: same total order as the owner's last-element CAS in pop();
+    // exactly one contender advances top_. pairs: deque-top
     return top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                         std::memory_order_relaxed);
   }
@@ -122,6 +139,7 @@ class ChaseLevDeque {
   Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
     auto* fresh = new Buffer(old->capacity * 2);
     for (std::int64_t i = t; i < b; ++i) fresh->put(i, old->get(i));
+    // pairs: deque-buffer — publish the filled buffer to consume readers.
     buffer_.store(fresh, std::memory_order_release);
     retired_.push_back(old);  // owner-only list; freed at destruction
     return fresh;

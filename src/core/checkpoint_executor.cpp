@@ -23,6 +23,7 @@ struct ChkTask final : CorruptibleTask {
 
   TaskKey task_key() const override { return key; }
   void corrupt_descriptor() override {
+    // pairs: chk-poison
     corrupted.store(true, std::memory_order_release);
   }
 };
@@ -84,6 +85,7 @@ CheckpointReport CheckpointRestartExecutor::execute(
               if (injector != nullptr)
                 injector->at_point(FaultPhase::kBeforeCompute, h, store,
                                    problem);
+              // pairs: chk-poison
               if (h.corrupted.load(std::memory_order_acquire))
                 throw TaskDescriptorFault(key, 0);
               {
@@ -103,12 +105,14 @@ CheckpointReport CheckpointRestartExecutor::execute(
               }
             } catch (const FaultException&) {
               obs.count_fault();
+              // pairs: chk-fault — publishes the caught fault to the
+              // level-boundary check after the parallel_for joins.
               fault.store(true, std::memory_order_release);
             }
           }
         });
 
-    if (!fault.load(std::memory_order_acquire)) {
+    if (!fault.load(std::memory_order_acquire)) {  // pairs: chk-fault
       ++level;
       retention.on_barrier(store, level, levels.size(), report);
       continue;

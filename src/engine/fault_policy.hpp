@@ -124,12 +124,14 @@ class SelectiveRecoveryPolicy {
   void reset_node(Engine& eng, FtTask* a, TaskKey key, std::uint64_t life) {
     try {
       // Acquire pairs with the release transition into kVisited so the
-      // debug assert reads a coherent status.
+      // debug assert reads a coherent status. pairs: task-status
       FTDAG_DASSERT(a->status.load(std::memory_order_acquire) ==
                         TaskStatus::kVisited,
                     "reset of a task that already computed");
+      // Reset join before the bits (comment above); the release pairs with
+      // claimants' acq_rel decrements.
       a->join.store(1 + static_cast<int>(a->preds.size()),
-                    std::memory_order_release);
+                    std::memory_order_release);  // pairs: task-join
       a->bits.set_all();
       obs_.count_reset();
       obs_.trace_instant(eng.worker_index(), TraceKind::kReset, key, life);
@@ -151,6 +153,7 @@ class SelectiveRecoveryPolicy {
                            TaskKey skey, std::uint64_t slife) {
     try {
       s->check();
+      // pairs: task-status
       if (s->status.load(std::memory_order_acquire) != TaskStatus::kVisited)
         return;  // Computed/Completed successors need nothing from T
       const std::size_t ind = s->pred_index(key);

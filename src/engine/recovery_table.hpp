@@ -26,8 +26,11 @@ class RecoveryTable {
         records_.insert_if_absent(key, [life] { return new Record(life); });
     if (inserted) return false;  // first failure of this key: we recover
     std::uint64_t expected = life - 1;
+    // Exactly one caller advances life-1 -> life, so recovery of each
+    // incarnation is initiated at most once (Guarantee 1); the winner
+    // acquires the previous recoverer's published state.
     const bool claimed = record->life.compare_exchange_strong(
-        expected, life, std::memory_order_acq_rel);
+        expected, life, std::memory_order_acq_rel);  // pairs: recovery-life
     return !claimed;
   }
 

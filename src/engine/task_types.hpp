@@ -81,12 +81,15 @@ struct FtTask final : TaskCore, CorruptibleTask {
   // --- CorruptibleTask -------------------------------------------------------
   TaskKey task_key() const override { return key; }
   void corrupt_descriptor() override {
+    // pairs: task-poison
     corrupted.store(true, std::memory_order_release);
   }
 
   // Detected-error check: "once an error is detected, all subsequent
   // accesses to that object will observe the error" (Section II).
   void check() const {
+    // pairs: task-poison — a thread that observes the poison also observes
+    // every write the poisoner made before it (Section II error model).
     if (corrupted.load(std::memory_order_acquire)) [[unlikely]]
       throw TaskDescriptorFault(key, life);
   }

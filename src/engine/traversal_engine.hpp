@@ -85,6 +85,7 @@ class TraversalEngine {
   Task* find_task(TaskKey key) {
     if constexpr (kFT) {
       Slot* slot = tasks_.find(key);
+      // pairs: task-slot — see replace_task's publication CAS.
       return slot != nullptr ? slot->task.load(std::memory_order_acquire)
                              : nullptr;
     } else {
@@ -100,11 +101,14 @@ class TraversalEngine {
     static_assert(kFT, "REPLACETASK requires the selective-recovery policy");
     Slot* slot = tasks_.find(key);
     FTDAG_ASSERT(slot != nullptr, "REPLACETASK on unknown key");
+    // pairs: task-slot
     Task* old = slot->task.load(std::memory_order_acquire);
     Task* fresh = make_task(key, old->life + 1);
     old->corrupt_descriptor();
+    // Release publishes the fresh incarnation's fields; acquire orders the
+    // poisoned descriptor before the swap.
     const bool swapped = slot->task.compare_exchange_strong(
-        old, fresh, std::memory_order_acq_rel);
+        old, fresh, std::memory_order_acq_rel);  // pairs: task-slot
     FTDAG_ASSERT(swapped, "concurrent REPLACETASK on the same incarnation");
     {
       SpinLockGuard guard(garbage_lock_);
@@ -122,6 +126,7 @@ class TraversalEngine {
   void for_each_task(Fn&& fn) {
     tasks_.for_each([&fn](MapKey key, MapValue& value) {
       if constexpr (kFT)
+        // pairs: task-slot
         fn(key, value.task.load(std::memory_order_acquire));
       else
         fn(key, &value);
@@ -165,7 +170,8 @@ class TraversalEngine {
     // Acquire pairs with the worker's release store of kCompleted so the
     // sink's outputs are visible to the caller reading the report.
     FTDAG_ASSERT(sink_task != nullptr &&
-                     sink_task->status.load(std::memory_order_acquire) ==
+                     sink_task->status.load(
+                         std::memory_order_acquire) ==  // pairs: task-status
                          TaskStatus::kCompleted,
                  "sink did not complete");
     return report;
@@ -195,6 +201,7 @@ class TraversalEngine {
     if constexpr (kFT) {
       auto [slot, inserted] = tasks_.insert_if_absent(
           key, [this, key] { return new Slot(make_task(key, 0)); });
+      // pairs: task-slot
       return {slot->task.load(std::memory_order_acquire), inserted};
     } else {
       return tasks_.insert_if_absent(key,
@@ -237,6 +244,8 @@ class TraversalEngine {
     fault_.check(b);
     {
       SpinLockGuard guard(b->lock);
+      // pairs: task-status — acquire makes B's committed outputs visible
+      // when we skip registration and read them directly.
       if (b->status.load(std::memory_order_acquire) < TaskStatus::kComputed) {
         // B notifies A once computed (and will produce fresh outputs).
         b->notify_array.push_back(key);
@@ -277,6 +286,9 @@ class TraversalEngine {
                         std::uint64_t life) {
     fault_.check(a);
     if (fault_.claim(a, pkey)) {
+      // pairs: task-join — the worker that takes the counter to zero
+      // acquires every earlier predecessor's release decrement, so it sees
+      // all inputs before computing A (Guarantee 3).
       const int val = a->join.fetch_sub(1, std::memory_order_acq_rel) - 1;
       FTDAG_ASSERT(val >= 0, "join counter went negative");
       if (val == 0) compute_and_notify(a, key, life);
@@ -338,6 +350,8 @@ class TraversalEngine {
     // can read the outputs until the status flips below.
     fault_.injection_point(FaultPhase::kAfterCompute, a, store_, problem_);
     if (plan.replicate) detection_.vote_or_recover(*this, key, life, plan);
+    // pairs: task-status — publishes the committed outputs to consumers
+    // that observe kComputed (Guarantee 2: read-after-commit only).
     a->status.store(TaskStatus::kComputed, std::memory_order_release);
 
     // Notify enqueued successors; re-check the array under the lock before
@@ -351,6 +365,7 @@ class TraversalEngine {
         for (std::size_t i = notified; i < a->notify_array.size(); ++i)
           batch.push_back(a->notify_array[i]);
         if (batch.empty()) {
+          // pairs: task-status
           a->status.store(TaskStatus::kCompleted, std::memory_order_release);
           break;
         }

@@ -33,6 +33,8 @@ void BitFlipInjector::at_point(FaultPhase phase, CorruptibleTask& task,
   Entry& e = *it->second;
   if (e.phase != phase) return;
   if (phase == FaultPhase::kBeforeCompute) return;  // no data exists yet
+  // pairs: injector-fired — at most one worker fires each planned fault;
+  // re-executions of the same task see fired==true and pass through.
   if (e.fired.exchange(true, std::memory_order_acq_rel)) return;
 
   OutputList outs;
@@ -72,6 +74,7 @@ void PlannedFaultInjector::at_point(FaultPhase phase, CorruptibleTask& task,
   if (it == entries_.end()) return;
   Entry& e = *it->second;
   if (e.phase != phase) return;
+  // pairs: injector-fired
   if (e.fired.exchange(true, std::memory_order_acq_rel)) return;
 
   // The fault hits the task descriptor and every data block version the

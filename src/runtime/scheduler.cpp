@@ -27,10 +27,10 @@ WorkStealingPool::~WorkStealingPool() {
   // asserts the final counter value.
   FTDAG_ASSERT(pending_.load(std::memory_order_relaxed) == 0,
                "pool destroyed with outstanding jobs");
-  stop_.store(true, std::memory_order_release);
+  stop_.store(true, std::memory_order_release);  // pairs: pool-stop
   {
     std::lock_guard<std::mutex> guard(sleep_mutex_);
-    signal_epoch_.fetch_add(1, std::memory_order_release);
+    signal_epoch_.fetch_add(1, std::memory_order_release);  // pairs: pool-epoch
   }
   sleep_cv_.notify_all();
   for (auto& t : threads_) t.join();
@@ -57,7 +57,10 @@ void WorkStealingPool::enqueue(JobNode* job) {
 }
 
 void WorkStealingPool::signal_work() {
+  // pairs: pool-epoch — a waker's queue pushes happen-before a sleeper's
+  // rescan once the sleeper acquires the bumped epoch.
   signal_epoch_.fetch_add(1, std::memory_order_release);
+  // pairs: pool-sleepers
   if (sleepers_.load(std::memory_order_acquire) > 0) {
     // Pairs with the epoch re-check under sleep_mutex_ in worker_main; the
     // lock/unlock ensures a worker between its epoch read and its wait still
@@ -124,6 +127,8 @@ JobNode* WorkStealingPool::scan_all(Worker& self) {
 }
 
 void WorkStealingPool::finish_job() {
+  // pairs: pool-pending — the release half publishes this job's effects;
+  // the quiescence waiter's acquire load collects them all.
   if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     // Last outstanding job: wake the run_to_quiescence waiter. Lock then
     // notify so the waiter cannot miss the transition between its predicate
@@ -135,7 +140,7 @@ void WorkStealingPool::finish_job() {
 
 void WorkStealingPool::worker_main(Worker& self) {
   tls_worker_ = &self;
-  while (!stop_.load(std::memory_order_acquire)) {
+  while (!stop_.load(std::memory_order_acquire)) {  // pairs: pool-stop
     if (JobNode* job = find_work(self)) {
       job->run();
       delete job;
@@ -148,7 +153,8 @@ void WorkStealingPool::worker_main(Worker& self) {
     // where work arrives between the failed scan and the wait — and it must
     // be the *exhaustive* scan: a probabilistic scan can miss a queued job
     // and then sleep on an epoch nobody ever bumps again.
-    const std::uint64_t epoch = signal_epoch_.load(std::memory_order_acquire);
+    const std::uint64_t epoch =
+        signal_epoch_.load(std::memory_order_acquire);  // pairs: pool-epoch
     if (JobNode* job = scan_all(self)) {
       job->run();
       delete job;
@@ -157,12 +163,13 @@ void WorkStealingPool::worker_main(Worker& self) {
       continue;
     }
     std::unique_lock<std::mutex> lk(sleep_mutex_);
-    sleepers_.fetch_add(1, std::memory_order_acq_rel);
+    sleepers_.fetch_add(1, std::memory_order_acq_rel);  // pairs: pool-sleepers
     sleep_cv_.wait(lk, [&] {
-      return stop_.load(std::memory_order_acquire) ||
-             signal_epoch_.load(std::memory_order_acquire) != epoch;
+      return stop_.load(std::memory_order_acquire) ||  // pairs: pool-stop
+             signal_epoch_.load(
+                 std::memory_order_acquire) != epoch;  // pairs: pool-epoch
     });
-    sleepers_.fetch_sub(1, std::memory_order_acq_rel);
+    sleepers_.fetch_sub(1, std::memory_order_acq_rel);  // pairs: pool-sleepers
   }
   tls_worker_ = nullptr;
 }
@@ -175,15 +182,18 @@ void WorkStealingPool::run_to_quiescence(std::function<void()> root) {
   // previous run published before its release-store of false below;
   // relaxed on failure, which only feeds the assert.
   FTDAG_ASSERT(run_active_.compare_exchange_strong(
-                   expected, true, std::memory_order_acquire,
+                   expected, true,
+                   std::memory_order_acquire,  // pairs: run-active
                    std::memory_order_relaxed),
                "only one run_to_quiescence at a time");
   spawn(std::move(root));
   {
     std::unique_lock<std::mutex> lk(sleep_mutex_);
-    done_cv_.wait(lk, [&] { return pending_.load(std::memory_order_acquire) == 0; });
+    done_cv_.wait(lk, [&] {
+      return pending_.load(std::memory_order_acquire) == 0;  // pairs: pool-pending
+    });
   }
-  run_active_.store(false, std::memory_order_release);
+  run_active_.store(false, std::memory_order_release);  // pairs: run-active
 }
 
 void WorkStealingPool::parallel_for(
@@ -210,14 +220,16 @@ void WorkStealingPool::parallel_for(
         hi = mid;
       }
       c.body(lo, hi);
-      c.remaining.fetch_sub(hi - lo, std::memory_order_acq_rel);
+      c.remaining.fetch_sub(hi - lo,
+                            std::memory_order_acq_rel);  // pairs: for-remaining
     }
   };
 
   if (on_worker_thread()) {
     Split::run(ctx, begin, end);
     // Help with the remaining work instead of blocking the worker.
-    while (ctx.remaining.load(std::memory_order_acquire) > 0) {
+    while (ctx.remaining.load(
+               std::memory_order_acquire) > 0) {  // pairs: for-remaining
       if (JobNode* job = find_work(*tls_worker_)) {
         job->run();
         delete job;
@@ -230,7 +242,7 @@ void WorkStealingPool::parallel_for(
   } else {
     run_to_quiescence([&ctx, begin, end] { Split::run(ctx, begin, end); });
     // Acquire to order against the workers' acq_rel fetch_sub of the
-    // iteration count, matching the helper loop above.
+    // iteration count, matching the helper loop above. pairs: for-remaining
     FTDAG_ASSERT(ctx.remaining.load(std::memory_order_acquire) == 0,
                  "parallel_for lost iterations");
   }

@@ -31,6 +31,22 @@ class Publisher {
 
   void tally() { count_.fetch_add(1, std::memory_order_relaxed); }
 
+  // A tagged seq_cst operation counts as both sides of its edge: this CAS
+  // is the only release counterpart for the acquire in wait_claimed().
+  bool claim() {
+    bool expected = false;
+    return claimed_.compare_exchange_strong(
+        expected, true,
+        // seq_cst: fixture total order; pairs: fixture-claim
+        std::memory_order_seq_cst, std::memory_order_relaxed);
+  }
+
+  void wait_claimed() {
+    // pairs: fixture-claim
+    while (!claimed_.load(std::memory_order_acquire)) {
+    }
+  }
+
   // seq_cst: fixture demonstrates a justified fence; the justification
   // comment satisfies the hot-path rule when this file is marked hot.
   void fence() { std::atomic_thread_fence(std::memory_order_seq_cst); }
@@ -43,6 +59,7 @@ class Publisher {
  private:
   int payload_ = 0;
   std::atomic<bool> flag_{false};
+  std::atomic<bool> claimed_{false};
   std::atomic<int> count_{0};
 };
 
