@@ -1,0 +1,231 @@
+// Exhaustive interleaving check of Guarantee 1 (at-most-once recovery
+// initiation) for the RecoveryTable claim protocol.
+//
+// ISRECOVERING(key, life) has two linearization points:
+//   L1  insert_if_absent(key, Record{life})   — atomic under the shard lock
+//   L2  CAS record.life: life-1 -> life       — only reached when L1 found
+//                                               an existing record
+//
+// Any concurrent execution is equivalent to *some* sequential ordering of
+// these points, so enumerating every interleaving of the model threads'
+// linearization points and replaying each schedule sequentially covers the
+// full behavior space of the protocol at this granularity. Each model
+// thread executes the algorithm of RecoveryTable::is_recovering transcribed
+// step-for-step against a real ShardedMap and real atomic CAS — the same
+// primitives the production class uses — and a coarse-grained variant runs
+// every permutation of complete calls against the production RecoveryTable
+// itself.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "concurrent/sharded_map.hpp"
+#include "engine/recovery_table.hpp"
+#include "graph/task_key.hpp"
+
+namespace ftdag {
+namespace {
+
+struct Rec {
+  explicit Rec(std::uint64_t l) : life(l) {}
+  std::atomic<std::uint64_t> life;
+};
+
+// One ISRECOVERING invocation by a model thread.
+struct Call {
+  TaskKey key;
+  std::uint64_t life;
+};
+
+// A model thread runs its calls in order; each call takes one or two steps.
+struct ModelThread {
+  std::vector<Call> calls;
+};
+
+// Per-(key, life) count of threads that claimed the recovery (i.e. for
+// which is_recovering returned false).
+using ClaimMap = std::map<std::pair<TaskKey, std::uint64_t>, int>;
+
+// Replays one schedule. `schedule` is a sequence of thread indices; each
+// entry advances that thread by ONE linearization point. Entries for
+// finished threads are skipped, which canonicalizes schedules that differ
+// only after every thread is done. Returns false if the schedule stalls
+// (never happens with a full multiset permutation).
+ClaimMap replay(const std::vector<ModelThread>& threads,
+                const std::vector<int>& schedule,
+                const std::map<TaskKey, std::uint64_t>& preseed) {
+  ShardedMap<Rec> records;
+  for (const auto& [key, life] : preseed) {
+    records.insert_if_absent(key, [l = life] { return new Rec(l); });
+  }
+
+  struct Cursor {
+    std::size_t call = 0;  // index into calls
+    int pc = 0;            // 0: before L1, 1: before L2
+    Rec* rec = nullptr;    // record found at L1, used by L2
+  };
+  std::vector<Cursor> cur(threads.size());
+  ClaimMap claims;
+
+  auto step = [&](int t) {
+    Cursor& c = cur[t];
+    if (c.call >= threads[t].calls.size()) return;  // finished: skip
+    const Call& call = threads[t].calls[c.call];
+    if (c.pc == 0) {
+      // L1: transcription of is_recovering's insert_if_absent.
+      auto [rec, inserted] = records.insert_if_absent(
+          call.key, [&call] { return new Rec(call.life); });
+      if (inserted) {
+        ++claims[{call.key, call.life}];  // inserter recovers
+        ++c.call;
+      } else {
+        c.rec = rec;
+        c.pc = 1;
+      }
+    } else {
+      // L2: transcription of is_recovering's claim CAS.
+      std::uint64_t expected = call.life - 1;
+      const bool claimed = c.rec->life.compare_exchange_strong(
+          expected, call.life, std::memory_order_acq_rel);
+      if (claimed) ++claims[{call.key, call.life}];
+      c.pc = 0;
+      ++c.call;
+    }
+  };
+
+  for (int t : schedule) step(t);
+  for (std::size_t t = 0; t < threads.size(); ++t) {
+    EXPECT_GE(cur[t].call, threads[t].calls.size())
+        << "schedule did not run thread " << t << " to completion";
+  }
+  return claims;
+}
+
+// All distinct permutations of the multiset {t repeated max_steps(t) times}.
+// Each thread contributes two slots per call (L1 + possibly L2); skipped
+// slots are no-ops in replay, so every real interleaving appears.
+std::vector<std::vector<int>> all_schedules(
+    const std::vector<ModelThread>& threads) {
+  std::vector<int> slots;
+  for (std::size_t t = 0; t < threads.size(); ++t) {
+    for (std::size_t s = 0; s < 2 * threads[t].calls.size(); ++s)
+      slots.push_back(static_cast<int>(t));
+  }
+  std::sort(slots.begin(), slots.end());
+  std::vector<std::vector<int>> out;
+  do {
+    out.push_back(slots);
+  } while (std::next_permutation(slots.begin(), slots.end()));
+  return out;
+}
+
+int claims_for(const ClaimMap& claims, TaskKey key, std::uint64_t life) {
+  auto it = claims.find({key, life});
+  return it == claims.end() ? 0 : it->second;
+}
+
+TEST(RecoveryTableInterleave, FirstFailureThreeWayRace) {
+  // Three threads all report the first failure of key 7 (life 1).
+  const std::vector<ModelThread> threads{
+      {{{7, 1}}}, {{{7, 1}}}, {{{7, 1}}}};
+  const auto schedules = all_schedules(threads);
+  EXPECT_EQ(schedules.size(), 90u);  // 6! / (2!2!2!)
+  for (const auto& schedule : schedules) {
+    const ClaimMap claims = replay(threads, schedule, {});
+    EXPECT_EQ(claims_for(claims, 7, 1), 1)
+        << "Guarantee 1 violated: claim count != 1 for (7, life 1)";
+  }
+}
+
+TEST(RecoveryTableInterleave, RepeatFailureThreeWayRace) {
+  // Key 3 already recovered at life 1; three threads race on life 2.
+  const std::vector<ModelThread> threads{
+      {{{3, 2}}}, {{{3, 2}}}, {{{3, 2}}}};
+  for (const auto& schedule : all_schedules(threads)) {
+    const ClaimMap claims = replay(threads, schedule, {{3, 1}});
+    EXPECT_EQ(claims_for(claims, 3, 2), 1);
+  }
+}
+
+TEST(RecoveryTableInterleave, StaggeredLives) {
+  // One thread reports life 1 while two report life 2. Depending on who
+  // inserts first, the life-1 claim may be superseded entirely (the record
+  // is born at life 2); at-most-once must hold for every (key, life) in
+  // every interleaving, and life 2 is always claimed exactly once.
+  const std::vector<ModelThread> threads{
+      {{{11, 1}}}, {{{11, 2}}}, {{{11, 2}}}};
+  for (const auto& schedule : all_schedules(threads)) {
+    const ClaimMap claims = replay(threads, schedule, {});
+    EXPECT_LE(claims_for(claims, 11, 1), 1);
+    EXPECT_EQ(claims_for(claims, 11, 2), 1);
+  }
+}
+
+TEST(RecoveryTableInterleave, IndependentKeys) {
+  // Races on distinct keys never interfere.
+  const std::vector<ModelThread> threads{
+      {{{1, 1}}}, {{{2, 1}}}, {{{1, 1}}}};
+  for (const auto& schedule : all_schedules(threads)) {
+    const ClaimMap claims = replay(threads, schedule, {});
+    EXPECT_EQ(claims_for(claims, 1, 1), 1);
+    EXPECT_EQ(claims_for(claims, 2, 1), 1);
+  }
+}
+
+TEST(RecoveryTableInterleave, TwoThreadsTwoConsecutiveFailures) {
+  // Both threads chase the same key through two incarnations: four
+  // linearization points per thread, 8!/(4!4!) = 70 interleavings.
+  const std::vector<ModelThread> threads{
+      {{{5, 1}, {5, 2}}}, {{{5, 1}, {5, 2}}}};
+  const auto schedules = all_schedules(threads);
+  EXPECT_EQ(schedules.size(), 70u);
+  for (const auto& schedule : schedules) {
+    const ClaimMap claims = replay(threads, schedule, {});
+    EXPECT_EQ(claims_for(claims, 5, 1), 1);
+    EXPECT_EQ(claims_for(claims, 5, 2), 1);
+  }
+}
+
+// Coarse-grained cross-check on the production class: every ordering of
+// complete is_recovering calls (calls are atomic at this granularity).
+TEST(RecoveryTableInterleave, ProductionTableAllCallOrders) {
+  struct WholeCall {
+    int thread;
+    Call call;
+  };
+  std::vector<WholeCall> calls{
+      {0, {9, 1}}, {1, {9, 1}}, {2, {9, 1}}, {0, {9, 2}}, {1, {9, 2}}};
+  std::vector<int> order(calls.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  int checked = 0;
+  do {
+    // A thread's own calls stay in program order.
+    bool valid = true;
+    std::map<int, std::uint64_t> last_life;
+    for (int i : order) {
+      auto it = last_life.find(calls[i].thread);
+      if (it != last_life.end() && calls[i].call.life < it->second)
+        valid = false;
+      last_life[calls[i].thread] = calls[i].call.life;
+    }
+    if (!valid) continue;
+    RecoveryTable table;
+    ClaimMap claims;
+    for (int i : order) {
+      if (!table.is_recovering(calls[i].call.key, calls[i].call.life))
+        ++claims[{calls[i].call.key, calls[i].call.life}];
+    }
+    EXPECT_LE(claims_for(claims, 9, 1), 1);
+    EXPECT_LE(claims_for(claims, 9, 2), 1);
+    ++checked;
+  } while (std::next_permutation(order.begin(), order.end()));
+  EXPECT_GT(checked, 0);
+}
+
+}  // namespace
+}  // namespace ftdag
