@@ -4,9 +4,9 @@
 namespace ftdag {
 
 inline constexpr int kVersionMajor = 1;
-inline constexpr int kVersionMinor = 1;
+inline constexpr int kVersionMinor = 3;
 inline constexpr int kVersionPatch = 0;
 
-inline constexpr const char* kVersionString = "1.1.0";
+inline constexpr const char* kVersionString = "1.3.0";
 
 }  // namespace ftdag
