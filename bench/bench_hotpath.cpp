@@ -1,0 +1,295 @@
+// Hot-path microbenchmarks: the three per-task operations every traversal
+// pays (hash-map probe, job spawn/retire, steal), plus fig4-style
+// end-to-end runs on two apps so a scheduler change can be A/B'd against
+// the committed BENCH_hotpath.json baseline with scripts/bench_compare.py.
+//
+//   map-find-hit    ShardedMap::find of present keys (the TRYINITCOMPUTE
+//                   and notify-successor probe)
+//   map-find-miss   find of absent keys (probe to the first empty slot)
+//   map-mixed       insert_if_absent of fresh keys racing finds of already
+//                   published ones, across table grows
+//   spawn-churn     spawn -> run -> retire of trivial jobs (prices the
+//                   JobNode allocation path)
+//   spawn-tree      recursive binary spawn tree (the walk's real shape:
+//                   every job both allocates and is allocated)
+//   steal-pressure  one producer deque, everyone else stealing
+//   e2e-<app>-*     bench_fig4's baseline/FT configurations on two apps
+//
+// Every row lands in --out (default BENCH_hotpath.json). --smoke shrinks
+// all sizes to CI-viable values; the JSON schema is identical, so
+// bench_compare.py --check-format gates it in CI.
+
+#include <atomic>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "support/assert.hpp"
+#include "support/spin_lock.hpp"
+#include "concurrent/sharded_map.hpp"
+#include "harness/experiment.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+#include "support/xoshiro.hpp"
+
+using namespace ftdag;
+
+namespace {
+
+struct Sizes {
+  std::int64_t map_keys;     // populated keys for the find benchmarks
+  std::int64_t map_ops;      // find/insert operations per thread
+  std::int64_t spawn_jobs;   // jobs per spawn-churn repetition
+  int tree_depth;            // spawn-tree depth (2^depth - 1 jobs)
+  std::int64_t steal_jobs;   // jobs per steal-pressure repetition
+  double e2e_scale;          // app scale for the end-to-end rows
+  int e2e_reps;
+};
+
+Sizes full_sizes() { return {1 << 16, 1 << 20, 1 << 18, 16, 1 << 15, 0.5, 5}; }
+Sizes smoke_sizes() { return {1 << 8, 1 << 12, 1 << 10, 6, 1 << 8, 0.12, 2}; }
+
+struct Row {
+  std::string name;
+  int threads;
+  double ns_per_op;  // microbench rows; 0 for e2e rows
+  double mean_s;     // e2e rows; total seconds for microbench rows
+  double std_s;
+  std::uint64_t ops;
+};
+
+// Runs fn(thread_index) on `threads` std::threads, started together; returns
+// elapsed seconds from release to last join.
+template <typename Fn>
+double timed_threads(int threads, Fn&& fn) {
+  std::atomic<bool> go{false};
+  std::vector<std::thread> ts;
+  ts.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t)
+    ts.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) Backoff::cpu_relax();
+      fn(t);
+    });
+  Timer timer;
+  go.store(true, std::memory_order_release);
+  for (auto& t : ts) t.join();
+  return timer.seconds();
+}
+
+double best_of(int reps, const std::function<double()>& run) {
+  double best = run();
+  for (int r = 1; r < reps; ++r) {
+    const double s = run();
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+Row bench_map_find(const Sizes& sz, int threads, int reps, bool hit) {
+  ShardedMap<int> map;
+  for (std::int64_t k = 0; k < sz.map_keys; ++k)
+    map.insert_if_absent(k, [k] { return new int(static_cast<int>(k)); });
+  std::atomic<std::int64_t> sink{0};
+  const double secs = best_of(reps, [&] {
+    return timed_threads(threads, [&](int t) {
+      Xoshiro256 rng(mix64(0x9E37u + static_cast<std::uint64_t>(t)));
+      std::int64_t found = 0;
+      for (std::int64_t i = 0; i < sz.map_ops; ++i) {
+        const MapKey key =
+            static_cast<MapKey>(rng.below(
+                static_cast<std::uint64_t>(sz.map_keys))) +
+            (hit ? 0 : sz.map_keys);
+        found += map.find(key) != nullptr;
+      }
+      sink.fetch_add(found, std::memory_order_relaxed);
+    });
+  });
+  const std::uint64_t ops =
+      static_cast<std::uint64_t>(sz.map_ops) * static_cast<std::uint64_t>(threads);
+  FTDAG_ASSERT(hit ? sink.load(std::memory_order_relaxed) > 0
+                   : sink.load(std::memory_order_relaxed) == 0,
+               "map benchmark keys landed on the wrong side");
+  return {hit ? "map-find-hit" : "map-find-miss", threads,
+          secs * 1e9 / static_cast<double>(ops), secs, 0.0, ops};
+}
+
+Row bench_map_mixed(const Sizes& sz, int threads, int reps) {
+  // Thread 0 inserts fresh keys (forcing grows from a tiny initial table)
+  // and publishes its progress; the rest find keys at or below the published
+  // watermark, which must always hit. The ratio is the traversal's:
+  // many probes per discovery insert.
+  const std::int64_t inserts = sz.map_keys;
+  std::atomic<std::int64_t> sink{0};
+  const double secs = best_of(reps, [&] {
+    ShardedMap<int> map(/*shards=*/8, /*initial_per_shard=*/8);
+    std::atomic<std::int64_t> watermark{-1};
+    return timed_threads(threads, [&](int t) {
+      if (t == 0) {
+        for (std::int64_t k = 0; k < inserts; ++k) {
+          map.insert_if_absent(k, [k] { return new int(static_cast<int>(k)); });
+          watermark.store(k, std::memory_order_release);
+        }
+      } else {
+        Xoshiro256 rng(mix64(0xC0FFEEu + static_cast<std::uint64_t>(t)));
+        std::int64_t misses = 0;
+        for (std::int64_t i = 0; i < sz.map_ops; ++i) {
+          const std::int64_t w = watermark.load(std::memory_order_acquire);
+          if (w < 0) continue;
+          const MapKey key =
+              static_cast<MapKey>(rng.below(static_cast<std::uint64_t>(w + 1)));
+          misses += map.find(key) == nullptr;
+        }
+        sink.fetch_add(misses, std::memory_order_relaxed);
+      }
+    });
+  });
+  FTDAG_ASSERT(sink.load(std::memory_order_relaxed) == 0,
+               "published key missed by a concurrent reader");
+  const std::uint64_t ops =
+      static_cast<std::uint64_t>(inserts) +
+      static_cast<std::uint64_t>(sz.map_ops) *
+          static_cast<std::uint64_t>(threads > 1 ? threads - 1 : 0);
+  return {"map-mixed", threads, secs * 1e9 / static_cast<double>(ops), secs,
+          0.0, ops};
+}
+
+Row bench_spawn_churn(const Sizes& sz, int threads, int reps) {
+  WorkStealingPool pool(static_cast<unsigned>(threads));
+  const double secs = best_of(reps, [&] {
+    Timer timer;
+    pool.run_to_quiescence([&] {
+      for (std::int64_t i = 0; i < sz.spawn_jobs; ++i) pool.spawn([] {});
+    });
+    return timer.seconds();
+  });
+  const std::uint64_t ops = static_cast<std::uint64_t>(sz.spawn_jobs);
+  return {"spawn-churn", threads, secs * 1e9 / static_cast<double>(ops), secs,
+          0.0, ops};
+}
+
+Row bench_spawn_tree(const Sizes& sz, int threads, int reps) {
+  WorkStealingPool pool(static_cast<unsigned>(threads));
+  struct Node {
+    static void run(WorkStealingPool& p, int depth) {
+      if (depth == 0) return;
+      p.spawn([&p, depth] { run(p, depth - 1); });
+      p.spawn([&p, depth] { run(p, depth - 1); });
+    }
+  };
+  const double secs = best_of(reps, [&] {
+    Timer timer;
+    pool.run_to_quiescence([&] { Node::run(pool, sz.tree_depth); });
+    return timer.seconds();
+  });
+  const std::uint64_t ops = (1ull << (sz.tree_depth + 1)) - 2;  // spawned jobs
+  return {"spawn-tree", threads, secs * 1e9 / static_cast<double>(ops), secs,
+          0.0, ops};
+}
+
+Row bench_steal_pressure(const Sizes& sz, int threads, int reps) {
+  WorkStealingPool pool(static_cast<unsigned>(threads));
+  const double secs = best_of(reps, [&] {
+    Timer timer;
+    pool.run_to_quiescence([&] {
+      // All jobs land in the root worker's deque; with >1 workers every
+      // other worker only eats through steals.
+      for (std::int64_t i = 0; i < sz.steal_jobs; ++i)
+        pool.spawn([] {
+          volatile int x = 0;
+          for (int j = 0; j < 64; ++j) x = x + j;
+        });
+    });
+    return timer.seconds();
+  });
+  const std::uint64_t ops = static_cast<std::uint64_t>(sz.steal_jobs);
+  return {"steal-pressure", threads, secs * 1e9 / static_cast<double>(ops),
+          secs, 0.0, ops};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const bool smoke = cli.get_bool("smoke", false);
+  std::vector<int> threads;
+  for (const std::string& t : cli.get_list("threads", smoke ? "2" : "1,2"))
+    threads.push_back(static_cast<int>(std::strtol(t.c_str(), nullptr, 10)));
+  const int reps = static_cast<int>(cli.get_int("reps", smoke ? 2 : 5));
+  const std::string out_path = cli.get_string("out", "BENCH_hotpath.json");
+  const std::string apps_flag = cli.get_string("e2e-apps", "lcs,fw");
+  cli.check_unknown();
+
+  const Sizes sz = smoke ? smoke_sizes() : full_sizes();
+
+  print_header("hot-path microbenchmarks + fig4-style end-to-end",
+               "fault-free overhead claim (Figs. 4-7): steady-state cost");
+
+  std::vector<Row> rows;
+  for (int t : threads) {
+    rows.push_back(bench_map_find(sz, t, reps, /*hit=*/true));
+    rows.push_back(bench_map_find(sz, t, reps, /*hit=*/false));
+    rows.push_back(bench_map_mixed(sz, t, reps));
+    rows.push_back(bench_spawn_churn(sz, t, reps));
+    rows.push_back(bench_spawn_tree(sz, t, reps));
+    rows.push_back(bench_steal_pressure(sz, t, reps));
+  }
+
+  // Fig4-style end-to-end: the microbench wins must survive composition
+  // with real task bodies, or they are not wins.
+  const int e2e_threads = threads.back();
+  WorkStealingPool pool(static_cast<unsigned>(e2e_threads));
+  for (const std::string& name : split_csv(apps_flag)) {
+    AppConfig cfg = scale_config(default_config(name), sz.e2e_scale);
+    auto app = make_app(name, cfg);
+    (void)app->reference_checksum();
+    RepeatedRuns base = run_baseline(*app, pool, sz.e2e_reps);
+    RepeatedRuns ft = run_ft(*app, pool, sz.e2e_reps);
+    const Summary bs = base.time_summary();
+    const Summary fs = ft.time_summary();
+    rows.push_back({"e2e-" + name + "-baseline", e2e_threads, 0.0, bs.mean,
+                    bs.stddev, 0});
+    rows.push_back(
+        {"e2e-" + name + "-ft", e2e_threads, 0.0, fs.mean, fs.stddev, 0});
+  }
+
+  Table t({"bench", "P", "ns/op", "ops", "total(s)"});
+  std::string json = "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    t.add_row({r.name, strf("%d", r.threads),
+               r.ns_per_op > 0 ? strf("%.1f", r.ns_per_op) : "-",
+               r.ops > 0 ? strf("%llu", (unsigned long long)r.ops) : "-",
+               strf("%.4f", r.mean_s)});
+    json += strf(
+        "  {\"name\":\"%s\",\"threads\":%d,\"ns_per_op\":%.3f,"
+        "\"mean_s\":%.6f,\"std_s\":%.6f,\"ops\":%llu}%s\n",
+        r.name.c_str(), r.threads, r.ns_per_op, r.mean_s, r.std_s,
+        (unsigned long long)r.ops, i + 1 < rows.size() ? "," : "");
+  }
+  json += "]\n";
+  t.print();
+
+  // Steal-loop observability: the SchedStats counters the tuning targets.
+  const SchedStats ss = pool.stats();
+  std::printf(
+      "\ne2e pool stats: jobs=%llu steals=%llu/%llu batch=%llu rounds=%llu "
+      "pooled=%llu heap=%llu\n",
+      (unsigned long long)ss.jobs_executed,
+      (unsigned long long)ss.steals_succeeded,
+      (unsigned long long)ss.steals_attempted,
+      (unsigned long long)ss.steal_batch, (unsigned long long)ss.probe_rounds,
+      (unsigned long long)ss.jobs_pooled, (unsigned long long)ss.jobs_heap);
+
+  if (FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("Wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: could not write %s\n", out_path.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Compare two bench_hotpath JSON files with a regression tolerance.
+
+Usage:
+  bench_compare.py BASELINE CURRENT [--tolerance=PCT]
+  bench_compare.py --check-format FILE [FILE...]
+
+Compare mode joins rows on (name, threads) and reports the relative delta
+of each metric: ns_per_op for microbenchmark rows (ops > 0), mean_s for
+end-to-end rows (ops == 0). A row is a REGRESSION when the current value
+exceeds the baseline by more than the tolerance (default 10%, matching the
+run-to-run noise of e2e rows on a loaded machine; microbenchmark rows are
+best-of minima and noticeably tighter). Exit status is 1 when any joined
+row regresses, so CI can A/B a PR against the committed baseline:
+
+  ./bench_hotpath --out=current.json
+  scripts/bench_compare.py BENCH_hotpath.json current.json
+
+--check-format validates that each file parses as a list of row objects
+with the schema bench_hotpath emits (used by the CI bench-smoke step to
+keep the committed baseline and the harness output in sync). No third-party
+dependencies; stdlib only.
+"""
+
+import json
+import sys
+
+REQUIRED_FIELDS = {
+    "name": str,
+    "threads": int,
+    "ns_per_op": (int, float),
+    "mean_s": (int, float),
+    "std_s": (int, float),
+    "ops": int,
+}
+
+DEFAULT_TOLERANCE_PCT = 10.0
+
+
+def check_format(paths):
+    """Validates each file against the bench_hotpath row schema."""
+    failures = 0
+    for path in paths:
+        problems = []
+        try:
+            with open(path) as f:
+                rows = json.load(f)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"{path}: FAIL ({err})")
+            failures += 1
+            continue
+        if not isinstance(rows, list) or not rows:
+            problems.append("expected a non-empty JSON array of rows")
+            rows = []
+        seen = set()
+        for i, row in enumerate(rows):
+            if not isinstance(row, dict):
+                problems.append(f"row {i}: not an object")
+                continue
+            for field, types in REQUIRED_FIELDS.items():
+                if field not in row:
+                    problems.append(f"row {i}: missing field '{field}'")
+                elif not isinstance(row[field], types) or isinstance(
+                        row[field], bool):
+                    problems.append(
+                        f"row {i}: field '{field}' has type "
+                        f"{type(row[field]).__name__}")
+            if isinstance(row.get("name"), str) and isinstance(
+                    row.get("threads"), int):
+                key = (row["name"], row["threads"])
+                if key in seen:
+                    problems.append(f"row {i}: duplicate key {key}")
+                seen.add(key)
+                if row["threads"] < 1:
+                    problems.append(f"row {i}: threads < 1")
+            if isinstance(row.get("mean_s"), (int, float)) and \
+                    row["mean_s"] <= 0:
+                problems.append(f"row {i}: mean_s must be positive")
+        if problems:
+            print(f"{path}: FAIL")
+            for p in problems[:20]:
+                print(f"  {p}")
+            failures += 1
+        else:
+            print(f"{path}: ok ({len(rows)} rows)")
+    return 1 if failures else 0
+
+
+def load_rows(path):
+    with open(path) as f:
+        rows = json.load(f)
+    return {(r["name"], r["threads"]): r for r in rows}
+
+
+def metric(row):
+    """(value, unit) actually compared for this row."""
+    if row["ops"] > 0:
+        return row["ns_per_op"], "ns/op"
+    return row["mean_s"], "s"
+
+
+def compare(baseline_path, current_path, tolerance_pct):
+    base = load_rows(baseline_path)
+    cur = load_rows(current_path)
+    regressions = []
+    print(f"{'bench':<20} {'P':>2} {'baseline':>10} {'current':>10} "
+          f"{'delta':>8}")
+    for key in sorted(base, key=lambda k: (k[1], k[0])):
+        if key not in cur:
+            print(f"{key[0]:<20} {key[1]:>2} {'(missing in current)':>30}")
+            continue
+        b_val, unit = metric(base[key])
+        c_val, _ = metric(cur[key])
+        delta_pct = (c_val / b_val - 1.0) * 100.0 if b_val > 0 else 0.0
+        flag = ""
+        if delta_pct > tolerance_pct:
+            flag = "  REGRESSION"
+            regressions.append((key, delta_pct))
+        print(f"{key[0]:<20} {key[1]:>2} {b_val:>10.4g} {c_val:>10.4g} "
+              f"{delta_pct:>+7.1f}%{flag}")
+    for key in sorted(set(cur) - set(base), key=lambda k: (k[1], k[0])):
+        print(f"{key[0]:<20} {key[1]:>2} {'(new row, no baseline)':>30}")
+    if regressions:
+        print(f"\n{len(regressions)} row(s) regressed beyond "
+              f"{tolerance_pct:.0f}% tolerance:")
+        for key, delta in regressions:
+            print(f"  {key[0]} (P={key[1]}): {delta:+.1f}%")
+        return 1
+    print(f"\nOK: no row regressed beyond {tolerance_pct:.0f}% tolerance "
+          f"({len(base)} baseline rows).")
+    return 0
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    flags = [a for a in argv[1:] if a.startswith("--")]
+    tolerance = DEFAULT_TOLERANCE_PCT
+    check = False
+    for flag in flags:
+        if flag == "--check-format":
+            check = True
+        elif flag.startswith("--tolerance="):
+            tolerance = float(flag.split("=", 1)[1])
+        else:
+            print(f"unknown flag: {flag}", file=sys.stderr)
+            return 2
+    if check:
+        if not args:
+            print("--check-format needs at least one file", file=sys.stderr)
+            return 2
+        return check_format(args)
+    if len(args) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    return compare(args[0], args[1], tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -51,6 +51,7 @@ DEFAULT_HOT_PATH = (
     "traversal_engine.hpp",
     "chase_lev_deque.hpp",
     "atomic_bitset.hpp",
+    "sharded_map.hpp",
     "executor.cpp",
 )
 

@@ -7,10 +7,29 @@
 // fault-tolerant executor can atomically swap a task pointer inside an entry
 // (REPLACETASK) without holding any map lock.
 //
-// Each shard is a linear-probing open-addressing table guarded by a spin
-// lock. Entries are never erased during a graph execution (NABBIT only ever
-// inserts), which keeps probing simple; `clear` recycles everything between
-// runs.
+// Concurrency contract (the traversal's hottest operation is `find`, one per
+// edge notification and per TRYINITCOMPUTE probe):
+//
+//   - `find` is LOCK-FREE: a linear probe over atomic {key, value} slots.
+//     Writers publish a slot by storing the key first, then the value with a
+//     release store (`pairs: map-slot-publish`); a reader's acquire load of a
+//     non-null value therefore sees the matching key and the fully
+//     constructed pointee. Legal because NABBIT never erases during a run —
+//     within one table a non-null slot stays set forever, so probing to the
+//     first null slot is a sound absence check.
+//   - `insert_if_absent` and `grow` serialize on the shard spin lock. Growth
+//     swaps in a freshly populated table with a release store
+//     (`pairs: map-table-publish`); readers acquire the table pointer per
+//     probe and may keep probing a retired table, which stays valid (and
+//     complete up to its retirement) until `clear`/destruction frees it —
+//     the same retire-don't-free scheme as the Chase-Lev deque's buffers.
+//   - Visibility: a reader that *synchronizes with* an insert (here: via the
+//     scheduler's deque handoff or a task lock) is guaranteed to find the
+//     key — it observes a table at least as new as the inserter's, and
+//     within that table every slot the inserter saw. An unrelated concurrent
+//     reader may miss an in-flight insert; that is the linearizable "find
+//     before insert" outcome.
+//   - `for_each`, `size` (exact), and `clear` are quiescent-only.
 
 #include <atomic>
 #include <cstdint>
@@ -34,7 +53,11 @@ class ShardedMap {
   explicit ShardedMap(std::size_t shard_count = 64,
                       std::size_t initial_per_shard = 64)
       : shards_(round_up_pow2(shard_count)) {
-    for (auto& s : shards_) s->init(round_up_pow2(initial_per_shard));
+    // Single-threaded setup: the map is published to other threads by
+    // whatever mechanism shares the owning object.
+    for (auto& s : shards_)
+      s->table_.store(new Table(round_up_pow2(initial_per_shard)),
+                     std::memory_order_relaxed);
   }
 
   ShardedMap(const ShardedMap&) = delete;
@@ -48,106 +71,178 @@ class ShardedMap {
   std::pair<V*, bool> insert_if_absent(MapKey key, F&& factory) {
     Shard& shard = shard_for(key);
     SpinLockGuard guard(shard.lock);
+    // Relaxed: the table pointer is only replaced under this shard's lock,
+    // so the holder always sees the newest table.
+    Table* table = shard.table_.load(std::memory_order_relaxed);
     std::size_t idx;
-    if (shard.locate(key, idx)) return {shard.slots[idx].value, false};
-    if ((shard.count + 1) * 10 > shard.slots.size() * 7) {
-      shard.grow();
-      bool found = shard.locate(key, idx);
+    if (locate(*table, key, idx))
+      return {table->slots[idx].value_.load(std::memory_order_relaxed), false};
+    if ((shard.count + 1) * 10 > table->capacity * 7) {
+      table = shard.grow();
+      bool found = locate(*table, key, idx);
       FTDAG_ASSERT(!found, "key appeared during grow");
     }
     V* value = factory();
-    shard.slots[idx] = Slot{key, value};
+    table->slots[idx].key_.store(key, std::memory_order_relaxed);
+    // pairs: map-slot-publish — the release store publishes the slot's key
+    // and the value's pointee to lock-free readers; until it lands the slot
+    // still reads as empty.
+    table->slots[idx].value_.store(value, std::memory_order_release);
     ++shard.count;
-    // Relaxed: size_ is a statistic, not a publication point — readers of
-    // the map synchronize through the shard locks, never through size_.
+    // Relaxed: size_ is a statistic, not a publication point — nothing
+    // synchronizes through it (see size()).
     size_.fetch_add(1, std::memory_order_relaxed);
     return {value, true};
   }
 
-  // Finds the value for key; nullptr when absent.
+  // Finds the value for key; nullptr when absent. Lock-free: callers that
+  // synchronize with the insert always hit (see the header comment);
+  // unrelated racing readers may miss an in-flight insert.
   V* find(MapKey key) {
-    Shard& shard = shard_for(key);
-    SpinLockGuard guard(shard.lock);
-    std::size_t idx;
-    if (shard.locate(key, idx)) return shard.slots[idx].value;
-    return nullptr;
+    const Shard& shard = shard_for(key);
+    // pairs: map-table-publish — acquire the current (or a recent) table;
+    // a retired table stays valid and complete up to its retirement.
+    const Table* table = shard.table_.load(std::memory_order_acquire);
+    const std::size_t mask = table->mask;
+    std::size_t i = hash_key(key) & mask;
+    for (;;) {
+      const Slot& s = table->slots[i];
+      // pairs: map-slot-publish — a non-null value makes the key (stored
+      // before it) and the pointee visible.
+      V* value = s.value_.load(std::memory_order_acquire);
+      if (value == nullptr) return nullptr;  // first empty slot: absent
+      if (s.key_.load(std::memory_order_relaxed) == key) return value;
+      i = (i + 1) & mask;
+    }
   }
 
-  // Visits every (key, value&) pair. Not concurrent-safe with writers; used
-  // by post-run validation and statistics only.
+  // Visits every (key, value&) pair. QUIESCENT-ONLY: must not run
+  // concurrently with insert_if_absent (used by post-run validation and
+  // statistics). The shard locks are still taken so a stray concurrent
+  // writer corrupts nothing, and a debug assert catches entries appearing
+  // mid-iteration.
   template <typename Fn>
   void for_each(Fn&& fn) {
+    [[maybe_unused]] const std::size_t size_before =
+        size_.load(std::memory_order_relaxed);
     for (auto& s : shards_) {
       SpinLockGuard guard(s->lock);
-      for (const Slot& slot : s->slots)
-        if (slot.value != nullptr) fn(slot.key, *slot.value);
+      Table* table = s->table_.load(std::memory_order_relaxed);
+      for (std::size_t i = 0; i < table->capacity; ++i) {
+        V* value = table->slots[i].value_.load(std::memory_order_relaxed);
+        if (value != nullptr)
+          fn(table->slots[i].key_.load(std::memory_order_relaxed), *value);
+      }
     }
+    FTDAG_DASSERT(size_.load(std::memory_order_relaxed) == size_before,
+                  "for_each raced an insert; it is quiescent-only");
   }
 
+  // Entry count. Exact only when quiescent: the relaxed counter can trail a
+  // concurrent insert whose slot is already visible (or vice versa).
   std::size_t size() const { return size_.load(std::memory_order_relaxed); }
 
+  // QUIESCENT-ONLY: frees every value and retired table. No reader may hold
+  // a pointer obtained from find() across a clear().
   void clear() {
+    [[maybe_unused]] std::size_t cleared = 0;
     for (auto& s : shards_) {
       SpinLockGuard guard(s->lock);
-      for (Slot& slot : s->slots) {
-        delete slot.value;
-        slot = Slot{};
+      Table* table = s->table_.load(std::memory_order_relaxed);
+      for (std::size_t i = 0; i < table->capacity; ++i) {
+        V* value = table->slots[i].value_.load(std::memory_order_relaxed);
+        if (value != nullptr) ++cleared;
+        delete value;
+        table->slots[i].key_.store(0, std::memory_order_relaxed);
+        table->slots[i].value_.store(nullptr, std::memory_order_relaxed);
       }
+      // Retired tables share value pointers with the current table (grow
+      // copies, never moves), so values are deleted exactly once above.
+      for (Table* t : s->retired) delete t;
+      s->retired.clear();
       s->count = 0;
     }
+    FTDAG_DASSERT(cleared == size_.load(std::memory_order_relaxed),
+                  "clear raced an insert; it is quiescent-only");
     size_.store(0, std::memory_order_relaxed);
   }
 
-  ~ShardedMap() { clear(); }
+  ~ShardedMap() {
+    clear();
+    for (auto& s : shards_) delete s->table_.load(std::memory_order_relaxed);
+  }
 
  private:
+  // One probe slot. Writers (under the shard lock) store key before the
+  // release store of value; value is the publication point, nullptr marks
+  // an empty slot.
   struct Slot {
-    MapKey key = 0;
-    V* value = nullptr;  // nullptr marks an empty slot
+    std::atomic<MapKey> key_{0};
+    std::atomic<V*> value_{nullptr};
+  };
+
+  struct Table {
+    explicit Table(std::size_t cap)
+        : capacity(cap), mask(cap - 1), slots(new Slot[cap]) {}
+
+    const std::size_t capacity;
+    const std::size_t mask;
+    const std::unique_ptr<Slot[]> slots;
   };
 
   struct Shard {
     SpinLock lock;
-    std::vector<Slot> slots FTDAG_GUARDED_BY(lock);
+    // Written only under `lock`; read lock-free by find() with acquire.
+    std::atomic<Table*> table_{nullptr};
     std::size_t count FTDAG_GUARDED_BY(lock) = 0;
+    // Tables replaced by grow(); readers may still probe them, so they are
+    // freed only at clear()/destruction.
+    std::vector<Table*> retired FTDAG_GUARDED_BY(lock);
 
-    // Setup only; runs inside the ShardedMap constructor, before the shard
-    // is visible to any other thread.
-    void init(std::size_t cap) FTDAG_REQUIRES(lock) {
-      slots.assign(cap, Slot{});
-    }
-
-    // Probes for key. Returns true and its index when present; otherwise
-    // false with idx at the first empty slot for insertion.
-    bool locate(MapKey key, std::size_t& idx) const FTDAG_REQUIRES(lock) {
-      const std::size_t mask = slots.size() - 1;
-      std::size_t i = hash_key(key) & mask;
-      for (;;) {
-        const Slot& s = slots[i];
-        if (s.value == nullptr) {
-          idx = i;
-          return false;
-        }
-        if (s.key == key) {
-          idx = i;
-          return true;
-        }
-        i = (i + 1) & mask;
-      }
-    }
-
-    void grow() FTDAG_REQUIRES(lock) {
-      std::vector<Slot> old = std::move(slots);
-      slots.assign(old.size() * 2, Slot{});
-      for (const Slot& s : old) {
-        if (s.value == nullptr) continue;
+    // Doubles the table and swaps it in. Readers keep probing the retired
+    // table until their next find(); every key present at retirement was
+    // copied, so they miss nothing older than the swap.
+    Table* grow() FTDAG_REQUIRES(lock) {
+      Table* old = table_.load(std::memory_order_relaxed);
+      Table* fresh = new Table(old->capacity * 2);
+      for (std::size_t i = 0; i < old->capacity; ++i) {
+        V* value = old->slots[i].value_.load(std::memory_order_relaxed);
+        if (value == nullptr) continue;
+        const MapKey key = old->slots[i].key_.load(std::memory_order_relaxed);
         std::size_t idx;
-        bool found = locate(s.key, idx);
+        bool found = locate(*fresh, key, idx);
         FTDAG_ASSERT(!found, "duplicate key during rehash");
-        slots[idx] = s;
+        fresh->slots[idx].key_.store(key, std::memory_order_relaxed);
+        fresh->slots[idx].value_.store(value, std::memory_order_relaxed);
       }
+      // pairs: map-table-publish — release makes every copied slot visible
+      // to readers that acquire the fresh table pointer.
+      table_.store(fresh, std::memory_order_release);
+      retired.push_back(old);
+      return fresh;
     }
   };
+
+  // Probes `table` for key. Returns true and its index when present;
+  // otherwise false with idx at the first empty slot for insertion. Caller
+  // must hold the shard lock (writer-side probe; relaxed loads suffice
+  // because all slot writes happen under the same lock).
+  static bool locate(const Table& table, MapKey key, std::size_t& idx) {
+    const std::size_t mask = table.mask;
+    std::size_t i = hash_key(key) & mask;
+    for (;;) {
+      const Slot& s = table.slots[i];
+      if (s.value_.load(std::memory_order_relaxed) == nullptr) {
+        idx = i;
+        return false;
+      }
+      if (s.key_.load(std::memory_order_relaxed) == key) {
+        idx = i;
+        return true;
+      }
+      i = (i + 1) & mask;
+    }
+  }
 
   Shard& shard_for(MapKey key) {
     return *shards_[hash_key(key) >> kShardShift &

@@ -1,18 +1,40 @@
 #pragma once
 // Job: type-erased unit of work owned by the scheduler.
 //
-// Each `spawn` allocates exactly one JobNode; the deques store raw JobNode
-// pointers (Chase-Lev requires trivially copyable entries). The worker that
-// executes a job deletes it.
+// Each `spawn` produces exactly one JobNode; the deques store raw JobNode
+// pointers (Chase-Lev requires trivially copyable entries). Nodes whose
+// callable fits kJobBlockBytes are placement-constructed into fixed-size
+// blocks drawn from the spawning worker's freelist; ownership of the block
+// travels with the job through the deque handoff (push's release store /
+// the thief's acquire), and the worker that *executes* the job destroys it
+// in place and recycles the block into its own freelist. Oversized
+// callables and spawns from non-worker threads fall back to plain
+// new/delete — `pool_block()` records which side a node is on.
 
+#include <cstddef>
+#include <new>
+#include <type_traits>
 #include <utility>
 
 namespace ftdag {
+
+// Pooled jobs are placement-constructed into blocks of this many bytes.
+// 64 (one cache line) covers vptr + block pointer + the traversal's largest
+// spawn capture (engine pointer, task pointer, two keys, a life number).
+inline constexpr std::size_t kJobBlockBytes = 64;
 
 class JobNode {
  public:
   virtual ~JobNode() = default;
   virtual void run() = 0;
+
+  // Non-null when this node lives in a worker pool block: the executing
+  // worker must destroy it in place and recycle the block, not delete it.
+  void set_pool_block(void* block) { pool_block_ = block; }
+  void* pool_block() const { return pool_block_; }
+
+ private:
+  void* pool_block_ = nullptr;
 };
 
 template <typename F>
@@ -26,6 +48,15 @@ class JobImpl final : public JobNode {
   F fn_;
 };
 
+// True when JobImpl<F> fits a pool block (operator new's max_align_t
+// alignment included) and may be placement-constructed there.
+template <typename F>
+inline constexpr bool job_fits_block =
+    sizeof(JobImpl<std::decay_t<F>>) <= kJobBlockBytes &&
+    alignof(JobImpl<std::decay_t<F>>) <= alignof(std::max_align_t);
+
+// Heap-allocating fallback used for oversized callables and non-worker
+// spawns; paired with plain delete in the scheduler's retire path.
 template <typename F>
 JobNode* make_job(F&& f) {
   return new JobImpl<std::decay_t<F>>(std::forward<F>(f));

@@ -10,13 +10,21 @@ struct SchedStats {
   std::uint64_t jobs_executed = 0;
   std::uint64_t steals_attempted = 0;
   std::uint64_t steals_succeeded = 0;
-  std::uint64_t injections = 0;  // jobs spawned from non-worker threads
+  std::uint64_t injections = 0;    // jobs spawned from non-worker threads
+  std::uint64_t steal_batch = 0;   // extra jobs taken beyond the first per steal
+  std::uint64_t probe_rounds = 0;  // full victim sweeps that came back empty
+  std::uint64_t jobs_pooled = 0;   // spawns served from a worker-local freelist
+  std::uint64_t jobs_heap = 0;     // spawns that fell back to the heap
 
   SchedStats& operator+=(const SchedStats& o) {
     jobs_executed += o.jobs_executed;
     steals_attempted += o.steals_attempted;
     steals_succeeded += o.steals_succeeded;
     injections += o.injections;
+    steal_batch += o.steal_batch;
+    probe_rounds += o.probe_rounds;
+    jobs_pooled += o.jobs_pooled;
+    jobs_heap += o.jobs_heap;
     return *this;
   }
 };
@@ -34,9 +42,18 @@ struct WorkerStats {
   std::atomic<std::uint64_t> jobs_executed{0};
   std::atomic<std::uint64_t> steals_attempted{0};
   std::atomic<std::uint64_t> steals_succeeded{0};
+  std::atomic<std::uint64_t> steal_batch{0};
+  std::atomic<std::uint64_t> probe_rounds{0};
+  std::atomic<std::uint64_t> jobs_pooled{0};
+  std::atomic<std::uint64_t> jobs_heap{0};
 
   void bump(std::atomic<std::uint64_t>& c) {
     c.store(c.load(std::memory_order_relaxed) + 1,
+            std::memory_order_relaxed);  // single writer: no RMW needed
+  }
+
+  void bump_by(std::atomic<std::uint64_t>& c, std::uint64_t n) {
+    c.store(c.load(std::memory_order_relaxed) + n,
             std::memory_order_relaxed);  // single writer: no RMW needed
   }
 
@@ -45,6 +62,10 @@ struct WorkerStats {
     s.jobs_executed = jobs_executed.load(std::memory_order_relaxed);
     s.steals_attempted = steals_attempted.load(std::memory_order_relaxed);
     s.steals_succeeded = steals_succeeded.load(std::memory_order_relaxed);
+    s.steal_batch = steal_batch.load(std::memory_order_relaxed);
+    s.probe_rounds = probe_rounds.load(std::memory_order_relaxed);
+    s.jobs_pooled = jobs_pooled.load(std::memory_order_relaxed);
+    s.jobs_heap = jobs_heap.load(std::memory_order_relaxed);
     return s;
   }
 };

@@ -14,6 +14,9 @@ WorkStealingPool::WorkStealingPool(unsigned threads, std::uint64_t seed) {
     w->pool = this;
     w->index = i;
     w->rng = Xoshiro256(mix64(seed + i));
+    w->free_blocks.reserve(kJobPoolCap);
+    for (std::size_t b = 0; b < kJobPoolBlocks; ++b)
+      w->free_blocks.push_back(::operator new(kJobBlockBytes));
     workers_.push_back(std::move(w));
   }
   threads_.reserve(threads);
@@ -34,7 +37,49 @@ WorkStealingPool::~WorkStealingPool() {
   }
   sleep_cv_.notify_all();
   for (auto& t : threads_) t.join();
-  // Quiescent pool: deques and injection queue are empty by the assert above.
+  // Quiescent pool: deques and injection queue are empty by the assert
+  // above, so every pooled block is parked in some worker's freelist.
+  for (auto& w : workers_)
+    for (void* block : w->free_blocks) ::operator delete(block);
+}
+
+void* WorkStealingPool::alloc_job_block() {
+  Worker* w = tls_worker_;
+  if (w == nullptr || w->pool != this || w->free_blocks.empty())
+    return nullptr;
+  void* block = w->free_blocks.back();
+  w->free_blocks.pop_back();
+  w->stats.bump(w->stats.jobs_pooled);
+  return block;
+}
+
+void WorkStealingPool::note_heap_job() {
+  Worker* w = tls_worker_;
+  if (w != nullptr && w->pool == this) {
+    w->stats.bump(w->stats.jobs_heap);
+  } else {
+    // Relaxed: a statistic, trusted only after quiescence.
+    external_heap_jobs_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void WorkStealingPool::retire_job(JobNode* job) {
+  void* block = job->pool_block();
+  if (block == nullptr) {
+    delete job;
+    return;
+  }
+  job->~JobNode();
+  // Recycle into the *executing* worker's freelist: the block's next reuse
+  // is then thread-local, and cross-worker transfers ride the deque's
+  // synchronization. Overflow (freelists drift as blocks migrate) and
+  // teardown edge cases return the block to the heap.
+  Worker* w = tls_worker_;
+  if (w != nullptr && w->pool == this && w->free_blocks.size() < kJobPoolCap) {
+    w->free_blocks.push_back(block);
+    return;
+  }
+  ::operator delete(block);
 }
 
 bool WorkStealingPool::on_worker_thread() const {
@@ -50,6 +95,8 @@ void WorkStealingPool::enqueue(JobNode* job) {
   if (on_worker_thread()) {
     tls_worker_->deque.push(job);
   } else {
+    // Relaxed: a statistic, trusted only after quiescence.
+    injections_.fetch_add(1, std::memory_order_relaxed);
     SpinLockGuard guard(injection_lock_);
     injected_.push_back(job);
   }
@@ -80,28 +127,54 @@ JobNode* WorkStealingPool::pop_injected() {
 
 JobNode* WorkStealingPool::try_steal(Worker& self) {
   const std::size_t n = workers_.size();
-  // A handful of random probes per round; the sleep path re-scans after
-  // publishing intent, so missed work is latency, never a lost wakeup.
-  const std::size_t attempts = 2 * n + 2;
-  for (std::size_t a = 0; a < attempts; ++a) {
-    self.stats.bump(self.stats.steals_attempted);
-    const std::size_t victim = self.rng.below(n + 1);
-    if (victim == n) {  // injection queue acts as one extra victim
-      if (JobNode* job = pop_injected()) {
+  // Random probes in rounds of ~one-per-victim, with exponential backoff
+  // between empty rounds so idle thieves stop hammering victims' top_ cache
+  // lines while producers are busy. Missed work is latency, never a lost
+  // wakeup: the sleep path re-scans exhaustively after publishing intent.
+  Backoff backoff;
+  constexpr std::size_t kRounds = 3;
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    for (std::size_t a = 0; a < n + 1; ++a) {
+      self.stats.bump(self.stats.steals_attempted);
+      const std::size_t victim = self.rng.below(n + 1);
+      if (victim == n) {  // injection queue acts as one extra victim
+        if (JobNode* job = pop_injected()) {
+          self.stats.bump(self.stats.steals_succeeded);
+          return job;
+        }
+        continue;
+      }
+      Worker& w = *workers_[victim];
+      if (&w == &self) continue;
+      JobNode* job = nullptr;
+      if (w.deque.steal(job)) {
         self.stats.bump(self.stats.steals_succeeded);
+        batch_steal(self, w);
         return job;
       }
-      continue;
     }
-    Worker& w = *workers_[victim];
-    if (&w == &self) continue;
-    JobNode* job = nullptr;
-    if (w.deque.steal(job)) {
-      self.stats.bump(self.stats.steals_succeeded);
-      return job;
-    }
+    self.stats.bump(self.stats.probe_rounds);
+    if (round + 1 < kRounds) backoff.pause();
   }
   return nullptr;
+}
+
+void WorkStealingPool::batch_steal(Worker& self, Worker& victim) {
+  // A successful probe found a loaded victim: take up to half its visible
+  // work in one go so the steal's cache-miss cost amortizes over several
+  // jobs, re-pushing the surplus locally (where it is stealable again).
+  std::size_t want = victim.deque.size_estimate() / 2;
+  if (want > kMaxBatchSteal) want = kMaxBatchSteal;
+  std::uint64_t got = 0;
+  JobNode* job = nullptr;
+  while (got < want && victim.deque.steal(job)) {
+    self.deque.push(job);
+    ++got;
+  }
+  if (got > 0) {
+    self.stats.bump_by(self.stats.steal_batch, got);
+    signal_work();  // the re-pushed surplus may feed sleeping workers
+  }
 }
 
 JobNode* WorkStealingPool::find_work(Worker& self) {
@@ -143,7 +216,7 @@ void WorkStealingPool::worker_main(Worker& self) {
   while (!stop_.load(std::memory_order_acquire)) {  // pairs: pool-stop
     if (JobNode* job = find_work(self)) {
       job->run();
-      delete job;
+      retire_job(job);
       self.stats.bump(self.stats.jobs_executed);
       finish_job();
       continue;
@@ -157,7 +230,7 @@ void WorkStealingPool::worker_main(Worker& self) {
         signal_epoch_.load(std::memory_order_acquire);  // pairs: pool-epoch
     if (JobNode* job = scan_all(self)) {
       job->run();
-      delete job;
+      retire_job(job);
       self.stats.bump(self.stats.jobs_executed);
       finish_job();
       continue;
@@ -227,16 +300,21 @@ void WorkStealingPool::parallel_for(
 
   if (on_worker_thread()) {
     Split::run(ctx, begin, end);
-    // Help with the remaining work instead of blocking the worker.
+    // Help with the remaining work instead of blocking the worker. The
+    // Backoff lives outside the loop so repeated empty scans escalate
+    // (a fresh Backoff per iteration never got past its shortest spin);
+    // finding work resets it.
+    Backoff backoff;
     while (ctx.remaining.load(
                std::memory_order_acquire) > 0) {  // pairs: for-remaining
       if (JobNode* job = find_work(*tls_worker_)) {
         job->run();
-        delete job;
+        retire_job(job);
         tls_worker_->stats.bump(tls_worker_->stats.jobs_executed);
         finish_job();
+        backoff.reset();
       } else {
-        Backoff().pause();
+        backoff.pause();
       }
     }
   } else {
@@ -251,6 +329,9 @@ void WorkStealingPool::parallel_for(
 SchedStats WorkStealingPool::stats() const {
   SchedStats total;
   for (const auto& w : workers_) total += w->stats.snapshot();
+  // Relaxed: statistics, trusted only after quiescence.
+  total.injections = injections_.load(std::memory_order_relaxed);
+  total.jobs_heap += external_heap_jobs_.load(std::memory_order_relaxed);
   return total;
 }
 

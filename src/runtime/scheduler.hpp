@@ -14,6 +14,12 @@
 // runs root and every transitively spawned job, returning when the global
 // outstanding-job count drains to zero. The pool persists across runs; the
 // executors reuse one pool for a whole experiment sweep.
+//
+// Hot-path tuning (measured by bench_hotpath against BENCH_hotpath.json):
+// spawns that fit a 64-byte block come from a per-worker freelist instead
+// of the heap; a successful steal probe takes up to half the victim's
+// visible work in one batch; and failed probe rounds back off exponentially
+// before the exhaustive pre-sleep scan.
 
 #include <atomic>
 #include <condition_variable>
@@ -49,8 +55,22 @@ class WorkStealingPool {
 
   // Schedules fn. From a worker thread: pushed onto its own deque (stealable
   // by others). From any other thread: placed on the injection queue.
+  //
+  // Fast path: a callable that fits kJobBlockBytes is placement-constructed
+  // into a block from the spawning worker's freelist — no heap round-trip.
+  // Oversized callables, non-worker spawns, and pool exhaustion fall back
+  // to make_job's plain new (retired with delete).
   template <typename F>
   void spawn(F&& fn) {
+    if constexpr (job_fits_block<F>) {
+      if (void* block = alloc_job_block()) {
+        auto* job = new (block) JobImpl<std::decay_t<F>>(std::forward<F>(fn));
+        job->set_pool_block(block);
+        enqueue(job);
+        return;
+      }
+    }
+    note_heap_job();
     enqueue(make_job(std::forward<F>(fn)));
   }
 
@@ -75,12 +95,24 @@ class WorkStealingPool {
   SchedStats stats() const;
 
  private:
+  // Per-worker freelist sizing: kJobPoolBlocks blocks are pre-allocated per
+  // worker; because blocks are recycled by the *executing* worker they
+  // migrate between freelists, so each list accepts up to kJobPoolCap
+  // before overflow blocks go back to the heap.
+  static constexpr std::size_t kJobPoolBlocks = 256;
+  static constexpr std::size_t kJobPoolCap = 2 * kJobPoolBlocks;
+  // Cap on the extra jobs one successful steal may take from its victim.
+  static constexpr std::size_t kMaxBatchSteal = 16;
+
   struct Worker {
     ChaseLevDeque<JobNode*> deque;
     Xoshiro256 rng;
     WorkStealingPool* pool = nullptr;
     unsigned index = 0;
     WorkerStats stats;
+    // Job-block freelist: touched only by the owning worker thread (blocks
+    // arrive via the deque handoff, which synchronizes the transfer).
+    std::vector<void*> free_blocks;
   };
 
   void worker_main(Worker& self);
@@ -88,9 +120,14 @@ class WorkStealingPool {
   JobNode* find_work(Worker& self);
   JobNode* scan_all(Worker& self);
   JobNode* try_steal(Worker& self);
+  void batch_steal(Worker& self, Worker& victim);
   JobNode* pop_injected();
   void finish_job();
   void signal_work();
+  // Pool-block management for spawn/retire (see job.hpp for the contract).
+  void* alloc_job_block();
+  void note_heap_job();
+  void retire_job(JobNode* job);
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
@@ -98,6 +135,10 @@ class WorkStealingPool {
   // Jobs spawned from outside any worker (e.g. the root job).
   SpinLock injection_lock_;
   std::deque<JobNode*> injected_ FTDAG_GUARDED_BY(injection_lock_);
+
+  // External-spawn statistics (non-worker threads have no WorkerStats).
+  std::atomic<std::uint64_t> injections_{0};
+  std::atomic<std::uint64_t> external_heap_jobs_{0};
 
   alignas(kCacheLine) std::atomic<std::int64_t> pending_{0};
   alignas(kCacheLine) std::atomic<std::uint64_t> signal_epoch_{0};

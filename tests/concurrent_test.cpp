@@ -187,6 +187,56 @@ TEST(ShardedMap, ConcurrentInsertSingleWinner) {
   m.for_each([&](MapKey, std::atomic<int>& v) { EXPECT_EQ(v.load(), kThreads); });
 }
 
+TEST(ShardedMap, LockFreeFindRacesInsertAcrossGrows) {
+  // Readers probe lock-free while a writer inserts through repeated table
+  // growths (tiny shards force many grows). The writer publishes a
+  // watermark with a release store after each insert; a reader that
+  // acquires watermark w synchronizes with every insert up to w, so find()
+  // must hit for all keys <= w and return the right value. Run under TSan
+  // this also proves the probe/publish protocol is race-free.
+  constexpr int kKeys = 20000;
+  constexpr int kReaders = 3;
+  ShardedMap<int> m(/*shards=*/2, /*initial=*/4);
+  std::atomic<int> watermark{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      std::uint64_t x = 0x9E3779B97F4A7C15ULL * (t + 1);
+      while (!done.load(std::memory_order_acquire)) {
+        const int w = watermark.load(std::memory_order_acquire);
+        if (w == 0) continue;
+        // Cheap xorshift: any key in [1, w] must be visible.
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        const int key = 1 + static_cast<int>(x % w);
+        int* p = m.find(key);
+        ASSERT_NE(p, nullptr) << "published key " << key
+                              << " invisible at watermark " << w;
+        EXPECT_EQ(*p, key);
+        // Keys beyond the watermark may race an in-flight insert: either
+        // outcome is fine, but a hit must carry the right value.
+        const int racy = w + 1 + static_cast<int>(x % kKeys);
+        if (int* q = m.find(racy); q != nullptr) {
+          EXPECT_EQ(*q, racy);
+        }
+      }
+    });
+  }
+
+  for (int k = 1; k <= kKeys; ++k) {
+    auto [p, ins] = m.insert_if_absent(k, [k] { return new int(k); });
+    ASSERT_TRUE(ins);
+    watermark.store(k, std::memory_order_release);
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(m.size(), static_cast<std::size_t>(kKeys));
+  for (int k = 1; k <= kKeys; ++k) ASSERT_NE(m.find(k), nullptr);
+}
+
 TEST(AtomicBitset, StartsAllSet) {
   AtomicBitset b(130);  // crosses word boundaries
   EXPECT_EQ(b.count(), 130u);

@@ -185,5 +185,127 @@ TEST(WorkStealingPool, ExternalSpawnDuringRunIsExecuted) {
   EXPECT_TRUE(inner_done.load());
 }
 
+// Counts every construction and destruction of the spawned callable so the
+// pool tests can prove each JobImpl is destroyed exactly once, whether it
+// lived in a pool block or fell back to the heap (a double destroy would
+// leave dtors > ctors, a leak dtors < ctors).
+struct JobLifeCounters {
+  std::atomic<int> ctors{0};
+  std::atomic<int> dtors{0};
+  std::atomic<int> runs{0};
+};
+
+struct CountingFn {
+  JobLifeCounters* c;
+  explicit CountingFn(JobLifeCounters* counters) : c(counters) {
+    c->ctors.fetch_add(1);
+  }
+  CountingFn(const CountingFn& o) : c(o.c) { c->ctors.fetch_add(1); }
+  CountingFn(CountingFn&& o) noexcept : c(o.c) { c->ctors.fetch_add(1); }
+  ~CountingFn() { c->dtors.fetch_add(1); }
+  void operator()() const { c->runs.fetch_add(1); }
+};
+
+TEST(WorkStealingPool, JobPoolExhaustionFallsBackToHeap) {
+  // A burst far beyond the per-worker freelist, spawned before any of it
+  // runs (single worker, so nothing drains the deque mid-burst): the first
+  // kJobPoolBlocks spawns come from the pool, the rest must take the heap
+  // path, and every callable is destroyed exactly once either way.
+  constexpr int kBurst = 2000;
+  JobLifeCounters c;
+  {
+    WorkStealingPool pool(1);
+    pool.run_to_quiescence([&] {
+      for (int i = 0; i < kBurst; ++i) pool.spawn(CountingFn(&c));
+    });
+    EXPECT_EQ(c.runs.load(), kBurst);
+    const SchedStats s = pool.stats();
+    EXPECT_EQ(s.jobs_executed, static_cast<std::uint64_t>(kBurst) + 1);
+    EXPECT_GT(s.jobs_pooled, 0u);  // freelist served the head of the burst
+    // The tail of the burst (plus the external root) exhausted the pool.
+    EXPECT_GE(s.jobs_heap, static_cast<std::uint64_t>(kBurst) - 1024);
+    EXPECT_EQ(s.jobs_pooled + s.jobs_heap,
+              static_cast<std::uint64_t>(kBurst) + 1);
+  }
+  EXPECT_EQ(c.ctors.load(), c.dtors.load());
+}
+
+TEST(WorkStealingPool, JobPoolRecyclesThroughSequentialChain) {
+  // Spawn-run-retire in lockstep: each link spawns the next while the pool
+  // recycles the previous block, so a chain far longer than the freelist
+  // never touches the heap (except the external root spawn).
+  constexpr int kDepth = 5000;
+  WorkStealingPool pool(1);
+  std::atomic<int> count{0};
+  struct Chain {
+    static void step(WorkStealingPool& p, std::atomic<int>& n, int depth) {
+      n.fetch_add(1);
+      if (depth > 0) p.spawn([&p, &n, depth] { step(p, n, depth - 1); });
+    }
+  };
+  pool.run_to_quiescence([&] { Chain::step(pool, count, kDepth - 1); });
+  EXPECT_EQ(count.load(), kDepth);
+  const SchedStats s = pool.stats();
+  EXPECT_EQ(s.jobs_pooled, static_cast<std::uint64_t>(kDepth) - 1);
+  EXPECT_EQ(s.jobs_heap, 1u);  // only the non-worker root spawn
+  EXPECT_EQ(s.injections, 1u);
+}
+
+TEST(WorkStealingPool, OversizedCallablesUseTheHeap) {
+  // A callable bigger than a pool block must skip the freelist entirely.
+  struct Big {
+    char pad[2 * kJobBlockBytes] = {};
+    std::atomic<int>* n = nullptr;
+    void operator()() const { n->fetch_add(1); }
+  };
+  static_assert(!job_fits_block<Big>, "test needs an oversized callable");
+  constexpr int kJobs = 100;
+  WorkStealingPool pool(2);
+  std::atomic<int> count{0};
+  pool.run_to_quiescence([&] {
+    for (int i = 0; i < kJobs; ++i) {
+      Big b;
+      b.n = &count;
+      pool.spawn(b);
+    }
+  });
+  EXPECT_EQ(count.load(), kJobs);
+  const SchedStats s = pool.stats();
+  EXPECT_GE(s.jobs_heap, static_cast<std::uint64_t>(kJobs));
+  EXPECT_EQ(s.jobs_pooled, 0u);
+}
+
+TEST(WorkStealingPool, JobPoolBlocksMigrateAcrossWorkersUnderStealing) {
+  // Recursive fan-out across four workers: stolen jobs are retired into the
+  // *thief's* freelist, so blocks migrate between workers. Every callable
+  // must still be constructed/destroyed in matched pairs, and the combined
+  // pooled+heap spawn count must equal the jobs executed.
+  JobLifeCounters c;
+  std::atomic<int> live{0};
+  {
+    WorkStealingPool pool(4);
+    struct Fan {
+      static void go(WorkStealingPool& p, JobLifeCounters& counters,
+                     std::atomic<int>& n, int depth) {
+        n.fetch_add(1);
+        if (depth == 0) return;
+        for (int i = 0; i < 2; ++i)
+          p.spawn([&p, &counters, &n, depth] {
+            CountingFn tick(&counters);
+            tick();
+            go(p, counters, n, depth - 1);
+          });
+      }
+    };
+    pool.run_to_quiescence([&] { Fan::go(pool, c, live, 12); });
+    // A full binary tree of depth 12 above the root.
+    EXPECT_EQ(live.load(), (1 << 13) - 1);
+    const SchedStats s = pool.stats();
+    EXPECT_EQ(s.jobs_pooled + s.jobs_heap, s.jobs_executed);
+    EXPECT_GT(s.jobs_pooled, 0u);
+  }
+  EXPECT_EQ(c.ctors.load(), c.dtors.load());
+}
+
 }  // namespace
 }  // namespace ftdag
