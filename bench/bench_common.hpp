@@ -10,15 +10,19 @@
 //   --n-<app>, --block-<app>       explicit size overrides per app
 //   --replicate=<policy>           off | all | sample:<p> | cost:<bytes>
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "apps/app_config.hpp"
 #include "apps/app_registry.hpp"
+#include "persist/durability.hpp"
 #include "replication/replication_policy.hpp"
 #include "support/cli.hpp"
+#include "support/table.hpp"
 
 namespace ftdag {
 
@@ -64,6 +68,89 @@ inline AppConfig config_for(const Cli& cli, const BenchOptions& o,
 inline void print_header(const char* what, const char* paper_ref) {
   std::printf("=== ftdag reproduction: %s ===\n", what);
   std::printf("Paper reference: %s (Kurt et al., SC 2014)\n\n", paper_ref);
+}
+
+// Machine-readable bench output: one flat JSON object per row, written as
+// an array with the shared "Wrote <path>" epilogue. Every bench used to
+// hand-roll this framing; the helper keeps the emitted bytes identical
+// ("[\n  {...},\n  {...}\n]\n") so committed BENCH_*.json baselines and
+// scripts/bench_compare.py --check-format see no schema change.
+class JsonRows {
+ public:
+  JsonRows& field(const char* key, const std::string& value) {
+    return raw(key, "\"" + value + "\"");
+  }
+  JsonRows& field(const char* key, const char* value) {
+    return field(key, std::string(value));
+  }
+  JsonRows& field(const char* key, int value) {
+    return raw(key, strf("%d", value));
+  }
+  JsonRows& field(const char* key, std::uint64_t value) {
+    return raw(key, strf("%llu", (unsigned long long)value));
+  }
+  JsonRows& field(const char* key, double value, int precision = 6) {
+    return raw(key, strf("%.*f", precision, value));
+  }
+  // Preformatted value: "null", or a number already carrying its precision.
+  JsonRows& raw(const char* key, const std::string& value) {
+    if (!row_.empty()) row_ += ",";
+    row_ += strf("\"%s\":", key) + value;
+    return *this;
+  }
+  void end_row() {
+    rows_.push_back(row_);
+    row_.clear();
+  }
+
+  std::string str() const {
+    std::string out = "[\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      out += "  {" + rows_[i] + "}";
+      out += i + 1 < rows_.size() ? ",\n" : "\n";
+    }
+    out += "]\n";
+    return out;
+  }
+
+  // Writes the array to `path`; reports "Wrote <path>" or a warning.
+  // Returns false on I/O failure so mains can propagate a nonzero exit.
+  bool write_file(const std::string& path) const {
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+      return false;
+    }
+    const std::string json = str();
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("Wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string row_;                 // fields of the row being assembled
+  std::vector<std::string> rows_;  // completed rows
+};
+
+// Durability flags shared by persistence-aware benches:
+//   --persist-dir=PATH   enable the durability subsystem in PATH
+//   --wal-sync=MODE      none | batch | every
+//   --snapshot-every=N   snapshot + WAL rotation cadence (0 = never)
+// Registered only by benches that call this, so the others keep rejecting
+// the flags loudly via check_unknown().
+inline persist::DurabilityOptions parse_durability_options(const Cli& cli) {
+  persist::DurabilityOptions o;
+  o.dir = cli.get_string("persist-dir", "");
+  const std::string sync = cli.get_string("wal-sync", "batch");
+  if (!persist::parse_wal_sync(sync, &o.sync)) {
+    std::fprintf(stderr, "unknown --wal-sync=%s (none|batch|every)\n",
+                 sync.c_str());
+    std::exit(2);
+  }
+  o.snapshot_every =
+      static_cast<std::uint64_t>(cli.get_int("snapshot-every", 0));
+  return o;
 }
 
 }  // namespace ftdag

@@ -256,20 +256,20 @@ int main(int argc, char** argv) {
   }
 
   Table t({"bench", "P", "ns/op", "ops", "total(s)"});
-  std::string json = "[\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
+  JsonRows json;
+  for (const Row& r : rows) {
     t.add_row({r.name, strf("%d", r.threads),
                r.ns_per_op > 0 ? strf("%.1f", r.ns_per_op) : "-",
                r.ops > 0 ? strf("%llu", (unsigned long long)r.ops) : "-",
                strf("%.4f", r.mean_s)});
-    json += strf(
-        "  {\"name\":\"%s\",\"threads\":%d,\"ns_per_op\":%.3f,"
-        "\"mean_s\":%.6f,\"std_s\":%.6f,\"ops\":%llu}%s\n",
-        r.name.c_str(), r.threads, r.ns_per_op, r.mean_s, r.std_s,
-        (unsigned long long)r.ops, i + 1 < rows.size() ? "," : "");
+    json.field("name", r.name)
+        .field("threads", r.threads)
+        .field("ns_per_op", r.ns_per_op, 3)
+        .field("mean_s", r.mean_s)
+        .field("std_s", r.std_s)
+        .field("ops", r.ops);
+    json.end_row();
   }
-  json += "]\n";
   t.print();
 
   // Steal-loop observability: the SchedStats counters the tuning targets.
@@ -283,13 +283,5 @@ int main(int argc, char** argv) {
       (unsigned long long)ss.steal_batch, (unsigned long long)ss.probe_rounds,
       (unsigned long long)ss.jobs_pooled, (unsigned long long)ss.jobs_heap);
 
-  if (FILE* f = std::fopen(out_path.c_str(), "w")) {
-    std::fputs(json.c_str(), f);
-    std::fclose(f);
-    std::printf("Wrote %s\n", out_path.c_str());
-  } else {
-    std::fprintf(stderr, "warning: could not write %s\n", out_path.c_str());
-    return 1;
-  }
-  return 0;
+  return json.write_file(out_path) ? 0 : 1;
 }

@@ -58,8 +58,7 @@ int main(int argc, char** argv) {
 
   Table t({"bench", "mode", "time(s)", "overhead(%)", "replicated",
            "mismatches"});
-  std::string json = "[\n";
-  bool first = true;
+  JsonRows json;
   const int threads = opt.threads.back();
   WorkStealingPool pool(static_cast<unsigned>(threads));
 
@@ -91,28 +90,23 @@ int main(int argc, char** argv) {
                           : "-",
                  strf("%llu", (unsigned long long)replicated),
                  strf("%llu", (unsigned long long)mismatches)});
-      if (!first) json += ",\n";
-      first = false;
-      json += strf(
-          "  {\"app\":\"%s\",\"mode\":\"%s\",\"threads\":%d,"
-          "\"mean_s\":%.6f,\"std_s\":%.6f,\"overhead_pct\":%s,"
-          "\"replicated\":%llu,\"digest_mismatches\":%llu}",
-          name.c_str(), c.name, threads, s.mean, s.stddev,
-          have_ref ? strf("%.2f", overhead_pct(baseline_mean, s.mean)).c_str()
-                   : "null",
-          (unsigned long long)replicated, (unsigned long long)mismatches);
+      json.field("app", name)
+          .field("mode", c.name)
+          .field("threads", threads)
+          .field("mean_s", s.mean)
+          .field("std_s", s.stddev)
+          .raw("overhead_pct",
+               have_ref ? strf("%.2f", overhead_pct(baseline_mean, s.mean))
+                        : "null")
+          .field("replicated", replicated)
+          .field("digest_mismatches", mismatches);
+      json.end_row();
     }
   }
-  json += "\n]\n";
   t.print();
 
-  if (FILE* f = std::fopen(out_path.c_str(), "w")) {
-    std::fputs(json.c_str(), f);
-    std::fclose(f);
-    std::printf("\nWrote %s\n", out_path.c_str());
-  } else {
-    std::fprintf(stderr, "warning: could not write %s\n", out_path.c_str());
-  }
+  std::printf("\n");
+  json.write_file(out_path);
   std::printf(
       "Expected shape: checksum adds a few %%; sample:0.5 roughly half the\n"
       "cost of all; all < 2x because replicas skip commit/notify work.\n");

@@ -12,7 +12,7 @@ Walks C++ sources (default: src/) and enforces three rules:
 
   B. seq_cst-justified: in the hot-path files (--hot-path, default:
      traversal_engine.hpp chase_lev_deque.hpp atomic_bitset.hpp
-     executor.cpp) every appearance of memory_order_seq_cst must carry a
+     sharded_map.hpp executor.cpp durability.hpp) every appearance of memory_order_seq_cst must carry a
      `seq_cst: <reason>` comment on the same line or within the preceding
      comment block. Sequential consistency is the most expensive order on
      weakly-ordered hardware; on the hot path it must be an argument, not a
@@ -53,6 +53,9 @@ DEFAULT_HOT_PATH = (
     "atomic_bitset.hpp",
     "sharded_map.hpp",
     "executor.cpp",
+    # src/persist/: the WAL commit hook runs once per task on the engine's
+    # publish path, so its atomics face the same scrutiny.
+    "durability.hpp",
 )
 
 # Member calls that are atomic operations when the receiver is a std::atomic.

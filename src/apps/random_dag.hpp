@@ -41,6 +41,12 @@ class RandomDagProblem final : public TaskGraphProblem {
   void outputs(TaskKey key, OutputList& out) const override;
   void reset_data() override;
   std::uint64_t result_checksum() const override { return board_.combined(); }
+  // Durable restart: the digest board is the resilient result range the
+  // persistence layer journals and re-applies (src/persist/).
+  std::atomic<std::uint64_t>* result_slots() override {
+    return board_.size() > 0 ? board_.slot(0) : nullptr;
+  }
+  std::size_t result_slot_count() const override { return board_.size(); }
   std::uint64_t reference_checksum() override;
 
   std::size_t node_count() const { return preds_.size(); }

@@ -249,6 +249,10 @@ Version BlockStore::num_versions(BlockId block) const {
   return block_ref(block).num_versions;
 }
 
+Version BlockStore::slot_count(BlockId block) const {
+  return block_ref(block).slots;
+}
+
 std::size_t BlockStore::block_bytes(BlockId block) const {
   return block_ref(block).bytes;
 }

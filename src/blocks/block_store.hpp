@@ -122,6 +122,10 @@ class BlockStore {
 
   std::size_t block_count() const { return blocks_.size(); }
   Version num_versions(BlockId block) const;
+  // Physical slots backing the block (= retained versions; version v lives
+  // in slot v % slot_count). The persistence layer mirrors the slot mapping
+  // when folding WAL records into its shadow frontier.
+  Version slot_count(BlockId block) const;
   std::size_t block_bytes(BlockId block) const;
   std::size_t total_storage_bytes() const { return storage_bytes_; }
 

@@ -7,25 +7,29 @@
 
 #include "engine/backend.hpp"
 #include "engine/detection_policy.hpp"
+#include "engine/durability_policy.hpp"
 #include "engine/fault_policy.hpp"
 #include "engine/retention_policy.hpp"
 #include "engine/traversal_engine.hpp"
+#include "persist/durability.hpp"
 #include "support/assert.hpp"
 
 namespace ftdag {
 namespace {
 
+template <class Durability>
 using FtEngine =
     engine::TraversalEngine<engine::SelectiveRecoveryPolicy,
                             engine::ReplicationDetection, engine::NoRetention,
-                            engine::WorkStealingBackend>;
+                            engine::WorkStealingBackend, Durability>;
 
 // Diagnostic liveness monitor: samples the compute counter; on stall,
 // prints a status breakdown of the task map so a hung execution (e.g. a
 // lost notification) is attributable without a debugger.
+template <class Engine>
 class Watchdog {
  public:
-  Watchdog(FtEngine& eng, engine::ObservationPolicy& obs,
+  Watchdog(Engine& eng, engine::ObservationPolicy& obs,
            double interval_seconds)
       : eng_(eng), obs_(obs), interval_(interval_seconds) {
     if (interval_ > 0.0) thread_ = std::thread([this] { main(); });
@@ -82,7 +86,7 @@ class Watchdog {
     }
   }
 
-  FtEngine& eng_;
+  Engine& eng_;
   engine::ObservationPolicy& obs_;
   double interval_;
   std::thread thread_;
@@ -91,6 +95,23 @@ class Watchdog {
   bool stop_ = false;
 };
 
+template <class Durability>
+ExecReport run_with(TaskGraphProblem& problem, WorkStealingPool& pool,
+                    FaultInjector* injector, ExecutionTrace* trace,
+                    const ExecutorOptions& options, Durability& durability) {
+  engine::WorkStealingBackend backend(pool);
+  engine::ObservationPolicy obs(trace);
+  engine::SelectiveRecoveryPolicy fault(obs, injector);
+  engine::ReplicationDetection detection(options.replication,
+                                         pool.thread_count(), obs);
+  engine::NoRetention retention;
+  FtEngine<Durability> eng(problem, backend, fault, detection, retention,
+                           durability, obs);
+
+  Watchdog<FtEngine<Durability>> watchdog(eng, obs, options.watchdog_seconds);
+  return eng.run();
+}
+
 }  // namespace
 
 ExecReport FaultTolerantExecutor::execute(TaskGraphProblem& problem,
@@ -98,16 +119,14 @@ ExecReport FaultTolerantExecutor::execute(TaskGraphProblem& problem,
                                           FaultInjector* injector,
                                           ExecutionTrace* trace,
                                           const ExecutorOptions& options) {
-  engine::WorkStealingBackend backend(pool);
-  engine::ObservationPolicy obs(trace);
-  engine::SelectiveRecoveryPolicy fault(obs, injector);
-  engine::ReplicationDetection detection(options.replication,
-                                         pool.thread_count(), obs);
-  engine::NoRetention retention;
-  FtEngine eng(problem, backend, fault, detection, retention, obs);
-
-  Watchdog watchdog(eng, obs, options.watchdog_seconds);
-  return eng.run();
+  if (options.durability.enabled()) {
+    // Constructed before the walk: loads any persisted state into the
+    // (reset) store and result slots, so restored tasks skip their compute.
+    persist::WalDurability durability(problem, options.durability);
+    return run_with(problem, pool, injector, trace, options, durability);
+  }
+  engine::NoDurability durability;
+  return run_with(problem, pool, injector, trace, options, durability);
 }
 
 }  // namespace ftdag

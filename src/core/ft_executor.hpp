@@ -16,6 +16,7 @@
 #include "fault/fault_injector.hpp"
 #include "graph/exec_report.hpp"
 #include "graph/task_graph_problem.hpp"
+#include "persist/durability.hpp"
 #include "replication/replication_policy.hpp"
 #include "runtime/scheduler.hpp"
 #include "trace/trace.hpp"
@@ -37,6 +38,14 @@ struct ExecutorOptions {
   // the ordinary selective-recovery path. Default off: the fast path then
   // does no shadow allocation and no digest work.
   ReplicationPolicy replication;
+
+  // Durable checkpoint/restart (src/persist/): when `durability.dir` is
+  // non-empty, every committed task is journaled to a write-ahead log in
+  // that directory (with optional periodic snapshots), prior state found
+  // there is loaded before execution, and restored tasks skip their
+  // compute. Default off: the executor then instantiates the NoDurability
+  // engine, which compiles the whole subsystem out of the walk.
+  persist::DurabilityOptions durability;
 };
 
 class FaultTolerantExecutor {

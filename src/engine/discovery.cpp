@@ -54,8 +54,9 @@ std::vector<TaskKey> topological_order(const TaskGraphProblem& problem) {
   NoFaultPolicy fault;
   NoDetectionPolicy detection;
   NoRetention retention;
+  NoDurability durability;
   TraversalEngine<NoFaultPolicy, NoDetectionPolicy, NoRetention, InlineBackend>
-      eng(shadow, backend, fault, detection, retention, obs);
+      eng(shadow, backend, fault, detection, retention, durability, obs);
   eng.run();
 
   std::vector<TaskKey> order;

@@ -1,0 +1,31 @@
+#pragma once
+// Durability policy slot of the TraversalEngine.
+//
+// The policy decides whether committed task completions outlive the
+// process: the real implementation (persist::WalDurability, in
+// src/persist/durability.hpp) journals every commit to a write-ahead log
+// before the Computed status is published and lets a restarted process
+// skip tasks recovered from disk. This header only provides the off
+// switch, so the engine — and every executor that does not opt in — never
+// depends on the persistence subsystem.
+//
+// Contract (all hooks invoked under `if constexpr (Durability::kEnabled)`,
+// so NoDurability needs none of them and the walk compiles to exactly the
+// pre-durability code):
+//   struct Pending;                          per-compute carrier, engine-local
+//   bool try_skip(key, life);                true = restored, skip compute
+//   bool is_restored(key);                   waive input-liveness checks for
+//                                            restored consumers
+//   void capture(ctx, pending);              save staged results pre-publish
+//   void on_committed(problem, store, key, pending);  journal (may throw
+//                                            FaultException into recovery)
+//   void fill(report);                       populate the wal_*/skip counters
+
+namespace ftdag::engine {
+
+struct NoDurability {
+  static constexpr bool kEnabled = false;
+  struct Pending {};
+};
+
+}  // namespace ftdag::engine

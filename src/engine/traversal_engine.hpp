@@ -22,6 +22,12 @@
 //              checkpoint comparator composes CheckpointRetention with a
 //              bulk-synchronous driver instead (see retention_policy.hpp
 //              for why a consistent snapshot cannot be an in-walk hook).
+//   Durability  whether committed completions outlive the process.
+//               NoDurability (the default) compiles the whole subsystem out
+//               of the walk; persist::WalDurability journals every commit
+//               to a write-ahead log *before* kComputed is published and
+//               lets a restarted process skip tasks recovered from disk
+//               (see engine/durability_policy.hpp for the contract).
 //   (Observation is a shared service rather than a template parameter: all
 //   counters and trace events flow through one ObservationPolicy, which is
 //   also the single place an ExecReport is populated from.)
@@ -37,6 +43,7 @@
 #include <vector>
 
 #include "concurrent/sharded_map.hpp"
+#include "engine/durability_policy.hpp"
 #include "engine/observation.hpp"
 #include "engine/task_types.hpp"
 #include "fault/fault.hpp"
@@ -52,20 +59,23 @@
 
 namespace ftdag::engine {
 
-template <class Fault, class Detection, class Retention, class Backend>
+template <class Fault, class Detection, class Retention, class Backend,
+          class Durability = NoDurability>
 class TraversalEngine {
  public:
   using Task = typename Fault::Task;
   static constexpr bool kFT = Fault::kSelective;
+  static constexpr bool kDurable = Durability::kEnabled;
 
   TraversalEngine(TaskGraphProblem& problem, Backend& backend, Fault& fault,
                   Detection& detection, Retention& retention,
-                  ObservationPolicy& obs)
+                  Durability& durability, ObservationPolicy& obs)
       : problem_(problem),
         backend_(backend),
         fault_(fault),
         detection_(detection),
         retention_(retention),
+        durability_(durability),
         obs_(obs),
         store_(problem.block_store()) {}
 
@@ -165,6 +175,7 @@ class TraversalEngine {
     report.tasks_discovered = tasks_.size();
     obs_.fill(report);
     fault_.fill(report);
+    if constexpr (kDurable) durability_.fill(report);
 
     Task* sink_task = find_task(sink);
     // Acquire pairs with the worker's release store of kCompleted so the
@@ -225,22 +236,24 @@ class TraversalEngine {
     bool finished = true;
     if constexpr (kFT) {
       try {
-        finished = register_or_skip(b, key, pkey);
+        finished = register_or_skip(b, key, pkey, life);
       } catch (const FaultException& e) {
         note_fault(e, blife);
         finished = false;
         fault_.recover_task_once(*this, pkey, blife);
       }
     } else {
-      finished = register_or_skip(b, key, pkey);
+      finished = register_or_skip(b, key, pkey, life);
     }
     if (finished) notify_once(a, key, pkey, life);
   }
 
   // Returns true when B is already computed and (for fault-tolerant
   // instantiations) its outputs are live, i.e. A may self-notify for the
-  // edge; false when B will notify A itself once computed.
-  bool register_or_skip(Task* b, TaskKey key, TaskKey pkey) {
+  // edge; false when B will notify A itself once computed. `alife` is A's
+  // incarnation (the consumer's), needed for the durability waiver below.
+  bool register_or_skip(Task* b, TaskKey key, TaskKey pkey,
+                        std::uint64_t alife) {
     fault_.check(b);
     {
       SpinLockGuard guard(b->lock);
@@ -256,9 +269,20 @@ class TraversalEngine {
       // B claims Computed: for *flow* predecessors its outputs must be
       // live. Anti-dependence predecessors' data is legitimately dead once
       // their readers ran, so it is never checked.
-      if (problem_.data_dependence(key, pkey))
+      bool need_live_outputs = problem_.data_dependence(key, pkey);
+      if constexpr (kDurable) {
+        // A restored consumer's first incarnation skips its compute and
+        // never reads B's data, so a committed-but-displaced B (normal
+        // under memory reuse, deep in the restored history) must not
+        // trigger spurious recovery. Recovery incarnations (alife > 0)
+        // recompute for real and need the check.
+        if (need_live_outputs && alife == 0 && durability_.is_restored(key))
+          need_live_outputs = false;
+      }
+      if (need_live_outputs)
         fault_.throw_if_outputs_unusable(problem_, store_, pkey);
     }
+    (void)alife;
     return true;
   }
 
@@ -323,33 +347,54 @@ class TraversalEngine {
 
   void compute_and_notify_body(Task* a, TaskKey key, std::uint64_t life) {
     fault_.check(a);
-    fault_.injection_point(FaultPhase::kBeforeCompute, a, store_, problem_);
-    fault_.check(a);  // a before-compute fault is detected here, pre-COMPUTE
 
-    // Replica first when the detection policy selects this task: the
-    // replica must observe the same inputs as the primary, and with memory
-    // reuse the primary consumes same-slot inputs.
-    typename Detection::Plan plan;
-    if (detection_.enabled()) detection_.pre_compute(*this, key, life, plan);
+    // A first incarnation recovered from disk skips the compute body — its
+    // outputs, checksums and staged results were restored by the
+    // RestartLoader — but still publishes Computed and drains its notify
+    // array below, so the walk around it proceeds unchanged.
+    bool restored = false;
+    if constexpr (kDurable) restored = durability_.try_skip(key, life);
 
-    {
-      const double begin = obs_.span_begin();
-      ComputeContext ctx(store_, key);
-      problem_.compute(key, ctx);  // reads throw on corrupt/overwritten input
-      fault_.check(a);             // descriptor died mid-compute?
-      ctx.finalize();              // re-validate reads, commit outputs
-      obs_.compute_span_end(worker_index(), key, life, begin);
-      if (plan.replicate) detection_.capture_primary(ctx, plan);
+    if (!restored) {
+      fault_.injection_point(FaultPhase::kBeforeCompute, a, store_, problem_);
+      fault_.check(a);  // a before-compute fault is detected here, pre-COMPUTE
+
+      // Replica first when the detection policy selects this task: the
+      // replica must observe the same inputs as the primary, and with memory
+      // reuse the primary consumes same-slot inputs.
+      typename Detection::Plan plan;
+      if (detection_.enabled()) detection_.pre_compute(*this, key, life, plan);
+
+      typename Durability::Pending pending;
+      {
+        const double begin = obs_.span_begin();
+        ComputeContext ctx(store_, key);
+        problem_.compute(key, ctx);  // reads throw on corrupt/overwritten
+                                     // input
+        fault_.check(a);             // descriptor died mid-compute?
+        ctx.finalize();              // re-validate reads, commit outputs
+        obs_.compute_span_end(worker_index(), key, life, begin);
+        if (plan.replicate) detection_.capture_primary(ctx, plan);
+        if constexpr (kDurable) durability_.capture(ctx, pending);
+      }
+      obs_.count_compute();
+      fault_.note_compute(key);
+      retention_.on_committed(store_, key);
+      // The injector fires before the digest vote and before the Computed
+      // status is published: a bit flipped in the committed outputs here is
+      // precisely the silent corruption the vote must catch, and no consumer
+      // can read the outputs until the status flips below.
+      fault_.injection_point(FaultPhase::kAfterCompute, a, store_, problem_);
+      if (plan.replicate) detection_.vote_or_recover(*this, key, life, plan);
+      // Journal the completion only after detection accepted the outputs,
+      // and before the status publish: a consumer can then only ever
+      // observe a producer whose record precedes its own — every WAL
+      // prefix is a dependency-closed cut. A DataBlockFault here (outputs
+      // displaced/corrupted since commit) aborts the publish into the
+      // ordinary recovery path; the re-execution journals instead.
+      if constexpr (kDurable)
+        durability_.on_committed(problem_, store_, key, pending);
     }
-    obs_.count_compute();
-    fault_.note_compute(key);
-    retention_.on_committed(store_, key);
-    // The injector fires before the digest vote and before the Computed
-    // status is published: a bit flipped in the committed outputs here is
-    // precisely the silent corruption the vote must catch, and no consumer
-    // can read the outputs until the status flips below.
-    fault_.injection_point(FaultPhase::kAfterCompute, a, store_, problem_);
-    if (plan.replicate) detection_.vote_or_recover(*this, key, life, plan);
     // pairs: task-status — publishes the committed outputs to consumers
     // that observe kComputed (Guarantee 2: read-after-commit only).
     a->status.store(TaskStatus::kComputed, std::memory_order_release);
@@ -384,6 +429,7 @@ class TraversalEngine {
   Fault& fault_;
   Detection& detection_;
   Retention& retention_;
+  Durability& durability_;
   ObservationPolicy& obs_;
   BlockStore& store_;
 

@@ -38,6 +38,13 @@ struct ExecReport {
   std::uint64_t votes_resolved = 0;     // mismatches a third run settled in
                                         // the primary's favour (no recovery)
 
+  // Durability subsystem (src/persist/), all zero with the policy off:
+  std::uint64_t wal_records = 0;     // completions journaled this run
+  std::uint64_t wal_bytes = 0;       // bytes appended to the WAL this run
+  std::uint64_t snapshots_written = 0;  // frontier snapshots emitted
+  std::uint64_t tasks_skipped_on_restart = 0;  // computes skipped because
+                                               // the task was restored
+
   // Checkpoint/restart comparator only (the CheckpointRetention policy):
   std::uint64_t levels = 0;       // topological levels in the BSP schedule
   std::uint64_t checkpoints = 0;  // coordinated snapshots taken

@@ -12,6 +12,8 @@
 // plus the metadata the fault planner and Table I need: full task
 // enumeration and the (block, version) outputs of each task.
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -71,6 +73,18 @@ class TaskGraphProblem {
     (void)producer;
     return true;
   }
+
+  // --- durable restart (src/persist/) --------------------------------------
+  // Contiguous range of app-owned resilient result slots (typically a
+  // DigestBoard) that task bodies stage into via
+  // ComputeContext::stage_result. The durability subsystem journals staged
+  // values as (index, value) pairs against this range — raw pointers are
+  // meaningless in a restarted process — and re-applies them on restart.
+  // Problems without resilient results keep the defaults; tasks that stage
+  // outside the declared range are simply never journaled (and therefore
+  // recomputed after a restart).
+  virtual std::atomic<std::uint64_t>* result_slots() { return nullptr; }
+  virtual std::size_t result_slot_count() const { return 0; }
 
   // --- data lifecycle ------------------------------------------------------
   BlockStore& block_store() { return store_; }

@@ -48,7 +48,9 @@ ExecReport run_once(TaskGraphProblem& problem, WorkStealingPool& pool,
     }
     case ExecutorKind::kFaultTolerant: {
       FaultTolerantExecutor exec;
-      return exec.execute(problem, pool, spec.injector, spec.trace, spec.ft);
+      ExecutorOptions options = spec.ft;
+      if (spec.durability.enabled()) options.durability = spec.durability;
+      return exec.execute(problem, pool, spec.injector, spec.trace, options);
     }
     case ExecutorKind::kCheckpoint: {
       CheckpointRestartExecutor exec;

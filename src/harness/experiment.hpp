@@ -47,6 +47,14 @@ struct RunSpec {
   CheckpointOptions checkpoint;  // kCheckpoint knobs (interval, snapshots)
   ExecutionTrace* trace = nullptr;  // kFaultTolerant only
   bool validate = true;  // checksum against the sequential reference per run
+
+  // Durable checkpoint/restart (kFaultTolerant only): when enabled
+  // (non-empty dir) this overrides ft.durability, so sweeps can point runs
+  // at a persist dir without rebuilding the whole options struct. Note that
+  // with resume on and reps > 1, every rep after the first restores the
+  // finished state and skips all tasks — crash/restart experiments want
+  // reps = 1 per process.
+  persist::DurabilityOptions durability;
 };
 
 struct RepeatedRuns {

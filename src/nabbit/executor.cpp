@@ -16,9 +16,10 @@ ExecReport NabbitExecutor::execute(TaskGraphProblem& problem,
   engine::NoFaultPolicy fault;
   engine::NoDetectionPolicy detection;
   engine::NoRetention retention;
+  engine::NoDurability durability;
   engine::TraversalEngine<engine::NoFaultPolicy, engine::NoDetectionPolicy,
                           engine::NoRetention, engine::WorkStealingBackend>
-      eng(problem, backend, fault, detection, retention, obs);
+      eng(problem, backend, fault, detection, retention, durability, obs);
 
   ExecReport report = eng.run();
   FTDAG_ASSERT(report.computes == report.tasks_discovered,

@@ -22,9 +22,10 @@ SerialReport SerialExecutor::execute(TaskGraphProblem& problem) {
   engine::NoFaultPolicy fault;
   engine::NoDetectionPolicy detection;
   engine::NoRetention retention;
+  engine::NoDurability durability;
   engine::TraversalEngine<engine::NoFaultPolicy, engine::NoDetectionPolicy,
                           engine::NoRetention, engine::InlineBackend>
-      eng(problem, backend, fault, detection, retention, obs);
+      eng(problem, backend, fault, detection, retention, durability, obs);
 
   SerialReport report;
   report.exec = eng.run();

@@ -1,0 +1,86 @@
+#include "persist/checkpoint_writer.hpp"
+
+#include <cstring>
+#include <filesystem>
+
+namespace ftdag::persist {
+
+namespace {
+constexpr std::uint64_t kNoResident = ~std::uint64_t{0};
+}
+
+void CheckpointWriter::prime(
+    const BlockStore& store, std::vector<TaskKey> committed,
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> staged,
+    std::uint64_t seq) {
+  layout_ = snapshot_layout(store);
+  shadow_ = store.snapshot();
+  committed_ = std::move(committed);
+  committed_set_.clear();
+  committed_set_.insert(committed_.begin(), committed_.end());
+  staged_.clear();
+  for (const auto& [index, value] : staged) staged_[index] = value;
+  seq_ = seq;
+
+  // Rebuild the per-slot resident index from the shadow states: at most one
+  // version per slot can be Valid (displacement downgrades the rest).
+  resident_offset_.clear();
+  std::size_t total_slots = 0;
+  for (const auto& b : layout_.blocks) {
+    resident_offset_.push_back(total_slots);
+    total_slots += b.slots;
+  }
+  resident_.assign(total_slots, kNoResident);
+  for (std::size_t bi = 0; bi < layout_.blocks.size(); ++bi) {
+    const auto& b = layout_.blocks[bi];
+    for (Version v = 0; v < b.num_versions; ++v) {
+      if (shadow_.states[b.state_offset + v] == VersionState::kValid)
+        resident_[resident_offset_[bi] + v % b.slots] = v;
+    }
+  }
+}
+
+void CheckpointWriter::apply(
+    TaskKey key,
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& staged,
+    const std::vector<WalOutputPayload>& outputs) {
+  for (const WalOutputPayload& out : outputs) {
+    const auto& b = layout_.blocks[out.block];
+    const std::uint64_t slot = out.version % b.slots;
+    // Displace the slot's previous occupant, as begin_write would.
+    std::uint64_t& res = resident_[resident_offset_[out.block] + slot];
+    if (res != kNoResident && res != out.version)
+      shadow_.states[b.state_offset + res] = VersionState::kOverwritten;
+    res = out.version;
+    std::memcpy(shadow_.bytes.data() + b.byte_offset + slot * b.bytes,
+                out.bytes.data(), b.bytes);
+    shadow_.states[b.state_offset + out.version] = VersionState::kValid;
+    shadow_.sums[b.state_offset + out.version] = out.digest;
+  }
+  for (const auto& [index, value] : staged) staged_[index] = value;
+  if (committed_set_.insert(key).second) committed_.push_back(key);
+}
+
+bool CheckpointWriter::emit(const std::string& dir, std::uint64_t layout,
+                            std::string* error) {
+  SnapshotData data;
+  data.seq = seq_ + 1;
+  data.committed = committed_;
+  data.staged.assign(staged_.begin(), staged_.end());
+  data.store = shadow_;
+  if (!write_snapshot(dir, layout, data, error)) return false;
+  seq_ = data.seq;
+
+  // Fallback chain: keep snap-seq and snap-(seq-1), plus every WAL segment
+  // from seq-1 on (replaying wal-(seq-1) over snap-(seq-1) reproduces
+  // snap-seq if the latter turns out damaged). Everything older goes.
+  std::error_code ec;
+  const DirListing listing = scan_dir(dir);
+  for (std::uint64_t s : listing.snapshots)
+    if (s + 1 < seq_) std::filesystem::remove(snapshot_path(dir, s), ec);
+  for (std::uint64_t s : listing.wals)
+    if (s + 1 < seq_) std::filesystem::remove(wal_path(dir, s), ec);
+  return true;
+}
+
+}  // namespace ftdag::persist

@@ -1,0 +1,73 @@
+#pragma once
+// CheckpointWriter: periodic snapshots of the committed frontier, without
+// stopping the walk.
+//
+// The collective checkpoint comparator (CheckpointRetention) needs a
+// globally quiescent store to snapshot, which is why it runs a BSP
+// schedule. The durability subsystem cannot afford a barrier, so it keeps
+// an in-memory *shadow* of the frontier instead: every WAL record is
+// folded into the shadow in WAL order, under the same writer lock that
+// serializes appends. The shadow therefore always equals "the store state
+// a crash-free replay of the WAL so far would produce" — exactly the
+// state a snapshot must capture — even while worker threads keep
+// committing into the live BlockStore. Emitting a snapshot is then a pure
+// serialization of the shadow, and rotation (new WAL segment + pruning of
+// segments older than the fallback chain) is the WAL-truncation story.
+//
+// Thread safety: all methods are called with WalDurability's writer lock
+// held (the class itself has no lock; see durability.hpp for the
+// capability annotation).
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "blocks/block_store.hpp"
+#include "graph/task_key.hpp"
+#include "persist/format.hpp"
+#include "persist/snapshot.hpp"
+#include "persist/wal.hpp"
+
+namespace ftdag::persist {
+
+class CheckpointWriter {
+ public:
+  // Initializes the shadow from the (quiescent) post-restore store plus the
+  // committed/staged state the RestartLoader recovered. `seq` is the active
+  // WAL segment.
+  void prime(const BlockStore& store, std::vector<TaskKey> committed,
+             std::vector<std::pair<std::uint64_t, std::uint64_t>> staged,
+             std::uint64_t seq);
+
+  // Folds one committed record into the shadow, mirroring what replaying
+  // the record would do to the store: write the payload into the version's
+  // slot, mark it Valid, record its digest, and displace whatever version
+  // previously occupied the slot.
+  void apply(TaskKey key,
+             const std::vector<std::pair<std::uint64_t, std::uint64_t>>& staged,
+             const std::vector<WalOutputPayload>& outputs);
+
+  // Writes snapshot seq+1 from the shadow and advances the active segment;
+  // the caller opens wal-(seq+1) next. Prunes artifacts older than the
+  // fallback chain (the previous snapshot and its segment are kept so a
+  // torn new snapshot still leaves a recoverable state). Returns false and
+  // fills `error` on I/O failure, leaving the sequence unchanged.
+  bool emit(const std::string& dir, std::uint64_t layout, std::string* error);
+
+  std::uint64_t seq() const { return seq_; }
+
+ private:
+  SnapshotLayout layout_;
+  BlockStore::Snapshot shadow_;
+  // Per (block, slot) resident version, for O(1) displacement in apply().
+  std::vector<std::uint64_t> resident_;
+  std::vector<std::size_t> resident_offset_;  // per block, into resident_
+  std::vector<TaskKey> committed_;
+  std::unordered_set<TaskKey> committed_set_;
+  std::unordered_map<std::uint64_t, std::uint64_t> staged_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace ftdag::persist

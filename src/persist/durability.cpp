@@ -1,0 +1,178 @@
+#include "persist/durability.hpp"
+
+#include <csignal>
+#include <cstring>
+#include <filesystem>
+
+#include "support/assert.hpp"
+
+namespace ftdag::persist {
+
+bool parse_wal_sync(const std::string& text, WalSync* out) {
+  if (text == "none") {
+    *out = WalSync::kNone;
+    return true;
+  }
+  if (text == "batch") {
+    *out = WalSync::kBatch;
+    return true;
+  }
+  if (text == "every") {
+    *out = WalSync::kEvery;
+    return true;
+  }
+  return false;
+}
+
+const char* wal_sync_name(WalSync sync) {
+  switch (sync) {
+    case WalSync::kNone:
+      return "none";
+    case WalSync::kBatch:
+      return "batch";
+    case WalSync::kEvery:
+      return "every";
+  }
+  return "?";
+}
+
+WalDurability::WalDurability(TaskGraphProblem& problem,
+                             const DurabilityOptions& options)
+    : problem_(problem), options_(options) {
+  FTDAG_ASSERT(options_.enabled(), "WalDurability requires a persist dir");
+  BlockStore& store = problem.block_store();
+  layout_ = layout_signature(store);
+
+  std::error_code ec;
+  std::filesystem::create_directories(options_.dir, ec);
+  if (!options_.resume) remove_persist_files(options_.dir);
+
+  restart_ = load_restart_state(options_.dir, problem);
+  restored_.insert(restart_.committed.begin(), restart_.committed.end());
+
+  WalMutexGuard guard(lock_);
+  checkpoint_.prime(store, restart_.committed, restart_.staged, restart_.seq);
+  std::string error;
+  bool ok;
+  if (restart_.wal_valid_bytes > 0)
+    ok = writer_.open_append(wal_path(options_.dir, restart_.seq),
+                             restart_.wal_valid_bytes, &error);
+  else
+    ok = writer_.open_fresh(wal_path(options_.dir, restart_.seq), layout_,
+                            restart_.seq, &error);
+  FTDAG_ASSERT(ok, "cannot open WAL segment in persist dir");
+  (void)ok;
+}
+
+WalDurability::~WalDurability() {
+  WalMutexGuard guard(lock_);
+  if (options_.sync != WalSync::kNone) writer_.sync();
+  writer_.close();
+}
+
+void WalDurability::on_committed(TaskGraphProblem& problem, BlockStore& store,
+                                 TaskKey key, const Pending& pending) {
+  // Translate staged result pointers into indices against the app's
+  // declared slot range. A task staging outside the range cannot be
+  // journaled pointer-free; it gets no record and is recomputed on restart
+  // (its successors' records still replay fine: record application is
+  // idempotent and ordered).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> staged;
+  std::atomic<std::uint64_t>* base = problem.result_slots();
+  const std::size_t n_slots = problem.result_slot_count();
+  for (const auto& [slot, value] : pending.staged) {
+    if (base == nullptr) return;
+    const auto index = static_cast<std::uint64_t>(slot - base);
+    if (index >= n_slots) return;
+    staged.emplace_back(index, value);
+  }
+
+  // Copy the committed outputs back out of the store. read() throws
+  // DataBlockFault when the version is no longer Valid (displaced by a
+  // concurrent recovery chain, or corrupted by the injector) and
+  // revalidate() rejects a copy torn by a concurrent displacement — either
+  // way the engine's recovery path re-executes the task and journaling
+  // happens on the re-execution instead.
+  OutputList outs;
+  problem.outputs(key, outs);
+  std::vector<WalOutputPayload> payloads;
+  payloads.reserve(outs.size());
+  for (const ProducedVersion& pv : outs) {
+    WalOutputPayload p;
+    p.block = pv.block;
+    p.version = pv.version;
+    const void* data = store.read(pv.block, pv.version);
+    p.bytes.assign(static_cast<const char*>(data),
+                   store.block_bytes(pv.block));
+    store.revalidate(pv.block, pv.version);
+    p.digest = BlockStore::hash_bytes(
+        reinterpret_cast<const std::byte*>(p.bytes.data()), p.bytes.size());
+    payloads.push_back(std::move(p));
+  }
+
+  const std::string record = encode_wal_record(key, staged, payloads);
+
+  WalMutexGuard guard(lock_);
+  FTDAG_ASSERT(writer_.append(record), "WAL append failed");
+  ++wal_records_;
+  wal_bytes_ += record.size();
+  checkpoint_.apply(key, staged, payloads);
+
+  switch (options_.sync) {
+    case WalSync::kNone:
+      break;
+    case WalSync::kBatch:
+      if (++unsynced_ >= options_.batch_records) {
+        writer_.sync();
+        unsynced_ = 0;
+      }
+      break;
+    case WalSync::kEvery:
+      writer_.sync();
+      break;
+  }
+
+  if (options_.snapshot_every > 0 &&
+      ++since_snapshot_ >= options_.snapshot_every) {
+    rotate();
+    since_snapshot_ = 0;
+  }
+
+  if (options_.crash_after_records > 0 &&
+      wal_records_ >= options_.crash_after_records) {
+    // The injected death is SIGKILL on purpose: no destructors, no flushes
+    // — only what write(2)/fsync(2) already made durable survives, which
+    // is exactly the guarantee under test.
+    std::raise(SIGKILL);
+  }
+}
+
+void WalDurability::rotate() {
+  // Complete the current segment on disk first, so the fallback chain
+  // (previous snapshot + this segment) is whole before its successor
+  // snapshot appears.
+  writer_.sync();
+  std::string error;
+  if (!checkpoint_.emit(options_.dir, layout_, &error)) {
+    // Snapshot emission is an optimization (it only shortens replay); on
+    // I/O failure keep appending to the current segment.
+    return;
+  }
+  ++snapshots_written_;
+  writer_.close();
+  const bool ok = writer_.open_fresh(wal_path(options_.dir, checkpoint_.seq()),
+                                     layout_, checkpoint_.seq(), &error);
+  FTDAG_ASSERT(ok, "cannot rotate to a fresh WAL segment");
+  (void)ok;
+  unsynced_ = 0;
+}
+
+void WalDurability::fill(ExecReport& report) {
+  WalMutexGuard guard(lock_);
+  report.wal_records = wal_records_;
+  report.wal_bytes = wal_bytes_;
+  report.snapshots_written = snapshots_written_;
+  report.tasks_skipped_on_restart = skipped_.load(std::memory_order_relaxed);
+}
+
+}  // namespace ftdag::persist

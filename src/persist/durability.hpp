@@ -1,0 +1,174 @@
+#pragma once
+// WalDurability: the engine's Durability policy backed by src/persist/.
+//
+// Hooks (called by TraversalEngine under `if constexpr (kDurable)`):
+//   try_skip(key, life)   first incarnations of tasks recovered from disk
+//                         skip their compute body entirely — outputs and
+//                         staged results were already restored. Recovery
+//                         incarnations (life > 0) always recompute: a
+//                         restored task whose outputs were displaced by
+//                         memory reuse re-enters the ordinary
+//                         re-execution-chain machinery.
+//   is_restored(key)      lets register_or_skip waive the output-liveness
+//                         check for restored consumers (they will not read
+//                         their inputs, so a displaced-but-committed
+//                         predecessor must not trigger spurious recovery).
+//   capture(ctx, pending) copies the compute's staged result values out of
+//                         the ComputeContext before it dies.
+//   on_committed(...)     journals the completion to the WAL *before* the
+//                         Computed status is published — the ordering that
+//                         makes every WAL prefix a dependency-closed cut
+//                         (see wal.hpp).
+//
+// Locking: one writer mutex serializes WAL appends, fsyncs, shadow-frontier
+// folds, and snapshot rotation. File I/O can block for milliseconds, so
+// this is a real (annotated) mutex, not a spin lock; the skip-path lookups
+// stay lock-free against the immutable restored set.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "graph/compute_context.hpp"
+#include "graph/exec_report.hpp"
+#include "graph/task_graph_problem.hpp"
+#include "persist/checkpoint_writer.hpp"
+#include "persist/restart_loader.hpp"
+#include "persist/wal.hpp"
+#include "support/thread_safety.hpp"
+
+namespace ftdag::persist {
+
+// When committed records are forced to stable storage.
+enum class WalSync {
+  kNone = 0,   // write(2) only: survives process death via the page cache
+  kBatch = 1,  // fsync every batch_records appends (bounded machine-death loss)
+  kEvery = 2,  // fsync per record: a published task is always on disk
+};
+
+// Returns true and fills `out` for "none"/"batch"/"every".
+bool parse_wal_sync(const std::string& text, WalSync* out);
+const char* wal_sync_name(WalSync sync);
+
+struct DurabilityOptions {
+  // Directory for snapshots and WAL segments. Empty disables durability
+  // entirely (the executor then instantiates the NoDurability engine).
+  std::string dir;
+
+  WalSync sync = WalSync::kBatch;
+  std::uint32_t batch_records = 32;  // fsync cadence under WalSync::kBatch
+
+  // Emit a snapshot (and rotate the WAL) every N committed records; 0
+  // disables snapshots, leaving a single ever-growing WAL segment.
+  std::uint64_t snapshot_every = 0;
+
+  // Load persisted state on construction. When false, existing persist
+  // artifacts in `dir` are deleted and the run starts fresh.
+  bool resume = true;
+
+  // Crash-test hook: SIGKILL the process from inside on_committed once this
+  // many records were appended by this process. 0 disables. Used by the
+  // crash-restart harness to stop at exact commit points.
+  std::uint64_t crash_after_records = 0;
+
+  bool enabled() const { return !dir.empty(); }
+};
+
+// std::mutex with clang thread-safety capability annotations (the repo's
+// SpinLockGuard pattern, but blocking — WAL appends hold it across file
+// I/O, where spinning would burn a core per waiter).
+class FTDAG_CAPABILITY("mutex") WalMutex {
+ public:
+  void lock() FTDAG_ACQUIRE() { m_.lock(); }
+  void unlock() FTDAG_RELEASE() { m_.unlock(); }
+
+ private:
+  std::mutex m_;
+};
+
+class FTDAG_SCOPED_CAPABILITY WalMutexGuard {
+ public:
+  explicit WalMutexGuard(WalMutex& m) FTDAG_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~WalMutexGuard() FTDAG_RELEASE() { m_.unlock(); }
+  WalMutexGuard(const WalMutexGuard&) = delete;
+  WalMutexGuard& operator=(const WalMutexGuard&) = delete;
+
+ private:
+  WalMutex& m_;
+};
+
+class WalDurability {
+ public:
+  static constexpr bool kEnabled = true;
+
+  // Staged result values captured from the ComputeContext before it is
+  // destroyed; journaled alongside the outputs.
+  struct Pending {
+    ComputeContext::StagedResults staged;
+  };
+
+  // Loads persisted state (unless options.resume is false) and restores
+  // the problem's BlockStore and result slots. The store must be in its
+  // reset state (the executor constructs this after reset_data()).
+  WalDurability(TaskGraphProblem& problem, const DurabilityOptions& options);
+  ~WalDurability();
+
+  WalDurability(const WalDurability&) = delete;
+  WalDurability& operator=(const WalDurability&) = delete;
+
+  // --- engine hooks ----------------------------------------------------------
+
+  bool try_skip(TaskKey key, std::uint64_t life) {
+    if (life != 0 || restored_.empty()) return false;
+    if (restored_.find(key) == restored_.end()) return false;
+    skipped_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  bool is_restored(TaskKey key) const {
+    return !restored_.empty() && restored_.find(key) != restored_.end();
+  }
+
+  void capture(const ComputeContext& ctx, Pending& pending) {
+    pending.staged = ctx.staged_results();
+  }
+
+  // Journals one committed task. Reads the committed outputs back from the
+  // store (throwing DataBlockFault into the engine's recovery path if a
+  // concurrent recovery displaced or an injector corrupted them — such
+  // outputs must not be persisted), then appends + syncs + folds into the
+  // snapshot shadow under the writer lock.
+  void on_committed(TaskGraphProblem& problem, BlockStore& store, TaskKey key,
+                    const Pending& pending) FTDAG_EXCLUDES(lock_);
+
+  void fill(ExecReport& report) FTDAG_EXCLUDES(lock_);
+
+  // Restart outcome of this instance's construction (diagnostics included).
+  const RestartState& restart() const { return restart_; }
+
+ private:
+  void rotate() FTDAG_REQUIRES(lock_);
+
+  TaskGraphProblem& problem_;
+  DurabilityOptions options_;
+  std::uint64_t layout_ = 0;
+  RestartState restart_;
+  // Immutable after construction; lock-free reads from every worker.
+  std::unordered_set<TaskKey> restored_;
+  std::atomic<std::uint64_t> skipped_{0};
+
+  WalMutex lock_;
+  WalWriter writer_ FTDAG_GUARDED_BY(lock_);
+  CheckpointWriter checkpoint_ FTDAG_GUARDED_BY(lock_);
+  std::uint64_t wal_records_ FTDAG_GUARDED_BY(lock_) = 0;
+  std::uint64_t wal_bytes_ FTDAG_GUARDED_BY(lock_) = 0;
+  std::uint64_t snapshots_written_ FTDAG_GUARDED_BY(lock_) = 0;
+  std::uint32_t unsynced_ FTDAG_GUARDED_BY(lock_) = 0;
+  std::uint64_t since_snapshot_ FTDAG_GUARDED_BY(lock_) = 0;
+};
+
+}  // namespace ftdag::persist

@@ -1,0 +1,241 @@
+#include "persist/format.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+namespace ftdag::persist {
+namespace {
+
+struct Crc32Table {
+  std::uint32_t entries[256];
+  Crc32Table() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      entries[i] = c;
+    }
+  }
+};
+
+const Crc32Table& crc_table() {
+  static const Crc32Table table;
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const Crc32Table& t = crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i)
+    c = t.entries[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFFu);
+  out.append(b, 4);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFFu);
+  out.append(b, 8);
+}
+
+void put_bytes(std::string& out, const void* p, std::size_t n) {
+  out.append(static_cast<const char*>(p), n);
+}
+
+std::uint32_t ByteReader::u32() {
+  if (!ok_ || size_ - at_ < 4) {
+    ok_ = false;
+    return 0;
+  }
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p_[at_ + i]))
+         << (8 * i);
+  at_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  if (!ok_ || size_ - at_ < 8) {
+    ok_ = false;
+    return 0;
+  }
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p_[at_ + i]))
+         << (8 * i);
+  at_ += 8;
+  return v;
+}
+
+bool ByteReader::bytes(void* dst, std::size_t n) {
+  if (!ok_ || size_ - at_ < n) {
+    ok_ = false;
+    return false;
+  }
+  std::memcpy(dst, p_ + at_, n);
+  at_ += n;
+  return true;
+}
+
+std::size_t ByteReader::skip(std::size_t n) {
+  if (!ok_ || size_ - at_ < n) {
+    ok_ = false;
+    return 0;
+  }
+  const std::size_t off = at_;
+  at_ += n;
+  return off;
+}
+
+namespace {
+
+std::string numbered(const std::string& dir, const char* stem,
+                     std::uint64_t seq, const char* ext) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s-%06llu.%s", stem,
+                static_cast<unsigned long long>(seq), ext);
+  return dir + "/" + buf;
+}
+
+// Parses "<stem>-NNNNNN.<ext>"; returns false for anything else.
+bool parse_numbered(const std::string& name, const char* stem,
+                    const char* ext, std::uint64_t* seq) {
+  const std::string prefix = std::string(stem) + "-";
+  const std::string suffix = std::string(".") + ext;
+  if (name.size() <= prefix.size() + suffix.size()) return false;
+  if (name.compare(0, prefix.size(), prefix) != 0) return false;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0)
+    return false;
+  std::uint64_t v = 0;
+  for (std::size_t i = prefix.size(); i < name.size() - suffix.size(); ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *seq = v;
+  return true;
+}
+
+}  // namespace
+
+std::string snapshot_path(const std::string& dir, std::uint64_t seq) {
+  return numbered(dir, "snap", seq, "ftsnap");
+}
+
+std::string wal_path(const std::string& dir, std::uint64_t seq) {
+  return numbered(dir, "wal", seq, "ftwal");
+}
+
+DirListing scan_dir(const std::string& dir) {
+  DirListing out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    std::uint64_t seq = 0;
+    if (parse_numbered(name, "snap", "ftsnap", &seq))
+      out.snapshots.push_back(seq);
+    else if (parse_numbered(name, "wal", "ftwal", &seq))
+      out.wals.push_back(seq);
+  }
+  std::sort(out.snapshots.begin(), out.snapshots.end());
+  std::sort(out.wals.begin(), out.wals.end());
+  return out;
+}
+
+void remove_persist_files(const std::string& dir) {
+  const DirListing listing = scan_dir(dir);
+  std::error_code ec;
+  for (std::uint64_t s : listing.snapshots)
+    std::filesystem::remove(snapshot_path(dir, s), ec);
+  for (std::uint64_t s : listing.wals)
+    std::filesystem::remove(wal_path(dir, s), ec);
+}
+
+std::uint64_t layout_signature(const BlockStore& store) {
+  std::string buf;
+  put_u32(buf, kFormatVersion);
+  put_u32(buf, store.retention());
+  put_u32(buf, store.checksum_mode() ? 1u : 0u);
+  put_u64(buf, store.block_count());
+  for (BlockId b = 0; b < store.block_count(); ++b) {
+    put_u64(buf, store.block_bytes(b));
+    put_u32(buf, store.num_versions(b));
+    put_u32(buf, store.slot_count(b));
+  }
+  // Two independent CRCs widen the signature to 64 bits; collisions would
+  // require both to collide simultaneously.
+  const std::uint32_t lo = crc32(buf.data(), buf.size());
+  const std::uint32_t hi = crc32(buf.data(), buf.size(), 0xA5A5A5A5u);
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+SnapshotLayout snapshot_layout(const BlockStore& store) {
+  SnapshotLayout out;
+  out.blocks.reserve(store.block_count());
+  for (BlockId b = 0; b < store.block_count(); ++b) {
+    SnapshotLayout::BlockInfo info;
+    info.bytes = store.block_bytes(b);
+    info.num_versions = store.num_versions(b);
+    info.slots = store.slot_count(b);
+    info.byte_offset = out.total_bytes;
+    info.state_offset = out.total_versions;
+    out.total_bytes += info.bytes * info.slots;
+    out.total_versions += info.num_versions;
+    out.blocks.push_back(info);
+  }
+  return out;
+}
+
+std::string encode_file_header(std::uint32_t magic, std::uint64_t layout,
+                               std::uint64_t seq) {
+  std::string out;
+  put_u32(out, magic);
+  put_u32(out, kFormatVersion);
+  put_u64(out, layout);
+  put_u64(out, seq);
+  return out;
+}
+
+bool decode_file_header(const char* data, std::size_t size,
+                        std::uint32_t expect_magic,
+                        std::uint64_t expect_layout, std::uint64_t* seq_out,
+                        std::string* diagnostic) {
+  if (size < kFileHeaderBytes) {
+    *diagnostic = "file shorter than its header";
+    return false;
+  }
+  ByteReader r(data, size);
+  const std::uint32_t magic = r.u32();
+  const std::uint32_t version = r.u32();
+  const std::uint64_t layout = r.u64();
+  const std::uint64_t seq = r.u64();
+  if (magic != expect_magic) {
+    *diagnostic = "bad magic (not a persist artifact or corrupted header)";
+    return false;
+  }
+  if (version != kFormatVersion) {
+    *diagnostic = "unsupported format version";
+    return false;
+  }
+  if (layout != expect_layout) {
+    *diagnostic =
+        "layout signature mismatch (artifact from a different problem shape "
+        "or store configuration)";
+    return false;
+  }
+  *seq_out = seq;
+  return true;
+}
+
+}  // namespace ftdag::persist

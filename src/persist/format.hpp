@@ -1,0 +1,130 @@
+#pragma once
+// On-disk format primitives shared by the durability subsystem
+// (src/persist/): CRC-32 integrity codes, little-endian serialization
+// helpers, file naming, and the store-layout signature that ties every
+// persisted artifact to the block layout it was taken from.
+//
+// Both persisted artifacts — snapshots (snapshot.hpp) and write-ahead-log
+// segments (wal.hpp) — are sequences of bytes produced through these
+// helpers, so torn or bit-flipped files are detected by construction:
+// every record and every snapshot carries a CRC over its content, and
+// every file header carries the format version plus the layout signature
+// of the producing BlockStore. A reader that observes any mismatch
+// rejects the artifact with a diagnostic instead of resuming from it.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "blocks/block_store.hpp"
+
+namespace ftdag::persist {
+
+// File magics ("FTSN", "FTWL") and the per-record magic ("FTRC"), read as
+// little-endian u32 so a hexdump of the first bytes is self-describing.
+inline constexpr std::uint32_t kSnapshotMagic = 0x4E535446u;  // "FTSN"
+inline constexpr std::uint32_t kWalMagic = 0x4C575446u;       // "FTWL"
+inline constexpr std::uint32_t kRecordMagic = 0x43525446u;    // "FTRC"
+
+// Bumped on any incompatible change to the snapshot or WAL layout.
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+// Fixed size of the file header shared by snapshots and WAL segments:
+// magic u32, format version u32, layout signature u64, sequence u64.
+inline constexpr std::size_t kFileHeaderBytes = 24;
+
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320). `seed` allows
+// incremental computation over discontiguous pieces.
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed = 0);
+
+// --- little-endian serialization -------------------------------------------
+
+void put_u32(std::string& out, std::uint32_t v);
+void put_u64(std::string& out, std::uint64_t v);
+inline void put_i64(std::string& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+void put_bytes(std::string& out, const void* p, std::size_t n);
+
+// Bounds-checked reader over a byte range. Any out-of-range read clears
+// `ok` and returns zeroes; callers check ok once at the end, which keeps
+// record-decoding loops free of per-field error handling.
+class ByteReader {
+ public:
+  ByteReader(const char* data, std::size_t size) : p_(data), size_(size) {}
+
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  bool bytes(void* dst, std::size_t n);
+  // Skips `n` bytes, exposing the region's offset for zero-copy access.
+  std::size_t skip(std::size_t n);
+
+  bool ok() const { return ok_; }
+  bool done() const { return ok_ && at_ == size_; }
+  std::size_t at() const { return at_; }
+  std::size_t remaining() const { return ok_ ? size_ - at_ : 0; }
+
+ private:
+  const char* p_;
+  std::size_t size_;
+  std::size_t at_ = 0;
+  bool ok_ = true;
+};
+
+// --- file naming & directory scan ------------------------------------------
+
+std::string snapshot_path(const std::string& dir, std::uint64_t seq);
+std::string wal_path(const std::string& dir, std::uint64_t seq);
+
+// Sequence numbers of the persist artifacts present in `dir`, each sorted
+// ascending. Files not matching the snap-/wal- naming are ignored, which
+// also makes remove_persist_files below safe to point at a shared tmpdir.
+struct DirListing {
+  std::vector<std::uint64_t> snapshots;
+  std::vector<std::uint64_t> wals;
+};
+DirListing scan_dir(const std::string& dir);
+
+// Deletes every artifact matching the persist naming scheme (and nothing
+// else). Used by resume=false runs to guarantee a fresh start.
+void remove_persist_files(const std::string& dir);
+
+// --- layout signature -------------------------------------------------------
+
+// Hash over everything the persisted byte layout depends on: retention,
+// checksum mode, and each block's size/version-count/slot-count. A restart
+// against a differently-shaped problem (or different store settings) fails
+// this check and starts fresh instead of replaying bytes into the wrong
+// slots.
+std::uint64_t layout_signature(const BlockStore& store);
+
+// Precomputed offsets of each block's region inside a BlockStore::Snapshot,
+// in store block order. Lets the checkpoint writer fold WAL records into an
+// in-memory shadow snapshot without re-deriving the layout per record.
+struct SnapshotLayout {
+  struct BlockInfo {
+    std::size_t bytes = 0;       // payload bytes per slot
+    Version num_versions = 0;
+    Version slots = 0;
+    std::size_t byte_offset = 0;   // into Snapshot::bytes (slot-indexed)
+    std::size_t state_offset = 0;  // into Snapshot::states (version-indexed)
+  };
+  std::vector<BlockInfo> blocks;
+  std::size_t total_bytes = 0;
+  std::size_t total_versions = 0;
+};
+SnapshotLayout snapshot_layout(const BlockStore& store);
+
+// Serialized file header shared by snapshots and WAL segments.
+std::string encode_file_header(std::uint32_t magic, std::uint64_t layout,
+                               std::uint64_t seq);
+// Decodes and validates a header; on failure fills `diagnostic` and
+// returns false. `seq_out` receives the stored sequence number.
+bool decode_file_header(const char* data, std::size_t size,
+                        std::uint32_t expect_magic,
+                        std::uint64_t expect_layout, std::uint64_t* seq_out,
+                        std::string* diagnostic);
+
+}  // namespace ftdag::persist

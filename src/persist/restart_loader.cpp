@@ -1,0 +1,185 @@
+#include "persist/restart_loader.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <unordered_set>
+
+#include "persist/snapshot.hpp"
+#include "persist/wal.hpp"
+
+namespace ftdag::persist {
+namespace {
+
+bool contains(const std::vector<std::uint64_t>& sorted, std::uint64_t v) {
+  return std::binary_search(sorted.begin(), sorted.end(), v);
+}
+
+// Replays one record into the store through the ordinary write protocol
+// (single-threaded here, so begin_write/commit never contend). Structural
+// mismatches — out-of-range block/version/slot-index, wrong payload size,
+// payload not matching its digest — reject the record like corruption.
+bool apply_record(BlockStore& store, const SnapshotLayout& layout,
+                  const WalRecord& rec, const std::string& raw,
+                  std::size_t n_result_slots, std::string* diagnostic) {
+  for (const WalRecord::Output& out : rec.outputs) {
+    if (out.block >= layout.blocks.size()) {
+      *diagnostic = "record references a block the store does not have";
+      return false;
+    }
+    const auto& b = layout.blocks[out.block];
+    if (out.version >= b.num_versions) {
+      *diagnostic = "record references a version past the block's range";
+      return false;
+    }
+    if (out.payload_size != b.bytes) {
+      *diagnostic = "record payload size does not match the block size";
+      return false;
+    }
+    const auto* payload =
+        reinterpret_cast<const std::byte*>(raw.data() + out.payload_offset);
+    if (BlockStore::hash_bytes(payload, out.payload_size) != out.digest) {
+      *diagnostic = "record payload does not match its digest";
+      return false;
+    }
+  }
+  for (const auto& [index, value] : rec.staged) {
+    (void)value;
+    if (index >= n_result_slots) {
+      *diagnostic = "record stages a result outside the app's slot range";
+      return false;
+    }
+  }
+  for (const WalRecord::Output& out : rec.outputs) {
+    WriteTicket t = store.begin_write(static_cast<BlockId>(out.block),
+                                      static_cast<Version>(out.version));
+    std::memcpy(t.data, raw.data() + out.payload_offset, out.payload_size);
+    store.commit(t);
+  }
+  return true;
+}
+
+}  // namespace
+
+RestartState load_restart_state(const std::string& dir,
+                                TaskGraphProblem& problem) {
+  RestartState st;
+  BlockStore& store = problem.block_store();
+  const std::uint64_t layout = layout_signature(store);
+  const SnapshotLayout slayout = snapshot_layout(store);
+  const std::size_t n_result_slots = problem.result_slot_count();
+  DirListing listing = scan_dir(dir);
+  if (listing.snapshots.empty() && listing.wals.empty()) return st;
+
+  // Newest snapshot that validates seeds the state; rejected snapshots are
+  // deleted (they can never become useful again) with a diagnostic.
+  SnapshotData base;
+  bool have_base = false;
+  std::error_code ec;
+  for (auto it = listing.snapshots.rbegin(); it != listing.snapshots.rend();
+       ++it) {
+    const std::string path = snapshot_path(dir, *it);
+    std::string diag;
+    if (load_snapshot(path, layout, slayout, &base, &diag)) {
+      have_base = true;
+      break;
+    }
+    st.diagnostics.push_back(path + ": rejected: " + diag);
+    std::filesystem::remove(path, ec);
+  }
+
+  if (!have_base && (listing.wals.empty() || listing.wals.front() != 0)) {
+    // No usable snapshot and no complete segment chain from the beginning:
+    // the surviving files cannot reproduce any consistent cut. Start fresh.
+    st.diagnostics.push_back(
+        dir + ": no valid snapshot and the WAL chain does not start at "
+              "segment 0; discarding unrecoverable state");
+    remove_persist_files(dir);
+    return st;
+  }
+
+  std::unordered_set<TaskKey> committed_set;
+  if (have_base) {
+    store.restore(base.store);
+    st.committed = std::move(base.committed);
+    st.staged = std::move(base.staged);
+    st.snapshot_loaded = 1;
+    committed_set.insert(st.committed.begin(), st.committed.end());
+  }
+
+  // Replay the segment chain from the base. Any stop — bad header, bad
+  // record, gap in the chain — fixes the resume point; later artifacts
+  // describe history past the cut and are deleted below.
+  std::uint64_t seq = have_base ? base.seq : 0;
+  st.seq = seq;
+  st.wal_valid_bytes = 0;
+  for (;; ++seq) {
+    st.seq = seq;
+    if (!contains(listing.wals, seq)) {
+      st.wal_valid_bytes = 0;  // appends start a fresh segment
+      break;
+    }
+    const std::string path = wal_path(dir, seq);
+    WalScan scan = read_wal_segment(path, layout, seq);
+    if (!scan.header_ok) {
+      st.diagnostics.push_back(path + ": rejected: " + scan.diagnostic);
+      st.wal_valid_bytes = 0;  // segment is rewritten from scratch
+      break;
+    }
+    bool stopped = false;
+    std::uint64_t good_end = kFileHeaderBytes;
+    for (const WalRecord& rec : scan.records) {
+      std::string diag;
+      if (!apply_record(store, slayout, rec, scan.raw, n_result_slots,
+                        &diag)) {
+        st.diagnostics.push_back(path + ": replay stopped: " + diag);
+        stopped = true;
+        break;
+      }
+      for (const auto& [index, value] : rec.staged)
+        st.staged.emplace_back(index, value);
+      if (committed_set.insert(rec.key).second) st.committed.push_back(rec.key);
+      ++st.replayed_records;
+      good_end = rec.end_offset;
+    }
+    if (stopped) {
+      st.wal_valid_bytes = good_end;
+      break;
+    }
+    if (scan.discarded_bytes > 0) {
+      st.diagnostics.push_back(
+          path + ": discarded torn/corrupt tail (" +
+          std::to_string(scan.discarded_bytes) + " bytes): " +
+          scan.diagnostic);
+      st.wal_valid_bytes = scan.valid_bytes;
+      break;
+    }
+    if (!contains(listing.wals, seq + 1)) {
+      st.wal_valid_bytes = scan.valid_bytes;  // keep appending here
+      break;
+    }
+  }
+
+  // Drop artifacts describing history past the resume cut: later WAL
+  // segments assume records we rejected, and a snapshot numbered past the
+  // cut claims segments we did not fully replay.
+  for (std::uint64_t s : listing.wals)
+    if (s > st.seq) std::filesystem::remove(wal_path(dir, s), ec);
+  for (std::uint64_t s : listing.snapshots)
+    if (s > st.seq) std::filesystem::remove(snapshot_path(dir, s), ec);
+
+  st.resumed = st.snapshot_loaded != 0 || st.replayed_records > 0;
+
+  // Re-apply staged app results (digest-board values) into the restarted
+  // process's slots; indices were validated against the declared range.
+  std::atomic<std::uint64_t>* slots = problem.result_slots();
+  if (slots != nullptr) {
+    for (const auto& [index, value] : st.staged)
+      if (index < n_result_slots)
+        slots[index].store(value, std::memory_order_relaxed);
+  }
+  return st;
+}
+
+}  // namespace ftdag::persist

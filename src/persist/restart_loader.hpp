@@ -1,0 +1,52 @@
+#pragma once
+// RestartLoader: reconstructs the committed frontier from disk.
+//
+// Picks the newest snapshot that validates (falling back to older ones,
+// then to an empty base, when validation fails), replays the WAL segment
+// chain on top of it through the ordinary BlockStore write protocol, and
+// stops at the first bad record — the torn tail a crash left, a flipped
+// bit, or a structural mismatch. Because every WAL prefix is a
+// dependency-closed cut (see wal.hpp), the resulting store state plus
+// committed-key set is always a state the original process passed
+// through; the traversal engine re-executes everything after the cut.
+//
+// Every rejected artifact produces a human-readable diagnostic; nothing
+// is ever silently resumed from bad state.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/task_graph_problem.hpp"
+
+namespace ftdag::persist {
+
+struct RestartState {
+  // True when any committed state was recovered (snapshot or WAL records).
+  bool resumed = false;
+
+  // Active WAL segment and the byte offset appends must continue at. A
+  // valid_bytes of 0 means the segment must be (re)created fresh.
+  std::uint64_t seq = 0;
+  std::uint64_t wal_valid_bytes = 0;
+
+  // Committed tasks, in replay order, and the staged app-result values
+  // ((slot index, value) pairs) their records carried.
+  std::vector<TaskKey> committed;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> staged;
+
+  std::uint64_t replayed_records = 0;
+  std::uint64_t snapshot_loaded = 0;  // 1 when a snapshot seeded the state
+  std::vector<std::string> diagnostics;  // one per rejected/limited artifact
+};
+
+// Loads persisted state from `dir` into the problem's BlockStore (which
+// must be reset — all states Absent) and applies recovered staged values
+// to the problem's result slots. Stale artifacts past the replay stop
+// point are deleted so the resumed process appends a single linear
+// history.
+RestartState load_restart_state(const std::string& dir,
+                                TaskGraphProblem& problem);
+
+}  // namespace ftdag::persist

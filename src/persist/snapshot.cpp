@@ -1,0 +1,161 @@
+#include "persist/snapshot.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+namespace ftdag::persist {
+namespace {
+
+bool write_file_synced(const std::string& path, const std::string& bytes,
+                       std::string* error) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    *error = std::string("open: ") + std::strerror(errno);
+    return false;
+  }
+  const char* p = bytes.data();
+  std::size_t n = bytes.size();
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      *error = std::string("write: ") + std::strerror(errno);
+      ::close(fd);
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  ::fsync(fd);
+  ::close(fd);
+  return true;
+}
+
+}  // namespace
+
+bool write_snapshot(const std::string& dir, std::uint64_t layout,
+                    const SnapshotData& data, std::string* error) {
+  std::string buf = encode_file_header(kSnapshotMagic, layout, data.seq);
+  put_u64(buf, data.committed.size());
+  for (TaskKey k : data.committed) put_i64(buf, k);
+  put_u64(buf, data.staged.size());
+  for (const auto& [index, value] : data.staged) {
+    put_u64(buf, index);
+    put_u64(buf, value);
+  }
+  put_u64(buf, data.store.states.size());
+  for (VersionState s : data.store.states)
+    buf.push_back(static_cast<char>(s));
+  put_u64(buf, data.store.sums.size());
+  for (std::uint64_t s : data.store.sums) put_u64(buf, s);
+  put_u64(buf, data.store.bytes.size());
+  put_bytes(buf, data.store.bytes.data(), data.store.bytes.size());
+  put_u32(buf, crc32(buf.data(), buf.size()));
+
+  const std::string path = snapshot_path(dir, data.seq);
+  const std::string tmp = path + ".tmp";
+  if (!write_file_synced(tmp, buf, error)) return false;
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    *error = "rename: " + ec.message();
+    return false;
+  }
+  return true;
+}
+
+bool load_snapshot(const std::string& path, std::uint64_t layout,
+                   const SnapshotLayout& expect, SnapshotData* out,
+                   std::string* diagnostic) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    *diagnostic = "cannot open snapshot";
+    return false;
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long len = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::string raw(len > 0 ? static_cast<std::size_t>(len) : 0, '\0');
+  if (!raw.empty() &&
+      std::fread(raw.data(), 1, raw.size(), f) != raw.size()) {
+    std::fclose(f);
+    *diagnostic = "short read";
+    return false;
+  }
+  std::fclose(f);
+
+  if (raw.size() < kFileHeaderBytes + 4) {
+    *diagnostic = "snapshot truncated below minimum size";
+    return false;
+  }
+  // Trailing CRC covers header + body.
+  ByteReader crc_reader(raw.data() + raw.size() - 4, 4);
+  const std::uint32_t stored_crc = crc_reader.u32();
+  if (crc32(raw.data(), raw.size() - 4) != stored_crc) {
+    *diagnostic = "snapshot CRC mismatch (bit rot or truncated write)";
+    return false;
+  }
+
+  SnapshotData data;
+  if (!decode_file_header(raw.data(), raw.size(), kSnapshotMagic, layout,
+                          &data.seq, diagnostic))
+    return false;
+
+  ByteReader r(raw.data() + kFileHeaderBytes,
+               raw.size() - kFileHeaderBytes - 4);
+  const std::uint64_t n_committed = r.u64();
+  for (std::uint64_t i = 0; r.ok() && i < n_committed; ++i)
+    data.committed.push_back(r.i64());
+  const std::uint64_t n_staged = r.u64();
+  for (std::uint64_t i = 0; r.ok() && i < n_staged; ++i) {
+    const std::uint64_t index = r.u64();
+    const std::uint64_t value = r.u64();
+    data.staged.emplace_back(index, value);
+  }
+  const std::uint64_t n_states = r.u64();
+  if (r.ok() && n_states == expect.total_versions) {
+    data.store.states.resize(n_states);
+    for (std::uint64_t i = 0; r.ok() && i < n_states; ++i) {
+      std::uint8_t s = 0;
+      r.bytes(&s, 1);
+      if (s > static_cast<std::uint8_t>(VersionState::kOverwritten)) {
+        *diagnostic = "snapshot contains an invalid version state";
+        return false;
+      }
+      data.store.states[i] = static_cast<VersionState>(s);
+    }
+  } else if (r.ok()) {
+    *diagnostic = "snapshot state section does not match the store layout";
+    return false;
+  }
+  const std::uint64_t n_sums = r.u64();
+  if (r.ok() && n_sums == expect.total_versions) {
+    data.store.sums.resize(n_sums);
+    for (std::uint64_t i = 0; r.ok() && i < n_sums; ++i)
+      data.store.sums[i] = r.u64();
+  } else if (r.ok()) {
+    *diagnostic = "snapshot checksum section does not match the store layout";
+    return false;
+  }
+  const std::uint64_t n_bytes = r.u64();
+  if (r.ok() && n_bytes == expect.total_bytes) {
+    data.store.bytes.resize(n_bytes);
+    r.bytes(data.store.bytes.data(), n_bytes);
+  } else if (r.ok()) {
+    *diagnostic = "snapshot byte section does not match the store layout";
+    return false;
+  }
+  if (!r.done()) {
+    *diagnostic = "snapshot has malformed structure";
+    return false;
+  }
+  *out = std::move(data);
+  return true;
+}
+
+}  // namespace ftdag::persist

@@ -1,0 +1,47 @@
+#pragma once
+// Versioned, CRC-checked binary snapshot of the retained block frontier.
+//
+// A snapshot captures everything a restarted process needs to continue
+// without replaying the full WAL history: the BlockStore frontier (slot
+// bytes, version states, checksums), the set of committed task keys, and
+// the staged app-result values ((slot index, value) pairs — see
+// TaskGraphProblem::result_slots). Snapshot `seq` is the number of the WAL
+// segment whose records are *not yet* reflected in it: restart loads
+// snapshot S and replays wal-S, wal-(S+1), ... on top.
+//
+// File layout: the shared file header (format.hpp), the body, and a
+// trailing CRC-32 over header + body. Writes go to a temp file that is
+// fsync'd and then renamed into place, so a crash mid-write never damages
+// an existing snapshot and a half-written new one fails its CRC and is
+// rejected (the loader then falls back to the previous snapshot).
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "blocks/block_store.hpp"
+#include "graph/task_key.hpp"
+#include "persist/format.hpp"
+
+namespace ftdag::persist {
+
+struct SnapshotData {
+  std::uint64_t seq = 0;
+  std::vector<TaskKey> committed;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> staged;  // index,value
+  BlockStore::Snapshot store;
+};
+
+// Serializes and atomically writes snap-<seq>.ftsnap into `dir`.
+bool write_snapshot(const std::string& dir, std::uint64_t layout,
+                    const SnapshotData& data, std::string* error);
+
+// Loads and fully validates a snapshot file. On any mismatch (header, CRC,
+// structure, or section sizes against `expect_layout_sizes`) fills
+// `diagnostic` and returns false without touching `out`.
+bool load_snapshot(const std::string& path, std::uint64_t layout,
+                   const SnapshotLayout& expect, SnapshotData* out,
+                   std::string* diagnostic);
+
+}  // namespace ftdag::persist

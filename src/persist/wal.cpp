@@ -1,0 +1,220 @@
+#include "persist/wal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace ftdag::persist {
+namespace {
+
+constexpr std::size_t kFrameBytes = 12;  // magic + length + crc
+
+bool write_all(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+std::string errno_string(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+std::string encode_wal_record(
+    TaskKey key,
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& staged,
+    const std::vector<WalOutputPayload>& outputs) {
+  std::string payload;
+  put_i64(payload, key);
+  put_u32(payload, static_cast<std::uint32_t>(staged.size()));
+  put_u32(payload, static_cast<std::uint32_t>(outputs.size()));
+  for (const auto& [index, value] : staged) {
+    put_u64(payload, index);
+    put_u64(payload, value);
+  }
+  for (const WalOutputPayload& out : outputs) {
+    put_u64(payload, out.block);
+    put_u64(payload, out.version);
+    put_u64(payload, out.digest);
+    put_u64(payload, out.bytes.size());
+    put_bytes(payload, out.bytes.data(), out.bytes.size());
+  }
+
+  std::string record;
+  record.reserve(kFrameBytes + payload.size());
+  put_u32(record, kRecordMagic);
+  put_u32(record, static_cast<std::uint32_t>(payload.size()));
+  put_u32(record, crc32(payload.data(), payload.size()));
+  record += payload;
+  return record;
+}
+
+bool WalWriter::open_fresh(const std::string& path, std::uint64_t layout,
+                           std::uint64_t seq, std::string* error) {
+  close();
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) {
+    *error = errno_string("open");
+    return false;
+  }
+  const std::string header = encode_file_header(kWalMagic, layout, seq);
+  if (!write_all(fd_, header.data(), header.size())) {
+    *error = errno_string("write header");
+    close();
+    return false;
+  }
+  size_ = header.size();
+  dirty_ = true;
+  return true;
+}
+
+bool WalWriter::open_append(const std::string& path, std::uint64_t valid_bytes,
+                            std::string* error) {
+  close();
+  fd_ = ::open(path.c_str(), O_WRONLY, 0644);
+  if (fd_ < 0) {
+    *error = errno_string("open");
+    return false;
+  }
+  // Drop the torn tail a crash may have left so the next append starts at
+  // the end of the last good record.
+  if (::ftruncate(fd_, static_cast<off_t>(valid_bytes)) != 0) {
+    *error = errno_string("ftruncate");
+    close();
+    return false;
+  }
+  if (::lseek(fd_, 0, SEEK_END) < 0) {
+    *error = errno_string("lseek");
+    close();
+    return false;
+  }
+  size_ = valid_bytes;
+  dirty_ = true;  // the truncation itself should reach disk on next sync
+  return true;
+}
+
+bool WalWriter::append(const std::string& record) {
+  if (fd_ < 0) return false;
+  if (!write_all(fd_, record.data(), record.size())) return false;
+  size_ += record.size();
+  dirty_ = true;
+  return true;
+}
+
+void WalWriter::sync() {
+  if (fd_ < 0 || !dirty_) return;
+  ::fsync(fd_);
+  dirty_ = false;
+}
+
+void WalWriter::close() {
+  if (fd_ < 0) return;
+  ::close(fd_);
+  fd_ = -1;
+  size_ = 0;
+  dirty_ = false;
+}
+
+WalScan read_wal_segment(const std::string& path, std::uint64_t expect_layout,
+                         std::uint64_t expect_seq) {
+  WalScan scan;
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    scan.diagnostic = "cannot open segment";
+    return scan;
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long len = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  scan.raw.resize(len > 0 ? static_cast<std::size_t>(len) : 0);
+  if (!scan.raw.empty() &&
+      std::fread(scan.raw.data(), 1, scan.raw.size(), f) != scan.raw.size()) {
+    std::fclose(f);
+    scan.diagnostic = "short read";
+    return scan;
+  }
+  std::fclose(f);
+
+  if (!decode_file_header(scan.raw.data(), scan.raw.size(), kWalMagic,
+                          expect_layout, &scan.seq, &scan.diagnostic))
+    return scan;
+  if (scan.seq != expect_seq) {
+    scan.diagnostic = "segment sequence number does not match its filename";
+    return scan;
+  }
+  scan.header_ok = true;
+  scan.valid_bytes = kFileHeaderBytes;
+
+  std::size_t at = kFileHeaderBytes;
+  while (at < scan.raw.size()) {
+    if (scan.raw.size() - at < kFrameBytes) {
+      scan.diagnostic = "torn record frame at end of segment";
+      break;
+    }
+    ByteReader frame(scan.raw.data() + at, kFrameBytes);
+    const std::uint32_t magic = frame.u32();
+    const std::uint32_t length = frame.u32();
+    const std::uint32_t crc = frame.u32();
+    if (magic != kRecordMagic) {
+      scan.diagnostic = "bad record magic (corrupted frame)";
+      break;
+    }
+    if (scan.raw.size() - at - kFrameBytes < length) {
+      scan.diagnostic = "torn record payload at end of segment";
+      break;
+    }
+    const char* payload = scan.raw.data() + at + kFrameBytes;
+    if (crc32(payload, length) != crc) {
+      scan.diagnostic = "record CRC mismatch";
+      break;
+    }
+
+    WalRecord rec;
+    ByteReader r(payload, length);
+    rec.key = r.i64();
+    const std::uint32_t n_staged = r.u32();
+    const std::uint32_t n_outputs = r.u32();
+    for (std::uint32_t i = 0; r.ok() && i < n_staged; ++i) {
+      const std::uint64_t index = r.u64();
+      const std::uint64_t value = r.u64();
+      rec.staged.emplace_back(index, value);
+    }
+    for (std::uint32_t i = 0; r.ok() && i < n_outputs; ++i) {
+      WalRecord::Output out;
+      out.block = r.u64();
+      out.version = r.u64();
+      out.digest = r.u64();
+      const std::uint64_t n = r.u64();
+      out.payload_size = static_cast<std::size_t>(n);
+      out.payload_offset =
+          at + kFrameBytes + r.skip(out.payload_size);
+      rec.outputs.push_back(out);
+    }
+    if (!r.done()) {
+      // CRC passed but the fields don't fill the payload: an encoder/decoder
+      // disagreement, treated like corruption (prefix rule).
+      scan.diagnostic = "record payload has malformed structure";
+      break;
+    }
+    rec.end_offset = at + kFrameBytes + length;
+    scan.records.push_back(std::move(rec));
+    at += kFrameBytes + length;
+    scan.valid_bytes = at;
+  }
+  scan.discarded_bytes = scan.raw.size() - scan.valid_bytes;
+  if (scan.discarded_bytes == 0) scan.diagnostic.clear();
+  return scan;
+}
+
+}  // namespace ftdag::persist

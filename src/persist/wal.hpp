@@ -1,0 +1,118 @@
+#pragma once
+// Append-only write-ahead log of committed task completions.
+//
+// One record per committed compute: the task key, the staged result values
+// (as app-slot indices, pointer-free), and every output block version with
+// its full payload and content digest. A record is appended *before* the
+// task's Computed status is published, and a consumer only reads outputs
+// after observing that status — so a record always follows the records of
+// all its flow producers, and therefore every prefix of the log is a
+// dependency-closed consistent cut of the computation. Replay that stops
+// at the first bad record (torn tail after a crash, or a flipped bit)
+// yields exactly such a prefix; the traversal engine then re-executes the
+// suffix like any other recovery.
+//
+// Framing: a fixed file header (format.hpp), then records of
+//   [record magic u32][payload length u32][payload CRC-32 u32][payload]
+// The CRC covers the payload only; the magic + length let the reader
+// resynchronize its diagnostics (not its state — replay never skips over
+// a bad record, by the prefix rule above).
+//
+// Durability knobs (WalSync, see durability.hpp): records are written with
+// plain write(2), which survives *process* death in the page cache; fsync
+// policy `every`/`batch` additionally bounds what machine death can lose.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/task_key.hpp"
+#include "persist/format.hpp"
+
+namespace ftdag::persist {
+
+// Decoded WAL record.
+struct WalRecord {
+  struct Output {
+    std::uint64_t block = 0;
+    std::uint64_t version = 0;
+    std::uint64_t digest = 0;  // BlockStore::hash_bytes of the payload
+    std::size_t payload_offset = 0;  // into the segment's raw bytes
+    std::size_t payload_size = 0;
+  };
+  TaskKey key = 0;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> staged;  // index,value
+  std::vector<Output> outputs;
+  std::size_t end_offset = 0;  // file offset just past this record
+};
+
+// One output payload captured for journaling.
+struct WalOutputPayload {
+  std::uint64_t block = 0;
+  std::uint64_t version = 0;
+  std::uint64_t digest = 0;
+  std::string bytes;
+};
+
+// Serializes one record (framing included) ready for WalWriter::append.
+std::string encode_wal_record(
+    TaskKey key,
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& staged,
+    const std::vector<WalOutputPayload>& outputs);
+
+// Appender over one WAL segment file. Not thread-safe; the caller
+// serializes appends (WalDurability holds its writer lock across append
+// and the policy-driven sync).
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter() { close(); }
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  // Creates/overwrites the segment and writes its header.
+  bool open_fresh(const std::string& path, std::uint64_t layout,
+                  std::uint64_t seq, std::string* error);
+
+  // Reopens an existing segment for appending, discarding everything past
+  // `valid_bytes` (the torn tail a prior crash may have left).
+  bool open_append(const std::string& path, std::uint64_t valid_bytes,
+                   std::string* error);
+
+  bool is_open() const { return fd_ >= 0; }
+  std::uint64_t size_bytes() const { return size_; }
+
+  // Appends one encoded record. Returns false on I/O error.
+  bool append(const std::string& record);
+
+  // fsync(2) on the segment; a no-op when nothing was appended since the
+  // last sync.
+  void sync();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint64_t size_ = 0;
+  bool dirty_ = false;
+};
+
+// Result of scanning one WAL segment.
+struct WalScan {
+  bool header_ok = false;
+  std::uint64_t seq = 0;
+  std::vector<WalRecord> records;
+  std::string raw;                  // backing bytes for Output payload views
+  std::uint64_t valid_bytes = 0;    // prefix length ending at the last good
+                                    // record (>= header size when header_ok)
+  std::uint64_t discarded_bytes = 0;
+  std::string diagnostic;           // why the scan stopped early, if it did
+};
+
+// Reads a whole segment, validating header, framing, and per-record CRC.
+// Stops at the first bad record; everything before it is returned.
+WalScan read_wal_segment(const std::string& path, std::uint64_t expect_layout,
+                         std::uint64_t expect_seq);
+
+}  // namespace ftdag::persist

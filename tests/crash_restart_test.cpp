@@ -1,0 +1,221 @@
+// Crash-restart proof for the durability subsystem (src/persist/): child
+// processes run the fault-tolerant executor with a persist dir and are
+// SIGKILLed from inside the commit hook at exact record counts — no
+// destructors, no flushes; only what write(2)/fsync(2) already made durable
+// survives. The parent then resumes from the same directory and must
+// produce byte-identical results to an uninterrupted run.
+//
+// The children deliberately use no gtest machinery: they fork, execute, and
+// either die by SIGKILL or _Exit with a tiny status code the parent asserts
+// on. Pools and executors are constructed after fork only.
+
+#include <gtest/gtest.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "apps/app_registry.hpp"
+#include "core/ft_executor.hpp"
+#include "graph/graph_metrics.hpp"
+#include "harness/experiment.hpp"
+#include "persist/format.hpp"
+
+namespace ftdag {
+namespace {
+
+using persist::WalSync;
+
+constexpr AppConfig kConfig{256, 32, 3};  // lcs: 8x8 grid, 64 tasks
+constexpr const char* kApp = "lcs";
+
+struct TempDir {
+  TempDir() {
+    const char* base = std::getenv("TMPDIR");
+    std::string tmpl = std::string(base && *base ? base : "/tmp");
+    tmpl += "/ftdag_crash_XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    char* got = mkdtemp(buf.data());
+    EXPECT_NE(got, nullptr);
+    path = got ? got : "";
+  }
+  ~TempDir() {
+    std::error_code ec;
+    if (!path.empty()) std::filesystem::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+// Child exit codes (distinguishable from death-by-signal).
+enum : int {
+  kChildOk = 0,          // run completed and the checksum matched
+  kChildBadChecksum = 7,  // run completed but the result was wrong
+  kChildThrew = 9,
+};
+
+// Forks a child that runs the durable executor to completion or to the
+// injected SIGKILL. Returns the raw waitpid status.
+int run_child(const std::string& dir, WalSync sync,
+              std::uint64_t crash_after_records,
+              std::uint64_t snapshot_every = 0) {
+  fflush(nullptr);  // don't double-flush inherited stdio buffers
+  const pid_t pid = fork();
+  if (pid == 0) {
+    int code = kChildThrew;
+    try {
+      auto app = make_app(kApp, kConfig);
+      const std::uint64_t want = app->reference_checksum();
+      WorkStealingPool pool(4);
+      FaultTolerantExecutor exec;
+      ExecutorOptions opts;
+      opts.durability.dir = dir;
+      opts.durability.sync = sync;
+      opts.durability.crash_after_records = crash_after_records;
+      opts.durability.snapshot_every = snapshot_every;
+      app->reset_data();
+      exec.execute(*app, pool, nullptr, nullptr, opts);
+      code = app->result_checksum() == want ? kChildOk : kChildBadChecksum;
+    } catch (...) {
+      code = kChildThrew;
+    }
+    std::_Exit(code);  // no destructors, no gtest teardown in the child
+  }
+  int status = 0;
+  waitpid(pid, &status, 0);
+  return status;
+}
+
+bool killed_by_sigkill(int status) {
+  return WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL;
+}
+
+// Resumes in-process and returns the report; `app` holds the final result.
+ExecReport resume_here(TaskGraphProblem& app, const std::string& dir,
+                       WalSync sync, std::uint64_t snapshot_every = 0) {
+  WorkStealingPool pool(4);
+  FaultTolerantExecutor exec;
+  ExecutorOptions opts;
+  opts.durability.dir = dir;
+  opts.durability.sync = sync;
+  opts.durability.snapshot_every = snapshot_every;
+  app.reset_data();
+  return exec.execute(app, pool, nullptr, nullptr, opts);
+}
+
+// The tentpole acceptance drill: SIGKILL the run at many distinct commit
+// points; each successor process resumes from disk, makes a bit more
+// progress, and dies again, until one finishes. The final state must be
+// byte-identical to an uninterrupted run.
+TEST(CrashRestart, ProgressiveSigkillsResumeToIdenticalResult) {
+  TempDir tmp;
+  auto app = make_app(kApp, kConfig);
+  const std::uint64_t tasks = analyze_graph(*app).tasks;
+  ASSERT_GT(tasks, 40u);  // enough commit points for >= 5 crashes
+
+  // Each incarnation appends 7 more records, then dies mid-commit.
+  int crashes = 0;
+  bool completed = false;
+  for (std::uint64_t i = 0; i < tasks; ++i) {
+    const int status = run_child(tmp.path, WalSync::kEvery, 7);
+    if (WIFEXITED(status)) {
+      ASSERT_EQ(WEXITSTATUS(status), kChildOk);
+      completed = true;
+      break;
+    }
+    ASSERT_TRUE(killed_by_sigkill(status));
+    ++crashes;
+  }
+  ASSERT_TRUE(completed);
+  EXPECT_GE(crashes, 5);
+
+  // Resume once more in this process: everything is already committed.
+  ExecReport r = resume_here(*app, tmp.path, WalSync::kEvery);
+  EXPECT_EQ(r.computes, 0u);
+  EXPECT_EQ(r.tasks_skipped_on_restart, tasks);
+
+  // Byte-identical to an uninterrupted run of the same problem.
+  auto undisturbed = make_app(kApp, kConfig);
+  WorkStealingPool pool(4);
+  run_ft(*undisturbed, pool, 1);
+  EXPECT_EQ(app->result_checksum(), undisturbed->result_checksum());
+  EXPECT_EQ(app->result_checksum(), app->reference_checksum());
+}
+
+// Every sync policy must survive *process* death: even WalSync::kNone goes
+// through write(2) into the page cache before the SIGKILL.
+class CrashRestartSync : public ::testing::TestWithParam<WalSync> {};
+
+TEST_P(CrashRestartSync, PartialRunSurvivesProcessDeath) {
+  TempDir tmp;
+  const WalSync sync = GetParam();
+  const int status = run_child(tmp.path, sync, 10);
+  ASSERT_TRUE(killed_by_sigkill(status));
+
+  auto app = make_app(kApp, kConfig);
+  const std::uint64_t tasks = analyze_graph(*app).tasks;
+  ExecReport r = resume_here(*app, tmp.path, sync);
+  EXPECT_GE(r.tasks_skipped_on_restart, 10u);
+  EXPECT_LT(r.tasks_skipped_on_restart, tasks);
+  EXPECT_EQ(r.computes + r.tasks_skipped_on_restart, tasks);
+  EXPECT_EQ(app->result_checksum(), app->reference_checksum());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, CrashRestartSync,
+                         ::testing::Values(WalSync::kNone, WalSync::kBatch,
+                                           WalSync::kEvery));
+
+// Death in the snapshot era: the child rotates twice (snapshot_every=10,
+// killed after 25 records), so the resume must go snapshot + WAL chain.
+TEST(CrashRestart, SigkillAfterSnapshotRotationResumesFromSnapshot) {
+  TempDir tmp;
+  const int status = run_child(tmp.path, WalSync::kEvery, 25, 10);
+  ASSERT_TRUE(killed_by_sigkill(status));
+
+  persist::DirListing ls = persist::scan_dir(tmp.path);
+  ASSERT_FALSE(ls.snapshots.empty());
+  EXPECT_LE(ls.snapshots.size(), 2u);  // pruning ran before the kill
+
+  auto app = make_app(kApp, kConfig);
+  const std::uint64_t tasks = analyze_graph(*app).tasks;
+  ExecReport r = resume_here(*app, tmp.path, WalSync::kEvery, 10);
+  EXPECT_GE(r.tasks_skipped_on_restart, 25u);
+  EXPECT_EQ(r.computes + r.tasks_skipped_on_restart, tasks);
+  EXPECT_EQ(app->result_checksum(), app->reference_checksum());
+}
+
+// Crash points inside a fsync batch window: with kBatch the unsynced tail
+// is still in the page cache, so process death loses nothing — the resumed
+// run may skip everything the child committed.
+TEST(CrashRestart, RepeatedBatchCrashesStillConverge) {
+  TempDir tmp;
+  int crashes = 0;
+  bool completed = false;
+  for (int i = 0; i < 64; ++i) {
+    const int status = run_child(tmp.path, WalSync::kBatch, 13);
+    if (WIFEXITED(status)) {
+      ASSERT_EQ(WEXITSTATUS(status), kChildOk);
+      completed = true;
+      break;
+    }
+    ASSERT_TRUE(killed_by_sigkill(status));
+    ++crashes;
+  }
+  ASSERT_TRUE(completed);
+  EXPECT_GE(crashes, 2);
+
+  auto app = make_app(kApp, kConfig);
+  ExecReport r = resume_here(*app, tmp.path, WalSync::kBatch);
+  EXPECT_EQ(r.computes, 0u);
+  EXPECT_EQ(app->result_checksum(), app->reference_checksum());
+}
+
+}  // namespace
+}  // namespace ftdag

@@ -1,0 +1,460 @@
+// Tests for the durability subsystem (src/persist/): on-disk format
+// primitives, WAL framing and torn/corrupt-tail handling, snapshot
+// round-trips and rejection diagnostics, and end-to-end restart through the
+// fault-tolerant executor — including satellite corruption drills that flip
+// bits and truncate artifacts on disk and assert the loader refuses them
+// with a clean diagnostic instead of resuming from bad state.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/app_registry.hpp"
+#include "graph/graph_metrics.hpp"
+#include "harness/experiment.hpp"
+#include "persist/durability.hpp"
+#include "persist/format.hpp"
+#include "persist/snapshot.hpp"
+#include "persist/wal.hpp"
+
+namespace ftdag {
+namespace {
+
+using persist::WalSync;
+
+// Scratch directory under $TMPDIR (or /tmp), removed on scope exit.
+struct TempDir {
+  TempDir() {
+    const char* base = std::getenv("TMPDIR");
+    std::string tmpl = std::string(base && *base ? base : "/tmp");
+    tmpl += "/ftdag_persist_XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    char* got = mkdtemp(buf.data());
+    EXPECT_NE(got, nullptr);
+    path = got ? got : "";
+  }
+  ~TempDir() {
+    std::error_code ec;
+    if (!path.empty()) std::filesystem::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+std::uint64_t file_size(const std::string& path) {
+  return static_cast<std::uint64_t>(std::filesystem::file_size(path));
+}
+
+void flip_byte(const std::string& path, std::uint64_t offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good()) << path;
+  f.seekg(static_cast<std::streamoff>(offset));
+  char c = 0;
+  f.read(&c, 1);
+  c = static_cast<char>(c ^ 0x40);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&c, 1);
+}
+
+void truncate_file(const std::string& path, std::uint64_t new_size) {
+  std::filesystem::resize_file(path, new_size);
+}
+
+// --- format primitives -------------------------------------------------------
+
+TEST(PersistFormat, Crc32MatchesKnownVector) {
+  // IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(persist::crc32("123456789", 9), 0xCBF43926u);
+  // Incremental computation over pieces must match one-shot.
+  const std::uint32_t head = persist::crc32("1234", 4);
+  EXPECT_EQ(persist::crc32("56789", 5, head), 0xCBF43926u);
+}
+
+TEST(PersistFormat, ByteReaderRejectsOverrun) {
+  std::string buf;
+  persist::put_u32(buf, 7);
+  persist::ByteReader r(buf.data(), buf.size());
+  EXPECT_EQ(r.u32(), 7u);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(r.u64(), 0u);  // past the end: zero and not-ok
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.done());
+}
+
+TEST(PersistFormat, ScanDirSortsAndIgnoresForeignFiles) {
+  TempDir tmp;
+  for (std::uint64_t seq : {3u, 0u, 1u}) {
+    std::ofstream(persist::snapshot_path(tmp.path, seq)) << "x";
+    std::ofstream(persist::wal_path(tmp.path, seq)) << "x";
+  }
+  std::ofstream(tmp.path + "/unrelated.txt") << "keep me";
+  persist::DirListing ls = persist::scan_dir(tmp.path);
+  EXPECT_EQ(ls.snapshots, (std::vector<std::uint64_t>{0, 1, 3}));
+  EXPECT_EQ(ls.wals, (std::vector<std::uint64_t>{0, 1, 3}));
+
+  persist::remove_persist_files(tmp.path);
+  ls = persist::scan_dir(tmp.path);
+  EXPECT_TRUE(ls.snapshots.empty());
+  EXPECT_TRUE(ls.wals.empty());
+  EXPECT_TRUE(std::filesystem::exists(tmp.path + "/unrelated.txt"));
+}
+
+TEST(PersistFormat, FileHeaderRoundTripAndRejections) {
+  const std::string hdr =
+      persist::encode_file_header(persist::kWalMagic, 0xABCDu, 17);
+  ASSERT_EQ(hdr.size(), persist::kFileHeaderBytes);
+  std::uint64_t seq = 0;
+  std::string diag;
+  EXPECT_TRUE(persist::decode_file_header(hdr.data(), hdr.size(),
+                                          persist::kWalMagic, 0xABCDu, &seq,
+                                          &diag));
+  EXPECT_EQ(seq, 17u);
+  // Wrong magic (a snapshot is not a WAL segment).
+  EXPECT_FALSE(persist::decode_file_header(hdr.data(), hdr.size(),
+                                           persist::kSnapshotMagic, 0xABCDu,
+                                           &seq, &diag));
+  EXPECT_FALSE(diag.empty());
+  // Wrong layout signature (artifact from a differently-shaped problem).
+  diag.clear();
+  EXPECT_FALSE(persist::decode_file_header(hdr.data(), hdr.size(),
+                                           persist::kWalMagic, 0xABCEu, &seq,
+                                           &diag));
+  EXPECT_FALSE(diag.empty());
+  // Short header.
+  diag.clear();
+  EXPECT_FALSE(persist::decode_file_header(hdr.data(), 8, persist::kWalMagic,
+                                           0xABCDu, &seq, &diag));
+  EXPECT_FALSE(diag.empty());
+}
+
+TEST(PersistFormat, ParseWalSync) {
+  WalSync sync = WalSync::kNone;
+  EXPECT_TRUE(persist::parse_wal_sync("batch", &sync));
+  EXPECT_EQ(sync, WalSync::kBatch);
+  EXPECT_TRUE(persist::parse_wal_sync("every", &sync));
+  EXPECT_EQ(sync, WalSync::kEvery);
+  EXPECT_TRUE(persist::parse_wal_sync("none", &sync));
+  EXPECT_EQ(sync, WalSync::kNone);
+  EXPECT_FALSE(persist::parse_wal_sync("always", &sync));
+  EXPECT_STREQ(persist::wal_sync_name(WalSync::kBatch), "batch");
+}
+
+// --- WAL segments ------------------------------------------------------------
+
+constexpr std::uint64_t kLayout = 0x1122334455667788ull;
+
+// Writes a segment with three records and returns its scan.
+persist::WalScan write_three_records(const std::string& dir) {
+  persist::WalWriter w;
+  std::string error;
+  EXPECT_TRUE(w.open_fresh(persist::wal_path(dir, 0), kLayout, 0, &error))
+      << error;
+  for (TaskKey key : {10, 20, 30}) {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> staged = {
+        {static_cast<std::uint64_t>(key), 1000ull + key}};
+    std::vector<persist::WalOutputPayload> outs(1);
+    outs[0].block = static_cast<std::uint64_t>(key) + 1;
+    outs[0].version = 2;
+    outs[0].bytes = std::string(64, static_cast<char>('a' + key % 26));
+    outs[0].digest = BlockStore::hash_bytes(
+        reinterpret_cast<const std::byte*>(outs[0].bytes.data()),
+        outs[0].bytes.size());
+    EXPECT_TRUE(w.append(persist::encode_wal_record(key, staged, outs)));
+  }
+  w.sync();
+  w.close();
+  return persist::read_wal_segment(persist::wal_path(dir, 0), kLayout, 0);
+}
+
+TEST(PersistWal, RecordRoundTrip) {
+  TempDir tmp;
+  persist::WalScan scan = write_three_records(tmp.path);
+  ASSERT_TRUE(scan.header_ok) << scan.diagnostic;
+  ASSERT_EQ(scan.records.size(), 3u);
+  EXPECT_EQ(scan.discarded_bytes, 0u);
+  EXPECT_TRUE(scan.diagnostic.empty()) << scan.diagnostic;
+  EXPECT_EQ(scan.valid_bytes, file_size(persist::wal_path(tmp.path, 0)));
+  const persist::WalRecord& r = scan.records[1];
+  EXPECT_EQ(r.key, 20);
+  ASSERT_EQ(r.staged.size(), 1u);
+  EXPECT_EQ(r.staged[0], (std::pair<std::uint64_t, std::uint64_t>{20, 1020}));
+  ASSERT_EQ(r.outputs.size(), 1u);
+  EXPECT_EQ(r.outputs[0].block, 21u);
+  EXPECT_EQ(r.outputs[0].version, 2u);
+  ASSERT_EQ(r.outputs[0].payload_size, 64u);
+  EXPECT_EQ(std::string(scan.raw.data() + r.outputs[0].payload_offset, 64),
+            std::string(64, 'u'));
+}
+
+TEST(PersistWal, TornTailIsDiscardedWithDiagnostic) {
+  TempDir tmp;
+  persist::WalScan full = write_three_records(tmp.path);
+  ASSERT_EQ(full.records.size(), 3u);
+  // Chop mid-record-3, as a crash between write(2) calls would.
+  const std::string path = persist::wal_path(tmp.path, 0);
+  truncate_file(path, full.records[1].end_offset + 5);
+  persist::WalScan scan = persist::read_wal_segment(path, kLayout, 0);
+  EXPECT_TRUE(scan.header_ok);
+  ASSERT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.valid_bytes, full.records[1].end_offset);
+  EXPECT_GT(scan.discarded_bytes, 0u);
+  EXPECT_FALSE(scan.diagnostic.empty());
+}
+
+TEST(PersistWal, BitFlipStopsReplayAtCrcFailure) {
+  TempDir tmp;
+  persist::WalScan full = write_three_records(tmp.path);
+  ASSERT_EQ(full.records.size(), 3u);
+  // Flip a payload byte of record 2; records 2 and 3 must both be dropped
+  // (replay never skips over a bad record — prefix rule).
+  const std::string path = persist::wal_path(tmp.path, 0);
+  flip_byte(path, full.records[1].end_offset - 2);
+  persist::WalScan scan = persist::read_wal_segment(path, kLayout, 0);
+  EXPECT_TRUE(scan.header_ok);
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.valid_bytes, full.records[0].end_offset);
+  EXPECT_NE(scan.diagnostic.find("CRC"), std::string::npos)
+      << scan.diagnostic;
+}
+
+TEST(PersistWal, HeaderMismatchesRejectWholeSegment) {
+  TempDir tmp;
+  write_three_records(tmp.path);
+  const std::string path = persist::wal_path(tmp.path, 0);
+  // Sequence mismatch (file claims 0, chain expects 1).
+  persist::WalScan scan = persist::read_wal_segment(path, kLayout, 1);
+  EXPECT_FALSE(scan.header_ok);
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_FALSE(scan.diagnostic.empty());
+  // Layout mismatch (differently-shaped problem).
+  scan = persist::read_wal_segment(path, kLayout + 1, 0);
+  EXPECT_FALSE(scan.header_ok);
+  EXPECT_FALSE(scan.diagnostic.empty());
+}
+
+TEST(PersistWal, OpenAppendDropsTornTail) {
+  TempDir tmp;
+  persist::WalScan full = write_three_records(tmp.path);
+  const std::string path = persist::wal_path(tmp.path, 0);
+  persist::WalWriter w;
+  std::string error;
+  // Reopen keeping only the first record; the rest is truncated away.
+  ASSERT_TRUE(w.open_append(path, full.records[0].end_offset, &error))
+      << error;
+  EXPECT_EQ(w.size_bytes(), full.records[0].end_offset);
+  std::vector<persist::WalOutputPayload> outs;
+  ASSERT_TRUE(w.append(persist::encode_wal_record(99, {}, outs)));
+  w.close();
+  persist::WalScan scan = persist::read_wal_segment(path, kLayout, 0);
+  ASSERT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.records[0].key, 10);
+  EXPECT_EQ(scan.records[1].key, 99);
+}
+
+// --- snapshots ---------------------------------------------------------------
+
+class PersistSnapshot : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    app_ = make_app("lcs", {128, 32, 3});
+    WorkStealingPool pool(2);
+    run_baseline(*app_, pool, 1);  // fill the store with a valid frontier
+    layout_ = persist::layout_signature(app_->block_store());
+    data_.seq = 5;
+    data_.committed = {1, 2, 3, 4};
+    data_.staged = {{0, 42}, {3, 7}};
+    data_.store = app_->block_store().snapshot();
+    std::string error;
+    ASSERT_TRUE(persist::write_snapshot(tmp_.path, layout_, data_, &error))
+        << error;
+    path_ = persist::snapshot_path(tmp_.path, 5);
+  }
+
+  TempDir tmp_;
+  std::unique_ptr<TaskGraphProblem> app_;
+  std::uint64_t layout_ = 0;
+  persist::SnapshotData data_;
+  std::string path_;
+};
+
+TEST_F(PersistSnapshot, RoundTrip) {
+  persist::SnapshotData out;
+  std::string diag;
+  ASSERT_TRUE(persist::load_snapshot(path_, layout_,
+                                     persist::snapshot_layout(app_->block_store()),
+                                     &out, &diag))
+      << diag;
+  EXPECT_EQ(out.seq, 5u);
+  EXPECT_EQ(out.committed, data_.committed);
+  EXPECT_EQ(out.staged, data_.staged);
+  EXPECT_EQ(out.store.bytes, data_.store.bytes);
+  EXPECT_EQ(out.store.states, data_.store.states);
+  EXPECT_EQ(out.store.sums, data_.store.sums);
+}
+
+TEST_F(PersistSnapshot, BitFlipIsRejectedWithDiagnostic) {
+  flip_byte(path_, file_size(path_) / 2);
+  persist::SnapshotData out;
+  std::string diag;
+  EXPECT_FALSE(persist::load_snapshot(
+      path_, layout_, persist::snapshot_layout(app_->block_store()), &out,
+      &diag));
+  EXPECT_NE(diag.find("CRC"), std::string::npos) << diag;
+}
+
+TEST_F(PersistSnapshot, TruncationIsRejectedWithDiagnostic) {
+  truncate_file(path_, file_size(path_) - 10);
+  persist::SnapshotData out;
+  std::string diag;
+  EXPECT_FALSE(persist::load_snapshot(
+      path_, layout_, persist::snapshot_layout(app_->block_store()), &out,
+      &diag));
+  EXPECT_FALSE(diag.empty());
+}
+
+TEST_F(PersistSnapshot, LayoutMismatchIsRejected) {
+  persist::SnapshotData out;
+  std::string diag;
+  EXPECT_FALSE(persist::load_snapshot(
+      path_, layout_ + 1, persist::snapshot_layout(app_->block_store()), &out,
+      &diag));
+  EXPECT_FALSE(diag.empty());
+}
+
+// --- end-to-end restart through the executor --------------------------------
+
+RunSpec durable_spec(const std::string& dir, WalSync sync,
+                     std::uint64_t snapshot_every = 0) {
+  RunSpec spec;
+  spec.kind = ExecutorKind::kFaultTolerant;
+  spec.reps = 1;
+  spec.durability.dir = dir;
+  spec.durability.sync = sync;
+  spec.durability.snapshot_every = snapshot_every;
+  return spec;
+}
+
+TEST(PersistRestart, SecondRunSkipsEveryTask) {
+  TempDir tmp;
+  auto app = make_app("lcs", {256, 32, 3});
+  const std::uint64_t tasks = analyze_graph(*app).tasks;
+  WorkStealingPool pool(4);
+  const RunSpec spec = durable_spec(tmp.path, WalSync::kEvery);
+
+  ExecReport first = run_executor(*app, pool, spec).reports[0];
+  EXPECT_EQ(first.computes, tasks);
+  EXPECT_EQ(first.wal_records, tasks);
+  EXPECT_GT(first.wal_bytes, 0u);
+  EXPECT_EQ(first.tasks_skipped_on_restart, 0u);
+
+  // run_executor resets all problem data; only the persist dir carries
+  // state across. Every task must be restored and skipped.
+  ExecReport second = run_executor(*app, pool, spec).reports[0];
+  EXPECT_EQ(second.computes, 0u);
+  EXPECT_EQ(second.tasks_skipped_on_restart, tasks);
+  EXPECT_EQ(second.wal_records, 0u);
+  EXPECT_EQ(app->result_checksum(), app->reference_checksum());
+}
+
+TEST(PersistRestart, CorruptWalTailRecomputesOnlyTheSuffix) {
+  TempDir tmp;
+  auto app = make_app("lcs", {256, 32, 3});
+  const std::uint64_t tasks = analyze_graph(*app).tasks;
+  WorkStealingPool pool(4);
+  const RunSpec spec = durable_spec(tmp.path, WalSync::kEvery);
+  run_executor(*app, pool, spec);
+
+  // Flip a byte inside the last record's payload: replay must stop there,
+  // re-execute the discarded task, and still validate.
+  const std::string wal = persist::wal_path(tmp.path, 0);
+  flip_byte(wal, file_size(wal) - 2);
+  ExecReport r = run_executor(*app, pool, spec).reports[0];
+  EXPECT_GT(r.tasks_skipped_on_restart, 0u);
+  EXPECT_GT(r.computes, 0u);
+  EXPECT_EQ(r.tasks_skipped_on_restart + r.computes, tasks);
+  EXPECT_EQ(app->result_checksum(), app->reference_checksum());
+}
+
+TEST(PersistRestart, SnapshotRotationPrunesAndRestores) {
+  TempDir tmp;
+  auto app = make_app("lcs", {256, 32, 3});
+  const std::uint64_t tasks = analyze_graph(*app).tasks;
+  WorkStealingPool pool(4);
+  const RunSpec spec = durable_spec(tmp.path, WalSync::kBatch, 16);
+
+  ExecReport first = run_executor(*app, pool, spec).reports[0];
+  EXPECT_GT(first.snapshots_written, 1u);
+  persist::DirListing ls = persist::scan_dir(tmp.path);
+  // Rotation keeps the fallback chain only: the two newest snapshots and
+  // the segments from the older one onward.
+  EXPECT_LE(ls.snapshots.size(), 2u);
+  EXPECT_LE(ls.wals.size(), 2u);
+
+  ExecReport second = run_executor(*app, pool, spec).reports[0];
+  EXPECT_EQ(second.computes, 0u);
+  EXPECT_EQ(second.tasks_skipped_on_restart, tasks);
+  EXPECT_EQ(app->result_checksum(), app->reference_checksum());
+}
+
+TEST(PersistRestart, CorruptNewestSnapshotFallsBackToOlderChain) {
+  TempDir tmp;
+  auto app = make_app("lcs", {256, 32, 3});
+  const std::uint64_t tasks = analyze_graph(*app).tasks;
+  WorkStealingPool pool(4);
+  const RunSpec spec = durable_spec(tmp.path, WalSync::kBatch, 16);
+  run_executor(*app, pool, spec);
+
+  persist::DirListing ls = persist::scan_dir(tmp.path);
+  ASSERT_FALSE(ls.snapshots.empty());
+  const std::string newest =
+      persist::snapshot_path(tmp.path, ls.snapshots.back());
+  flip_byte(newest, file_size(newest) / 2);
+
+  // The older snapshot + the retained WAL segments still cover the full
+  // history, so the restart loses nothing.
+  ExecReport r = run_executor(*app, pool, spec).reports[0];
+  EXPECT_EQ(r.computes, 0u);
+  EXPECT_EQ(r.tasks_skipped_on_restart, tasks);
+  EXPECT_EQ(app->result_checksum(), app->reference_checksum());
+}
+
+TEST(PersistRestart, ResumeFalseWipesAndStartsFresh) {
+  TempDir tmp;
+  auto app = make_app("lcs", {256, 32, 3});
+  const std::uint64_t tasks = analyze_graph(*app).tasks;
+  WorkStealingPool pool(4);
+  run_executor(*app, pool, durable_spec(tmp.path, WalSync::kBatch));
+
+  RunSpec fresh = durable_spec(tmp.path, WalSync::kBatch);
+  fresh.durability.resume = false;
+  ExecReport r = run_executor(*app, pool, fresh).reports[0];
+  EXPECT_EQ(r.tasks_skipped_on_restart, 0u);
+  EXPECT_EQ(r.computes, tasks);
+  EXPECT_EQ(r.wal_records, tasks);
+}
+
+TEST(PersistRestart, AllAppsRestoreByteIdenticalResults) {
+  for (const std::string& name : paper_benchmarks()) {
+    TempDir tmp;
+    auto app = make_app(name, name == "fw" ? AppConfig{96, 16, 3}
+                                           : AppConfig{256, 32, 3});
+    WorkStealingPool pool(4);
+    const RunSpec spec = durable_spec(tmp.path, WalSync::kBatch);
+    run_executor(*app, pool, spec);
+    const std::uint64_t once = app->result_checksum();
+    ExecReport r = run_executor(*app, pool, spec).reports[0];
+    EXPECT_EQ(r.computes, 0u) << name;
+    EXPECT_GT(r.tasks_skipped_on_restart, 0u) << name;
+    EXPECT_EQ(app->result_checksum(), once) << name;
+  }
+}
+
+}  // namespace
+}  // namespace ftdag
