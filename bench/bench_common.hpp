@@ -40,9 +40,9 @@ inline BenchOptions parse_bench_options(const Cli& cli,
   BenchOptions o;
   for (const std::string& a : cli.get_list("apps", "lcs,lu,cholesky,fw,sw"))
     o.apps.push_back(a);
-  for (const std::string& t : cli.get_list("threads", default_threads))
-    o.threads.push_back(static_cast<int>(std::strtol(t.c_str(), nullptr, 10)));
-  o.reps = static_cast<int>(cli.get_int("reps", 5));
+  for (std::int64_t t : cli.get_positive_int_list("threads", default_threads))
+    o.threads.push_back(static_cast<int>(t));
+  o.reps = static_cast<int>(cli.get_positive_int("reps", 5));
   o.scale = cli.get_double("scale", 1.0);
   o.seed = static_cast<std::uint64_t>(cli.get_int("seed", 12345));
   o.replication = ReplicationPolicy::parse(cli.get_string("replicate", "off"));
@@ -149,7 +149,7 @@ inline persist::DurabilityOptions parse_durability_options(const Cli& cli) {
     std::exit(2);
   }
   o.snapshot_every =
-      static_cast<std::uint64_t>(cli.get_int("snapshot-every", 0));
+      static_cast<std::uint64_t>(cli.get_nonneg_int("snapshot-every", 0));
   return o;
 }
 

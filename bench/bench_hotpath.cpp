@@ -215,9 +215,10 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const bool smoke = cli.get_bool("smoke", false);
   std::vector<int> threads;
-  for (const std::string& t : cli.get_list("threads", smoke ? "2" : "1,2"))
-    threads.push_back(static_cast<int>(std::strtol(t.c_str(), nullptr, 10)));
-  const int reps = static_cast<int>(cli.get_int("reps", smoke ? 2 : 5));
+  for (std::int64_t t :
+       cli.get_positive_int_list("threads", smoke ? "2" : "1,2"))
+    threads.push_back(static_cast<int>(t));
+  const int reps = static_cast<int>(cli.get_positive_int("reps", smoke ? 2 : 5));
   const std::string out_path = cli.get_string("out", "BENCH_hotpath.json");
   const std::string apps_flag = cli.get_string("e2e-apps", "lcs,fw");
   cli.check_unknown();

@@ -1,0 +1,163 @@
+// Multi-job runtime throughput: N jobs through one ftdag::Runtime sharing
+// one WorkStealingPool, versus the same N jobs run back-to-back solo (the
+// pre-runtime lifecycle: each job gets the whole pool to itself). Every job
+// validates against the sequential reference, so the concurrent rows also
+// re-prove per-job isolation under contention on every bench run.
+//
+// Rows (bench_hotpath schema, gated by bench_compare.py --check-format):
+//   multijob-seq-<app>    N jobs sequentially; mean_s = wall, ops = N,
+//                         ns_per_op = wall / N (per-job cost, ns)
+//   multijob-conc-<app>   N jobs concurrently via Runtime::submit;
+//                         same fields — conc/seq mean_s is the throughput
+//                         gain of sharing the pool
+//   multijob-p50-<app>    p50 of concurrent per-job run latency (mean_s)
+//   multijob-p95-<app>    p95 of the same
+//
+// Flags: --apps, --jobs, --max-inflight, --threads (single count), --reps
+// (per job), --smoke, --out. Defaults are sized so CI's smoke run finishes
+// in seconds.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "runtime/runtime.hpp"
+#include "support/timer.hpp"
+
+using namespace ftdag;
+
+namespace {
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double rank = p * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const bool smoke = cli.get_bool("smoke", false);
+  const int threads =
+      static_cast<int>(cli.get_positive_int("threads", smoke ? 2 : 4));
+  const int jobs = static_cast<int>(cli.get_positive_int("jobs", smoke ? 4 : 8));
+  const int max_inflight =
+      static_cast<int>(cli.get_positive_int("max-inflight", smoke ? 2 : 4));
+  const int reps = static_cast<int>(cli.get_positive_int("reps", 1));
+  const double scale = cli.get_double("scale", smoke ? 0.25 : 0.5);
+  const std::vector<std::string> apps = cli.get_list("apps", "lcs,fw");
+  const std::string out_path = cli.get_string("out", "BENCH_multijob.json");
+  cli.check_unknown();
+
+  print_header("multi-job runtime throughput",
+               "long-lived scheduler service vs one-shot lifecycle");
+  std::printf("threads=%d jobs=%d max-inflight=%d reps=%d scale=%g\n\n",
+              threads, jobs, max_inflight, reps, scale);
+
+  JsonRows json;
+  for (const std::string& app : apps) {
+    const AppConfig cfg = scale_config(default_config(app), scale);
+
+    // One problem instance per in-flight job (problems are stateful); the
+    // reference checksum each job validates against is computed once per
+    // instance, outside the timed regions.
+    std::vector<std::unique_ptr<TaskGraphProblem>> problems;
+    for (int j = 0; j < jobs; ++j) {
+      problems.push_back(make_app(app, cfg));
+      (void)problems.back()->reference_checksum();
+    }
+
+    RunSpec spec;
+    spec.kind = ExecutorKind::kFaultTolerant;
+    spec.reps = reps;
+
+    Runtime::Options opts;
+    opts.threads = static_cast<unsigned>(threads);
+    opts.max_inflight = static_cast<std::size_t>(max_inflight);
+
+    // Sequential reference: same Runtime, one job at a time on the calling
+    // thread — the old create/run/tear-down lifecycle minus pool start-up.
+    double seq_wall = 0.0;
+    {
+      Runtime runtime(opts);
+      Timer wall;
+      for (auto& p : problems) {
+        JobHandle job = runtime.run_sync(*p, spec);
+        if (job->state() != JobState::kCompleted) {
+          std::fprintf(stderr, "sequential job failed: %s\n",
+                       job->error().c_str());
+          return 1;
+        }
+      }
+      seq_wall = wall.seconds();
+    }
+
+    // Concurrent: submit everything, wait for all handles.
+    double conc_wall = 0.0;
+    std::vector<double> latencies;
+    {
+      Runtime runtime(opts);
+      Timer wall;
+      std::vector<JobHandle> handles;
+      for (auto& p : problems) handles.push_back(runtime.submit(*p, spec));
+      for (const JobHandle& job : handles) {
+        if (job->wait() != JobState::kCompleted) {
+          std::fprintf(stderr, "concurrent job failed: %s\n",
+                       job->error().c_str());
+          return 1;
+        }
+        latencies.push_back(job->run_seconds());
+      }
+      conc_wall = wall.seconds();
+    }
+
+    const double n = static_cast<double>(jobs);
+    const double p50 = percentile(latencies, 0.50);
+    const double p95 = percentile(latencies, 0.95);
+    std::printf(
+        "%-10s seq %.3fs  conc %.3fs  (%.2fx)  job latency p50 %.3fs "
+        "p95 %.3fs\n",
+        app.c_str(), seq_wall, conc_wall, seq_wall / conc_wall, p50, p95);
+
+    json.field("name", "multijob-seq-" + app)
+        .field("threads", threads)
+        .field("ns_per_op", seq_wall / n * 1e9, 3)
+        .field("mean_s", seq_wall)
+        .field("std_s", 0.0)
+        .field("ops", static_cast<std::uint64_t>(jobs));
+    json.end_row();
+    json.field("name", "multijob-conc-" + app)
+        .field("threads", threads)
+        .field("ns_per_op", conc_wall / n * 1e9, 3)
+        .field("mean_s", conc_wall)
+        .field("std_s", 0.0)
+        .field("ops", static_cast<std::uint64_t>(jobs));
+    json.end_row();
+    json.field("name", "multijob-p50-" + app)
+        .field("threads", threads)
+        .field("ns_per_op", p50 * 1e9, 3)
+        .field("mean_s", p50)
+        .field("std_s", 0.0)
+        .field("ops", static_cast<std::uint64_t>(jobs));
+    json.end_row();
+    json.field("name", "multijob-p95-" + app)
+        .field("threads", threads)
+        .field("ns_per_op", p95 * 1e9, 3)
+        .field("mean_s", p95)
+        .field("std_s", 0.0)
+        .field("ops", static_cast<std::uint64_t>(jobs));
+    json.end_row();
+  }
+
+  std::printf("\n");
+  return json.write_file(out_path) ? 0 : 1;
+}

@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   spec.extra_degree = static_cast<int>(cli.get_int("degree", 3));
   spec.work_iters = static_cast<int>(cli.get_int("work", 2000));
   spec.seed = static_cast<std::uint64_t>(cli.get_int("seed", 3));
-  const int threads = static_cast<int>(cli.get_int("threads", 4));
+  const int threads = static_cast<int>(cli.get_positive_int("threads", 4));
   cli.check_unknown();
 
   RandomDagProblem problem(spec);

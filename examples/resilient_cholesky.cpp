@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   AppConfig cfg;
   cfg.n = cli.get_int("n", 640);
   cfg.block = cli.get_int("block", 64);
-  const int threads = static_cast<int>(cli.get_int("threads", 4));
+  const int threads = static_cast<int>(cli.get_positive_int("threads", 4));
   const int fault_count = static_cast<int>(cli.get_int("faults", 8));
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 5));
   cli.check_unknown();

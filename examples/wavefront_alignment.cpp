@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   cfg.n = cli.get_int("n", 4096);
   cfg.block = cli.get_int("block", 128);
   cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 9));
-  const int threads = static_cast<int>(cli.get_int("threads", 4));
+  const int threads = static_cast<int>(cli.get_positive_int("threads", 4));
   const bool inject = cli.get_bool("inject", true);
   cli.check_unknown();
 

@@ -56,6 +56,11 @@ DEFAULT_HOT_PATH = (
     # src/persist/: the WAL commit hook runs once per task on the engine's
     # publish path, so its atomics face the same scrutiny.
     "durability.hpp",
+    # src/runtime/: per-job completion tags ride every spawn/finish
+    # (JobGroup pending counts), and job-state publication is what wait()
+    # and the Runtime counters synchronize through.
+    "runtime.hpp",
+    "job_session.hpp",
 )
 
 # Member calls that are atomic operations when the receiver is a std::atomic.

@@ -133,4 +133,10 @@ CheckpointReport CheckpointRestartExecutor::execute(
   return report;
 }
 
+CheckpointReport CheckpointRestartExecutor::execute(
+    TaskGraphProblem& problem, WorkStealingPool& pool,
+    const engine::JobContext& ctx, const CheckpointOptions& options) {
+  return execute(problem, pool, ctx.injector, options);
+}
+
 }  // namespace ftdag

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 
+#include "engine/job_context.hpp"
 #include "fault/fault_injector.hpp"
 #include "graph/exec_report.hpp"
 #include "graph/task_graph_problem.hpp"
@@ -43,6 +44,12 @@ class CheckpointRestartExecutor {
  public:
   CheckpointReport execute(TaskGraphProblem& problem, WorkStealingPool& pool,
                            FaultInjector* injector = nullptr,
+                           const CheckpointOptions& options = {});
+
+  // Job-scoped entry point: the fault domain comes from the job's context
+  // (trace and durability are not supported by the BSP comparator).
+  CheckpointReport execute(TaskGraphProblem& problem, WorkStealingPool& pool,
+                           const engine::JobContext& ctx,
                            const CheckpointOptions& options = {});
 };
 

@@ -129,4 +129,13 @@ ExecReport FaultTolerantExecutor::execute(TaskGraphProblem& problem,
   return run_with(problem, pool, injector, trace, options, durability);
 }
 
+ExecReport FaultTolerantExecutor::execute(TaskGraphProblem& problem,
+                                          WorkStealingPool& pool,
+                                          const engine::JobContext& ctx,
+                                          const ExecutorOptions& options) {
+  ExecutorOptions effective = options;
+  if (ctx.durability.enabled()) effective.durability = ctx.durability;
+  return execute(problem, pool, ctx.injector, ctx.trace, effective);
+}
+
 }  // namespace ftdag

@@ -13,6 +13,7 @@
 // The executor is the component under test in every experiment of Section
 // VI; the injector argument reproduces the paper's fault scenarios.
 
+#include "engine/job_context.hpp"
 #include "fault/fault_injector.hpp"
 #include "graph/exec_report.hpp"
 #include "graph/task_graph_problem.hpp"
@@ -58,6 +59,14 @@ class FaultTolerantExecutor {
   ExecReport execute(TaskGraphProblem& problem, WorkStealingPool& pool,
                      FaultInjector* injector = nullptr,
                      ExecutionTrace* trace = nullptr,
+                     const ExecutorOptions& options = {});
+
+  // Job-scoped entry point: the injector, trace sink and durability target
+  // come from the job's context (Runtime threads one per submitted job).
+  // ctx.durability, already resolved to the job's persist subdirectory,
+  // overrides options.durability when enabled.
+  ExecReport execute(TaskGraphProblem& problem, WorkStealingPool& pool,
+                     const engine::JobContext& ctx,
                      const ExecutorOptions& options = {});
 };
 

@@ -26,8 +26,13 @@ class WorkStealingBackend {
     pool_.spawn(std::forward<F>(fn));
   }
 
+  // Each engine run joins on its own JobGroup, not whole-pool quiescence:
+  // workers tag nested spawns with the running node's group, so the group
+  // covers exactly this walk's spawn tree and concurrent jobs sharing the
+  // pool neither delay the join nor leak into this run's accounting.
   void run_to_quiescence(std::function<void()> root) {
-    pool_.run_to_quiescence(std::move(root));
+    JobGroup group;
+    pool_.run_group_to_quiescence(group, std::move(root));
   }
 
   int worker_index() const { return pool_.current_worker_index(); }

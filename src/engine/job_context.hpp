@@ -1,0 +1,44 @@
+#pragma once
+// JobContext: the per-job service bundle threaded through executor
+// instantiations.
+//
+// Before the multi-job runtime, the per-run services — fault injector,
+// trace sink, durability target — arrived as loose executor arguments and
+// everything else (counters, recovery table) was constructed ambiently
+// inside each execute() call. With many jobs sharing one pool, every piece
+// of per-job state must be explicitly scoped to its job so nothing bleeds
+// across concurrently running walks:
+//
+//   injector     the job's fault domain. Each injector instance carries its
+//                own fault plan and injected-count; two jobs never share
+//                one (a shared injector would fire one job's faults into
+//                another job's tasks).
+//   trace        the job's span sink. Per job, so concurrent jobs can each
+//                export their own chrome://tracing file.
+//   durability   the job's persist target, already resolved to a per-job
+//                subdirectory (see RunSpec::job_tag) so two durable jobs
+//                never append to the same WAL.
+//   job_id       stable id for diagnostics and persist-path attribution.
+//
+// The remaining per-job state — ObservationPolicy counters, the recovery
+// table inside SelectiveRecoveryPolicy, the engine's task map — is
+// constructed fresh inside each execute() from this context, one instance
+// per run, never shared. The WorkStealingPool is the only deliberately
+// shared substrate; its per-job completion accounting is the JobGroup.
+
+#include <cstdint>
+
+#include "fault/fault_injector.hpp"
+#include "persist/durability.hpp"
+#include "trace/trace.hpp"
+
+namespace ftdag::engine {
+
+struct JobContext {
+  std::uint64_t job_id = 0;
+  FaultInjector* injector = nullptr;
+  ExecutionTrace* trace = nullptr;
+  persist::DurabilityOptions durability;
+};
+
+}  // namespace ftdag::engine

@@ -1,84 +1,24 @@
 #include "harness/experiment.hpp"
 
+#include <cstdio>
+
 #include "support/assert.hpp"
 
 namespace ftdag {
 
-const char* executor_kind_name(ExecutorKind kind) {
-  switch (kind) {
-    case ExecutorKind::kSerial:
-      return "serial";
-    case ExecutorKind::kBaseline:
-      return "baseline";
-    case ExecutorKind::kFaultTolerant:
-      return "ft";
-    case ExecutorKind::kCheckpoint:
-      return "checkpoint";
-  }
-  return "?";
-}
-
-Summary RepeatedRuns::reexecution_summary() const {
-  std::vector<double> counts;
-  counts.reserve(reports.size());
-  for (const ExecReport& r : reports)
-    counts.push_back(static_cast<double>(r.re_executed));
-  return summarize(counts);
-}
-
-namespace {
-
-void validate(TaskGraphProblem& problem) {
-  const std::uint64_t got = problem.result_checksum();
-  const std::uint64_t want = problem.reference_checksum();
-  FTDAG_ASSERT(got == want,
-               "result checksum does not match the sequential reference");
-}
-
-ExecReport run_once(TaskGraphProblem& problem, WorkStealingPool& pool,
-                    const RunSpec& spec) {
-  switch (spec.kind) {
-    case ExecutorKind::kSerial: {
-      SerialExecutor exec;
-      return exec.execute(problem).exec;
-    }
-    case ExecutorKind::kBaseline: {
-      NabbitExecutor exec;
-      return exec.execute(problem, pool);
-    }
-    case ExecutorKind::kFaultTolerant: {
-      FaultTolerantExecutor exec;
-      ExecutorOptions options = spec.ft;
-      if (spec.durability.enabled()) options.durability = spec.durability;
-      return exec.execute(problem, pool, spec.injector, spec.trace, options);
-    }
-    case ExecutorKind::kCheckpoint: {
-      CheckpointRestartExecutor exec;
-      return exec.execute(problem, pool, spec.injector, spec.checkpoint);
-    }
-  }
-  FTDAG_ASSERT(false, "unknown executor kind");
-  return {};
-}
-
-}  // namespace
-
 RepeatedRuns run_executor(TaskGraphProblem& problem, WorkStealingPool& pool,
                           const RunSpec& spec) {
-  FTDAG_ASSERT(spec.injector == nullptr ||
-                   spec.kind == ExecutorKind::kFaultTolerant ||
-                   spec.kind == ExecutorKind::kCheckpoint,
-               "fault injection requires a fault-tolerant executor");
-  RepeatedRuns out;
-  for (int r = 0; r < spec.reps; ++r) {
-    problem.reset_data();
-    if (spec.injector != nullptr) spec.injector->reset();
-    ExecReport report = run_once(problem, pool, spec);
-    if (spec.validate) validate(problem);
-    out.seconds.push_back(report.seconds);
-    out.reports.push_back(report);
+  Runtime runtime(pool);
+  JobHandle job = runtime.run_sync(problem, spec);
+  const JobState state = job->state();
+  if (state != JobState::kCompleted) {
+    // Preserve the historical abort-with-message contract of the harness.
+    std::fprintf(stderr, "ftdag run_executor: job %s: %s\n",
+                 job_state_name(state), job->error().c_str());
+    FTDAG_ASSERT(state == JobState::kCompleted,
+                 "run_executor job did not complete");
   }
-  return out;
+  return job->runs();
 }
 
 RepeatedRuns run_baseline(TaskGraphProblem& problem, WorkStealingPool& pool,

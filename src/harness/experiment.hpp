@@ -4,72 +4,28 @@
 // deviation as error bars; every run's result checked against the
 // sequential reference — the paper's Theorem 1 made executable).
 //
-// `run_executor` is the single driver shared by benches and tests: pick an
-// executor kind, pass its options through RunSpec, and get back uniform
-// ExecReports. The older run_baseline/run_ft entry points are thin wrappers
-// kept for their many call sites.
+// Since the multi-job runtime landed, these entry points are thin wrappers:
+// each call scopes an ftdag::Runtime over the caller's pool and runs the
+// RunSpec synchronously through it (Runtime::run_sync — same admission
+// validation and repetition loop as submitted jobs, executed on the calling
+// thread with no dispatcher hand-off). ExecutorKind / RunSpec /
+// RepeatedRuns themselves live in runtime/run_spec.hpp; long-lived
+// multi-job service use goes through runtime/runtime.hpp directly.
 
-#include <vector>
-
-#include "core/checkpoint_executor.hpp"
-#include "core/ft_executor.hpp"
-#include "fault/fault_injector.hpp"
-#include "graph/exec_report.hpp"
 #include "graph/task_graph_problem.hpp"
-#include "nabbit/executor.hpp"
-#include "nabbit/serial_executor.hpp"
+#include "runtime/run_spec.hpp"
+#include "runtime/runtime.hpp"
 #include "runtime/scheduler.hpp"
-#include "support/stats.hpp"
 
 namespace ftdag {
-
-// The four engine instantiations (src/engine/traversal_engine.hpp) behind
-// one switch. kSerial runs the inline-backend oracle; kBaseline the NABBIT
-// walk with all policies compiled out; kFaultTolerant the selective-recovery
-// + detection composition; kCheckpoint the BSP collective comparator.
-enum class ExecutorKind {
-  kSerial,
-  kBaseline,
-  kFaultTolerant,
-  kCheckpoint,
-};
-
-const char* executor_kind_name(ExecutorKind kind);
-
-struct RunSpec {
-  ExecutorKind kind = ExecutorKind::kBaseline;
-  int reps = 1;
-  // Fault injection is honoured by the fault-tolerant and checkpoint
-  // executors only; passing an injector to kSerial/kBaseline is an error
-  // (they cannot recover).
-  FaultInjector* injector = nullptr;
-  ExecutorOptions ft;            // kFaultTolerant knobs (replication, watchdog)
-  CheckpointOptions checkpoint;  // kCheckpoint knobs (interval, snapshots)
-  ExecutionTrace* trace = nullptr;  // kFaultTolerant only
-  bool validate = true;  // checksum against the sequential reference per run
-
-  // Durable checkpoint/restart (kFaultTolerant only): when enabled
-  // (non-empty dir) this overrides ft.durability, so sweeps can point runs
-  // at a persist dir without rebuilding the whole options struct. Note that
-  // with resume on and reps > 1, every rep after the first restores the
-  // finished state and skips all tasks — crash/restart experiments want
-  // reps = 1 per process.
-  persist::DurabilityOptions durability;
-};
-
-struct RepeatedRuns {
-  std::vector<double> seconds;
-  std::vector<ExecReport> reports;
-
-  Summary time_summary() const { return summarize(seconds); }
-  Summary reexecution_summary() const;
-  double mean_seconds() const { return time_summary().mean; }
-};
 
 // Runs `spec.reps` repetitions of the selected executor, resetting problem
 // data and the injector before each and validating the result checksum
 // after each (with faults the check is exactly the paper's
-// same-result-with-and-without-faults claim).
+// same-result-with-and-without-faults claim). Aborts on an invalid spec or
+// a failed repetition (checksum mismatch), matching the historical
+// fail-fast contract; the Runtime submit() path reports the same conditions
+// as kRejected/kFailed instead.
 RepeatedRuns run_executor(TaskGraphProblem& problem, WorkStealingPool& pool,
                           const RunSpec& spec);
 

@@ -11,8 +11,16 @@ namespace ftdag {
 
 ExecReport NabbitExecutor::execute(TaskGraphProblem& problem,
                                    WorkStealingPool& pool) {
+  return execute(problem, pool, engine::JobContext{});
+}
+
+ExecReport NabbitExecutor::execute(TaskGraphProblem& problem,
+                                   WorkStealingPool& pool,
+                                   const engine::JobContext& ctx) {
+  FTDAG_ASSERT(ctx.injector == nullptr,
+               "fault injection requires a fault-tolerant executor");
   engine::WorkStealingBackend backend(pool);
-  engine::ObservationPolicy obs;
+  engine::ObservationPolicy obs(ctx.trace);
   engine::NoFaultPolicy fault;
   engine::NoDetectionPolicy detection;
   engine::NoRetention retention;

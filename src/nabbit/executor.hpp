@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "engine/job_context.hpp"
 #include "graph/exec_report.hpp"
 #include "graph/task_graph_problem.hpp"
 #include "runtime/scheduler.hpp"
@@ -25,6 +26,12 @@ class NabbitExecutor {
   // for problem.reset_data() before repeated runs. Not fault tolerant: must
   // not be combined with fault injection.
   ExecReport execute(TaskGraphProblem& problem, WorkStealingPool& pool);
+
+  // Job-scoped entry point. The baseline honours only the trace sink;
+  // ctx.injector must be null (the baseline cannot recover) and durability
+  // is compiled out of this instantiation.
+  ExecReport execute(TaskGraphProblem& problem, WorkStealingPool& pool,
+                     const engine::JobContext& ctx);
 };
 
 }  // namespace ftdag

@@ -9,18 +9,22 @@
 // the thief's acquire), and the worker that *executes* the job destroys it
 // in place and recycles the block into its own freelist. Oversized
 // callables and spawns from non-worker threads fall back to plain
-// new/delete — `pool_block()` records which side a node is on.
+// new/delete — `pooled()` records which side a node is on.
 
 #include <cstddef>
+#include <cstdint>
 #include <new>
 #include <type_traits>
 #include <utility>
 
 namespace ftdag {
 
+class JobGroup;
+
 // Pooled jobs are placement-constructed into blocks of this many bytes.
-// 64 (one cache line) covers vptr + block pointer + the traversal's largest
-// spawn capture (engine pointer, task pointer, two keys, a life number).
+// 64 (one cache line) covers vptr + the tagged header word + the
+// traversal's largest spawn capture (engine pointer, task pointer, two
+// keys, a life number).
 inline constexpr std::size_t kJobBlockBytes = 64;
 
 class JobNode {
@@ -28,13 +32,32 @@ class JobNode {
   virtual ~JobNode() = default;
   virtual void run() = 0;
 
-  // Non-null when this node lives in a worker pool block: the executing
-  // worker must destroy it in place and recycle the block, not delete it.
-  void set_pool_block(void* block) { pool_block_ = block; }
-  void* pool_block() const { return pool_block_; }
+  // The header packs two facts into one word so JobNode stays at 16 bytes
+  // (vptr + tag) and the callable's offset matches the pre-group layout —
+  // growing the node measurably slows the spawn hot path:
+  //  - bit 0: this node lives in a worker pool block. A pooled node is
+  //    placement-constructed at the block's own address, so the executing
+  //    worker destroys it in place and recycles `this`; no separate block
+  //    pointer is needed.
+  //  - bits 6+: the JobGroup whose pending count this node was charged to
+  //    at enqueue time, or zero for untagged (pool-global) work. JobGroup
+  //    is cache-line aligned, so its low six bits are free for flags.
+  //    Workers propagate the tag to nested spawns, so every job
+  //    transitively spawned under a group run is charged to that group.
+  void set_pooled() { tag_ |= kPooledBit; }
+  bool pooled() const { return (tag_ & kPooledBit) != 0; }
+
+  void set_group(JobGroup* group) {
+    tag_ = (tag_ & kPooledBit) | reinterpret_cast<std::uintptr_t>(group);
+  }
+  JobGroup* group() const {
+    return reinterpret_cast<JobGroup*>(tag_ & ~kPooledBit);
+  }
 
  private:
-  void* pool_block_ = nullptr;
+  static constexpr std::uintptr_t kPooledBit = 1;
+
+  std::uintptr_t tag_ = 0;
 };
 
 template <typename F>

@@ -1,0 +1,182 @@
+#include "runtime/job_session.hpp"
+
+#include <stdexcept>
+
+#include "core/checkpoint_executor.hpp"
+#include "core/ft_executor.hpp"
+#include "engine/job_context.hpp"
+#include "nabbit/executor.hpp"
+#include "nabbit/serial_executor.hpp"
+#include "support/assert.hpp"
+
+namespace ftdag {
+
+const char* job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kCompleted:
+      return "completed";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+    case JobState::kExpired:
+      return "expired";
+    case JobState::kRejected:
+      return "rejected";
+  }
+  return "?";
+}
+
+std::string spec_error(const RunSpec& spec) {
+  if (spec.reps < 1)
+    return "reps must be >= 1 (got " + std::to_string(spec.reps) + ")";
+  if (spec.injector != nullptr && spec.kind != ExecutorKind::kFaultTolerant &&
+      spec.kind != ExecutorKind::kCheckpoint)
+    return "fault injection requires a fault-tolerant executor";
+  const persist::DurabilityOptions d = spec.effective_durability();
+  if (d.enabled() && d.resume && spec.reps > 1)
+    return "durable resume with reps > 1 would restore the finished state "
+           "and skip every repetition after the first; run crash/restart "
+           "experiments with reps = 1 (or disable durability resume)";
+  return {};
+}
+
+// State transitions are serialized under mutex_ so the bookkeeping fields
+// (error_, latencies, runs_) are always published before the state they
+// describe: writers set fields, then release-store state_; readers either
+// hold the mutex (wait) or acquire-load a terminal state first.
+
+JobState JobSession::wait() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return job_state_terminal(state()); });
+  return state();
+}
+
+bool JobSession::try_cancel() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const JobState s = state_.load(std::memory_order_acquire);  // pairs: job-state
+  if (s == JobState::kQueued) {
+    error_ = "cancelled while queued";
+    queued_seconds_ = clock_.seconds();
+    state_.store(JobState::kCancelled, std::memory_order_release);  // pairs: job-state
+    lock.unlock();
+    cv_.notify_all();
+    return true;
+  }
+  if (s == JobState::kRunning)
+    cancel_requested_.store(true, std::memory_order_relaxed);
+  return false;
+}
+
+bool JobSession::begin_running(std::uint64_t sequence) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  // pairs: job-state
+  if (state_.load(std::memory_order_acquire) != JobState::kQueued)
+    return false;  // lost to try_cancel
+  queued_seconds_ = clock_.seconds();
+  run_sequence_ = sequence;
+  state_.store(JobState::kRunning, std::memory_order_release);  // pairs: job-state
+  return true;
+}
+
+void JobSession::finish(JobState state, std::string error) {
+  FTDAG_ASSERT(job_state_terminal(state), "finish needs a terminal state");
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    error_ = std::move(error);
+    // pairs: job-state
+    if (state_.load(std::memory_order_acquire) == JobState::kRunning)
+      run_seconds_ = clock_.seconds() - queued_seconds_;
+    else
+      queued_seconds_ = clock_.seconds();  // expired/cancelled straight from queue
+    state_.store(state, std::memory_order_release);  // pairs: job-state
+  }
+  cv_.notify_all();
+}
+
+namespace {
+
+void validate_result(TaskGraphProblem& problem) {
+  if (problem.result_checksum() != problem.reference_checksum())
+    throw std::runtime_error(
+        "result checksum does not match the sequential reference");
+}
+
+ExecReport run_once(TaskGraphProblem& problem, WorkStealingPool& pool,
+                    const RunSpec& spec, const engine::JobContext& ctx) {
+  switch (spec.kind) {
+    case ExecutorKind::kSerial: {
+      SerialExecutor exec;
+      return exec.execute(problem).exec;
+    }
+    case ExecutorKind::kBaseline: {
+      NabbitExecutor exec;
+      return exec.execute(problem, pool, ctx);
+    }
+    case ExecutorKind::kFaultTolerant: {
+      FaultTolerantExecutor exec;
+      return exec.execute(problem, pool, ctx, spec.ft);
+    }
+    case ExecutorKind::kCheckpoint: {
+      CheckpointRestartExecutor exec;
+      return exec.execute(problem, pool, ctx, spec.checkpoint);
+    }
+  }
+  FTDAG_ASSERT(false, "unknown executor kind");
+  return {};
+}
+
+}  // namespace
+
+JobSession::Outcome JobSession::execute(WorkStealingPool& pool) {
+  FTDAG_ASSERT(state() == JobState::kRunning,
+               "JobSession::execute outside kRunning");
+  engine::JobContext ctx;
+  ctx.job_id = id_;
+  ctx.injector = spec_.injector;
+  ctx.trace = spec_.trace;
+  ctx.durability = spec_.effective_durability();
+  try {
+    for (int r = 0; r < spec_.reps; ++r) {
+      if (cancel_requested_.load(std::memory_order_relaxed))
+        return {JobState::kCancelled, "cancelled at a repetition boundary"};
+      problem_.reset_data();
+      if (spec_.injector != nullptr) spec_.injector->reset();
+      ExecReport report = run_once(problem_, pool, spec_, ctx);
+      if (spec_.validate) validate_result(problem_);
+      runs_.seconds.push_back(report.seconds);
+      runs_.reports.push_back(report);
+    }
+  } catch (const std::exception& e) {
+    return {JobState::kFailed, e.what()};
+  }
+  return {JobState::kCompleted, {}};
+}
+
+Summary RepeatedRuns::reexecution_summary() const {
+  std::vector<double> counts;
+  counts.reserve(reports.size());
+  for (const ExecReport& r : reports)
+    counts.push_back(static_cast<double>(r.re_executed));
+  return summarize(counts);
+}
+
+const char* executor_kind_name(ExecutorKind kind) {
+  switch (kind) {
+    case ExecutorKind::kSerial:
+      return "serial";
+    case ExecutorKind::kBaseline:
+      return "baseline";
+    case ExecutorKind::kFaultTolerant:
+      return "ft";
+    case ExecutorKind::kCheckpoint:
+      return "checkpoint";
+  }
+  return "?";
+}
+
+}  // namespace ftdag

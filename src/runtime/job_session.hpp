@@ -1,0 +1,153 @@
+#pragma once
+// JobSession: one submitted job's admission record, execution driver and
+// completion latch — the unit the Runtime's state machine moves through
+//
+//   submitted --(queue full / bad spec / closed)--> kRejected
+//   submitted --> kQueued --(try_cancel / shutdown)--> kCancelled
+//                 kQueued --(deadline exceeded)-------> kExpired
+//                 kQueued --> kRunning --> kCompleted | kFailed | kCancelled
+//
+// The session owns everything per-job: the RunSpec copy, the repetition
+// loop with validation (the measurement protocol formerly inlined in
+// run_executor), the RepeatedRuns result, timestamps for queue/run latency,
+// and the cancellation flag checked at repetition boundaries. The submitter
+// holds it through a shared_ptr JobHandle; wait() blocks until a terminal
+// state and synchronizes with the publication of the result fields.
+//
+// The TaskGraphProblem must stay alive and untouched by the submitter until
+// the job reaches a terminal state: the runtime resets and mutates its data
+// on a dispatcher thread. One problem instance per in-flight job — problems
+// are stateful and cannot back two concurrent jobs.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "graph/task_graph_problem.hpp"
+#include "runtime/run_spec.hpp"
+#include "runtime/scheduler.hpp"
+#include "support/timer.hpp"
+
+namespace ftdag {
+
+enum class JobState {
+  kQueued,     // admitted, waiting for a dispatcher slot
+  kRunning,    // executing on a dispatcher (or the submitting thread)
+  kCompleted,  // every repetition ran and validated
+  kFailed,     // a repetition threw; error() has the diagnostic
+  kCancelled,  // cancelled while queued, at shutdown, or at a rep boundary
+  kExpired,    // queue deadline passed before a dispatcher picked it up
+  kRejected,   // never admitted; error() names the reason
+};
+
+const char* job_state_name(JobState state);
+
+inline bool job_state_terminal(JobState s) {
+  return s != JobState::kQueued && s != JobState::kRunning;
+}
+
+// Per-job admission constraints.
+struct JobLimits {
+  // Longest the job may sit in the admission queue before it is expired
+  // instead of run, in seconds. 0 = no deadline. Checked when a dispatcher
+  // pops the job, so expiry is observed at dispatch time, not mid-queue.
+  double queue_timeout_seconds = 0.0;
+};
+
+class JobSession {
+ public:
+  std::uint64_t id() const { return id_; }
+  const RunSpec& spec() const { return spec_; }
+
+  // Lock-free snapshot; pairs with the terminal publication in finish().
+  JobState state() const {
+    return state_.load(std::memory_order_acquire);  // pairs: job-state
+  }
+
+  // Blocks until the job reaches a terminal state and returns it. After
+  // wait(), runs()/error()/latency accessors are stable and fully visible.
+  JobState wait() const;
+
+  // Cancels the job if it has not started: kQueued -> kCancelled, returns
+  // true (the job will never run). For a running job, requests cooperative
+  // cancellation — the repetition loop stops at the next rep boundary with
+  // state kCancelled — and returns false (already-finished reps stand).
+  // Returns false for terminal jobs.
+  bool try_cancel();
+
+  // Results of the completed repetitions. Complete after kCompleted;
+  // partial (the reps finished before cancellation) after a running-job
+  // cancel; empty otherwise. Call only in a terminal state.
+  const RepeatedRuns& runs() const { return runs_; }
+
+  // Diagnostic for kFailed / kRejected / kCancelled / kExpired.
+  const std::string& error() const { return error_; }
+
+  // Admission-to-start and start-to-terminal latencies, for the multi-job
+  // bench's p50/p95 rows. Valid in a terminal state.
+  double queued_seconds() const { return queued_seconds_; }
+  double run_seconds() const { return run_seconds_; }
+  // Monotonic position in dispatch order (1-based), 0 if never started.
+  std::uint64_t run_sequence() const { return run_sequence_; }
+
+ private:
+  friend class Runtime;
+
+  JobSession(std::uint64_t id, TaskGraphProblem& problem, RunSpec spec,
+             JobLimits limits)
+      : id_(id), problem_(problem), spec_(std::move(spec)), limits_(limits) {}
+
+  // Dispatcher-side transitions. begin_running claims kQueued -> kRunning
+  // and loses only to try_cancel; the finish_* helpers publish a terminal
+  // state (fields first, then the release store the waiters acquire).
+  bool begin_running(std::uint64_t sequence);
+  void finish(JobState state, std::string error);
+  bool queue_deadline_exceeded() const {
+    return limits_.queue_timeout_seconds > 0.0 &&
+           clock_.seconds() > limits_.queue_timeout_seconds;
+  }
+
+  // The repetition loop: reset, run the selected executor, validate —
+  // checking the cancellation flag between reps. Must be in kRunning.
+  // Returns the terminal outcome WITHOUT publishing it: the Runtime
+  // accounts the outcome in its counters first, then calls finish(), so a
+  // woken waiter never reads counters that lag the state it observed.
+  struct Outcome {
+    JobState state = JobState::kCompleted;
+    std::string error;
+  };
+  Outcome execute(WorkStealingPool& pool);
+
+  const std::uint64_t id_;
+  TaskGraphProblem& problem_;
+  const RunSpec spec_;
+  const JobLimits limits_;
+  Timer clock_;  // started at admission
+
+  std::atomic<JobState> state_{JobState::kQueued};
+  std::atomic<bool> cancel_requested_{false};
+
+  mutable std::mutex mutex_;              // guards the cv + result publish
+  mutable std::condition_variable cv_;    // wait() blocks here
+  RepeatedRuns runs_;                     // written before the terminal store
+  std::string error_;
+  double queued_seconds_ = 0.0;
+  double run_seconds_ = 0.0;
+  std::uint64_t run_sequence_ = 0;
+};
+
+// Shared handle to a submitted job. The Runtime keeps its own reference
+// until the job is terminal, so a submitter may drop the handle early.
+using JobHandle = std::shared_ptr<JobSession>;
+
+// Admission validation: returns an empty string when `spec` is runnable, or
+// a one-line diagnostic (bad executor/injector combination, the durable-
+// resume-with-reps footgun, nonpositive reps). Runtime::submit turns a
+// nonempty result into kRejected; run_executor fails fast on it.
+std::string spec_error(const RunSpec& spec);
+
+}  // namespace ftdag

@@ -1,0 +1,81 @@
+#pragma once
+// RunSpec: the complete description of one job — which engine instantiation
+// to run, how many repetitions, and every per-job service knob (fault
+// domain, trace sink, durability target). A RunSpec plus a TaskGraphProblem
+// is everything Runtime::submit needs; the classic harness entry points
+// (harness/experiment.hpp) build one and run it synchronously.
+
+#include <string>
+#include <vector>
+
+#include "core/checkpoint_executor.hpp"
+#include "core/ft_executor.hpp"
+#include "fault/fault_injector.hpp"
+#include "graph/exec_report.hpp"
+#include "persist/durability.hpp"
+#include "support/stats.hpp"
+#include "trace/trace.hpp"
+
+namespace ftdag {
+
+// The four engine instantiations (src/engine/traversal_engine.hpp) behind
+// one switch. kSerial runs the inline-backend oracle; kBaseline the NABBIT
+// walk with all policies compiled out; kFaultTolerant the selective-recovery
+// + detection composition; kCheckpoint the BSP collective comparator.
+enum class ExecutorKind {
+  kSerial,
+  kBaseline,
+  kFaultTolerant,
+  kCheckpoint,
+};
+
+const char* executor_kind_name(ExecutorKind kind);
+
+struct RunSpec {
+  ExecutorKind kind = ExecutorKind::kBaseline;
+  int reps = 1;
+  // Fault injection is honoured by the fault-tolerant and checkpoint
+  // executors only; passing an injector to kSerial/kBaseline is an error
+  // (they cannot recover).
+  FaultInjector* injector = nullptr;
+  ExecutorOptions ft;            // kFaultTolerant knobs (replication, watchdog)
+  CheckpointOptions checkpoint;  // kCheckpoint knobs (interval, snapshots)
+  ExecutionTrace* trace = nullptr;  // kFaultTolerant only
+  bool validate = true;  // checksum against the sequential reference per run
+
+  // Durable checkpoint/restart (kFaultTolerant only): when enabled
+  // (non-empty dir) this overrides ft.durability, so sweeps can point runs
+  // at a persist dir without rebuilding the whole options struct. Durable
+  // resume with reps > 1 is rejected at admission: every rep after the
+  // first would restore the finished state and skip all tasks, so
+  // crash/restart experiments want reps = 1 per process.
+  persist::DurabilityOptions durability;
+
+  // Stable per-job label. When set and durability is enabled, persist
+  // artifacts land in `<dir>/<job_tag>/` instead of `<dir>/`, so concurrent
+  // durable jobs sharing one base directory never share a WAL — and a
+  // resubmitted job with the same tag finds its own state after a crash.
+  // Empty (the default) keeps the classic single-job layout.
+  std::string job_tag;
+
+  // Durability options actually in effect for this spec (the override rule
+  // above plus the job_tag subdirectory), used by the execution layer and
+  // by admission validation.
+  persist::DurabilityOptions effective_durability() const {
+    persist::DurabilityOptions d = durability.enabled() ? durability
+                                                        : ft.durability;
+    if (d.enabled() && !job_tag.empty()) d.dir += "/" + job_tag;
+    return d;
+  }
+};
+
+struct RepeatedRuns {
+  std::vector<double> seconds;
+  std::vector<ExecReport> reports;
+
+  Summary time_summary() const { return summarize(seconds); }
+  Summary reexecution_summary() const;
+  double mean_seconds() const { return time_summary().mean; }
+};
+
+}  // namespace ftdag

@@ -1,0 +1,193 @@
+#include "runtime/runtime.hpp"
+
+#include <string>
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace ftdag {
+
+Runtime::Runtime() : Runtime(Options()) {}
+
+Runtime::Runtime(WorkStealingPool& pool) : Runtime(pool, Options()) {}
+
+Runtime::Runtime(const Options& options)
+    : owned_pool_(new WorkStealingPool(options.threads, options.seed)),
+      pool_(*owned_pool_),
+      options_(options) {
+  FTDAG_ASSERT(options_.max_inflight >= 1, "Runtime needs max_inflight >= 1");
+}
+
+Runtime::Runtime(WorkStealingPool& pool, const Options& options)
+    : pool_(pool), options_(options) {
+  FTDAG_ASSERT(options_.max_inflight >= 1, "Runtime needs max_inflight >= 1");
+}
+
+Runtime::~Runtime() { shutdown(); }
+
+JobHandle Runtime::submit(TaskGraphProblem& problem, RunSpec spec,
+                          JobLimits limits) {
+  std::string err = spec_error(spec);
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (err.empty() && mode_ != Mode::kAccepting)
+    err = "runtime is no longer accepting jobs (drained or shut down)";
+  if (err.empty() && queue_.size() >= options_.max_queued)
+    err = "admission queue full (max_queued=" +
+          std::to_string(options_.max_queued) + ")";
+
+  JobHandle job(new JobSession(next_id_++, problem, std::move(spec), limits));
+  if (!err.empty()) {
+    ++counters_.rejected;
+    lock.unlock();
+    job->finish(JobState::kRejected, std::move(err));
+    return job;
+  }
+
+  ++counters_.submitted;
+  queue_.push_back(job);
+  // One dispatcher per in-flight slot, spawned on first demand: a Runtime
+  // that only ever run_sync()s never starts a thread.
+  while (dispatchers_.size() < options_.max_inflight)
+    dispatchers_.emplace_back([this] { dispatcher_main(); });
+  lock.unlock();
+  work_cv_.notify_one();
+  return job;
+}
+
+JobHandle Runtime::run_sync(TaskGraphProblem& problem, RunSpec spec) {
+  std::string err = spec_error(spec);
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (err.empty() && mode_ != Mode::kAccepting)
+    err = "runtime is no longer accepting jobs (drained or shut down)";
+  JobHandle job(new JobSession(next_id_++, problem, std::move(spec), {}));
+  if (!err.empty()) {
+    ++counters_.rejected;
+    lock.unlock();
+    job->finish(JobState::kRejected, std::move(err));
+    return job;
+  }
+  ++counters_.submitted;
+  const std::uint64_t sequence = next_sequence_++;
+  lock.unlock();
+
+  const bool claimed = job->begin_running(sequence);
+  FTDAG_ASSERT(claimed, "fresh job must claim kRunning");
+  JobSession::Outcome out = job->execute(pool_);
+  account_outcome(out.state);
+  job->finish(out.state, std::move(out.error));
+  return job;
+}
+
+// Counter bumps happen before finish() publishes the terminal state: a
+// thread woken by wait() must never read counters that lag the state that
+// woke it.
+void Runtime::account_outcome(JobState state) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  switch (state) {
+    case JobState::kCompleted:
+      ++counters_.completed;
+      break;
+    case JobState::kFailed:
+      ++counters_.failed;
+      break;
+    case JobState::kExpired:
+      ++counters_.expired;
+      break;
+    default:
+      ++counters_.cancelled;
+      break;
+  }
+}
+
+void Runtime::run_job(const JobHandle& job) {
+  std::uint64_t sequence;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    sequence = next_sequence_++;
+  }
+  if (!job->begin_running(sequence)) {
+    // Lost the claim to try_cancel between pop and here; the canceller did
+    // the terminal bookkeeping.
+    std::lock_guard<std::mutex> guard(mutex_);
+    ++counters_.cancelled;
+    return;
+  }
+  JobSession::Outcome out = job->execute(pool_);
+  account_outcome(out.state);
+  job->finish(out.state, std::move(out.error));
+}
+
+void Runtime::dispatcher_main() {
+  for (;;) {
+    JobHandle job;
+    bool cancel_queued = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] {
+        return mode_ != Mode::kAccepting || !queue_.empty();
+      });
+      if (queue_.empty()) return;  // draining/stopping and nothing left
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      cancel_queued = mode_ == Mode::kStopping;
+    }
+
+    if (cancel_queued) {
+      if (job->try_cancel()) {
+        std::lock_guard<std::mutex> guard(mutex_);
+        ++counters_.cancelled;
+      }
+      continue;
+    }
+    if (job->queue_deadline_exceeded()) {
+      // Raced cancellations keep their kCancelled; only still-queued jobs
+      // expire.
+      if (job->state() == JobState::kQueued) {
+        account_outcome(JobState::kExpired);
+        job->finish(JobState::kExpired,
+                    "queue deadline exceeded before dispatch");
+      }
+      continue;
+    }
+    run_job(job);
+  }
+}
+
+void Runtime::close(Mode mode) {
+  std::vector<std::thread> dispatchers;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (mode_ == Mode::kAccepting || mode == Mode::kStopping) mode_ = mode;
+    dispatchers.swap(dispatchers_);
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : dispatchers) t.join();
+
+  // kStopping with no dispatchers ever spawned still owes queued jobs a
+  // terminal state (only possible if close raced submit's thread spawn —
+  // swap above took the threads, so sweep whatever is left either way).
+  for (;;) {
+    JobHandle job;
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      if (queue_.empty()) break;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    if (job->try_cancel()) {
+      std::lock_guard<std::mutex> guard(mutex_);
+      ++counters_.cancelled;
+    }
+  }
+}
+
+void Runtime::drain() { close(Mode::kDraining); }
+
+void Runtime::shutdown() { close(Mode::kStopping); }
+
+Runtime::Counters Runtime::counters() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return counters_;
+}
+
+}  // namespace ftdag

@@ -1,0 +1,128 @@
+#pragma once
+// ftdag::Runtime: a long-lived scheduling service that runs many jobs over
+// ONE WorkStealingPool, replacing the one-shot create-pool / run / tear-down
+// lifecycle. The pool's workers are the shared substrate; everything per-job
+// (counters, fault domain, trace sink, persist directory, completion
+// tracking) is scoped through JobSession + engine::JobContext + JobGroup, so
+// concurrent jobs produce byte-identical results to solo runs.
+//
+// Admission is bounded: at most `max_inflight` jobs execute concurrently
+// (one dispatcher thread per slot feeds them into the pool) and at most
+// `max_queued` more wait in a FIFO queue. A full queue rejects at submit();
+// a queued job past its JobLimits deadline expires at dispatch instead of
+// running. Dispatch order is FIFO: jobs *start* in submission order (they
+// finish in any order — the pool interleaves their task graphs freely).
+//
+// Lifecycle is deterministic:
+//   drain()    — stop admitting, run every queued job to completion, join.
+//   shutdown() — stop admitting, cancel every queued job (running jobs
+//                still finish their current repetition loop), join.
+// Both are idempotent; the destructor is shutdown(). After either, submit()
+// rejects. The classic harness entry points (run_executor & friends) are
+// now thin wrappers over a scoped Runtime in borrowed-pool mode.
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "graph/task_graph_problem.hpp"
+#include "runtime/job_session.hpp"
+#include "runtime/run_spec.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace ftdag {
+
+class Runtime {
+ public:
+  struct Options {
+    // Worker threads for the owned pool; ignored in borrowed-pool mode.
+    unsigned threads = 4;
+    // Concurrent job slots (dispatcher threads). Must be >= 1.
+    std::size_t max_inflight = 2;
+    // Admitted-but-not-started jobs beyond the in-flight slots; a submit
+    // past this bound is rejected, not blocked.
+    std::size_t max_queued = 256;
+    // Seed for the owned pool's steal RNG; ignored in borrowed-pool mode.
+    std::uint64_t seed = 0x9E3779B97F4A7C15ull;
+  };
+
+  // Owning mode: constructs a private WorkStealingPool.
+  Runtime();
+  explicit Runtime(const Options& options);
+  // Borrowed mode: schedules onto an existing pool (which may also be used
+  // directly by the caller — per-job groups keep the accounting separate).
+  // The pool must outlive the Runtime.
+  explicit Runtime(WorkStealingPool& pool);
+  Runtime(WorkStealingPool& pool, const Options& options);
+  ~Runtime();  // shutdown()
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // Admits a job. Never blocks: returns a handle already in kQueued, or in
+  // kRejected (error() says why) when the spec is invalid, the queue is
+  // full, or the runtime is draining/shut down. The problem must stay alive
+  // and untouched until the job is terminal; one problem instance per
+  // in-flight job.
+  JobHandle submit(TaskGraphProblem& problem, RunSpec spec,
+                   JobLimits limits = {});
+
+  // Synchronous path: validates and admission-checks like submit(), then
+  // runs the job to a terminal state on the *calling* thread — no dispatcher
+  // hand-off, no queue wait. This is what the classic single-job harness
+  // uses; it counts against nothing (in-flight slots stay free for
+  // submitted jobs).
+  JobHandle run_sync(TaskGraphProblem& problem, RunSpec spec);
+
+  // Stops admission and finishes every queued job, in order; returns when
+  // the runtime is idle. Subsequent submits are rejected.
+  void drain();
+  // Stops admission and cancels every queued job; running jobs finish (or
+  // stop at their next repetition boundary if cancelled). Returns when all
+  // dispatchers have exited.
+  void shutdown();
+
+  WorkStealingPool& pool() { return pool_; }
+
+  struct Counters {
+    std::uint64_t submitted = 0;  // admitted into the queue (or run_sync)
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t expired = 0;
+    std::uint64_t rejected = 0;
+  };
+  Counters counters() const;
+
+ private:
+  enum class Mode { kAccepting, kDraining, kStopping };
+
+  void dispatcher_main();
+  void run_job(const JobHandle& job);  // begin_running + execute + account
+  void account_outcome(JobState state);  // bump counters BEFORE finish()
+  JobHandle reject(TaskGraphProblem& problem, RunSpec spec, JobLimits limits,
+                   std::string reason);
+  void close(Mode mode);
+
+  std::unique_ptr<WorkStealingPool> owned_pool_;  // null in borrowed mode
+  WorkStealingPool& pool_;
+  const Options options_;
+
+  // mutex_ guards every field below. Dispatchers sleep on work_cv_ waiting
+  // for queue entries or a mode change; terminal accounting goes through
+  // counters_. Dispatcher threads are spawned lazily on first submit() so a
+  // Runtime used only via run_sync costs no threads at all.
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<JobHandle> queue_;
+  std::vector<std::thread> dispatchers_;
+  Mode mode_ = Mode::kAccepting;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_sequence_ = 1;
+  Counters counters_;
+};
+
+}  // namespace ftdag

@@ -64,11 +64,13 @@ void WorkStealingPool::note_heap_job() {
 }
 
 void WorkStealingPool::retire_job(JobNode* job) {
-  void* block = job->pool_block();
-  if (block == nullptr) {
+  if (!job->pooled()) {
     delete job;
     return;
   }
+  // A pooled node was placement-constructed at its block's own address, so
+  // the node pointer is the block pointer: destroy in place, recycle `this`.
+  void* block = static_cast<void*>(job);
   job->~JobNode();
   // Recycle into the *executing* worker's freelist: the block's next reuse
   // is then thread-local, and cross-worker transfers ride the deque's
@@ -91,7 +93,28 @@ int WorkStealingPool::current_worker_index() const {
 }
 
 void WorkStealingPool::enqueue(JobNode* job) {
-  pending_.fetch_add(1, std::memory_order_relaxed);
+  // Ordinary spawns inherit the group of the job the spawning worker is
+  // currently executing (nullptr on non-worker threads), so a whole spawn
+  // tree is charged to the group of its root.
+  enqueue_tagged(job, current_group());
+}
+
+void WorkStealingPool::enqueue_tagged(JobNode* job, JobGroup* group) {
+  job->set_group(group);
+  // Relaxed increments: the enqueue happens-before the job can run (deque/
+  // injection handoff), so the matching acq_rel decrement in finish_job can
+  // never observe the counter before this add.
+  //
+  // Tagged and untagged jobs charge *different* counters: a grouped job
+  // touches only its group's count, because the group as a whole holds one
+  // pool-pending token (taken in run_group_to_quiescence, released when the
+  // group drains). Keeping the hot path at one inc + one dec per job is what
+  // bench_hotpath's e2e rows price; charging both counters per job costs
+  // fine-grained apps (lcs) ~30% end to end.
+  if (group != nullptr)
+    group->pending_.fetch_add(1, std::memory_order_relaxed);
+  else
+    pending_.fetch_add(1, std::memory_order_relaxed);
   if (on_worker_thread()) {
     tls_worker_->deque.push(job);
   } else {
@@ -199,26 +222,57 @@ JobNode* WorkStealingPool::scan_all(Worker& self) {
   return nullptr;
 }
 
-void WorkStealingPool::finish_job() {
-  // pairs: pool-pending — the release half publishes this job's effects;
-  // the quiescence waiter's acquire load collects them all.
-  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    // Last outstanding job: wake the run_to_quiescence waiter. Lock then
-    // notify so the waiter cannot miss the transition between its predicate
-    // check and its wait.
+void WorkStealingPool::finish_job(JobGroup* group) {
+  // Each job settles exactly one counter (see enqueue): its group's count if
+  // tagged, the whole-pool count otherwise. The release half of the
+  // decrement publishes this job's effects; the waiter's acquire load
+  // collects them.
+  bool wake = false;
+  if (group != nullptr) {
+    // pairs: group-pending
+    if (group->pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      wake = true;
+      // Group drained: release the pool-pending token the group's run has
+      // held since run_group_to_quiescence started. The acquire half of the
+      // group decrement above already collected every job of the tree, so
+      // this release hands the whole tree's effects to a global-quiescence
+      // waiter in one edge.
+      // pairs: pool-pending
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  } else {
+    // pairs: pool-pending
+    wake = pending_.fetch_sub(1, std::memory_order_acq_rel) == 1;
+  }
+  if (wake) {
+    // A waiter's predicate may just have turned true: lock then notify so a
+    // waiter between its predicate check and its wait cannot miss the
+    // transition. (A drained group can also be the pool's last token, so
+    // both waiter kinds share done_cv_ and notify_all.)
     { std::lock_guard<std::mutex> guard(sleep_mutex_); }
     done_cv_.notify_all();
   }
+}
+
+void WorkStealingPool::execute_node(Worker& self, JobNode* job) {
+  // Propagate the node's group to nested spawns for the duration of the
+  // run; save/restore because parallel_for's help-while-waiting loop
+  // executes foreign nodes from inside a running job.
+  JobGroup* const enclosing = self.current_group;
+  JobGroup* const group = job->group();
+  self.current_group = group;
+  job->run();
+  self.current_group = enclosing;
+  retire_job(job);
+  self.stats.bump(self.stats.jobs_executed);
+  finish_job(group);
 }
 
 void WorkStealingPool::worker_main(Worker& self) {
   tls_worker_ = &self;
   while (!stop_.load(std::memory_order_acquire)) {  // pairs: pool-stop
     if (JobNode* job = find_work(self)) {
-      job->run();
-      retire_job(job);
-      self.stats.bump(self.stats.jobs_executed);
-      finish_job();
+      execute_node(self, job);
       continue;
     }
     // Nothing found: publish intent to sleep, re-scan once, then wait for a
@@ -229,10 +283,7 @@ void WorkStealingPool::worker_main(Worker& self) {
     const std::uint64_t epoch =
         signal_epoch_.load(std::memory_order_acquire);  // pairs: pool-epoch
     if (JobNode* job = scan_all(self)) {
-      job->run();
-      retire_job(job);
-      self.stats.bump(self.stats.jobs_executed);
-      finish_job();
+      execute_node(self, job);
       continue;
     }
     std::unique_lock<std::mutex> lk(sleep_mutex_);
@@ -247,26 +298,45 @@ void WorkStealingPool::worker_main(Worker& self) {
   tls_worker_ = nullptr;
 }
 
+void WorkStealingPool::spawn_root(JobGroup* group,
+                                  std::function<void()> root) {
+  // Root jobs come from non-worker threads, which have no block freelist;
+  // they take the heap path exactly as plain spawn would.
+  note_heap_job();
+  enqueue_tagged(make_job(std::move(root)), group);
+}
+
 void WorkStealingPool::run_to_quiescence(std::function<void()> root) {
   FTDAG_ASSERT(!on_worker_thread(),
                "run_to_quiescence must be called from outside the pool");
-  bool expected = false;
-  // Acquire on success so a back-to-back caller observes everything the
-  // previous run published before its release-store of false below;
-  // relaxed on failure, which only feeds the assert.
-  FTDAG_ASSERT(run_active_.compare_exchange_strong(
-                   expected, true,
-                   std::memory_order_acquire,  // pairs: run-active
-                   std::memory_order_relaxed),
-               "only one run_to_quiescence at a time");
-  spawn(std::move(root));
+  spawn_root(nullptr, std::move(root));
   {
     std::unique_lock<std::mutex> lk(sleep_mutex_);
     done_cv_.wait(lk, [&] {
       return pending_.load(std::memory_order_acquire) == 0;  // pairs: pool-pending
     });
   }
-  run_active_.store(false, std::memory_order_release);  // pairs: run-active
+}
+
+void WorkStealingPool::run_group_to_quiescence(JobGroup& group,
+                                               std::function<void()> root) {
+  FTDAG_ASSERT(!on_worker_thread(),
+               "run_group_to_quiescence must be called from outside the pool");
+  FTDAG_ASSERT(group.pending_.load(std::memory_order_relaxed) == 0,
+               "JobGroup is already running a spawn tree");
+  // The group holds one pool-pending token for its whole run, so global
+  // quiescence still covers grouped work without the per-job double count
+  // (tagged jobs charge only their group; see enqueue). Relaxed: the token
+  // is published to finish_job via the root-job handoff below.
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  spawn_root(&group, std::move(root));
+  {
+    std::unique_lock<std::mutex> lk(sleep_mutex_);
+    done_cv_.wait(lk, [&] {
+      // pairs: group-pending
+      return group.pending_.load(std::memory_order_acquire) == 0;
+    });
+  }
 }
 
 void WorkStealingPool::parallel_for(
@@ -308,17 +378,19 @@ void WorkStealingPool::parallel_for(
     while (ctx.remaining.load(
                std::memory_order_acquire) > 0) {  // pairs: for-remaining
       if (JobNode* job = find_work(*tls_worker_)) {
-        job->run();
-        retire_job(job);
-        tls_worker_->stats.bump(tls_worker_->stats.jobs_executed);
-        finish_job();
+        execute_node(*tls_worker_, job);
         backoff.reset();
       } else {
         backoff.pause();
       }
     }
   } else {
-    run_to_quiescence([&ctx, begin, end] { Split::run(ctx, begin, end); });
+    // Private group: the caller joins its own split tree only, so an
+    // external parallel_for (e.g. a checkpoint-executor level barrier)
+    // does not stall on unrelated jobs sharing the pool.
+    JobGroup group;
+    run_group_to_quiescence(group,
+                            [&ctx, begin, end] { Split::run(ctx, begin, end); });
     // Acquire to order against the workers' acq_rel fetch_sub of the
     // iteration count, matching the helper loop above. pairs: for-remaining
     FTDAG_ASSERT(ctx.remaining.load(std::memory_order_acquire) == 0,

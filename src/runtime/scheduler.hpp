@@ -10,10 +10,21 @@
 //
 // NABBIT's traversal routines are fire-and-forget spawns whose completion is
 // observed through the task graph itself (the sink task completing), so the
-// pool exposes *quiescence* as the join mechanism: `run_to_quiescence(root)`
-// runs root and every transitively spawned job, returning when the global
-// outstanding-job count drains to zero. The pool persists across runs; the
-// executors reuse one pool for a whole experiment sweep.
+// pool exposes *quiescence* as the join mechanism. Two granularities exist:
+//
+//  - `run_group_to_quiescence(group, root)` runs root and every job it
+//    transitively spawns under a per-job completion group; any number of
+//    groups may be in flight concurrently (this is what lets ftdag::Runtime
+//    multiplex independent jobs over one pool). Workers propagate a node's
+//    group tag to its nested spawns, so a group's pending count covers the
+//    whole spawn tree and nothing else.
+//  - `run_to_quiescence(root)` is the legacy whole-pool join: it returns
+//    when the *global* outstanding-job count drains to zero, i.e. it also
+//    waits for unrelated work (other groups, external spawns). Single-tenant
+//    callers (benches, scheduler tests) keep using it unchanged.
+//
+// The pool persists across runs; the executors reuse one pool for a whole
+// experiment sweep, and ftdag::Runtime keeps one alive across many jobs.
 //
 // Hot-path tuning (measured by bench_hotpath against BENCH_hotpath.json):
 // spawns that fit a 64-byte block come from a per-worker freelist instead
@@ -41,6 +52,38 @@
 
 namespace ftdag {
 
+// Per-job completion group: counts the outstanding jobs of one spawn tree so
+// independent jobs can share a pool and still join individually. A group is
+// owned by its waiter (stack of run_group_to_quiescence, or a JobSession)
+// and must outlive its run; the pool only ever touches `pending_`.
+//
+// Lifetime safety: the waiter cannot return before pending_ drains to zero,
+// and the decrement that takes it to zero is the last access any worker
+// makes through the group pointer — so destroying the group after the wait
+// returns is sound even while other groups are still running.
+class JobGroup {
+ public:
+  JobGroup() = default;
+  JobGroup(const JobGroup&) = delete;
+  JobGroup& operator=(const JobGroup&) = delete;
+
+  // Outstanding jobs charged to this group. Exact only while no job of the
+  // group can spawn (i.e. after the group's run returned).
+  std::int64_t pending() const {
+    return pending_.load(std::memory_order_acquire);  // pairs: group-pending
+  }
+
+ private:
+  friend class WorkStealingPool;
+  alignas(kCacheLine) std::atomic<std::int64_t> pending_{0};
+};
+
+// JobNode packs the group pointer into its header word alongside the
+// pooled-storage bit (see job.hpp); the cache-line alignment above is what
+// keeps the pointer's low bits free for that.
+static_assert(alignof(JobGroup) >= kCacheLine,
+              "JobNode's tagged header steals low bits from group pointers");
+
 class WorkStealingPool {
  public:
   // Creates `threads` workers. `seed` drives victim selection only.
@@ -54,18 +97,24 @@ class WorkStealingPool {
   unsigned thread_count() const { return static_cast<unsigned>(workers_.size()); }
 
   // Schedules fn. From a worker thread: pushed onto its own deque (stealable
-  // by others). From any other thread: placed on the injection queue.
+  // by others) and tagged with the group of the job the worker is currently
+  // executing (nullptr outside any group run). From any other thread: placed
+  // on the injection queue, untagged.
   //
   // Fast path: a callable that fits kJobBlockBytes is placement-constructed
   // into a block from the spawning worker's freelist — no heap round-trip.
   // Oversized callables, non-worker spawns, and pool exhaustion fall back
   // to make_job's plain new (retired with delete).
+  // Tagging happens inside the out-of-line enqueue, NOT here: this template
+  // body is inlined into every traversal call site, and keeping it at the
+  // pre-group footprint preserves the callers' own inlining decisions (the
+  // e2e rows of bench_hotpath are sensitive to this).
   template <typename F>
   void spawn(F&& fn) {
     if constexpr (job_fits_block<F>) {
       if (void* block = alloc_job_block()) {
         auto* job = new (block) JobImpl<std::decay_t<F>>(std::forward<F>(fn));
-        job->set_pool_block(block);
+        job->set_pooled();
         enqueue(job);
         return;
       }
@@ -75,9 +124,20 @@ class WorkStealingPool {
   }
 
   // Runs `root` plus everything it transitively spawns; blocks the calling
-  // (non-worker) thread until the pool is quiescent again. Only one
-  // run_to_quiescence may be active at a time.
+  // (non-worker) thread until the *whole pool* is quiescent — including
+  // jobs of other concurrent groups and external spawns. Any number of
+  // runs (group or global) may be active concurrently; a global run simply
+  // waits for all of them.
   void run_to_quiescence(std::function<void()> root);
+
+  // Runs `root` plus everything it transitively spawns under `group`,
+  // blocking the calling (non-worker) thread until the group's outstanding
+  // count drains to zero. Concurrent group runs proceed independently: a
+  // short job's wait returns as soon as *its* spawn tree finished, no matter
+  // how much unrelated work the pool still holds. External (non-worker)
+  // spawns made by other threads during the run are pool work, not group
+  // work — a job owns exactly what it transitively spawned.
+  void run_group_to_quiescence(JobGroup& group, std::function<void()> root);
 
   // Divide-and-conquer parallel for over [begin, end), splitting down to
   // `grain` iterations per leaf. Blocks until every iteration ran. Intended
@@ -110,19 +170,38 @@ class WorkStealingPool {
     WorkStealingPool* pool = nullptr;
     unsigned index = 0;
     WorkerStats stats;
+    // Group of the job this worker is currently executing; nested spawns
+    // inherit it. Touched only by the owning worker thread.
+    JobGroup* current_group = nullptr;
     // Job-block freelist: touched only by the owning worker thread (blocks
     // arrive via the deque handoff, which synchronizes the transfer).
     std::vector<void*> free_blocks;
   };
 
+  // Group the next spawn from this thread is charged to: the executing
+  // job's group on a worker thread, nullptr elsewhere.
+  JobGroup* current_group() const {
+    Worker* w = tls_worker_;
+    return (w != nullptr && w->pool == this) ? w->current_group : nullptr;
+  }
+
   void worker_main(Worker& self);
+  // Tags the job with the calling thread's current group and hands it to
+  // enqueue_tagged. Out-of-line on purpose — see spawn().
   void enqueue(JobNode* job);
+  void enqueue_tagged(JobNode* job, JobGroup* group);
+  // Heap-allocates a root job with an explicit group tag; used by the
+  // quiescence entry points, which run on non-worker threads.
+  void spawn_root(JobGroup* group, std::function<void()> root);
+  // Runs one dequeued node on this worker: propagates its group tag to
+  // nested spawns, retires it, and settles its completion counter.
+  void execute_node(Worker& self, JobNode* job);
   JobNode* find_work(Worker& self);
   JobNode* scan_all(Worker& self);
   JobNode* try_steal(Worker& self);
   void batch_steal(Worker& self, Worker& victim);
   JobNode* pop_injected();
-  void finish_job();
+  void finish_job(JobGroup* group);
   void signal_work();
   // Pool-block management for spawn/retire (see job.hpp for the contract).
   void* alloc_job_block();
@@ -144,11 +223,10 @@ class WorkStealingPool {
   alignas(kCacheLine) std::atomic<std::uint64_t> signal_epoch_{0};
   std::atomic<bool> stop_{false};
   std::atomic<int> sleepers_{0};
-  std::atomic<bool> run_active_{false};
 
   std::mutex sleep_mutex_;
   std::condition_variable sleep_cv_;  // workers wait for work
-  std::condition_variable done_cv_;   // run_to_quiescence waits for drain
+  std::condition_variable done_cv_;   // quiescence waiters (global + groups)
 
   static thread_local Worker* tls_worker_;
 };

@@ -1,5 +1,6 @@
 #include "support/cli.hpp"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -7,6 +8,31 @@
 #include "support/version.hpp"
 
 namespace ftdag {
+namespace {
+
+[[noreturn]] void flag_value_error(const std::string& name,
+                                   const std::string& value,
+                                   const char* want) {
+  std::fprintf(stderr, "invalid value for --%s: '%s' (want %s)\n", name.c_str(),
+               value.c_str(), want);
+  std::exit(2);
+}
+
+// Full-string integer parse: the whole value must be one in-range decimal
+// integer. strtoll's permissive prefix parse ("8x" -> 8, "" -> 0) is how
+// --threads=true or a mistyped --reps=1O silently became a bogus config.
+std::int64_t parse_int_value(const std::string& name, const std::string& value,
+                             const char* want) {
+  const char* s = value.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE)
+    flag_value_error(name, value, want);
+  return v;
+}
+
+}  // namespace
 
 Cli::Cli(int argc, char** argv) {
   if (argc > 0) program_ = argv[0];
@@ -42,7 +68,27 @@ std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
   note(name, std::to_string(def));
   auto it = flags_.find(name);
   if (it == flags_.end()) return def;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  return parse_int_value(name, it->second, "an integer");
+}
+
+std::int64_t Cli::get_positive_int(const std::string& name,
+                                   std::int64_t def) const {
+  note(name, std::to_string(def));
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  const std::int64_t v = parse_int_value(name, it->second, "an integer >= 1");
+  if (v < 1) flag_value_error(name, it->second, "an integer >= 1");
+  return v;
+}
+
+std::int64_t Cli::get_nonneg_int(const std::string& name,
+                                 std::int64_t def) const {
+  note(name, std::to_string(def));
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  const std::int64_t v = parse_int_value(name, it->second, "an integer >= 0");
+  if (v < 0) flag_value_error(name, it->second, "an integer >= 0");
+  return v;
 }
 
 double Cli::get_double(const std::string& name, double def) const {
@@ -51,7 +97,13 @@ double Cli::get_double(const std::string& name, double def) const {
   note(name, buf);
   auto it = flags_.find(name);
   if (it == flags_.end()) return def;
-  return std::strtod(it->second.c_str(), nullptr);
+  const char* s = it->second.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || errno == ERANGE)
+    flag_value_error(name, it->second, "a number");
+  return v;
 }
 
 std::string Cli::get_string(const std::string& name,
@@ -71,6 +123,22 @@ bool Cli::get_bool(const std::string& name, bool def) const {
 std::vector<std::string> Cli::get_list(const std::string& name,
                                        const std::string& def) const {
   return split_csv(get_string(name, def));
+}
+
+std::vector<std::int64_t> Cli::get_positive_int_list(
+    const std::string& name, const std::string& def) const {
+  const std::string value = get_string(name, def);
+  std::vector<std::int64_t> out;
+  for (const std::string& item : split_csv(value)) {
+    const std::int64_t v =
+        parse_int_value(name, item, "a comma-separated list of integers >= 1");
+    if (v < 1)
+      flag_value_error(name, item, "a comma-separated list of integers >= 1");
+    out.push_back(v);
+  }
+  if (out.empty())
+    flag_value_error(name, value, "a comma-separated list of integers >= 1");
+  return out;
 }
 
 void Cli::check_unknown() const {

@@ -24,14 +24,30 @@ class Cli {
   Cli(int argc, char** argv);
 
   bool has(const std::string& name) const;
+  // Numeric getters reject malformed values outright: trailing garbage,
+  // empty strings and out-of-range magnitudes print a one-line error naming
+  // the flag and exit 2 (same contract as an unknown flag — experiment
+  // scripts fail loudly, not with a silently-parsed 0).
   std::int64_t get_int(const std::string& name, std::int64_t def) const;
   double get_double(const std::string& name, double def) const;
   std::string get_string(const std::string& name, const std::string& def) const;
   bool get_bool(const std::string& name, bool def) const;
 
+  // Bounded variants for count-like flags: get_positive_int rejects values
+  // < 1 (--threads=0, --reps=-3), get_nonneg_int rejects values < 0
+  // (--snapshot-every=-1). Same exit-2-with-flag-name contract.
+  std::int64_t get_positive_int(const std::string& name,
+                                std::int64_t def) const;
+  std::int64_t get_nonneg_int(const std::string& name, std::int64_t def) const;
+
   // Splits a comma-separated flag into items, e.g. --apps=lcs,fw.
   std::vector<std::string> get_list(const std::string& name,
                                     const std::string& def) const;
+
+  // Comma-separated list of integers >= 1 (e.g. --threads=1,2,4 for sweep
+  // benches); empty lists and malformed or nonpositive entries exit 2.
+  std::vector<std::int64_t> get_positive_int_list(const std::string& name,
+                                                  const std::string& def) const;
 
   // Positional (non-flag) arguments in order of appearance.
   const std::vector<std::string>& positional() const { return positional_; }

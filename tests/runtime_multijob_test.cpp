@@ -1,0 +1,338 @@
+// Multi-job runtime tests: the per-job isolation contract under real
+// concurrency (this file is in the TSan and ASan CI binaries), plus the
+// Runtime state machine — admission bounds, FIFO dispatch, cancellation,
+// queue deadlines, drain/shutdown determinism and the spec-validation
+// rejections (including the durable-resume-with-reps footgun).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/app_registry.hpp"
+#include "fault/fault_plan.hpp"
+#include "runtime/runtime.hpp"
+
+namespace ftdag {
+namespace {
+
+AppConfig small_config(const std::string& name) {
+  if (name == "fw") return {64, 16, 3};
+  return {128, 32, 3};
+}
+
+RunSpec spec_of(ExecutorKind kind, int reps = 1) {
+  RunSpec spec;
+  spec.kind = kind;
+  spec.reps = reps;
+  return spec;
+}
+
+// A spec whose job runs long enough (many reps) that the test can observe
+// the runtime mid-flight: wait for kRunning, then exercise the queue behind
+// the busy dispatcher.
+RunSpec busy_spec() { return spec_of(ExecutorKind::kBaseline, 60); }
+
+void wait_until_running(const JobHandle& job) {
+  while (job->state() == JobState::kQueued) std::this_thread::yield();
+  ASSERT_EQ(job->state(), JobState::kRunning);
+}
+
+// The isolation stress: six mixed-kind jobs run concurrently on one shared
+// pool, one of them under fault injection. Every job must produce the exact
+// solo result (the checksum validation inside each repetition is the
+// byte-identity check against the per-problem sequential reference), and
+// the per-job ExecReport counters must not bleed: only the injected job
+// sees faults, the baseline jobs see none of the FT machinery.
+TEST(RuntimeMultiJob, ConcurrentMixedJobsAreIsolated) {
+  struct JobPlan {
+    const char* app;
+    ExecutorKind kind;
+    bool inject;
+  };
+  const JobPlan plans[] = {
+      {"lcs", ExecutorKind::kBaseline, false},
+      {"fw", ExecutorKind::kFaultTolerant, true},
+      {"lcs", ExecutorKind::kFaultTolerant, false},
+      {"fw", ExecutorKind::kBaseline, false},
+      {"lcs", ExecutorKind::kCheckpoint, false},
+      {"fw", ExecutorKind::kFaultTolerant, false},
+  };
+
+  std::vector<std::unique_ptr<TaskGraphProblem>> problems;
+  std::vector<std::unique_ptr<FaultInjector>> injectors;
+  std::vector<RunSpec> specs;
+  for (const JobPlan& p : plans) {
+    problems.push_back(make_app(p.app, small_config(p.app)));
+    RunSpec spec = spec_of(p.kind, 3);
+    if (p.inject) {
+      FaultPlanner planner(*problems.back());
+      FaultPlanSpec fspec;
+      fspec.target_count = 4;
+      fspec.seed = 11;
+      injectors.push_back(std::make_unique<PlannedFaultInjector>(
+          planner.plan(fspec).faults));
+      spec.injector = injectors.back().get();
+    }
+    specs.push_back(spec);
+  }
+
+  // Solo reference pass: each job alone on the pool, recording counters.
+  std::vector<std::uint64_t> solo_tasks;
+  {
+    Runtime::Options opts;
+    opts.threads = 4;
+    Runtime runtime(opts);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (specs[i].injector != nullptr) specs[i].injector->reset();
+      JobHandle job = runtime.run_sync(*problems[i], specs[i]);
+      ASSERT_EQ(job->wait(), JobState::kCompleted) << job->error();
+      solo_tasks.push_back(job->runs().reports.back().tasks_discovered);
+    }
+  }
+
+  // Concurrent pass: all six in flight at once.
+  Runtime::Options opts;
+  opts.threads = 4;
+  opts.max_inflight = 6;
+  Runtime runtime(opts);
+  std::vector<JobHandle> handles;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (specs[i].injector != nullptr) specs[i].injector->reset();
+    handles.push_back(runtime.submit(*problems[i], specs[i]));
+  }
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    ASSERT_EQ(handles[i]->wait(), JobState::kCompleted) << handles[i]->error();
+    // Validation ran inside every repetition; re-check the final state too.
+    EXPECT_EQ(problems[i]->result_checksum(), problems[i]->reference_checksum())
+        << "job " << i;
+    ASSERT_EQ(handles[i]->runs().reports.size(), 3u);
+    for (const ExecReport& r : handles[i]->runs().reports) {
+      EXPECT_EQ(r.tasks_discovered, solo_tasks[i]) << "job " << i;
+      if (plans[i].inject) {
+        EXPECT_GT(r.injected, 0u) << "job " << i;
+        EXPECT_GT(r.recoveries, 0u) << "job " << i;
+      } else {
+        // Nothing bled over from the injected neighbour.
+        EXPECT_EQ(r.injected, 0u) << "job " << i;
+        EXPECT_EQ(r.faults_caught, 0u) << "job " << i;
+        EXPECT_EQ(r.recoveries, 0u) << "job " << i;
+      }
+    }
+  }
+  const Runtime::Counters c = runtime.counters();
+  EXPECT_EQ(c.submitted, 6u);
+  EXPECT_EQ(c.completed, 6u);
+  EXPECT_EQ(c.rejected, 0u);
+}
+
+TEST(RuntimeMultiJob, FifoStartOrder) {
+  Runtime::Options opts;
+  opts.threads = 2;
+  opts.max_inflight = 1;
+  Runtime runtime(opts);
+  std::vector<std::unique_ptr<TaskGraphProblem>> problems;
+  std::vector<JobHandle> handles;
+  for (int i = 0; i < 4; ++i) {
+    problems.push_back(make_app("lcs", small_config("lcs")));
+    handles.push_back(
+        runtime.submit(*problems.back(), spec_of(ExecutorKind::kBaseline)));
+  }
+  runtime.drain();
+  std::uint64_t prev = 0;
+  for (const JobHandle& job : handles) {
+    EXPECT_EQ(job->state(), JobState::kCompleted) << job->error();
+    EXPECT_GT(job->run_sequence(), prev);  // started in submission order
+    prev = job->run_sequence();
+  }
+}
+
+TEST(RuntimeMultiJob, QueueBoundRejectsAndTryCancelDequeues) {
+  Runtime::Options opts;
+  opts.threads = 2;
+  opts.max_inflight = 1;
+  opts.max_queued = 1;
+  Runtime runtime(opts);
+  auto busy = make_app("lcs", small_config("lcs"));
+  auto queued = make_app("lcs", small_config("lcs"));
+  auto extra = make_app("lcs", small_config("lcs"));
+
+  JobHandle j1 = runtime.submit(*busy, busy_spec());
+  wait_until_running(j1);  // queue is now empty, the only dispatcher is busy
+  JobHandle j2 = runtime.submit(*queued, spec_of(ExecutorKind::kBaseline));
+  EXPECT_EQ(j2->state(), JobState::kQueued);
+  JobHandle j3 = runtime.submit(*extra, spec_of(ExecutorKind::kBaseline));
+  EXPECT_EQ(j3->state(), JobState::kRejected);
+  EXPECT_NE(j3->error().find("admission queue full"), std::string::npos)
+      << j3->error();
+
+  // Cancel the queued job before the dispatcher frees up.
+  EXPECT_TRUE(j2->try_cancel());
+  EXPECT_EQ(j2->wait(), JobState::kCancelled);
+  EXPECT_FALSE(j2->try_cancel());  // terminal: nothing to cancel
+
+  EXPECT_EQ(j1->wait(), JobState::kCompleted) << j1->error();
+  const Runtime::Counters c = runtime.counters();
+  EXPECT_EQ(c.submitted, 2u);
+  EXPECT_EQ(c.rejected, 1u);
+}
+
+TEST(RuntimeMultiJob, QueueDeadlineExpires) {
+  Runtime::Options opts;
+  opts.threads = 2;
+  opts.max_inflight = 1;
+  Runtime runtime(opts);
+  auto busy = make_app("lcs", small_config("lcs"));
+  auto late = make_app("lcs", small_config("lcs"));
+
+  JobHandle j1 = runtime.submit(*busy, busy_spec());
+  wait_until_running(j1);
+  JobLimits limits;
+  limits.queue_timeout_seconds = 1e-9;  // expires behind the busy dispatcher
+  JobHandle j2 =
+      runtime.submit(*late, spec_of(ExecutorKind::kBaseline), limits);
+  EXPECT_EQ(j2->wait(), JobState::kExpired);
+  EXPECT_EQ(j1->wait(), JobState::kCompleted) << j1->error();
+  EXPECT_EQ(runtime.counters().expired, 1u);
+}
+
+TEST(RuntimeMultiJob, DrainFinishesQueuedJobsThenRejects) {
+  Runtime::Options opts;
+  opts.threads = 2;
+  opts.max_inflight = 2;
+  Runtime runtime(opts);
+  std::vector<std::unique_ptr<TaskGraphProblem>> problems;
+  std::vector<JobHandle> handles;
+  for (int i = 0; i < 5; ++i) {
+    problems.push_back(make_app("fw", small_config("fw")));
+    handles.push_back(
+        runtime.submit(*problems.back(), spec_of(ExecutorKind::kBaseline, 2)));
+  }
+  runtime.drain();
+  for (const JobHandle& job : handles)
+    EXPECT_EQ(job->state(), JobState::kCompleted) << job->error();
+  EXPECT_EQ(runtime.counters().completed, 5u);
+
+  auto after = make_app("lcs", small_config("lcs"));
+  JobHandle rejected =
+      runtime.submit(*after, spec_of(ExecutorKind::kBaseline));
+  EXPECT_EQ(rejected->state(), JobState::kRejected);
+}
+
+TEST(RuntimeMultiJob, ShutdownCancelsQueuedButFinishesRunning) {
+  Runtime::Options opts;
+  opts.threads = 2;
+  opts.max_inflight = 1;
+  Runtime runtime(opts);
+  auto busy = make_app("lcs", small_config("lcs"));
+  auto queued = make_app("lcs", small_config("lcs"));
+
+  JobHandle j1 = runtime.submit(*busy, busy_spec());
+  wait_until_running(j1);
+  JobHandle j2 = runtime.submit(*queued, spec_of(ExecutorKind::kBaseline));
+  runtime.shutdown();
+  EXPECT_EQ(j1->state(), JobState::kCompleted) << j1->error();
+  EXPECT_EQ(j2->state(), JobState::kCancelled);
+  EXPECT_EQ(runtime.counters().cancelled, 1u);
+}
+
+TEST(RuntimeMultiJob, SpecValidationRejects) {
+  // The injector-kind rule.
+  auto app = make_app("lcs", small_config("lcs"));
+  PlannedFaultInjector injector({});
+  RunSpec bad = spec_of(ExecutorKind::kBaseline);
+  bad.injector = &injector;
+  EXPECT_NE(spec_error(bad).find("fault-tolerant"), std::string::npos);
+
+  RunSpec zero_reps = spec_of(ExecutorKind::kBaseline, 0);
+  EXPECT_NE(spec_error(zero_reps).find("reps"), std::string::npos);
+
+  // The durable-resume footgun: resume + reps > 1 would restore the
+  // finished state and skip every repetition after the first.
+  RunSpec footgun = spec_of(ExecutorKind::kFaultTolerant, 3);
+  footgun.durability.dir = "/tmp/ftdag_footgun";
+  footgun.durability.resume = true;
+  const std::string err = spec_error(footgun);
+  EXPECT_NE(err.find("resume"), std::string::npos) << err;
+  EXPECT_NE(err.find("reps"), std::string::npos) << err;
+  footgun.reps = 1;
+  EXPECT_EQ(spec_error(footgun), "");
+
+  Runtime::Options opts;
+  opts.threads = 2;
+  Runtime runtime(opts);
+  JobHandle job = runtime.submit(*app, bad);
+  EXPECT_EQ(job->state(), JobState::kRejected);
+  EXPECT_EQ(job->wait(), JobState::kRejected);  // terminal immediately
+  EXPECT_EQ(runtime.counters().rejected, 1u);
+}
+
+// Two durable jobs sharing one base persist dir must not share a WAL:
+// distinct job_tags give each its own subdirectory.
+TEST(RuntimeMultiJob, ConcurrentDurableJobsUseTaggedSubdirs) {
+  namespace fs = std::filesystem;
+  const fs::path base =
+      fs::temp_directory_path() / "ftdag_runtime_multijob_test";
+  fs::remove_all(base);
+
+  Runtime::Options opts;
+  opts.threads = 4;
+  opts.max_inflight = 2;
+  Runtime runtime(opts);
+  auto a = make_app("lcs", small_config("lcs"));
+  auto b = make_app("fw", small_config("fw"));
+
+  RunSpec spec = spec_of(ExecutorKind::kFaultTolerant);
+  spec.durability.dir = base.string();
+  spec.job_tag = "job-a";
+  JobHandle ja = runtime.submit(*a, spec);
+  spec.job_tag = "job-b";
+  JobHandle jb = runtime.submit(*b, spec);
+  EXPECT_EQ(ja->wait(), JobState::kCompleted) << ja->error();
+  EXPECT_EQ(jb->wait(), JobState::kCompleted) << jb->error();
+
+  ASSERT_TRUE(fs::is_directory(base / "job-a"));
+  ASSERT_TRUE(fs::is_directory(base / "job-b"));
+  EXPECT_FALSE(fs::is_empty(base / "job-a"));
+  EXPECT_FALSE(fs::is_empty(base / "job-b"));
+  EXPECT_GT(ja->runs().reports.back().wal_records, 0u);
+  EXPECT_GT(jb->runs().reports.back().wal_records, 0u);
+  fs::remove_all(base);
+}
+
+// Per-group quiescence at the scheduler layer: external threads can each
+// join their own spawn tree on one shared pool without waiting on each
+// other's work.
+TEST(RuntimeMultiJob, ConcurrentGroupJoinsOnSharedPool) {
+  WorkStealingPool pool(4);
+  constexpr int kThreads = 4;
+  constexpr int kSpawnsPerTree = 64;
+  std::vector<std::thread> threads;
+  std::vector<std::atomic<int>> counts(kThreads);
+  for (auto& c : counts) c.store(0, std::memory_order_relaxed);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, &counts, t] {
+      for (int round = 0; round < 8; ++round) {
+        JobGroup group;
+        std::atomic<int>& count = counts[t];
+        pool.run_group_to_quiescence(group, [&pool, &count] {
+          for (int i = 0; i < kSpawnsPerTree; ++i)
+            pool.spawn([&count] {
+              count.fetch_add(1, std::memory_order_relaxed);
+            });
+        });
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (const auto& c : counts)
+    EXPECT_EQ(c.load(std::memory_order_relaxed), 8 * kSpawnsPerTree);
+}
+
+}  // namespace
+}  // namespace ftdag

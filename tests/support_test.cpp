@@ -190,6 +190,39 @@ TEST(Cli, PositionalArguments) {
   EXPECT_EQ(cli.get_int("n", 0), 5);
 }
 
+TEST(Cli, ValidatedIntGetters) {
+  const char* argv[] = {"prog", "--threads=4", "--reps=2", "--snap=0"};
+  Cli cli(4, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_positive_int("threads", 1), 4);
+  EXPECT_EQ(cli.get_positive_int("reps", 5), 2);
+  EXPECT_EQ(cli.get_nonneg_int("snap", 8), 0);
+  EXPECT_EQ(cli.get_positive_int("absent", 3), 3);
+  auto list = cli.get_positive_int_list("list", "1,2,4");
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[2], 4);
+}
+
+// Malformed or out-of-bounds numeric flags exit 2 with a one-line error
+// naming the flag, instead of strtoll's silent prefix parse.
+TEST(CliDeathTest, RejectsMalformedNumericFlags) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const char* argv[] = {"prog", "--threads=abc", "--reps=0",
+                        "--snapshot-every=-1", "--scale=fast", "--list=2,x"};
+  Cli cli(6, const_cast<char**>(argv));
+  EXPECT_EXIT((void)cli.get_int("threads", 1),
+              ::testing::ExitedWithCode(2), "invalid value for --threads");
+  EXPECT_EXIT((void)cli.get_positive_int("threads", 1),
+              ::testing::ExitedWithCode(2), "--threads.*>= 1");
+  EXPECT_EXIT((void)cli.get_positive_int("reps", 1),
+              ::testing::ExitedWithCode(2), "--reps.*>= 1");
+  EXPECT_EXIT((void)cli.get_nonneg_int("snapshot-every", 0),
+              ::testing::ExitedWithCode(2), "--snapshot-every.*>= 0");
+  EXPECT_EXIT((void)cli.get_double("scale", 1.0),
+              ::testing::ExitedWithCode(2), "invalid value for --scale");
+  EXPECT_EXIT((void)cli.get_positive_int_list("list", "1"),
+              ::testing::ExitedWithCode(2), "--list");
+}
+
 TEST(Table, RendersAlignedColumns) {
   Table t({"name", "value"});
   t.add_row({"x", "1"});
