@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """check_atomics.py — memory-order lint for the ftdag concurrency contract.
 
-Walks C++ sources (default: src/) and enforces three rules:
+Walks C++ sources (default: src/) and enforces four rules:
 
   A. explicit-order: every std::atomic load/store/exchange/fetch_*/
      compare_exchange_* call must pass an explicit std::memory_order
@@ -26,8 +26,25 @@ Walks C++ sources (default: src/) and enforces three rules:
      release counterpart nobody can point to is a bug waiting for a weaker
      memory model.
 
+  D. raw-sync-primitive: outside src/support/ and src/check/, production
+     code must not declare `std::atomic<...>` or use the bare `SpinLock` /
+     `SpinLockGuard` — use `ftdag::Atomic` / `CheckMutex` /
+     `CheckMutexGuard` from check/sync_shim.hpp instead, so that
+     FTDAG_SCHED_CHECK builds can observe every operation (a raw primitive
+     is invisible to the schedule explorer and silently weakens its
+     coverage). Rule D applies to paths under src/ by default; pass
+     --raw-ban to enforce it on arbitrary paths (fixture tests).
+     `std::atomic_thread_fence` / `_signal_fence` are not banned: the shim
+     wraps objects, not fences (the Chase-Lev fences stay as they are).
+
+Files under src/check/ are not scanned at all: the checking subsystem
+wraps std::atomic by design (shim), names memory orders as *data*
+(detector tables), and carries its synchronizes-with tags as FTDAG_SYNC_TAG
+call arguments that the explorer verifies at runtime — a strictly stronger
+check than the comment convention rules A-C enforce.
+
 Escape hatch: a line containing `NOLINT-ATOMICS(<reason>)` in a comment is
-exempt from rules A and B (never from tag-pairing bookkeeping).
+exempt from rules A, B and D (never from tag-pairing bookkeeping).
 
 Zero dependencies by design: the container and CI runners need only a
 Python 3 interpreter. When the libclang python bindings are importable the
@@ -83,6 +100,13 @@ BOTH_SIDES = ("memory_order_acq_rel",)
 ORDERED = ACQUIRE_SIDE + RELEASE_SIDE + BOTH_SIDES
 
 SOURCE_EXTENSIONS = (".hpp", ".h", ".cpp", ".cc", ".cxx")
+
+# Rule D: where the raw primitives are legitimate. src/support owns the
+# real SpinLock (the shim's substrate); src/check owns the shim itself.
+RAW_BAN_EXEMPT_DIRS = ("src/support", "src/check")
+
+# The checking subsystem is exempt from all rules (see module docstring).
+SKIP_SCAN_DIRS = ("src/check",)
 
 # How many lines above an atomic site a justification comment may sit.
 COMMENT_LOOKBACK = 4
@@ -334,6 +358,58 @@ def check_seq_cst(ft: FileText, hot: bool, findings: list[Finding]) -> None:
         )
 
 
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def norm_path(path: str) -> str:
+    # Directory rules (src/check exemption, the src/ scope of rule D) are
+    # written repo-relative; callers may pass absolute paths (ctest passes
+    # ${CMAKE_SOURCE_DIR}/src), so rebase those onto the repo root first.
+    p = os.path.abspath(path) if os.path.isabs(path) else path
+    if os.path.isabs(p):
+        rel = os.path.relpath(p, REPO_ROOT)
+        if not rel.startswith(".."):
+            p = rel
+    return os.path.normpath(p).replace(os.sep, "/")
+
+
+def under_dirs(path: str, dirs: tuple[str, ...]) -> bool:
+    p = norm_path(path)
+    return any(p == d or p.startswith(d + "/") for d in dirs)
+
+
+RAW_ATOMIC_RE = re.compile(r"std\s*::\s*atomic\s*<")
+RAW_SPINLOCK_RE = re.compile(r"\bSpinLock(?:Guard)?\b")
+
+
+def raw_ban_applies(path: str, force: bool) -> bool:
+    if under_dirs(path, RAW_BAN_EXEMPT_DIRS):
+        return False
+    return force or norm_path(path).startswith("src/")
+
+
+def check_raw_primitives(ft: FileText, findings: list[Finding]) -> None:
+    for idx, code in enumerate(ft.code_lines):
+        hits = []
+        if RAW_ATOMIC_RE.search(code):
+            hits.append(
+                "raw std::atomic<...>: use ftdag::Atomic (check/sync_shim.hpp)"
+                " so FTDAG_SCHED_CHECK builds can observe every operation"
+            )
+        m = RAW_SPINLOCK_RE.search(code)
+        if m:
+            hits.append(
+                f"bare {m.group(0)}: use "
+                f"{'CheckMutexGuard' if m.group(0).endswith('Guard') else 'CheckMutex'}"
+                " (check/sync_shim.hpp) so FTDAG_SCHED_CHECK builds can"
+                " observe lock acquisition order"
+            )
+        if not hits or has_nolint(ft, idx):
+            continue
+        for msg in hits:
+            findings.append(Finding(ft.path, idx + 1, "raw-sync-primitive", msg))
+
+
 PAIRS_TAG_RE = re.compile(r"pairs:\s*([A-Za-z0-9_,\- ]+)")
 
 
@@ -472,13 +548,19 @@ def main() -> int:
                          + " ".join(DEFAULT_HOT_PATH) + ")")
     ap.add_argument("--no-pairs-check", action="store_true",
                     help="skip the acquire/release pairing rule")
+    ap.add_argument("--raw-ban", action="store_true",
+                    help="enforce the raw-sync-primitive rule on every "
+                         "scanned path, not just src/ (fixture tests)")
     ap.add_argument("--use-libclang", action="store_true",
                     help="also cross-check rule A against the libclang AST "
                          "when the bindings are importable")
     args = ap.parse_args()
 
     hot_names = set(args.hot_path) if args.hot_path else set(DEFAULT_HOT_PATH)
-    files = iter_sources(args.paths or ["src"])
+    files = [
+        p for p in iter_sources(args.paths or ["src"])
+        if not under_dirs(p, SKIP_SCAN_DIRS)
+    ]
     if not files:
         print("error: nothing to scan", file=sys.stderr)
         return 2
@@ -490,6 +572,8 @@ def main() -> int:
         check_method_calls(ft, findings)
         check_operator_rmw(ft, collect_atomic_names(ft), findings)
         check_seq_cst(ft, os.path.basename(path) in hot_names, findings)
+        if raw_ban_applies(path, args.raw_ban):
+            check_raw_primitives(ft, findings)
         if not args.no_pairs_check:
             check_pairs(ft, tags, findings)
     if not args.no_pairs_check:

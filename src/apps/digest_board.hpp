@@ -15,6 +15,7 @@
 #include <cstring>
 #include <memory>
 
+#include "check/sync_shim.hpp"
 #include "support/xoshiro.hpp"
 
 namespace ftdag {
@@ -22,14 +23,14 @@ namespace ftdag {
 class DigestBoard {
  public:
   void resize(std::size_t n) {
-    slots_ = std::make_unique<std::atomic<std::uint64_t>[]>(n);
+    slots_ = std::make_unique<Atomic<std::uint64_t>[]>(n);
     size_ = n;
     reset();
   }
 
   std::size_t size() const { return size_; }
 
-  std::atomic<std::uint64_t>* slot(std::size_t i) { return &slots_[i]; }
+  Atomic<std::uint64_t>* slot(std::size_t i) { return &slots_[i]; }
 
   std::uint64_t get(std::size_t i) const {
     return slots_[i].load(std::memory_order_relaxed);
@@ -58,7 +59,7 @@ class DigestBoard {
   // because a slot value is a pure function of task inputs (re-executions
   // rewrite identical bytes) and combined()/get() run post-quiescence.
   // resize()/reset() are setup-time, single-threaded.
-  std::unique_ptr<std::atomic<std::uint64_t>[]> slots_;
+  std::unique_ptr<Atomic<std::uint64_t>[]> slots_;
   std::size_t size_ = 0;
 };
 

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "check/sync_shim.hpp"
 #include "apps/app_config.hpp"
 #include "apps/digest_board.hpp"
 #include "graph/compute_context.hpp"
@@ -53,7 +54,7 @@ class FloydWarshallProblem final : public TaskGraphProblem {
   std::uint64_t result_checksum() const override { return board_.combined(); }
   // Durable restart: the digest board is the resilient result range the
   // persistence layer journals and re-applies (src/persist/).
-  std::atomic<std::uint64_t>* result_slots() override {
+  Atomic<std::uint64_t>* result_slots() override {
     return board_.size() > 0 ? board_.slot(0) : nullptr;
   }
   std::size_t result_slot_count() const override { return board_.size(); }

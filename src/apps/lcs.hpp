@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/sync_shim.hpp"
 #include "apps/app_config.hpp"
 #include "apps/digest_board.hpp"
 #include "apps/wavefront_grid.hpp"
@@ -54,7 +55,7 @@ class LcsProblem final : public TaskGraphProblem {
   std::uint64_t result_checksum() const override { return board_.combined(); }
   // Durable restart: the digest board is the resilient result range the
   // persistence layer journals and re-applies (src/persist/).
-  std::atomic<std::uint64_t>* result_slots() override {
+  Atomic<std::uint64_t>* result_slots() override {
     return board_.size() > 0 ? board_.slot(0) : nullptr;
   }
   std::size_t result_slot_count() const override { return board_.size(); }

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "check/sync_shim.hpp"
 #include "apps/digest_board.hpp"
 #include "graph/compute_context.hpp"
 #include "graph/task_graph_problem.hpp"
@@ -43,7 +44,7 @@ class RandomDagProblem final : public TaskGraphProblem {
   std::uint64_t result_checksum() const override { return board_.combined(); }
   // Durable restart: the digest board is the resilient result range the
   // persistence layer journals and re-applies (src/persist/).
-  std::atomic<std::uint64_t>* result_slots() override {
+  Atomic<std::uint64_t>* result_slots() override {
     return board_.size() > 0 ? board_.slot(0) : nullptr;
   }
   std::size_t result_slot_count() const override { return board_.size(); }

@@ -1,3 +1,4 @@
+#include "check/sync_shim.hpp"
 #include "blocks/block_store.hpp"
 
 #include <algorithm>
@@ -16,11 +17,11 @@ BlockId BlockStore::add_block(std::size_t bytes, Version num_versions) {
                                                             : retention_;
   b.storage = std::make_unique<std::byte[]>(bytes * b.slots);
   b.producers.assign(num_versions, TaskKey{-1});
-  b.states = std::make_unique<std::atomic<VersionState>[]>(num_versions);
+  b.states = std::make_unique<Atomic<VersionState>[]>(num_versions);
   for (Version v = 0; v < num_versions; ++v)
     b.states[v].store(VersionState::kAbsent, std::memory_order_relaxed);
-  b.slot_locks = std::make_unique<SpinLock[]>(b.slots);
-  b.sums = std::make_unique<std::atomic<std::uint64_t>[]>(num_versions);
+  b.slot_locks = std::make_unique<CheckMutex[]>(b.slots);
+  b.sums = std::make_unique<Atomic<std::uint64_t>[]>(num_versions);
   for (Version v = 0; v < num_versions; ++v)
     b.sums[v].store(0, std::memory_order_relaxed);
   storage_bytes_ += bytes * b.slots;

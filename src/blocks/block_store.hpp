@@ -37,6 +37,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/sync_shim.hpp"
 #include "blocks/block_types.hpp"
 #include "fault/fault.hpp"
 #include "graph/task_key.hpp"
@@ -201,7 +202,7 @@ class BlockStore {
     // Mutable: checksum verification during const reads flips a version to
     // Corrupted when the stored hash no longer matches the bytes (that IS
     // the detection event).
-    mutable std::unique_ptr<std::atomic<VersionState>[]> states;
+    mutable std::unique_ptr<Atomic<VersionState>[]> states;
     // Per-slot writer locks. Held from begin_write/begin_update until
     // commit/abort — across function boundaries, with the lock chosen by
     // slot index at runtime — so the write-ticket protocol sits outside
@@ -209,8 +210,8 @@ class BlockStore {
     // FTDAG_NO_THREAD_SAFETY_ANALYSIS with the invariant documented there.
     // Readers never take these locks: they validate `states` on access and
     // the executors re-validate every recorded read after the compute body.
-    std::unique_ptr<SpinLock[]> slot_locks;              // per slot
-    std::unique_ptr<std::atomic<std::uint64_t>[]> sums;  // per version
+    std::unique_ptr<CheckMutex[]> slot_locks;              // per slot
+    std::unique_ptr<Atomic<std::uint64_t>[]> sums;  // per version
   };
 
   // Verifies the stored checksum of a Valid version; on mismatch flips the

@@ -1,0 +1,253 @@
+#include "check/race_detector.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace ftdag::check {
+
+const char* op_kind_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kThreadStart: return "thread-start";
+    case OpKind::kLoad: return "load";
+    case OpKind::kStore: return "store";
+    case OpKind::kRmw: return "rmw";
+    case OpKind::kCas: return "cas";
+    case OpKind::kPlainRead: return "plain-read";
+    case OpKind::kPlainWrite: return "plain-write";
+    case OpKind::kMutexLock: return "lock";
+    case OpKind::kMutexTryLock: return "try-lock";
+    case OpKind::kMutexUnlock: return "unlock";
+    case OpKind::kAwait: return "await";
+  }
+  return "?";
+}
+
+const char* violation_kind_name(Violation::Kind kind) {
+  switch (kind) {
+    case Violation::Kind::kDataRace: return "data-race";
+    case Violation::Kind::kLockOrderCycle: return "lock-order-cycle";
+    case Violation::Kind::kDeadlock: return "deadlock";
+    case Violation::Kind::kLivelock: return "livelock";
+    case Violation::Kind::kException: return "exception";
+    case Violation::Kind::kInvariant: return "invariant";
+  }
+  return "?";
+}
+
+std::string describe_site(const SyncSite& site) {
+  std::ostringstream out;
+  if (site.tag != nullptr) out << "tag '" << site.tag << "' ";
+  const char* file = site.file != nullptr ? site.file : "";
+  // Basename only: reports stay readable and stable across build dirs.
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  out << "(" << base << ":" << site.line << ")";
+  return out.str();
+}
+
+bool RaceDetector::is_acquire(std::memory_order order) {
+  return order == std::memory_order_acquire ||
+         order == std::memory_order_acq_rel ||
+         order == std::memory_order_seq_cst ||
+         order == std::memory_order_consume;
+}
+
+bool RaceDetector::is_release(std::memory_order order) {
+  return order == std::memory_order_release ||
+         order == std::memory_order_acq_rel ||
+         order == std::memory_order_seq_cst;
+}
+
+void RaceDetector::reset(std::size_t threads) {
+  clocks_.assign(threads, VectorClock(threads));
+  atomic_release_.clear();
+  mutex_clock_.clear();
+  plain_.clear();
+  held_.assign(threads, {});
+  lock_order_.clear();
+  violations_.clear();
+  // Tick every clock once so epoch 0 means "no access recorded".
+  for (std::size_t t = 0; t < threads; ++t) clocks_[t].tick(t);
+}
+
+void RaceDetector::atomic_load(std::size_t t, const void* addr,
+                               std::memory_order order, const SyncSite&) {
+  clocks_[t].tick(t);
+  if (is_acquire(order)) {
+    auto it = atomic_release_.find(addr);
+    if (it != atomic_release_.end()) clocks_[t].join(it->second);
+  }
+}
+
+void RaceDetector::atomic_store(std::size_t t, const void* addr,
+                                std::memory_order order, const SyncSite&) {
+  clocks_[t].tick(t);
+  VectorClock& w = atomic_release_[addr];
+  if (is_release(order)) {
+    w.assign(clocks_[t]);
+  } else {
+    // A relaxed store publishes a value no acquire load can synchronize
+    // with; clearing W_a makes the detector treat subsequent readers as
+    // unordered (conservative: ignores release-sequence repair).
+    w.clear();
+  }
+}
+
+void RaceDetector::atomic_rmw(std::size_t t, const void* addr,
+                              std::memory_order order, const SyncSite&) {
+  clocks_[t].tick(t);
+  VectorClock& w = atomic_release_[addr];
+  if (is_acquire(order)) clocks_[t].join(w);
+  if (is_release(order)) {
+    // Join, not assign: an RMW continues the release sequence headed by
+    // the previous release store, so earlier publishers remain visible to
+    // later acquirers.
+    w.join(clocks_[t]);
+  }
+}
+
+void RaceDetector::atomic_cas(std::size_t t, const void* addr, bool exchanged,
+                              std::memory_order success,
+                              std::memory_order failure, const SyncSite& site) {
+  if (exchanged) {
+    atomic_rmw(t, addr, success, site);
+  } else {
+    atomic_load(t, addr, failure, site);
+  }
+}
+
+void RaceDetector::lock_acquired(std::size_t t, const void* mutex,
+                                 const SyncSite& site) {
+  clocks_[t].tick(t);
+  auto it = mutex_clock_.find(mutex);
+  if (it != mutex_clock_.end()) clocks_[t].join(it->second);
+  for (const Held& h : held_[t]) {
+    if (h.mutex == mutex) continue;  // recursive self-edge is a different bug
+    lock_order_.try_emplace({h.mutex, mutex}, LockEdge{h.site, site});
+  }
+  held_[t].push_back(Held{mutex, site});
+}
+
+void RaceDetector::lock_released(std::size_t t, const void* mutex,
+                                 const SyncSite&) {
+  clocks_[t].tick(t);
+  mutex_clock_[mutex].assign(clocks_[t]);
+  auto& stack = held_[t];
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (it->mutex == mutex) {
+      stack.erase(std::next(it).base());
+      break;
+    }
+  }
+}
+
+bool RaceDetector::ordered_before(const Access& a, std::size_t t) const {
+  // Access a (by a.thread at a.epoch) happened before thread t's current
+  // point iff t's clock has caught up to that epoch.
+  return clocks_[t].at(a.thread) >= a.epoch;
+}
+
+void RaceDetector::report_race(const char* what, const Access& prior,
+                               const SyncSite& now_site,
+                               std::size_t now_thread) {
+  std::ostringstream msg;
+  msg << what << ": T" << prior.thread << " " << describe_site(prior.site)
+      << " is unordered with T" << now_thread << " "
+      << describe_site(now_site);
+  add_violation(Violation::Kind::kDataRace, msg.str());
+}
+
+void RaceDetector::add_violation(Violation::Kind kind, std::string message) {
+  // Dedup: the same pair of sites races in many schedules of one run.
+  for (const Violation& v : violations_) {
+    if (v.kind == kind && v.message == message) return;
+  }
+  violations_.push_back(Violation{kind, std::move(message)});
+}
+
+void RaceDetector::plain_read(std::size_t t, const void* addr,
+                              const SyncSite& site) {
+  clocks_[t].tick(t);
+  PlainState& st = plain_[addr];
+  if (st.write.valid && st.write.thread != t &&
+      !ordered_before(st.write, t)) {
+    report_race("data race (write vs read)", st.write, site, t);
+  }
+  // Record/update this thread's read epoch.
+  for (Access& r : st.reads) {
+    if (r.thread == t) {
+      r.epoch = clocks_[t].at(t);
+      r.site = site;
+      return;
+    }
+  }
+  st.reads.push_back(Access{true, t, clocks_[t].at(t), site});
+}
+
+void RaceDetector::plain_write(std::size_t t, const void* addr,
+                               const SyncSite& site) {
+  clocks_[t].tick(t);
+  PlainState& st = plain_[addr];
+  if (st.write.valid && st.write.thread != t &&
+      !ordered_before(st.write, t)) {
+    report_race("data race (write vs write)", st.write, site, t);
+  }
+  for (const Access& r : st.reads) {
+    if (r.thread != t && !ordered_before(r, t)) {
+      report_race("data race (read vs write)", r, site, t);
+    }
+  }
+  st.write = Access{true, t, clocks_[t].at(t), site};
+  st.reads.clear();
+}
+
+void RaceDetector::check_lock_order() {
+  // DFS over the accumulated order graph; any cycle is a potential
+  // deadlock (two schedules can interleave the chains in opposite order).
+  struct Out {
+    const void* to;
+    const LockEdge* edge;
+  };
+  std::map<const void*, std::vector<Out>> adj;
+  for (const auto& [key, edge] : lock_order_) {
+    adj[key.first].push_back(Out{key.second, &edge});
+    adj.try_emplace(key.second);  // ensure sink nodes exist
+  }
+  std::set<const void*> done;
+  for (const auto& [start, unused] : adj) {
+    if (done.count(start) != 0) continue;
+    std::set<const void*> on_path;
+    // Iterative DFS; each frame is (node, next-neighbor index).
+    std::vector<std::pair<const void*, std::size_t>> stack;
+    stack.push_back({start, 0});
+    on_path.insert(start);
+    while (!stack.empty()) {
+      auto& [node, idx] = stack.back();
+      const std::vector<Out>& outs = adj[node];
+      if (idx >= outs.size()) {
+        done.insert(node);
+        on_path.erase(node);
+        stack.pop_back();
+        continue;
+      }
+      const Out& out = outs[idx++];
+      if (on_path.count(out.to) != 0) {
+        std::ostringstream msg;
+        msg << "lock-order cycle: acquiring " << describe_site(out.edge->acq_site)
+            << " while holding " << describe_site(out.edge->held_site)
+            << " inverts an earlier acquisition order (" << stack.size()
+            << " locks on the path)";
+        add_violation(Violation::Kind::kLockOrderCycle, msg.str());
+        continue;
+      }
+      if (done.count(out.to) != 0) continue;
+      on_path.insert(out.to);
+      stack.push_back({out.to, 0});
+    }
+  }
+}
+
+}  // namespace ftdag::check

@@ -1,0 +1,131 @@
+#pragma once
+// Vector-clock happens-before race detector + lock-order-graph deadlock
+// detector over the event stream a ScheduleExplorer session records.
+//
+// Model (a pragmatic FastTrack-style subset of C++11 happens-before):
+//
+//  - Each controlled thread t carries a clock C_t, ticked at every op.
+//  - Mutexes: unlock copies C_t into the mutex clock M; lock joins M into
+//    the acquirer. (CheckMutex is the repo's SpinLock, whose acquire
+//    exchange / release store give exactly these edges.)
+//  - Atomic stores: a release store copies C_t into the location's release
+//    clock W_a; a relaxed store CLEARS W_a (the new value was not published
+//    with release, so a later acquire load of it synchronizes with nothing
+//    — this deliberately ignores release-sequence rescue by later stores,
+//    a conservative approximation that flags exactly the bugs we hunt).
+//  - Atomic RMWs: a release RMW JOINS C_t into W_a (an RMW continues the
+//    release sequence, so earlier publishers stay visible); an acquire RMW
+//    joins W_a into C_t. Relaxed RMWs leave W_a untouched (release
+//    sequence continues through them).
+//  - Atomic loads: an acquire load joins W_a into C_t; relaxed loads get
+//    no edge. seq_cst is treated as acq_rel (we check happens-before
+//    coverage, not sequential-consistency-total-order properties).
+//  - Failed CAS = load with the failure order; successful CAS = RMW with
+//    the success order.
+//  - check::Shared plain accesses are the race-checked payload: a write
+//    races with any prior read/write by another thread not ordered before
+//    it; a read races with a prior unordered write.
+//
+// Lock order: every acquisition while other locks are held adds held→new
+// edges to a global order graph; a cycle is a potential deadlock even if
+// this particular schedule did not block. (Actual blocked-with-no-runnable
+// deadlocks are reported live by the explorer.)
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "check/sync_observer.hpp"
+#include "check/vector_clock.hpp"
+
+namespace ftdag::check {
+
+struct Violation {
+  enum class Kind : std::uint8_t {
+    kDataRace,
+    kLockOrderCycle,
+    kDeadlock,
+    kLivelock,
+    kException,
+    kInvariant,
+  };
+  Kind kind;
+  std::string message;
+};
+
+const char* violation_kind_name(Violation::Kind kind);
+
+// Renders "tag 'x' (file.cpp:42)" or "file.cpp:42" for untagged sites.
+std::string describe_site(const SyncSite& site);
+
+class RaceDetector {
+ public:
+  // Starts a fresh execution with `threads` controlled threads.
+  void reset(std::size_t threads);
+
+  void atomic_load(std::size_t t, const void* addr, std::memory_order order,
+                   const SyncSite& site);
+  void atomic_store(std::size_t t, const void* addr, std::memory_order order,
+                    const SyncSite& site);
+  void atomic_rmw(std::size_t t, const void* addr, std::memory_order order,
+                  const SyncSite& site);
+  void atomic_cas(std::size_t t, const void* addr, bool exchanged,
+                  std::memory_order success, std::memory_order failure,
+                  const SyncSite& site);
+
+  void lock_acquired(std::size_t t, const void* mutex, const SyncSite& site);
+  void lock_released(std::size_t t, const void* mutex, const SyncSite& site);
+
+  void plain_read(std::size_t t, const void* addr, const SyncSite& site);
+  void plain_write(std::size_t t, const void* addr, const SyncSite& site);
+
+  // Appends lock-order-cycle violations found in the accumulated order
+  // graph (call once per execution, after it finished).
+  void check_lock_order();
+
+  const std::vector<Violation>& violations() const { return violations_; }
+
+  static bool is_acquire(std::memory_order order);
+  static bool is_release(std::memory_order order);
+
+ private:
+  struct Access {
+    bool valid = false;
+    std::size_t thread = 0;
+    std::uint64_t epoch = 0;  // C_thread[thread] at access time
+    SyncSite site;
+  };
+
+  struct PlainState {
+    Access write;
+    std::vector<Access> reads;  // one live entry per reading thread
+  };
+
+  struct LockEdge {
+    SyncSite held_site;  // where the already-held lock was taken
+    SyncSite acq_site;   // where the second lock was taken on top
+  };
+
+  struct Held {
+    const void* mutex;
+    SyncSite site;
+  };
+
+  // True when `a` happened before thread t's current point.
+  bool ordered_before(const Access& a, std::size_t t) const;
+  void report_race(const char* what, const Access& prior,
+                   const SyncSite& now_site, std::size_t now_thread);
+  void add_violation(Violation::Kind kind, std::string message);
+
+  std::vector<VectorClock> clocks_;                 // C_t
+  std::map<const void*, VectorClock> atomic_release_;  // W_a
+  std::map<const void*, VectorClock> mutex_clock_;     // M
+  std::map<const void*, PlainState> plain_;
+  std::vector<std::vector<Held>> held_;             // per-thread lock stack
+  std::map<std::pair<const void*, const void*>, LockEdge> lock_order_;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace ftdag::check

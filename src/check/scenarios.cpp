@@ -1,0 +1,555 @@
+#include "check/scenarios.hpp"
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "check/sync_shim.hpp"
+#include "concurrent/sharded_map.hpp"
+#include "engine/recovery_table.hpp"
+
+namespace ftdag::check {
+namespace {
+
+// --- recovery-claim (real RecoveryTable) -------------------------------
+// Guarantee 1: exactly one of two concurrent observers of the same
+// (key, life) failure claims the recovery. Exercises the production
+// insert_if_absent + `recovery-life` CAS through the shim.
+
+struct RecoveryClaimState {
+  RecoveryTable table;
+  Shared<int> winner_payload;
+  std::array<bool, 2> claimed{};
+};
+
+Execution make_recovery_claim() {
+  auto st = std::make_shared<RecoveryClaimState>();
+  // Uncontrolled setup: first failure of key 7 inserts the record at life 1.
+  (void)st->table.is_recovering(7, 1);
+  Execution e;
+  for (int t = 0; t < 2; ++t) {
+    e.threads.push_back([st, t] {
+      const bool already = st->table.is_recovering(7, 2);
+      st->claimed[static_cast<std::size_t>(t)] = !already;
+      // Only the claimant may touch the recovery state; two writers here
+      // would be both an invariant failure and a detector-visible race.
+      if (!already) st->winner_payload.set(t, "recovery-winner");
+    });
+  }
+  e.invariant = [st](std::string& why) {
+    const int claims = (st->claimed[0] ? 1 : 0) + (st->claimed[1] ? 1 : 0);
+    if (claims != 1) {
+      why = "expected exactly one recovery claim, got " +
+            std::to_string(claims);
+      return false;
+    }
+    return true;
+  };
+  return e;
+}
+
+// --- map-find-during-grow (real ShardedMap) ----------------------------
+// A reader probes while a writer's insert triggers table growth. The
+// pre-seeded key must stay findable through the grow (retire-don't-free);
+// a hit on the in-flight key must see its fully published payload
+// (`map-slot-publish` / `map-table-publish` edges).
+
+using MapPayload = Shared<std::uint64_t>;
+
+struct MapGrowState {
+  // One shard, capacity 2: the setup insert brings the load factor to the
+  // grow threshold, so the controlled insert of key 2 grows the table.
+  MapGrowState() : map(1, 2) {}
+  ShardedMap<MapPayload> map;
+  bool found1 = false;
+  std::uint64_t got1 = 0;
+  bool found2 = false;
+  std::uint64_t got2 = 0;
+};
+
+Execution make_map_find_during_grow() {
+  auto st = std::make_shared<MapGrowState>();
+  (void)st->map.insert_if_absent(1, [] {
+    auto* payload = new MapPayload();
+    payload->set(11, "map-payload");
+    return payload;
+  });
+  Execution e;
+  e.threads.push_back([st] {  // writer: insert key 2, growing the table
+    (void)st->map.insert_if_absent(2, [] {
+      auto* payload = new MapPayload();
+      // Written before the slot's release publish; a reader that finds
+      // key 2 must be ordered after this write.
+      payload->set(22, "map-payload");
+      return payload;
+    });
+  });
+  e.threads.push_back([st] {  // reader: racing find of key 2, then key 1
+    if (MapPayload* v2 = st->map.find(2)) {
+      st->found2 = true;
+      st->got2 = v2->get("map-payload");
+    }
+    if (MapPayload* v1 = st->map.find(1)) {
+      st->found1 = true;
+      st->got1 = v1->get("map-payload");
+    }
+  });
+  e.invariant = [st](std::string& why) {
+    if (!st->found1 || st->got1 != 11) {
+      why = "pre-seeded key 1 lost or corrupted during grow";
+      return false;
+    }
+    if (st->found2 && st->got2 != 22) {
+      why = "key 2 found but its payload was not fully published";
+      return false;
+    }
+    return true;
+  };
+  return e;
+}
+
+// --- jobgroup-settle (transcription of scheduler.cpp finish_job) -------
+// Two workers settle the group's pending counter with acq_rel fetch_sub
+// (`pairs: group-pending`); the waiter that observes zero must see every
+// worker's job result.
+
+struct SettleState {
+  Atomic<std::int64_t> pending{2};
+  std::array<Shared<int>, 2> results;
+  int sum = 0;
+};
+
+Execution make_jobgroup_settle() {
+  auto st = std::make_shared<SettleState>();
+  Execution e;
+  for (int t = 0; t < 2; ++t) {
+    e.threads.push_back([st, t] {
+      st->results[static_cast<std::size_t>(t)].set(10 + t, "job-result");
+      st->pending.fetch_sub(
+          1, std::memory_order_acq_rel FTDAG_SYNC_TAG("group-pending"));
+    });
+  }
+  e.threads.push_back([st] {
+    await(
+        [st] {
+          return st->pending.load(std::memory_order_relaxed) == 0;
+        },
+        "group-pending");
+    st->pending.load(std::memory_order_acquire FTDAG_SYNC_TAG("group-pending"));
+    st->sum = st->results[0].get("job-result") + st->results[1].get("job-result");
+  });
+  e.invariant = [st](std::string& why) {
+    if (st->sum != 21) {
+      why = "waiter saw pending==0 but not both results (sum=" +
+            std::to_string(st->sum) + ")";
+      return false;
+    }
+    return true;
+  };
+  return e;
+}
+
+// --- jobgroup-cancel / jobgroup-expiry (transcription of
+// job_session.cpp) -----------------------------------------------------
+// JobSession's state machine: transitions serialize under mutex_; fields
+// read by observers are published before the release store of state_
+// (`pairs: job-state`). try_cancel takes kQueued jobs to kCancelled, or
+// flags a kRunning job's cancel_requested_; the queue-timeout expirer
+// takes kQueued jobs to kExpired. Exactly one party wins the queued job.
+
+enum JobState : int {
+  kQueued = 0,
+  kRunning = 1,
+  kCompleted = 2,
+  kCancelled = 3,
+  kExpired = 4,
+};
+
+struct SessionState {
+  CheckMutex mutex;
+  Atomic<int> state{kQueued};
+  Atomic<bool> cancel_requested{false};
+  Shared<int> error{0};
+  Shared<int> result{0};
+  bool claimed = false;
+  bool cancelled = false;
+  bool expired = false;
+  bool flagged_running = false;
+};
+
+void worker_begin_running(const std::shared_ptr<SessionState>& st) {
+  bool claimed = false;
+  {
+    CheckMutexGuard guard(st->mutex FTDAG_SYNC_TAG("job-mutex"));
+    if (st->state.load(std::memory_order_acquire FTDAG_SYNC_TAG("job-state")) ==
+        kQueued) {
+      st->state.store(kRunning,
+                      std::memory_order_release FTDAG_SYNC_TAG("job-state"));
+      claimed = true;
+    }
+  }
+  if (claimed) {
+    st->result.set(42, "job-result");
+    CheckMutexGuard guard(st->mutex FTDAG_SYNC_TAG("job-mutex"));
+    st->state.store(kCompleted,
+                    std::memory_order_release FTDAG_SYNC_TAG("job-state"));
+  }
+  st->claimed = claimed;
+}
+
+void canceller(const std::shared_ptr<SessionState>& st) {
+  CheckMutexGuard guard(st->mutex FTDAG_SYNC_TAG("job-mutex"));
+  const int s =
+      st->state.load(std::memory_order_acquire FTDAG_SYNC_TAG("job-state"));
+  if (s == kQueued) {
+    st->error.set(1, "job-error");
+    st->state.store(kCancelled,
+                    std::memory_order_release FTDAG_SYNC_TAG("job-state"));
+    st->cancelled = true;
+  } else if (s == kRunning) {
+    st->cancel_requested.store(
+        true, std::memory_order_relaxed FTDAG_SYNC_TAG("job-cancel"));
+    st->flagged_running = true;
+  }
+}
+
+void expirer(const std::shared_ptr<SessionState>& st) {
+  // Queue-timeout sweep: the deadline has passed; expire the job iff it is
+  // still queued.
+  CheckMutexGuard guard(st->mutex FTDAG_SYNC_TAG("job-mutex"));
+  if (st->state.load(std::memory_order_acquire FTDAG_SYNC_TAG("job-state")) ==
+      kQueued) {
+    st->error.set(2, "job-error");
+    st->state.store(kExpired,
+                    std::memory_order_release FTDAG_SYNC_TAG("job-state"));
+    st->expired = true;
+  }
+}
+
+Execution make_jobgroup_cancel() {
+  auto st = std::make_shared<SessionState>();
+  Execution e;
+  e.threads.push_back([st] { worker_begin_running(st); });
+  e.threads.push_back([st] { canceller(st); });
+  e.invariant = [st](std::string& why) {
+    if (st->claimed == st->cancelled) {
+      why = std::string("begin_running and try_cancel must win exactly once "
+                        "(claimed=") +
+            (st->claimed ? "1" : "0") + ", cancelled=" +
+            (st->cancelled ? "1" : "0") + ")";
+      return false;
+    }
+    return true;
+  };
+  return e;
+}
+
+Execution make_jobgroup_expiry() {
+  auto st = std::make_shared<SessionState>();
+  Execution e;
+  e.threads.push_back([st] { worker_begin_running(st); });
+  e.threads.push_back([st] { canceller(st); });
+  e.threads.push_back([st] { expirer(st); });
+  e.invariant = [st](std::string& why) {
+    const int winners = (st->claimed ? 1 : 0) + (st->cancelled ? 1 : 0) +
+                        (st->expired ? 1 : 0);
+    if (winners != 1) {
+      why = "queued job must be claimed, cancelled, or expired exactly once; "
+            "got " +
+            std::to_string(winners) + " winners";
+      return false;
+    }
+    return true;
+  };
+  return e;
+}
+
+// --- wal-commit (transcription of durability.hpp on_committed) ---------
+// The WAL record is journaled under WalMutex BEFORE the task status
+// publish, so any observer of the committed status finds the record in
+// the log (prefix-consistency; DESIGN.md §9).
+
+struct WalState {
+  CheckMutex wal_mutex;
+  Shared<int> wal_records{0};
+  Atomic<int> status{0};
+  int observed = -1;
+};
+
+Execution make_wal_commit() {
+  auto st = std::make_shared<WalState>();
+  Execution e;
+  e.threads.push_back([st] {  // committer
+    {
+      CheckMutexGuard guard(st->wal_mutex FTDAG_SYNC_TAG("wal-mutex"));
+      st->wal_records.set(st->wal_records.get("wal-log") + 1, "wal-log");
+    }
+    st->status.store(1, std::memory_order_release FTDAG_SYNC_TAG("task-status"));
+  });
+  e.threads.push_back([st] {  // observer of the committed status
+    await([st] { return st->status.load(std::memory_order_relaxed) == 1; },
+          "task-status");
+    st->status.load(std::memory_order_acquire FTDAG_SYNC_TAG("task-status"));
+    st->observed = st->wal_records.get("wal-log");
+  });
+  e.invariant = [st](std::string& why) {
+    if (st->observed != 1) {
+      why = "status published before its WAL record was journaled";
+      return false;
+    }
+    return true;
+  };
+  return e;
+}
+
+// --- pool-recycle (transcription of the job-block freelist contract) ---
+// A job block's payload is written by the spawner, published through the
+// deque handoff, consumed by the executing worker, and recycled back; the
+// spawner may reuse it only after the recycle handback's release/acquire
+// edge (job.hpp / scheduler.cpp retire_job).
+
+struct RecycleState {
+  Shared<int> payload{0};
+  Atomic<int> slot{0};  // 0 empty, 1 published, 2 recycled
+  int consumed = 0;
+};
+
+Execution make_pool_recycle() {
+  auto st = std::make_shared<RecycleState>();
+  Execution e;
+  e.threads.push_back([st] {  // spawner: publish, then reuse after recycle
+    st->payload.set(7, "job-payload");
+    st->slot.store(1, std::memory_order_release FTDAG_SYNC_TAG("deque-buffer"));
+    await([st] { return st->slot.load(std::memory_order_relaxed) == 2; },
+          "pool-recycle");
+    st->slot.load(std::memory_order_acquire FTDAG_SYNC_TAG("pool-recycle"));
+    st->payload.set(9, "job-payload");  // reuse of the recycled block
+  });
+  e.threads.push_back([st] {  // executing worker: consume, then recycle
+    await([st] { return st->slot.load(std::memory_order_relaxed) == 1; },
+          "deque-buffer");
+    st->slot.load(std::memory_order_acquire FTDAG_SYNC_TAG("deque-buffer"));
+    st->consumed = st->payload.get("job-payload");
+    st->slot.store(2, std::memory_order_release FTDAG_SYNC_TAG("pool-recycle"));
+  });
+  e.invariant = [st](std::string& why) {
+    if (st->consumed != 7) {
+      why = "worker consumed an unpublished job payload";
+      return false;
+    }
+    return true;
+  };
+  return e;
+}
+
+// --- run-gate (transcription; mutation reintroduces the PR 3 bug) ------
+// The pre-PR 7 run_to_quiescence gate: the finishing worker CASes
+// run_active_ true->false; the waiter that observes false must see the
+// run's results. PR 3 fixed the CAS to an explicit acq_rel; the mutation
+// makes it relaxed again, which breaks the release edge the waiter's
+// acquire load needs — the result read becomes a data race.
+
+struct RunGateState {
+  Atomic<bool> run_active{true};
+  Shared<int> result{0};
+  int observed = -1;
+};
+
+Execution make_run_gate(bool mutated) {
+  auto st = std::make_shared<RunGateState>();
+  Execution e;
+  e.threads.push_back([st, mutated] {  // finishing worker
+    st->result.set(42, "run-result");
+    bool expected = true;
+    const std::memory_order order =
+        mutated ? std::memory_order_relaxed : std::memory_order_acq_rel;
+    st->run_active.compare_exchange_strong(
+        expected, false, order FTDAG_SYNC_TAG("run-active"));
+  });
+  e.threads.push_back([st] {  // quiescence waiter
+    await([st] { return !st->run_active.load(std::memory_order_relaxed); },
+          "run-active");
+    st->run_active.load(std::memory_order_acquire FTDAG_SYNC_TAG("run-active"));
+    st->observed = st->result.get("run-result");
+  });
+  e.invariant = [st](std::string& why) {
+    if (st->observed != 42) {
+      why = "waiter observed the gate down but not the run's result";
+      return false;
+    }
+    return true;
+  };
+  return e;
+}
+
+// --- parallel-for (transcription; mutation reintroduces the PR 4 bug
+// surface) --------------------------------------------------------------
+// parallel_for's leaves decrement ForCtx::remaining with acq_rel
+// (`pairs: for-remaining`); the waiter that observes zero must see every
+// iteration's writes. The mutation turns the decrement into a relaxed
+// publish, so the waiter's acquire load synchronizes with nothing.
+
+struct ParforState {
+  Atomic<std::int64_t> remaining{2};
+  std::array<Shared<int>, 2> cells;
+  int sum = 0;
+};
+
+Execution make_parallel_for(bool mutated) {
+  auto st = std::make_shared<ParforState>();
+  Execution e;
+  for (int t = 0; t < 2; ++t) {
+    e.threads.push_back([st, t, mutated] {  // leaf: run iteration, settle
+      st->cells[static_cast<std::size_t>(t)].set(t + 1, "parfor-iteration");
+      const std::memory_order order =
+          mutated ? std::memory_order_relaxed : std::memory_order_acq_rel;
+      st->remaining.fetch_sub(1, order FTDAG_SYNC_TAG("for-remaining"));
+    });
+  }
+  e.threads.push_back([st] {  // parallel_for caller waiting for the leaves
+    await([st] { return st->remaining.load(std::memory_order_relaxed) == 0; },
+          "for-remaining");
+    st->remaining.load(std::memory_order_acquire FTDAG_SYNC_TAG("for-remaining"));
+    st->sum = st->cells[0].get("parfor-iteration") +
+              st->cells[1].get("parfor-iteration");
+  });
+  e.invariant = [st](std::string& why) {
+    if (st->sum != 3) {
+      why = "caller saw remaining==0 but not every iteration's write";
+      return false;
+    }
+    return true;
+  };
+  return e;
+}
+
+// --- mutation-lock-order ----------------------------------------------
+// Classic AB/BA inversion: never present in the tree (every multi-lock
+// path orders shards by index); registered as a mutation to prove the
+// lock-order-graph detector fires.
+
+struct LockOrderState {
+  CheckMutex a;
+  CheckMutex b;
+  Shared<int> x{0};
+};
+
+Execution make_lock_order_inversion() {
+  auto st = std::make_shared<LockOrderState>();
+  Execution e;
+  e.threads.push_back([st] {
+    CheckMutexGuard g(st->a FTDAG_SYNC_TAG("lock-a"));
+    CheckMutexGuard h(st->b FTDAG_SYNC_TAG("lock-b"));
+    st->x.set(1, "guarded");
+  });
+  e.threads.push_back([st] {
+    CheckMutexGuard g(st->b FTDAG_SYNC_TAG("lock-b"));
+    CheckMutexGuard h(st->a FTDAG_SYNC_TAG("lock-a"));
+    st->x.set(2, "guarded");
+  });
+  return e;
+}
+
+Scenario scenario(std::string name, std::string description,
+                  std::function<Execution()> make, std::size_t threads,
+                  bool exhaustive) {
+  Scenario s;
+  s.name = std::move(name);
+  s.description = std::move(description);
+  s.make = std::move(make);
+  s.thread_count = threads;
+  s.exhaustive = exhaustive;
+  return s;
+}
+
+}  // namespace
+
+std::vector<Scenario> clean_scenarios() {
+  std::vector<Scenario> out;
+  out.push_back(scenario(
+      "recovery-claim",
+      "Guarantee 1: concurrent is_recovering calls claim a failure exactly "
+      "once (real RecoveryTable, `recovery-life` CAS)",
+      make_recovery_claim, 2, /*exhaustive=*/true));
+  out.push_back(scenario(
+      "map-find-during-grow",
+      "lock-free find racing an insert that grows the table (real "
+      "ShardedMap, `map-slot-publish`/`map-table-publish`)",
+      make_map_find_during_grow, 2, /*exhaustive=*/false));
+  out.push_back(scenario(
+      "jobgroup-settle",
+      "JobGroup pending settle: waiter observing zero sees every job's "
+      "result (`group-pending`)",
+      make_jobgroup_settle, 3, /*exhaustive=*/true));
+  out.push_back(scenario(
+      "jobgroup-cancel",
+      "JobSession begin_running vs try_cancel: a queued job is claimed or "
+      "cancelled exactly once (`job-state`)",
+      make_jobgroup_cancel, 2, /*exhaustive=*/true));
+  out.push_back(scenario(
+      "jobgroup-expiry",
+      "JobSession begin_running vs try_cancel vs queue-timeout expiry: "
+      "exactly one wins the queued job (`job-state`)",
+      make_jobgroup_expiry, 3, /*exhaustive=*/false));
+  out.push_back(scenario(
+      "wal-commit",
+      "durability on_committed: WAL journaled under `wal-mutex` before the "
+      "status publish, so committed status implies a logged record "
+      "(`task-status`)",
+      make_wal_commit, 2, /*exhaustive=*/true));
+  out.push_back(scenario(
+      "pool-recycle",
+      "job-block recycle: payload publish via deque handoff, reuse only "
+      "after the recycle handback (`deque-buffer`)",
+      make_pool_recycle, 2, /*exhaustive=*/true));
+  out.push_back(scenario(
+      "run-gate",
+      "legacy run_active_ gate with the fixed acq_rel CAS (`run-active`)",
+      [] { return make_run_gate(/*mutated=*/false); }, 2,
+      /*exhaustive=*/true));
+  out.push_back(scenario(
+      "parallel-for",
+      "parallel_for remaining-counter settle with the fixed acq_rel "
+      "decrement (`for-remaining`)",
+      [] { return make_parallel_for(/*mutated=*/false); }, 3,
+      /*exhaustive=*/true));
+  return out;
+}
+
+std::vector<Scenario> mutation_scenarios() {
+  std::vector<Scenario> out;
+  {
+    Scenario s = scenario(
+        "mutation-run-gate",
+        "PR 3's fixed run_active_ CAS reverted to relaxed: the waiter's "
+        "result read must be flagged as a race",
+        [] { return make_run_gate(/*mutated=*/true); }, 2,
+        /*exhaustive=*/true);
+    s.expect_tags = {"run-result"};
+    out.push_back(std::move(s));
+  }
+  {
+    Scenario s = scenario(
+        "mutation-parfor-publish",
+        "PR 4's parallel_for settle decrement reverted to a relaxed "
+        "publish: iteration reads must be flagged as races",
+        [] { return make_parallel_for(/*mutated=*/true); }, 3,
+        /*exhaustive=*/true);
+    s.expect_tags = {"parfor-iteration"};
+    out.push_back(std::move(s));
+  }
+  {
+    Scenario s = scenario(
+        "mutation-lock-order",
+        "AB/BA lock acquisition inversion: the lock-order graph must "
+        "report a cycle",
+        make_lock_order_inversion, 2, /*exhaustive=*/true);
+    s.expect_tags = {"lock-a", "lock-b"};
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace ftdag::check

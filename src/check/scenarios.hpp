@@ -1,0 +1,23 @@
+#pragma once
+// Scenario registry for the ScheduleExplorer (declarations live in
+// schedule_explorer.hpp: clean_scenarios() / mutation_scenarios()).
+//
+// Two scenario styles, following tests/recovery_table_interleave_test.cpp:
+//
+//  - Real-class scenarios instantiate the production classes themselves
+//    (RecoveryTable, ShardedMap) — possible because the shim now
+//    instruments their every atomic op and lock. These validate the real
+//    code, at the cost of more schedule points (so the bigger ones run
+//    under PCT instead of exhaustively).
+//
+//  - Transcription scenarios restate a protocol's linearization points
+//    1:1 against check::Shared payloads, keeping the op count small enough
+//    for exhaustive enumeration, and letting a mutation flag flip exactly
+//    the one memory order under test. Each transcription cites the
+//    production code it mirrors; keep them in sync.
+//
+// Mutation scenarios reintroduce previously-fixed orderings (see
+// CHANGES.md PR 3/PR 4) and are EXPECTED to fail with the tags listed in
+// Scenario::expect_tags; they prove the detector actually detects.
+
+#include "check/schedule_explorer.hpp"

@@ -1,0 +1,610 @@
+#include "check/schedule_explorer.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "support/xoshiro.hpp"
+
+namespace ftdag::check {
+
+thread_local SyncObserver* tls_observer = nullptr;
+
+void await(const std::function<bool()>& pred, const char* tag) {
+  if (SyncObserver* o = tls_observer) {
+    o->await(pred, SyncSite{tag, "", 0});
+    return;
+  }
+  // Uncontrolled fallback: plain spin, so scenario code also runs (without
+  // schedule control) in normal builds and test setup.
+  while (!pred()) std::this_thread::yield();
+}
+
+namespace {
+
+// Thrown into parked threads when the coordinator tears an execution down
+// (deadlock, livelock, budget); unwinds the scenario body.
+struct AbortExecution {};
+
+// Cooperative scheduling engine for ONE execution at a time. Implements
+// SyncObserver: controlled threads park at every instrumented op; the
+// coordinator advances exactly one at a time, so the interleaving is fully
+// determined by the chooser's decisions.
+class Engine final : public SyncObserver {
+ public:
+  // Picks an index into `eligible` (sorted thread ids that may advance).
+  using Chooser = std::function<std::size_t(const std::vector<std::size_t>&)>;
+
+  struct Outcome {
+    std::vector<Violation> violations;
+    std::vector<std::size_t> choices;  // chooser decision per step
+    std::vector<std::size_t> widths;   // eligible count per step
+    std::string trace;
+  };
+
+  Outcome run(const Execution& exec, const Chooser& choose,
+              std::size_t max_steps) {
+    const std::size_t n = exec.threads.size();
+    detector_.reset(n);
+    threads_.clear();
+    threads_.resize(n);
+    owner_.clear();
+    addr_names_.clear();
+    trace_.clear();
+    extra_.clear();
+    choices_.clear();
+    widths_.clear();
+    aborting_ = false;
+    steps_ = 0;
+
+    std::vector<std::thread> sys;
+    sys.reserve(n);
+    for (std::size_t t = 0; t < n; ++t) {
+      sys.emplace_back([this, t, body = &exec.threads[t]] {
+        thread_main(t, *body);
+      });
+    }
+
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      for (;;) {
+        cv_coord_.wait(lk, [this] { return all_settled(); });
+        std::vector<std::size_t> eligible = eligible_threads();
+        bool any_parked = false;
+        for (const Thr& th : threads_) {
+          if (th.state == Thr::State::kParked) any_parked = true;
+        }
+        if (!any_parked) break;  // everyone finished
+        if (aborting_) {
+          grant_all_parked();
+          continue;
+        }
+        if (eligible.empty()) {
+          record_deadlock();
+          abort_all();
+          continue;
+        }
+        if (steps_ >= max_steps) {
+          add_violation(Violation::Kind::kLivelock,
+                        "execution exceeded max_steps (" +
+                            std::to_string(max_steps) +
+                            "); unbounded spin not modeled via check::await?");
+          abort_all();
+          continue;
+        }
+        std::size_t pick = choose(eligible);
+        if (pick >= eligible.size()) pick = eligible.size() - 1;
+        choices_.push_back(pick);
+        widths_.push_back(eligible.size());
+        grant(eligible[pick]);
+        ++steps_;
+      }
+    }
+    for (std::thread& th : sys) th.join();
+
+    if (extra_.empty() && detector_.violations().empty() && exec.invariant) {
+      std::string why;
+      bool ok = false;
+      try {
+        ok = exec.invariant(why);
+      } catch (const std::exception& e) {
+        why = std::string("invariant threw: ") + e.what();
+      }
+      if (!ok) {
+        add_violation(Violation::Kind::kInvariant,
+                      why.empty() ? "invariant returned false" : why);
+      }
+    }
+    detector_.check_lock_order();
+
+    Outcome out;
+    out.violations = detector_.violations();
+    out.violations.insert(out.violations.end(), extra_.begin(), extra_.end());
+    out.choices = choices_;
+    out.widths = widths_;
+    out.trace = format_trace();
+    return out;
+  }
+
+  // --- SyncObserver (called from controlled threads) ---
+
+  void sync_point(OpKind kind, const void* addr, std::memory_order order,
+                  const SyncSite& site) override {
+    park(PendingOp{kind, addr, order, order, site, nullptr});
+  }
+
+  void cas_outcome(const void* addr, bool exchanged, std::memory_order success,
+                   std::memory_order failure, const SyncSite& site) override {
+    // The calling thread still holds its grant; no other controlled thread
+    // runs concurrently, so detector state is safe to touch under m_.
+    std::lock_guard<std::mutex> lk(m_);
+    std::size_t t = self_id();
+    detector_.atomic_cas(t, addr, exchanged, success, failure, site);
+    if (!trace_.empty()) {
+      trace_.back().detail = exchanged ? " -> success" : " -> failed";
+    }
+  }
+
+  void mutex_lock(const void* addr, const SyncSite& site) override {
+    park(PendingOp{OpKind::kMutexLock, addr, std::memory_order_acquire,
+                   std::memory_order_acquire, site, nullptr});
+  }
+
+  bool mutex_try_lock(const void* addr, const SyncSite& site) override {
+    park(PendingOp{OpKind::kMutexTryLock, addr, std::memory_order_acquire,
+                   std::memory_order_acquire, site, nullptr});
+    return threads_[self_id()].try_lock_result;
+  }
+
+  void mutex_unlock(const void* addr, const SyncSite& site) override {
+    park(PendingOp{OpKind::kMutexUnlock, addr, std::memory_order_release,
+                   std::memory_order_release, site, nullptr});
+  }
+
+  void await(const std::function<bool()>& pred, const SyncSite& site) override {
+    park(PendingOp{OpKind::kAwait, nullptr, std::memory_order_relaxed,
+                   std::memory_order_relaxed, site, &pred});
+  }
+
+ private:
+  struct PendingOp {
+    OpKind kind = OpKind::kThreadStart;
+    const void* addr = nullptr;
+    std::memory_order order = std::memory_order_seq_cst;
+    std::memory_order order2 = std::memory_order_seq_cst;
+    SyncSite site;
+    const std::function<bool()>* pred = nullptr;
+  };
+
+  struct Thr {
+    enum class State : std::uint8_t { kNew, kRunning, kParked, kFinished };
+    State state = State::kNew;
+    bool granted = false;
+    bool try_lock_result = false;
+    PendingOp op;
+  };
+
+  struct TraceEvent {
+    std::size_t step;
+    std::size_t thread;
+    OpKind kind;
+    std::memory_order order;
+    SyncSite site;
+    std::string addr_name;
+    std::string detail;
+  };
+
+  static thread_local std::size_t tls_self;
+
+  std::size_t self_id() const { return tls_self; }
+
+  void thread_main(std::size_t tid, const std::function<void()>& body) {
+    tls_self = tid;
+    tls_observer = this;
+    try {
+      park(PendingOp{OpKind::kThreadStart, nullptr, std::memory_order_relaxed,
+                     std::memory_order_relaxed, SyncSite{nullptr, "", 0},
+                     nullptr});
+      body();
+    } catch (const AbortExecution&) {
+      // Coordinator tore this execution down; nothing to record.
+    } catch (const std::exception& e) {
+      std::lock_guard<std::mutex> lk(m_);
+      add_violation(Violation::Kind::kException,
+                    "T" + std::to_string(tid) + " threw: " + e.what());
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(m_);
+      add_violation(Violation::Kind::kException,
+                    "T" + std::to_string(tid) + " threw a non-std exception");
+    }
+    tls_observer = nullptr;
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      threads_[tid].state = Thr::State::kFinished;
+    }
+    cv_coord_.notify_all();
+  }
+
+  // Blocks the calling controlled thread at a schedule point until the
+  // coordinator grants it. Grant-time bookkeeping (detector + mutex
+  // ownership) is applied by the coordinator before the wakeup.
+  void park(PendingOp op) {
+    std::unique_lock<std::mutex> lk(m_);
+    if (aborting_) {
+      // During teardown, sync ops reached while unwinding AbortExecution
+      // (e.g. a CheckMutexGuard unlock in a destructor) must not throw a
+      // second exception — that would std::terminate. They complete as
+      // uninstrumented no-ops instead.
+      if (std::uncaught_exceptions() > 0) return;
+      throw AbortExecution{};
+    }
+    Thr& self = threads_[self_id()];
+    self.op = op;
+    self.state = Thr::State::kParked;
+    cv_coord_.notify_all();
+    cv_threads_.wait(lk, [&self] { return self.granted; });
+    self.granted = false;
+    self.state = Thr::State::kRunning;
+    if (aborting_) throw AbortExecution{};
+  }
+
+  bool all_settled() const {
+    return std::all_of(threads_.begin(), threads_.end(), [](const Thr& t) {
+      // A thread with a grant in flight still reads as kParked until it
+      // wakes; treating it as settled would let the coordinator re-grant
+      // the same parked set forever. Wait for the wakeup to land.
+      if (t.granted) return false;
+      return t.state == Thr::State::kParked || t.state == Thr::State::kFinished;
+    });
+  }
+
+  // A parked thread is eligible when its pending op can complete: a mutex
+  // lock needs the mutex free, an await needs a true predicate, everything
+  // else is always runnable.
+  std::vector<std::size_t> eligible_threads() const {
+    std::vector<std::size_t> out;
+    for (std::size_t t = 0; t < threads_.size(); ++t) {
+      const Thr& th = threads_[t];
+      if (th.state != Thr::State::kParked) continue;
+      if (th.op.kind == OpKind::kMutexLock &&
+          owner_.count(th.op.addr) != 0) {
+        continue;
+      }
+      if (th.op.kind == OpKind::kAwait && !(*th.op.pred)()) continue;
+      out.push_back(t);
+    }
+    return out;
+  }
+
+  // Applies the op's happens-before bookkeeping and wakes the thread.
+  // Runs on the coordinator with m_ held; no controlled thread is running.
+  void grant(std::size_t tid) {
+    Thr& th = threads_[tid];
+    const PendingOp& op = th.op;
+    switch (op.kind) {
+      case OpKind::kThreadStart:
+      case OpKind::kAwait:
+      case OpKind::kCas:  // bookkept in cas_outcome after the hardware CAS
+        break;
+      case OpKind::kLoad:
+        detector_.atomic_load(tid, op.addr, op.order, op.site);
+        break;
+      case OpKind::kStore:
+        detector_.atomic_store(tid, op.addr, op.order, op.site);
+        break;
+      case OpKind::kRmw:
+        detector_.atomic_rmw(tid, op.addr, op.order, op.site);
+        break;
+      case OpKind::kPlainRead:
+        detector_.plain_read(tid, op.addr, op.site);
+        break;
+      case OpKind::kPlainWrite:
+        detector_.plain_write(tid, op.addr, op.site);
+        break;
+      case OpKind::kMutexLock:
+        owner_[op.addr] = tid;
+        detector_.lock_acquired(tid, op.addr, op.site);
+        break;
+      case OpKind::kMutexTryLock:
+        if (owner_.count(op.addr) == 0) {
+          owner_[op.addr] = tid;
+          detector_.lock_acquired(tid, op.addr, op.site);
+          th.try_lock_result = true;
+        } else {
+          // Failed try_lock is just a relaxed probe of the lock word.
+          detector_.atomic_load(tid, op.addr, std::memory_order_relaxed,
+                                op.site);
+          th.try_lock_result = false;
+        }
+        break;
+      case OpKind::kMutexUnlock:
+        owner_.erase(op.addr);
+        detector_.lock_released(tid, op.addr, op.site);
+        break;
+    }
+    record_trace(tid, op);
+    th.granted = true;
+    cv_threads_.notify_all();
+  }
+
+  void abort_all() { aborting_ = true; grant_all_parked(); }
+
+  void grant_all_parked() {
+    for (Thr& th : threads_) {
+      if (th.state == Thr::State::kParked) th.granted = true;
+    }
+    cv_threads_.notify_all();
+  }
+
+  void record_deadlock() {
+    std::ostringstream msg;
+    msg << "deadlock: no runnable thread;";
+    for (std::size_t t = 0; t < threads_.size(); ++t) {
+      const Thr& th = threads_[t];
+      if (th.state != Thr::State::kParked) continue;
+      msg << " T" << t << " blocked at " << op_kind_name(th.op.kind) << " "
+          << describe_site(th.op.site) << ";";
+    }
+    add_violation(Violation::Kind::kDeadlock, msg.str());
+  }
+
+  void add_violation(Violation::Kind kind, std::string message) {
+    extra_.push_back(Violation{kind, std::move(message)});
+  }
+
+  static const char* order_name(std::memory_order order) {
+    switch (order) {
+      case std::memory_order_relaxed: return "relaxed";
+      case std::memory_order_consume: return "consume";
+      case std::memory_order_acquire: return "acquire";
+      case std::memory_order_release: return "release";
+      case std::memory_order_acq_rel: return "acq_rel";
+      case std::memory_order_seq_cst: return "seq_cst";
+    }
+    return "?";
+  }
+
+  void record_trace(std::size_t tid, const PendingOp& op) {
+    std::string addr_name;
+    if (op.addr != nullptr) {
+      auto [it, inserted] =
+          addr_names_.try_emplace(op.addr, addr_names_.size());
+      addr_name = "a" + std::to_string(it->second);
+    }
+    trace_.push_back(TraceEvent{steps_, tid, op.kind, op.order, op.site,
+                                std::move(addr_name), {}});
+  }
+
+  std::string format_trace() const {
+    std::ostringstream out;
+    for (const TraceEvent& ev : trace_) {
+      out << "  step " << ev.step << ": T" << ev.thread << " "
+          << op_kind_name(ev.kind);
+      if (ev.kind != OpKind::kThreadStart && ev.kind != OpKind::kAwait &&
+          ev.kind != OpKind::kMutexLock && ev.kind != OpKind::kMutexTryLock &&
+          ev.kind != OpKind::kMutexUnlock) {
+        out << " " << order_name(ev.order);
+      }
+      if (!ev.addr_name.empty()) out << " @" << ev.addr_name;
+      if (ev.site.line != 0 || ev.site.tag != nullptr) {
+        out << " " << describe_site(ev.site);
+      }
+      out << ev.detail << "\n";
+    }
+    return out.str();
+  }
+
+  RaceDetector detector_;
+  std::vector<Thr> threads_;
+  std::map<const void*, std::size_t> owner_;  // mutex -> holding thread
+  std::map<const void*, std::size_t> addr_names_;
+  std::vector<TraceEvent> trace_;
+  std::vector<Violation> extra_;
+  std::vector<std::size_t> choices_;
+  std::vector<std::size_t> widths_;
+  bool aborting_ = false;
+  std::size_t steps_ = 0;
+
+  std::mutex m_;
+  std::condition_variable cv_coord_;    // threads -> coordinator
+  std::condition_variable cv_threads_;  // coordinator -> threads
+};
+
+thread_local std::size_t Engine::tls_self = 0;
+
+// PCT-style chooser: threads run by seeded random priority; at `depth`
+// seeded change points the just-scheduled thread drops below everyone,
+// forcing a preemption exactly there.
+class PctChooser {
+ public:
+  PctChooser(std::uint64_t seed, std::size_t threads, std::size_t depth,
+             std::size_t horizon)
+      : prio_(threads) {
+    Xoshiro256 rng(seed);
+    for (std::size_t i = 0; i < threads; ++i) {
+      prio_[i] = depth + 1 + i;
+    }
+    for (std::size_t i = threads; i > 1; --i) {  // Fisher-Yates
+      std::swap(prio_[i - 1], prio_[rng.below(i)]);
+    }
+    for (std::size_t d = 0; d < depth; ++d) {
+      change_steps_.push_back(rng.below(horizon));
+    }
+    std::sort(change_steps_.begin(), change_steps_.end());
+    next_low_ = depth;  // change point d assigns priority depth-d (0 lowest)
+  }
+
+  std::size_t operator()(const std::vector<std::size_t>& eligible) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < eligible.size(); ++i) {
+      if (prio_[eligible[i]] > prio_[eligible[best]]) best = i;
+    }
+    std::size_t chosen = eligible[best];
+    while (next_change_ < change_steps_.size() &&
+           change_steps_[next_change_] == step_) {
+      prio_[chosen] = --next_low_;
+      ++next_change_;
+    }
+    ++step_;
+    return best;
+  }
+
+ private:
+  std::vector<std::uint64_t> prio_;
+  std::vector<std::size_t> change_steps_;
+  std::size_t next_change_ = 0;
+  std::size_t next_low_ = 0;
+  std::size_t step_ = 0;
+};
+
+std::string join_choices(const std::vector<std::size_t>& choices) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    if (i != 0) out << ",";
+    out << choices[i];
+  }
+  return out.str();
+}
+
+std::vector<std::size_t> parse_choices(const std::string& text) {
+  std::vector<std::size_t> out;
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) out.push_back(std::stoull(item));
+  }
+  return out;
+}
+
+void fill_failure(ExploreResult& result, const Engine::Outcome& outcome) {
+  result.violations = outcome.violations;
+  result.failing_schedule = join_choices(outcome.choices);
+  result.trace = outcome.trace;
+}
+
+}  // namespace
+
+bool ScheduleExplorer::instrumentation_enabled() {
+#if defined(FTDAG_SCHED_CHECK)
+  return true;
+#else
+  return false;
+#endif
+}
+
+ExploreResult ScheduleExplorer::explore(const Scenario& scenario,
+                                        const ExploreOptions& opts) {
+  ExploreResult result;
+  if (!instrumentation_enabled()) {
+    result.violations.push_back(Violation{
+        Violation::Kind::kException,
+        "FTDAG_SCHED_CHECK is off: the sync shim is not instrumented, so "
+        "schedules cannot be controlled (rebuild with -DFTDAG_SCHED_CHECK=ON)"});
+    return result;
+  }
+
+  ExploreOptions::Mode mode = opts.mode;
+  if (mode == ExploreOptions::Mode::kAuto) {
+    mode = scenario.exhaustive ? ExploreOptions::Mode::kExhaustive
+                               : ExploreOptions::Mode::kPct;
+  }
+  Engine engine;
+
+  if (mode == ExploreOptions::Mode::kReplay) {
+    std::vector<std::size_t> prefix = parse_choices(opts.replay_schedule);
+    std::size_t pos = 0;
+    Engine::Outcome outcome = engine.run(
+        scenario.make(),
+        [&](const std::vector<std::size_t>&) {
+          return pos < prefix.size() ? prefix[pos++] : 0;
+        },
+        scenario.max_steps);
+    result.executions = 1;
+    if (!outcome.violations.empty()) fill_failure(result, outcome);
+    return result;
+  }
+
+  if (mode == ExploreOptions::Mode::kExhaustive) {
+    const std::size_t budget =
+        opts.max_executions != 0 ? opts.max_executions : scenario.max_executions;
+    std::vector<std::size_t> prefix;
+    for (;;) {
+      std::size_t pos = 0;
+      Engine::Outcome outcome = engine.run(
+          scenario.make(),
+          [&](const std::vector<std::size_t>&) {
+            if (pos < prefix.size()) return prefix[pos++];
+            prefix.push_back(0);
+            ++pos;
+            return std::size_t{0};
+          },
+          scenario.max_steps);
+      ++result.executions;
+      if (!outcome.violations.empty()) {
+        fill_failure(result, outcome);
+        return result;
+      }
+      // Backtrack: advance the deepest choice that still has siblings.
+      // outcome.widths parallels this execution's choice sequence.
+      while (!prefix.empty() &&
+             prefix.back() + 1 >= outcome.widths[prefix.size() - 1]) {
+        prefix.pop_back();
+      }
+      if (prefix.empty()) {
+        result.exhausted = true;
+        return result;
+      }
+      ++prefix.back();
+      if (result.executions >= budget) return result;  // budget exhausted
+    }
+  }
+
+  // PCT mode.
+  const std::size_t schedules =
+      opts.pct_schedules != 0 ? opts.pct_schedules : scenario.pct_schedules;
+  const std::size_t threads = scenario.make().threads.size();
+  for (std::size_t s = 0; s < schedules; ++s) {
+    const std::uint64_t seed = opts.seed + s;
+    PctChooser chooser(seed, threads, scenario.pct_depth,
+                       /*horizon=*/256);
+    Engine::Outcome outcome = engine.run(
+        scenario.make(), [&](const std::vector<std::size_t>& e) {
+          return chooser(e);
+        },
+        scenario.max_steps);
+    ++result.executions;
+    if (!outcome.violations.empty()) {
+      fill_failure(result, outcome);
+      result.failing_seed = seed;
+      result.failing_seed_valid = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+std::string describe_result(const Scenario& scenario,
+                            const ExploreResult& r) {
+  std::ostringstream out;
+  out << (r.ok() ? "PASS" : "FAIL") << " " << scenario.name << ": "
+      << r.executions << " executions"
+      << (r.exhausted ? " (exhaustive)" : "") << "\n";
+  for (const Violation& v : r.violations) {
+    out << "  [" << violation_kind_name(v.kind) << "] " << v.message << "\n";
+  }
+  if (!r.ok()) {
+    if (r.failing_seed_valid) {
+      out << "  replay: seed=" << r.failing_seed
+          << " (run PCT with pct_schedules=1 and this seed)\n";
+    }
+    out << "  replay schedule: " << r.failing_schedule << "\n";
+    out << "  trace:\n" << r.trace;
+  }
+  return out.str();
+}
+
+}  // namespace ftdag::check

@@ -1,0 +1,110 @@
+#pragma once
+// ScheduleExplorer: drives small registered concurrency scenarios through
+// many thread interleavings, checking every execution with the vector-clock
+// race detector and the lock-order deadlock detector.
+//
+// How control works: scenario threads are real std::threads, but every
+// instrumented operation (ftdag::Atomic, CheckMutex, check::Shared,
+// check::await) parks the thread at a schedule point. A coordinator picks
+// exactly one parked thread to advance per step, so an execution is fully
+// determined by the sequence of choices — which makes every failure
+// replayable from either the PCT seed or the recorded choice string.
+//
+// Exploration modes:
+//  - exhaustive: depth-first enumeration of every schedule via a choice
+//    stack (prefix replay + backtrack). Used for ≤4-thread scenarios.
+//  - PCT: Probabilistic Concurrency Testing (Burckhardt et al.) — each
+//    schedule runs threads by a seeded random priority order with d
+//    priority-change points, giving probabilistic bug-depth guarantees at
+//    a fixed per-schedule cost. Used for bigger scenarios.
+//  - replay: re-run one recorded choice string (deterministic).
+//
+// Spin waits must be expressed as check::await(pred) in scenario code:
+// await blocks the thread until the predicate holds instead of burning
+// schedule points on spin iterations (and the coordinator treats a parked
+// await whose predicate is false as *not runnable*, which is what makes
+// deadlock detection meaningful).
+//
+// Everything here is compiled in all builds, but explore() reports a
+// configuration error unless FTDAG_SCHED_CHECK is on (without the shim
+// instrumentation there is nothing to observe).
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "check/race_detector.hpp"
+#include "check/sync_observer.hpp"
+
+namespace ftdag::check {
+
+// One concrete execution: thread bodies plus an optional end invariant.
+// Bodies run as controlled threads; the invariant runs uncontrolled after
+// they all finished (return false or throw to fail the execution; `why`
+// feeds the violation message).
+struct Execution {
+  std::vector<std::function<void()>> threads;
+  std::function<bool(std::string& why)> invariant;
+};
+
+// A registered scenario: a factory producing a fresh Execution per
+// explored schedule, plus exploration budgets and expectations.
+struct Scenario {
+  std::string name;
+  std::string description;
+  std::function<Execution()> make;
+  std::size_t thread_count = 0;
+  // Exhaustive enumeration for small protocols (≤ 4 threads per ISSUE
+  // criteria); PCT sampling otherwise.
+  bool exhaustive = true;
+  std::size_t max_executions = 200000;  // exhaustive safety budget
+  std::size_t pct_schedules = 1000;     // PCT budget
+  std::size_t pct_depth = 3;            // PCT priority-change points
+  std::size_t max_steps = 20000;        // per-execution livelock bound
+  // Mutation scenarios are EXPECTED to fail, with at least one violation
+  // mentioning every listed tag. Empty for clean scenarios.
+  std::vector<std::string> expect_tags;
+};
+
+struct ExploreOptions {
+  enum class Mode : std::uint8_t { kAuto, kExhaustive, kPct, kReplay };
+  Mode mode = Mode::kAuto;
+  // PCT: schedule s runs with seed `seed + s`, so replaying a reported
+  // failing_seed with pct_schedules=1 reproduces the failure exactly.
+  std::uint64_t seed = 0x5EEDC0DEULL;
+  std::size_t pct_schedules = 0;   // 0 = scenario default
+  std::size_t max_executions = 0;  // 0 = scenario default
+  std::string replay_schedule;     // kReplay: comma-separated choices
+};
+
+struct ExploreResult {
+  std::size_t executions = 0;
+  bool exhausted = false;  // exhaustive mode covered the full tree
+  std::vector<Violation> violations;
+  bool failing_seed_valid = false;
+  std::uint64_t failing_seed = 0;  // PCT per-schedule seed that failed
+  std::string failing_schedule;    // choice string replaying the failure
+  std::string trace;               // formatted event trace of the failure
+  bool ok() const { return violations.empty(); }
+};
+
+class ScheduleExplorer {
+ public:
+  static bool instrumentation_enabled();
+  ExploreResult explore(const Scenario& scenario,
+                        const ExploreOptions& opts = {});
+};
+
+// Scenario registry (scenarios.cpp): protocols transcribed from or built
+// on the production classes. Clean scenarios must all pass; mutation
+// scenarios reintroduce previously-fixed orderings and must all fail.
+std::vector<Scenario> clean_scenarios();
+std::vector<Scenario> mutation_scenarios();
+
+// Formats one result block for logs: PASS/FAIL, executions, violations,
+// and on failure the replay seed/schedule + trace.
+std::string describe_result(const Scenario& scenario, const ExploreResult& r);
+
+}  // namespace ftdag::check

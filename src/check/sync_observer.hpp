@@ -1,0 +1,92 @@
+#pragma once
+// SyncObserver: the seam between the instrumented synchronization shim
+// (check/sync_shim.hpp) and the schedule-exploration engine.
+//
+// In an FTDAG_SCHED_CHECK build every ftdag::Atomic operation, CheckMutex
+// lock/unlock and check::Shared plain access on a *controlled* thread calls
+// into the observer installed in `tls_observer`. The observer serializes the
+// thread at that point (a schedule point: the thread blocks until the
+// explorer grants it), records the event with its memory order and source
+// tag, and feeds the happens-before bookkeeping of the race detector.
+//
+// Threads outside an exploration session (the real work-stealing pool, test
+// setup code, the explorer's own coordinator) have a null `tls_observer` and
+// pay one thread-local load + branch per operation; in non-check builds the
+// shim compiles down to std::atomic/SpinLock and this header is unused by
+// the hot path entirely.
+
+#include <cstdint>
+#include <functional>
+
+#include <atomic>
+
+namespace ftdag::check {
+
+enum class OpKind : std::uint8_t {
+  kThreadStart,  // first schedule point of a controlled thread
+  kLoad,         // atomic load
+  kStore,        // atomic store
+  kRmw,          // unconditionally-succeeding RMW (exchange, fetch_*)
+  kCas,          // compare_exchange_*; outcome reported via cas_outcome
+  kPlainRead,    // check::Shared read (race-checked, no ordering)
+  kPlainWrite,   // check::Shared write (race-checked, no ordering)
+  kMutexLock,    // CheckMutex::lock — blocks while the mutex is held
+  kMutexTryLock, // CheckMutex::try_lock — never blocks
+  kMutexUnlock,  // CheckMutex::unlock
+  kAwait,        // check::await — blocks until the predicate holds
+};
+
+const char* op_kind_name(OpKind kind);
+
+// Where an operation happened, for violation reports: the `pairs:`-style
+// source tag when the call site passed one (via FTDAG_SYNC_TAG), plus the
+// file:line captured from std::source_location.
+struct SyncSite {
+  const char* tag = nullptr;
+  const char* file = "";
+  unsigned line = 0;
+};
+
+// Implemented by the ScheduleExplorer engine. Every method is called from
+// the controlled thread itself; all of them except cas_outcome are schedule
+// points (they block until the scheduler grants the thread).
+class SyncObserver {
+ public:
+  virtual ~SyncObserver() = default;
+
+  // Atomic load/store/RMW/CAS-attempt and Shared plain accesses.
+  virtual void sync_point(OpKind kind, const void* addr,
+                          std::memory_order order, const SyncSite& site) = 0;
+
+  // CAS result fixup, called immediately after the hardware CAS executed
+  // (the calling thread still holds its scheduling grant, so no other
+  // controlled thread ran in between). Not a schedule point.
+  virtual void cas_outcome(const void* addr, bool exchanged,
+                           std::memory_order success,
+                           std::memory_order failure, const SyncSite& site) = 0;
+
+  // CheckMutex operations. mutex_lock blocks until the mutex is free AND
+  // the scheduler picks this thread; try_lock reports whether it acquired.
+  virtual void mutex_lock(const void* addr, const SyncSite& site) = 0;
+  virtual bool mutex_try_lock(const void* addr, const SyncSite& site) = 0;
+  virtual void mutex_unlock(const void* addr, const SyncSite& site) = 0;
+
+  // Bounded stand-in for spin waits: blocks the calling thread until `pred`
+  // returns true (evaluated by the coordinator between steps, outside any
+  // controlled thread). Scenarios follow it with an acquire load to collect
+  // the happens-before edge; await itself establishes no ordering.
+  virtual void await(const std::function<bool()>& pred,
+                     const SyncSite& site) = 0;
+};
+
+// Observer controlling the calling thread; null outside a session.
+extern thread_local SyncObserver* tls_observer;
+
+inline SyncObserver* controlled() noexcept { return tls_observer; }
+
+// Scenario-side helper: cooperative wait usable from controlled threads
+// (delegates to the observer) and, as a fallback, from ordinary threads
+// (plain spin), so scenario code compiles and runs in every build.
+void await(const std::function<bool()>& pred, const char* tag = nullptr);
+
+}  // namespace ftdag::check

@@ -1,0 +1,296 @@
+#pragma once
+// Instrumented synchronization shim: ftdag::Atomic<T>, ftdag::CheckMutex,
+// ftdag::CheckMutexGuard, ftdag::check::Shared<T>.
+//
+// Normal builds: pure type aliases for std::atomic / SpinLock /
+// SpinLockGuard — zero cost, zero codegen difference (bench_hotpath A/B
+// against BENCH_hotpath.json guards this). FTDAG_SYNC_TAG(tag) expands to
+// nothing, so tagged call sites compile to exactly the untagged form.
+//
+// FTDAG_SCHED_CHECK builds: thin wrappers that route every operation
+// through check::tls_observer (when the calling thread is controlled by a
+// ScheduleExplorer session) before performing the real operation. The
+// observer serializes the thread, records (thread, address, memory order,
+// source tag) and drives vector-clock happens-before + lock-order
+// bookkeeping. Uncontrolled threads pay one thread-local load + branch.
+//
+// Call sites opt into richer reports by passing the `pairs:` tag of the
+// synchronizes-with edge, e.g.:
+//
+//   pending_.fetch_sub(1, std::memory_order_acq_rel
+//                      FTDAG_SYNC_TAG("group-pending"));
+//
+// CheckMutex under a controlled thread delegates mutual exclusion to the
+// explorer (which never grants a lock while it is held) instead of spinning
+// on the real SpinLock; scenarios must therefore be self-contained — a
+// CheckMutex must not be contended by controlled and uncontrolled threads
+// at the same time. Uncontrolled threads use the real SpinLock unchanged.
+
+#include <atomic>
+
+#include "support/spin_lock.hpp"
+#include "support/thread_safety.hpp"
+
+#if !defined(FTDAG_SCHED_CHECK)
+
+#define FTDAG_SYNC_TAG(tag)
+
+namespace ftdag {
+
+template <typename T>
+using Atomic = std::atomic<T>;
+
+using CheckMutex = SpinLock;
+using CheckMutexGuard = SpinLockGuard;
+
+namespace check {
+
+// Plain (non-atomic) datum a scenario deliberately races on. In normal
+// builds it is a bare value; in check builds every get/set is a recorded
+// schedule point the race detector checks for happens-before coverage.
+template <typename T>
+class Shared {
+ public:
+  Shared() = default;
+  explicit Shared(T v) : v_(v) {}
+
+  T get(const char* /*tag*/ = nullptr) const { return v_; }
+  void set(T v, const char* /*tag*/ = nullptr) { v_ = v; }
+
+ private:
+  T v_{};
+};
+
+}  // namespace check
+}  // namespace ftdag
+
+#else  // FTDAG_SCHED_CHECK
+
+#include <source_location>
+
+#include "check/sync_observer.hpp"
+
+#define FTDAG_SYNC_TAG(tag) , (tag)
+
+namespace ftdag {
+namespace check {
+
+inline SyncSite make_site(const char* tag, const std::source_location& loc) {
+  return SyncSite{tag, loc.file_name(), loc.line()};
+}
+
+inline void hook(OpKind kind, const void* addr, std::memory_order order,
+                 const char* tag, const std::source_location& loc) {
+  if (SyncObserver* o = tls_observer) {
+    o->sync_point(kind, addr, order, make_site(tag, loc));
+  }
+}
+
+// The CAS failure order implied by the one-order compare_exchange forms
+// ([atomics.types.operations]: failure = success stripped of release).
+inline std::memory_order cas_failure_order(std::memory_order success) {
+  switch (success) {
+    case std::memory_order_acq_rel:
+      return std::memory_order_acquire;
+    case std::memory_order_release:
+      return std::memory_order_relaxed;
+    default:
+      return success;
+  }
+}
+
+template <typename T>
+class Shared {
+ public:
+  Shared() = default;
+  explicit Shared(T v) : v_(v) {}
+
+  T get(const char* tag = nullptr,
+        const std::source_location loc = std::source_location::current()) const {
+    hook(OpKind::kPlainRead, &v_, std::memory_order_relaxed, tag, loc);
+    return v_;
+  }
+
+  void set(T v, const char* tag = nullptr,
+           const std::source_location loc = std::source_location::current()) {
+    hook(OpKind::kPlainWrite, &v_, std::memory_order_relaxed, tag, loc);
+    v_ = v;
+  }
+
+ private:
+  T v_{};
+};
+
+}  // namespace check
+
+template <typename T>
+class Atomic {
+ public:
+  constexpr Atomic() noexcept : v_() {}
+  constexpr Atomic(T v) noexcept : v_(v) {}  // NOLINT(google-explicit-constructor)
+  Atomic(const Atomic&) = delete;
+  Atomic& operator=(const Atomic&) = delete;
+
+  T load(std::memory_order order, const char* tag = nullptr,
+         const std::source_location loc =
+             std::source_location::current()) const {
+    check::hook(check::OpKind::kLoad, &v_, order, tag, loc);
+    return v_.load(order);
+  }
+
+  void store(T v, std::memory_order order, const char* tag = nullptr,
+             const std::source_location loc = std::source_location::current()) {
+    check::hook(check::OpKind::kStore, &v_, order, tag, loc);
+    v_.store(v, order);
+  }
+
+  T exchange(T v, std::memory_order order, const char* tag = nullptr,
+             const std::source_location loc = std::source_location::current()) {
+    check::hook(check::OpKind::kRmw, &v_, order, tag, loc);
+    return v_.exchange(v, order);
+  }
+
+  template <typename U>
+  T fetch_add(U arg, std::memory_order order, const char* tag = nullptr,
+              const std::source_location loc = std::source_location::current()) {
+    check::hook(check::OpKind::kRmw, &v_, order, tag, loc);
+    return v_.fetch_add(arg, order);
+  }
+
+  template <typename U>
+  T fetch_sub(U arg, std::memory_order order, const char* tag = nullptr,
+              const std::source_location loc = std::source_location::current()) {
+    check::hook(check::OpKind::kRmw, &v_, order, tag, loc);
+    return v_.fetch_sub(arg, order);
+  }
+
+  template <typename U>
+  T fetch_and(U arg, std::memory_order order, const char* tag = nullptr,
+              const std::source_location loc = std::source_location::current()) {
+    check::hook(check::OpKind::kRmw, &v_, order, tag, loc);
+    return v_.fetch_and(arg, order);
+  }
+
+  template <typename U>
+  T fetch_or(U arg, std::memory_order order, const char* tag = nullptr,
+             const std::source_location loc = std::source_location::current()) {
+    check::hook(check::OpKind::kRmw, &v_, order, tag, loc);
+    return v_.fetch_or(arg, order);
+  }
+
+  bool compare_exchange_strong(
+      T& expected, T desired, std::memory_order success,
+      std::memory_order failure, const char* tag = nullptr,
+      const std::source_location loc = std::source_location::current()) {
+    return cas(/*weak=*/false, expected, desired, success, failure, tag, loc);
+  }
+
+  bool compare_exchange_strong(
+      T& expected, T desired, std::memory_order order,
+      const char* tag = nullptr,
+      const std::source_location loc = std::source_location::current()) {
+    return cas(/*weak=*/false, expected, desired, order,
+               check::cas_failure_order(order), tag, loc);
+  }
+
+  bool compare_exchange_weak(
+      T& expected, T desired, std::memory_order success,
+      std::memory_order failure, const char* tag = nullptr,
+      const std::source_location loc = std::source_location::current()) {
+    return cas(/*weak=*/true, expected, desired, success, failure, tag, loc);
+  }
+
+  bool compare_exchange_weak(
+      T& expected, T desired, std::memory_order order,
+      const char* tag = nullptr,
+      const std::source_location loc = std::source_location::current()) {
+    return cas(/*weak=*/true, expected, desired, order,
+               check::cas_failure_order(order), tag, loc);
+  }
+
+ private:
+  bool cas(bool weak, T& expected, T desired, std::memory_order success,
+           std::memory_order failure, const char* tag,
+           const std::source_location& loc) {
+    check::SyncObserver* o = check::tls_observer;
+    check::SyncSite site = check::make_site(tag, loc);
+    if (o != nullptr) {
+      // Schedule point BEFORE the CAS; the outcome (which decides whether
+      // the op counts as an RMW or a failure-ordered load for the vector
+      // clocks) is reported right after, while this thread still holds its
+      // grant — no other controlled thread can run in between.
+      o->sync_point(check::OpKind::kCas, &v_, success, site);
+    }
+    bool ok = weak ? v_.compare_exchange_weak(expected, desired, success, failure)
+                   : v_.compare_exchange_strong(expected, desired, success, failure);
+    if (o != nullptr) o->cas_outcome(&v_, ok, success, failure, site);
+    return ok;
+  }
+
+  std::atomic<T> v_;
+};
+
+class FTDAG_CAPABILITY("spin lock") CheckMutex {
+ public:
+  CheckMutex() = default;
+  CheckMutex(const CheckMutex&) = delete;
+  CheckMutex& operator=(const CheckMutex&) = delete;
+
+  void lock(const char* tag = nullptr,
+            const std::source_location loc = std::source_location::current())
+      FTDAG_ACQUIRE() {
+    if (check::SyncObserver* o = check::tls_observer) {
+      // Controlled thread: the explorer provides mutual exclusion (a lock
+      // is only granted while free) and the happens-before edge.
+      o->mutex_lock(this, check::make_site(tag, loc));
+      return;
+    }
+    impl_.lock();
+  }
+
+  bool try_lock(const char* tag = nullptr,
+                const std::source_location loc = std::source_location::current())
+      FTDAG_TRY_ACQUIRE(true) {
+    if (check::SyncObserver* o = check::tls_observer) {
+      return o->mutex_try_lock(this, check::make_site(tag, loc));
+    }
+    return impl_.try_lock();
+  }
+
+  void unlock(const char* tag = nullptr,
+              const std::source_location loc = std::source_location::current())
+      FTDAG_RELEASE() {
+    if (check::SyncObserver* o = check::tls_observer) {
+      o->mutex_unlock(this, check::make_site(tag, loc));
+      return;
+    }
+    impl_.unlock();
+  }
+
+ private:
+  SpinLock impl_;
+};
+
+class FTDAG_SCOPED_CAPABILITY CheckMutexGuard {
+ public:
+  explicit CheckMutexGuard(CheckMutex& lock, const char* tag = nullptr,
+                           const std::source_location loc =
+                               std::source_location::current())
+      FTDAG_ACQUIRE(lock)
+      : lock_(lock), tag_(tag), loc_(loc) {
+    lock_.lock(tag_, loc_);
+  }
+  ~CheckMutexGuard() FTDAG_RELEASE() { lock_.unlock(tag_, loc_); }
+
+  CheckMutexGuard(const CheckMutexGuard&) = delete;
+  CheckMutexGuard& operator=(const CheckMutexGuard&) = delete;
+
+ private:
+  CheckMutex& lock_;
+  const char* tag_;
+  std::source_location loc_;
+};
+
+}  // namespace ftdag
+
+#endif  // FTDAG_SCHED_CHECK

@@ -1,0 +1,53 @@
+#pragma once
+// Fixed-size vector clock for the schedule checker's happens-before
+// bookkeeping. Scenario thread counts are tiny (≤ 8), so this is a plain
+// vector with O(n) join/compare — clarity over cleverness.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ftdag::check {
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(std::size_t threads) : c_(threads, 0) {}
+
+  std::size_t size() const { return c_.size(); }
+
+  std::uint64_t at(std::size_t t) const { return t < c_.size() ? c_[t] : 0; }
+
+  void ensure(std::size_t threads) {
+    if (c_.size() < threads) c_.resize(threads, 0);
+  }
+
+  // Advance thread t's own component (one tick per recorded operation).
+  void tick(std::size_t t) {
+    ensure(t + 1);
+    ++c_[t];
+  }
+
+  // Pointwise max: acquire side of a synchronizes-with edge.
+  void join(const VectorClock& o) {
+    ensure(o.c_.size());
+    for (std::size_t i = 0; i < o.c_.size(); ++i) {
+      c_[i] = std::max(c_[i], o.c_[i]);
+    }
+  }
+
+  void assign(const VectorClock& o) { c_ = o.c_; }
+
+  void clear() { std::fill(c_.begin(), c_.end(), 0); }
+
+  bool is_zero() const {
+    return std::all_of(c_.begin(), c_.end(),
+                       [](std::uint64_t v) { return v == 0; });
+  }
+
+ private:
+  std::vector<std::uint64_t> c_;
+};
+
+}  // namespace ftdag::check

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "check/sync_shim.hpp"
 #include "support/assert.hpp"
 
 namespace ftdag {
@@ -19,7 +20,7 @@ namespace ftdag {
 class AtomicBitset {
  public:
   explicit AtomicBitset(std::size_t bits)
-      : bits_(bits), words_(new std::atomic<std::uint64_t>[word_count()]) {
+      : bits_(bits), words_(new Atomic<std::uint64_t>[word_count()]) {
     set_all();
   }
 
@@ -79,7 +80,7 @@ class AtomicBitset {
   std::size_t word_count() const { return (bits_ + 63) / 64; }
 
   std::size_t bits_;
-  std::unique_ptr<std::atomic<std::uint64_t>[]> words_;
+  std::unique_ptr<Atomic<std::uint64_t>[]> words_;
 };
 
 }  // namespace ftdag

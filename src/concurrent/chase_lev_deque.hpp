@@ -15,6 +15,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "check/sync_shim.hpp"
 #include "support/assert.hpp"
 #include "support/cache.hpp"
 
@@ -120,7 +121,7 @@ class ChaseLevDeque {
  private:
   struct Buffer {
     explicit Buffer(std::size_t cap)
-        : capacity(cap), mask(cap - 1), slots(new std::atomic<T>[cap]) {}
+        : capacity(cap), mask(cap - 1), slots(new Atomic<T>[cap]) {}
 
     T get(std::int64_t i) const {
       return slots[static_cast<std::size_t>(i) & mask].load(
@@ -133,7 +134,7 @@ class ChaseLevDeque {
 
     const std::size_t capacity;
     const std::size_t mask;
-    std::unique_ptr<std::atomic<T>[]> slots;
+    std::unique_ptr<Atomic<T>[]> slots;
   };
 
   Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
@@ -151,9 +152,9 @@ class ChaseLevDeque {
     return p;
   }
 
-  alignas(kCacheLine) std::atomic<std::int64_t> top_{0};
-  alignas(kCacheLine) std::atomic<std::int64_t> bottom_{0};
-  alignas(kCacheLine) std::atomic<Buffer*> buffer_;
+  alignas(kCacheLine) Atomic<std::int64_t> top_{0};
+  alignas(kCacheLine) Atomic<std::int64_t> bottom_{0};
+  alignas(kCacheLine) Atomic<Buffer*> buffer_;
   std::vector<Buffer*> retired_;
 };
 

@@ -37,6 +37,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/sync_shim.hpp"
 #include "support/assert.hpp"
 #include "support/cache.hpp"
 #include "support/spin_lock.hpp"
@@ -70,7 +71,7 @@ class ShardedMap {
   template <typename F>
   std::pair<V*, bool> insert_if_absent(MapKey key, F&& factory) {
     Shard& shard = shard_for(key);
-    SpinLockGuard guard(shard.lock);
+    CheckMutexGuard guard(shard.lock);
     // Relaxed: the table pointer is only replaced under this shard's lock,
     // so the holder always sees the newest table.
     Table* table = shard.table_.load(std::memory_order_relaxed);
@@ -126,7 +127,7 @@ class ShardedMap {
     [[maybe_unused]] const std::size_t size_before =
         size_.load(std::memory_order_relaxed);
     for (auto& s : shards_) {
-      SpinLockGuard guard(s->lock);
+      CheckMutexGuard guard(s->lock);
       Table* table = s->table_.load(std::memory_order_relaxed);
       for (std::size_t i = 0; i < table->capacity; ++i) {
         V* value = table->slots[i].value_.load(std::memory_order_relaxed);
@@ -147,7 +148,7 @@ class ShardedMap {
   void clear() {
     [[maybe_unused]] std::size_t cleared = 0;
     for (auto& s : shards_) {
-      SpinLockGuard guard(s->lock);
+      CheckMutexGuard guard(s->lock);
       Table* table = s->table_.load(std::memory_order_relaxed);
       for (std::size_t i = 0; i < table->capacity; ++i) {
         V* value = table->slots[i].value_.load(std::memory_order_relaxed);
@@ -177,8 +178,8 @@ class ShardedMap {
   // release store of value; value is the publication point, nullptr marks
   // an empty slot.
   struct Slot {
-    std::atomic<MapKey> key_{0};
-    std::atomic<V*> value_{nullptr};
+    Atomic<MapKey> key_{0};
+    Atomic<V*> value_{nullptr};
   };
 
   struct Table {
@@ -191,9 +192,9 @@ class ShardedMap {
   };
 
   struct Shard {
-    SpinLock lock;
+    CheckMutex lock;
     // Written only under `lock`; read lock-free by find() with acquire.
-    std::atomic<Table*> table_{nullptr};
+    Atomic<Table*> table_{nullptr};
     std::size_t count FTDAG_GUARDED_BY(lock) = 0;
     // Tables replaced by grow(); readers may still probe them, so they are
     // freed only at clear()/destruction.
@@ -264,7 +265,7 @@ class ShardedMap {
   static constexpr unsigned kShardShift = 48;
 
   std::vector<CachePadded<Shard>> shards_;
-  std::atomic<std::size_t> size_{0};
+  Atomic<std::size_t> size_{0};
 };
 
 }  // namespace ftdag

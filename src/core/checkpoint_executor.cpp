@@ -1,3 +1,4 @@
+#include "check/sync_shim.hpp"
 #include "core/checkpoint_executor.hpp"
 
 #include <algorithm>
@@ -19,7 +20,7 @@ namespace {
 struct ChkTask final : CorruptibleTask {
   explicit ChkTask(TaskKey k) : key(k) {}
   TaskKey key;
-  std::atomic<bool> corrupted{false};
+  Atomic<bool> corrupted{false};
 
   TaskKey task_key() const override { return key; }
   void corrupt_descriptor() override {
@@ -74,7 +75,7 @@ CheckpointReport CheckpointRestartExecutor::execute(
 
   while (level < levels.size()) {
     const std::vector<TaskKey>& tasks = levels[level];
-    std::atomic<bool> fault{false};
+    Atomic<bool> fault{false};
     pool.parallel_for(
         0, static_cast<std::int64_t>(tasks.size()), 1,
         [&](std::int64_t lo, std::int64_t hi) {

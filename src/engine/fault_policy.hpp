@@ -25,6 +25,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "check/sync_shim.hpp"
 #include "blocks/block_store.hpp"
 #include "concurrent/sharded_map.hpp"
 #include "engine/observation.hpp"
@@ -158,7 +159,7 @@ class SelectiveRecoveryPolicy {
         return;  // Computed/Completed successors need nothing from T
       const std::size_t ind = s->pred_index(key);
       if (s->bits.test(ind)) {
-        SpinLockGuard guard(t->lock);
+        CheckMutexGuard guard(t->lock);
         t->notify_array.push_back(skey);
       }
     } catch (const FaultException& e) {
@@ -219,7 +220,7 @@ class SelectiveRecoveryPolicy {
 
  private:
   struct ComputeCount {
-    std::atomic<std::uint32_t> runs{0};
+    Atomic<std::uint32_t> runs{0};
   };
 
   ObservationPolicy& obs_;

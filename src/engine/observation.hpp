@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/sync_shim.hpp"
 #include "graph/exec_report.hpp"
 #include "graph/task_key.hpp"
 #include "support/timer.hpp"
@@ -110,13 +111,13 @@ class ObservationPolicy {
   ComputeTimeline* timeline_;
   Timer clock_;  // timeline timestamps (trace has its own clock)
 
-  std::atomic<std::uint64_t> computes_{0};
-  std::atomic<std::uint64_t> faults_caught_{0};
-  std::atomic<std::uint64_t> recoveries_{0};
-  std::atomic<std::uint64_t> resets_{0};
-  std::atomic<std::uint64_t> replicated_{0};
-  std::atomic<std::uint64_t> digest_mismatches_{0};
-  std::atomic<std::uint64_t> votes_resolved_{0};
+  Atomic<std::uint64_t> computes_{0};
+  Atomic<std::uint64_t> faults_caught_{0};
+  Atomic<std::uint64_t> recoveries_{0};
+  Atomic<std::uint64_t> resets_{0};
+  Atomic<std::uint64_t> replicated_{0};
+  Atomic<std::uint64_t> digest_mismatches_{0};
+  Atomic<std::uint64_t> votes_resolved_{0};
 };
 
 }  // namespace ftdag::engine

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "check/sync_shim.hpp"
 #include "concurrent/sharded_map.hpp"
 #include "graph/task_key.hpp"
 
@@ -42,7 +43,7 @@ class RecoveryTable {
  private:
   struct Record {
     explicit Record(std::uint64_t l) : life(l) {}
-    std::atomic<std::uint64_t> life;
+    Atomic<std::uint64_t> life;
   };
 
   mutable ShardedMap<Record> records_;

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/sync_shim.hpp"
 #include "concurrent/atomic_bitset.hpp"
 #include "fault/fault.hpp"
 #include "fault/fault_injector.hpp"
@@ -47,9 +48,9 @@ struct TaskCore {
   const TaskKey key;
   const KeyList preds;  // ordered predecessor list, cached at creation
 
-  std::atomic<int> join;
-  std::atomic<TaskStatus> status{TaskStatus::kVisited};
-  SpinLock lock;
+  Atomic<int> join;
+  Atomic<TaskStatus> status{TaskStatus::kVisited};
+  CheckMutex lock;
   // Successors awaiting notification. Registration (TRYINITCOMPUTE) and the
   // drain loop (COMPUTEANDNOTIFY) both run under `lock`; the drain re-checks
   // the array before publishing Completed so late registrations are not lost.
@@ -75,8 +76,8 @@ struct FtTask final : TaskCore, CorruptibleTask {
 
   const std::uint64_t life;
   AtomicBitset bits;  // |preds| + 1, all-ones at start
-  std::atomic<bool> corrupted{false};
-  std::atomic<bool> recovery{false};
+  Atomic<bool> corrupted{false};
+  Atomic<bool> recovery{false};
 
   // --- CorruptibleTask -------------------------------------------------------
   TaskKey task_key() const override { return key; }

@@ -42,6 +42,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/sync_shim.hpp"
 #include "concurrent/sharded_map.hpp"
 #include "engine/durability_policy.hpp"
 #include "engine/observation.hpp"
@@ -121,7 +122,7 @@ class TraversalEngine {
         old, fresh, std::memory_order_acq_rel);  // pairs: task-slot
     FTDAG_ASSERT(swapped, "concurrent REPLACETASK on the same incarnation");
     {
-      SpinLockGuard guard(garbage_lock_);
+      CheckMutexGuard guard(garbage_lock_);
       garbage_.push_back(old);
     }
     return fresh;
@@ -197,7 +198,7 @@ class TraversalEngine {
   struct Slot {
     explicit Slot(Task* t) : task(t) {}
     ~Slot() { delete task.load(std::memory_order_relaxed); }
-    std::atomic<Task*> task;
+    Atomic<Task*> task;
   };
   using MapValue = std::conditional_t<kFT, Slot, Task>;
 
@@ -256,7 +257,7 @@ class TraversalEngine {
                         std::uint64_t alife) {
     fault_.check(b);
     {
-      SpinLockGuard guard(b->lock);
+      CheckMutexGuard guard(b->lock);
       // pairs: task-status — acquire makes B's committed outputs visible
       // when we skip registration and read them directly.
       if (b->status.load(std::memory_order_acquire) < TaskStatus::kComputed) {
@@ -406,7 +407,7 @@ class TraversalEngine {
       fault_.check(a);  // an after-compute fault on self is detected here
       KeyList batch;
       {
-        SpinLockGuard guard(a->lock);
+        CheckMutexGuard guard(a->lock);
         for (std::size_t i = notified; i < a->notify_array.size(); ++i)
           batch.push_back(a->notify_array[i]);
         if (batch.empty()) {
@@ -435,7 +436,7 @@ class TraversalEngine {
 
   ShardedMap<MapValue> tasks_;
 
-  SpinLock garbage_lock_;
+  CheckMutex garbage_lock_;
   // Superseded incarnations, freed in the (single-threaded) destructor.
   std::vector<Task*> garbage_ FTDAG_GUARDED_BY(garbage_lock_);
 };

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/sync_shim.hpp"
 #include "blocks/block_store.hpp"
 #include "graph/task_graph_problem.hpp"
 #include "graph/task_key.hpp"
@@ -91,14 +92,14 @@ class BitFlipInjector final : public FaultInjector {
  private:
   struct Entry {
     FaultPhase phase;
-    std::atomic<bool> fired{false};
+    Atomic<bool> fired{false};
   };
 
   // Concurrency contract: the map itself is immutable after construction
   // (reset() rewrites entry *contents*, never the map, and runs only when
   // the pool is quiescent); workers race only on the atomic `fired` flags.
   std::unordered_map<TaskKey, std::unique_ptr<Entry>> entries_;
-  std::atomic<std::uint64_t> injected_{0};
+  Atomic<std::uint64_t> injected_{0};
 };
 
 // Injects the faults listed in a plan, each at most once per run.
@@ -121,12 +122,12 @@ class PlannedFaultInjector final : public FaultInjector {
  private:
   struct Entry {
     FaultPhase phase;
-    std::atomic<bool> fired{false};
+    Atomic<bool> fired{false};
   };
 
   // Immutable after construction; see BitFlipInjector::entries_.
   std::unordered_map<TaskKey, std::unique_ptr<Entry>> entries_;
-  std::atomic<std::uint64_t> injected_{0};
+  Atomic<std::uint64_t> injected_{0};
   std::uint64_t intended_ = 0;
 };
 

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "check/sync_shim.hpp"
 #include "blocks/block_store.hpp"
 #include "graph/task_key.hpp"
 #include "support/small_vector.hpp"
@@ -89,7 +90,7 @@ class ComputeContext {
   // never publish a digest derived from torn data. Values must be a pure
   // function of the task's inputs: re-executions then rewrite identical
   // bytes, making concurrent duplicate stores benign.
-  void stage_result(std::atomic<std::uint64_t>* slot, std::uint64_t value) {
+  void stage_result(Atomic<std::uint64_t>* slot, std::uint64_t value) {
     staged_results_.push_back({slot, value});
   }
 
@@ -112,7 +113,7 @@ class ComputeContext {
   bool consumed_inputs() const { return in_place_updates_ > 0; }
 
   using StagedResults =
-      SmallVector<std::pair<std::atomic<std::uint64_t>*, std::uint64_t>, 2>;
+      SmallVector<std::pair<Atomic<std::uint64_t>*, std::uint64_t>, 2>;
   const StagedResults& staged_results() const { return staged_results_; }
 
  protected:

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "check/sync_shim.hpp"
 #include "blocks/block_store.hpp"
 #include "graph/task_key.hpp"
 #include "support/small_vector.hpp"
@@ -83,7 +84,7 @@ class TaskGraphProblem {
   // Problems without resilient results keep the defaults; tasks that stage
   // outside the declared range are simply never journaled (and therefore
   // recomputed after a restart).
-  virtual std::atomic<std::uint64_t>* result_slots() { return nullptr; }
+  virtual Atomic<std::uint64_t>* result_slots() { return nullptr; }
   virtual std::size_t result_slot_count() const { return 0; }
 
   // --- data lifecycle ------------------------------------------------------

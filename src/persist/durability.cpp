@@ -1,3 +1,4 @@
+#include "check/sync_shim.hpp"
 #include "persist/durability.hpp"
 
 #include <csignal>
@@ -78,7 +79,7 @@ void WalDurability::on_committed(TaskGraphProblem& problem, BlockStore& store,
   // (its successors' records still replay fine: record application is
   // idempotent and ordered).
   std::vector<std::pair<std::uint64_t, std::uint64_t>> staged;
-  std::atomic<std::uint64_t>* base = problem.result_slots();
+  Atomic<std::uint64_t>* base = problem.result_slots();
   const std::size_t n_slots = problem.result_slot_count();
   for (const auto& [slot, value] : pending.staged) {
     if (base == nullptr) return;

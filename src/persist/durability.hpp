@@ -33,6 +33,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/sync_shim.hpp"
 #include "graph/compute_context.hpp"
 #include "graph/exec_report.hpp"
 #include "graph/task_graph_problem.hpp"
@@ -79,7 +80,7 @@ struct DurabilityOptions {
 };
 
 // std::mutex with clang thread-safety capability annotations (the repo's
-// SpinLockGuard pattern, but blocking — WAL appends hold it across file
+// CheckMutexGuard pattern, but blocking — WAL appends hold it across file
 // I/O, where spinning would burn a core per waiter).
 class FTDAG_CAPABILITY("mutex") WalMutex {
  public:
@@ -159,7 +160,7 @@ class WalDurability {
   RestartState restart_;
   // Immutable after construction; lock-free reads from every worker.
   std::unordered_set<TaskKey> restored_;
-  std::atomic<std::uint64_t> skipped_{0};
+  Atomic<std::uint64_t> skipped_{0};
 
   WalMutex lock_;
   WalWriter writer_ FTDAG_GUARDED_BY(lock_);

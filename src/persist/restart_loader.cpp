@@ -1,3 +1,4 @@
+#include "check/sync_shim.hpp"
 #include "persist/restart_loader.hpp"
 
 #include <algorithm>
@@ -173,7 +174,7 @@ RestartState load_restart_state(const std::string& dir,
 
   // Re-apply staged app results (digest-board values) into the restarted
   // process's slots; indices were validated against the declared range.
-  std::atomic<std::uint64_t>* slots = problem.result_slots();
+  Atomic<std::uint64_t>* slots = problem.result_slots();
   if (slots != nullptr) {
     for (const auto& [index, value] : st.staged)
       if (index < n_result_slots)

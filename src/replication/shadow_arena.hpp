@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/sync_shim.hpp"
 #include "support/spin_lock.hpp"
 #include "support/thread_safety.hpp"
 
@@ -27,7 +28,7 @@ class ShadowArena {
 
   std::byte* acquire(std::size_t bytes) {
     {
-      SpinLockGuard guard(lock_);
+      CheckMutexGuard guard(lock_);
       auto it = free_.find(bytes);
       if (it != free_.end() && !it->second.empty()) {
         std::byte* p = it->second.back().release();
@@ -40,19 +41,19 @@ class ShadowArena {
   }
 
   void release(std::byte* p, std::size_t bytes) {
-    SpinLockGuard guard(lock_);
+    CheckMutexGuard guard(lock_);
     free_[bytes].emplace_back(p);
   }
 
   // Buffers that had to be allocated fresh (not served from the free list);
   // steady-state replication should plateau at the high-water buffer count.
   std::size_t allocations() const {
-    SpinLockGuard guard(lock_);
+    CheckMutexGuard guard(lock_);
     return allocations_;
   }
 
  private:
-  mutable SpinLock lock_;
+  mutable CheckMutex lock_;
   std::map<std::size_t, std::vector<std::unique_ptr<std::byte[]>>> free_
       FTDAG_GUARDED_BY(lock_);
   std::size_t allocations_ FTDAG_GUARDED_BY(lock_) = 0;

@@ -27,6 +27,7 @@
 #include <string>
 #include <utility>
 
+#include "check/sync_shim.hpp"
 #include "graph/task_graph_problem.hpp"
 #include "runtime/run_spec.hpp"
 #include "runtime/scheduler.hpp"
@@ -128,8 +129,8 @@ class JobSession {
   const JobLimits limits_;
   Timer clock_;  // started at admission
 
-  std::atomic<JobState> state_{JobState::kQueued};
-  std::atomic<bool> cancel_requested_{false};
+  Atomic<JobState> state_{JobState::kQueued};
+  Atomic<bool> cancel_requested_{false};
 
   mutable std::mutex mutex_;              // guards the cv + result publish
   mutable std::condition_variable cv_;    // wait() blocks here

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "check/sync_shim.hpp"
+
 namespace ftdag {
 
 struct SchedStats {
@@ -39,20 +41,20 @@ struct SchedStats {
 // counters carry no ordering obligations, readers tolerate slightly stale
 // values, and the aggregate is only trusted after the pool is quiescent.
 struct WorkerStats {
-  std::atomic<std::uint64_t> jobs_executed{0};
-  std::atomic<std::uint64_t> steals_attempted{0};
-  std::atomic<std::uint64_t> steals_succeeded{0};
-  std::atomic<std::uint64_t> steal_batch{0};
-  std::atomic<std::uint64_t> probe_rounds{0};
-  std::atomic<std::uint64_t> jobs_pooled{0};
-  std::atomic<std::uint64_t> jobs_heap{0};
+  Atomic<std::uint64_t> jobs_executed{0};
+  Atomic<std::uint64_t> steals_attempted{0};
+  Atomic<std::uint64_t> steals_succeeded{0};
+  Atomic<std::uint64_t> steal_batch{0};
+  Atomic<std::uint64_t> probe_rounds{0};
+  Atomic<std::uint64_t> jobs_pooled{0};
+  Atomic<std::uint64_t> jobs_heap{0};
 
-  void bump(std::atomic<std::uint64_t>& c) {
+  void bump(Atomic<std::uint64_t>& c) {
     c.store(c.load(std::memory_order_relaxed) + 1,
             std::memory_order_relaxed);  // single writer: no RMW needed
   }
 
-  void bump_by(std::atomic<std::uint64_t>& c, std::uint64_t n) {
+  void bump_by(Atomic<std::uint64_t>& c, std::uint64_t n) {
     c.store(c.load(std::memory_order_relaxed) + n,
             std::memory_order_relaxed);  // single writer: no RMW needed
   }

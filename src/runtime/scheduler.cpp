@@ -1,3 +1,4 @@
+#include "check/sync_shim.hpp"
 #include "runtime/scheduler.hpp"
 
 #include "support/assert.hpp"
@@ -120,7 +121,7 @@ void WorkStealingPool::enqueue_tagged(JobNode* job, JobGroup* group) {
   } else {
     // Relaxed: a statistic, trusted only after quiescence.
     injections_.fetch_add(1, std::memory_order_relaxed);
-    SpinLockGuard guard(injection_lock_);
+    CheckMutexGuard guard(injection_lock_);
     injected_.push_back(job);
   }
   signal_work();
@@ -141,7 +142,7 @@ void WorkStealingPool::signal_work() {
 }
 
 JobNode* WorkStealingPool::pop_injected() {
-  SpinLockGuard guard(injection_lock_);
+  CheckMutexGuard guard(injection_lock_);
   if (injected_.empty()) return nullptr;
   JobNode* job = injected_.front();
   injected_.pop_front();
@@ -351,7 +352,7 @@ void WorkStealingPool::parallel_for(
     const std::function<void(std::int64_t, std::int64_t)>& body;
     std::int64_t grain;
     WorkStealingPool& pool;
-    std::atomic<std::int64_t> remaining;
+    Atomic<std::int64_t> remaining;
   };
   ForCtx ctx{body, grain, *this, {end - begin}};
 

@@ -42,6 +42,7 @@
 #include <thread>
 #include <vector>
 
+#include "check/sync_shim.hpp"
 #include "concurrent/chase_lev_deque.hpp"
 #include "runtime/job.hpp"
 #include "runtime/sched_stats.hpp"
@@ -75,7 +76,7 @@ class JobGroup {
 
  private:
   friend class WorkStealingPool;
-  alignas(kCacheLine) std::atomic<std::int64_t> pending_{0};
+  alignas(kCacheLine) Atomic<std::int64_t> pending_{0};
 };
 
 // JobNode packs the group pointer into its header word alongside the
@@ -212,17 +213,17 @@ class WorkStealingPool {
   std::vector<std::thread> threads_;
 
   // Jobs spawned from outside any worker (e.g. the root job).
-  SpinLock injection_lock_;
+  CheckMutex injection_lock_;
   std::deque<JobNode*> injected_ FTDAG_GUARDED_BY(injection_lock_);
 
   // External-spawn statistics (non-worker threads have no WorkerStats).
-  std::atomic<std::uint64_t> injections_{0};
-  std::atomic<std::uint64_t> external_heap_jobs_{0};
+  Atomic<std::uint64_t> injections_{0};
+  Atomic<std::uint64_t> external_heap_jobs_{0};
 
-  alignas(kCacheLine) std::atomic<std::int64_t> pending_{0};
-  alignas(kCacheLine) std::atomic<std::uint64_t> signal_epoch_{0};
-  std::atomic<bool> stop_{false};
-  std::atomic<int> sleepers_{0};
+  alignas(kCacheLine) Atomic<std::int64_t> pending_{0};
+  alignas(kCacheLine) Atomic<std::uint64_t> signal_epoch_{0};
+  Atomic<bool> stop_{false};
+  Atomic<int> sleepers_{0};
 
   std::mutex sleep_mutex_;
   std::condition_variable sleep_cv_;  // workers wait for work

@@ -1,3 +1,4 @@
+#include "check/sync_shim.hpp"
 #include "trace/trace.hpp"
 
 #include <algorithm>
@@ -32,7 +33,7 @@ void ExecutionTrace::record(int worker, TraceKind kind, TaskKey key,
       static_cast<std::size_t>(worker) < worker_buffers_.size()) {
     worker_buffers_[static_cast<std::size_t>(worker)]->records.push_back(r);
   } else {
-    SpinLockGuard guard(overflow_lock_);
+    CheckMutexGuard guard(overflow_lock_);
     overflow_.records.push_back(r);
   }
 }
@@ -40,7 +41,7 @@ void ExecutionTrace::record(int worker, TraceKind kind, TaskKey key,
 std::size_t ExecutionTrace::size() const {
   std::size_t n;
   {
-    SpinLockGuard guard(overflow_lock_);
+    CheckMutexGuard guard(overflow_lock_);
     n = overflow_.records.size();
   }
   for (const auto& b : worker_buffers_) n += b->records.size();
@@ -53,7 +54,7 @@ std::size_t ExecutionTrace::count(TraceKind kind) const {
     for (const TraceRecord& r : b.records) n += (r.kind == kind);
   };
   {
-    SpinLockGuard guard(overflow_lock_);
+    CheckMutexGuard guard(overflow_lock_);
     tally(overflow_);
   }
   for (const auto& b : worker_buffers_) tally(*b);
@@ -64,7 +65,7 @@ std::vector<TraceRecord> ExecutionTrace::merged() const {
   std::vector<TraceRecord> out;
   out.reserve(size());
   {
-    SpinLockGuard guard(overflow_lock_);
+    CheckMutexGuard guard(overflow_lock_);
     out.insert(out.end(), overflow_.records.begin(), overflow_.records.end());
   }
   for (const auto& b : worker_buffers_)
@@ -107,7 +108,7 @@ std::string ExecutionTrace::chrome_json() const {
 
 void ExecutionTrace::clear() {
   {
-    SpinLockGuard guard(overflow_lock_);
+    CheckMutexGuard guard(overflow_lock_);
     overflow_.records.clear();
   }
   for (auto& b : worker_buffers_) b->records.clear();

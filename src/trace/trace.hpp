@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "check/sync_shim.hpp"
 #include "graph/task_key.hpp"
 #include "support/cache.hpp"
 #include "support/spin_lock.hpp"
@@ -75,7 +76,7 @@ class ExecutionTrace {
   // Per-worker buffers are single-writer (each worker appends to its own);
   // the post-quiescence queries below read them unguarded by contract.
   std::vector<CachePadded<Buffer>> worker_buffers_;
-  mutable SpinLock overflow_lock_;
+  mutable CheckMutex overflow_lock_;
   Buffer overflow_ FTDAG_GUARDED_BY(overflow_lock_);
 };
 

@@ -59,7 +59,7 @@ TEST_F(ComputeContextTest, FinalizeRevalidatesReads) {
 TEST_F(ComputeContextTest, FailedRevalidationPublishesNothing) {
   const BlockId src = store_.add_block(sizeof(int), 1);
   const BlockId dst = store_.add_block(sizeof(int), 1);
-  std::atomic<std::uint64_t> result{0};
+  Atomic<std::uint64_t> result{0};
   {
     ComputeContext ctx(store_, 1);
     *ctx.write<int>(src, 0) = 3;
@@ -74,17 +74,17 @@ TEST_F(ComputeContextTest, FailedRevalidationPublishesNothing) {
     EXPECT_THROW(ctx.finalize(), DataBlockFault);
   }
   EXPECT_EQ(store_.state(dst, 0), VersionState::kAbsent);
-  EXPECT_EQ(result.load(), 0u);  // staged result was discarded
+  EXPECT_EQ(result.load(std::memory_order_relaxed), 0u);  // staged result was discarded
 }
 
 TEST_F(ComputeContextTest, StageResultAppliedOnSuccess) {
   const BlockId b = store_.add_block(sizeof(int), 1);
-  std::atomic<std::uint64_t> result{0};
+  Atomic<std::uint64_t> result{0};
   ComputeContext ctx(store_, 1);
   *ctx.write<int>(b, 0) = 1;
   ctx.stage_result(&result, 77);
   ctx.finalize();
-  EXPECT_EQ(result.load(), 77u);
+  EXPECT_EQ(result.load(std::memory_order_relaxed), 77u);
 }
 
 TEST_F(ComputeContextTest, AliasedUpdateReadsOldBytes) {

@@ -1,0 +1,24 @@
+// Fixture: rule D (raw-sync-primitive). Deliberately clean under rules
+// A-C (explicit relaxed orders, no acquire/release sites) so that every
+// finding here isolates the raw-primitive ban — which only applies to
+// this tests/ path when --raw-ban is passed.
+#include <atomic>
+
+#include "support/spin_lock.hpp"
+
+namespace fixture {
+
+struct Counter {
+  std::atomic<int> hits{0};  // want: raw std::atomic
+  ftdag::SpinLock lock;      // want: bare SpinLock
+};
+
+inline int read_hits(Counter& c) {
+  ftdag::SpinLockGuard guard(c.lock);  // want: bare SpinLockGuard
+  return c.hits.load(std::memory_order_relaxed);
+}
+
+// NOLINT-ATOMICS(fixture: the escape hatch must also cover rule D)
+inline std::atomic<unsigned> exempt_ok{0};
+
+}  // namespace fixture

@@ -100,7 +100,30 @@ case(
     want_exit=0,
 )
 
+# Rule D is path-scoped: raw primitives under tests/ are only flagged when
+# --raw-ban forces the rule onto arbitrary paths. Line 22 of the fixture is
+# a raw atomic under a NOLINT-ATOMICS escape and must stay silent.
+case(
+    "raw_primitives_ignored_outside_src",
+    run(f"{fx}/raw_primitive.cpp"),
+    want_exit=0,
+    forbid_substrings=("[raw-sync-primitive]",),
+)
+case(
+    "raw_primitives_flagged_with_raw_ban",
+    run(f"{fx}/raw_primitive.cpp", "--raw-ban"),
+    want_exit=1,
+    want_substrings=(
+        "[raw-sync-primitive]",
+        "raw std::atomic<...>",
+        "bare SpinLock",
+        "bare SpinLockGuard",
+        "check/sync_shim.hpp",
+    ),
+    forbid_substrings=("raw_primitive.cpp:22:",),
+)
+
 if failures:
     print("\n" + "\n\n".join(failures), file=sys.stderr)
     sys.exit(1)
-print(f"\nall {6} lint fixture cases passed")
+print(f"\nall {8} lint fixture cases passed")

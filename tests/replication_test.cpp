@@ -162,12 +162,12 @@ TEST(ShadowContext, StagedResultsAreQueuedButNeverApplied) {
   BlockStore store;
   const BlockId b = store.add_block(sizeof(int), 1);
   ShadowArena arena;
-  std::atomic<std::uint64_t> slot{7};
+  Atomic<std::uint64_t> slot{7};
   ShadowContext sc(store, 1, arena);
   *sc.write<int>(b, 0) = 1;
   sc.stage_result(&slot, 99);
   sc.finalize();
-  EXPECT_EQ(slot.load(), 7u);  // not applied: replica has no side effects
+  EXPECT_EQ(slot.load(std::memory_order_relaxed), 7u);  // not applied: replica has no side effects
   ASSERT_EQ(sc.staged_results().size(), 1u);
   EXPECT_EQ(sc.staged_results()[0].second, 99u);  // but voteable
 }
@@ -187,7 +187,7 @@ TEST(DigestVoter, AgreementIsElementWise) {
 }
 
 TEST(DigestVoter, StagedResultAgreement) {
-  std::atomic<std::uint64_t> slot{0};
+  Atomic<std::uint64_t> slot{0};
   ComputeContext::StagedResults a, b;
   a.push_back({&slot, 42});
   b.push_back({&slot, 42});

@@ -1,0 +1,156 @@
+// End-to-end tests for the schedule-exploration harness (src/check/).
+//
+// In a normal build only the configuration guard is checked — the shim
+// compiles down to std::atomic/SpinLock, so there is nothing to observe
+// and explore() must say so instead of silently passing. The real suite
+// (clean registry passes, mutations are caught, failures replay
+// deterministically) runs under -DFTDAG_SCHED_CHECK=ON; CI's sched-check
+// job builds that configuration.
+
+#include "check/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ftdag::check {
+namespace {
+
+TEST(ScheduleExplorer, UninstrumentedBuildIsAConfigurationError) {
+  if (ScheduleExplorer::instrumentation_enabled()) {
+    GTEST_SKIP() << "FTDAG_SCHED_CHECK build: explore() is functional here";
+  }
+  ScheduleExplorer explorer;
+  const ExploreResult r = explorer.explore(clean_scenarios().front());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.violations[0].message.find("FTDAG_SCHED_CHECK"),
+            std::string::npos);
+  EXPECT_EQ(r.executions, 0u);
+}
+
+TEST(ScheduleExplorer, RegistryShapes) {
+  // Registry sanity runs in every build: names unique, factories produce
+  // the declared thread counts, mutations declare expected tags.
+  for (const Scenario& s : clean_scenarios()) {
+    SCOPED_TRACE(s.name);
+    EXPECT_TRUE(s.expect_tags.empty());
+    EXPECT_EQ(s.make().threads.size(), s.thread_count);
+  }
+  for (const Scenario& s : mutation_scenarios()) {
+    SCOPED_TRACE(s.name);
+    EXPECT_FALSE(s.expect_tags.empty());
+    EXPECT_EQ(s.make().threads.size(), s.thread_count);
+  }
+}
+
+#if defined(FTDAG_SCHED_CHECK)
+
+bool mentions_tag(const ExploreResult& r, const std::string& tag) {
+  const std::string needle = "'" + tag + "'";
+  for (const Violation& v : r.violations) {
+    if (v.message.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+// Every registered clean scenario explores violation-free: exhaustive
+// scenarios must actually exhaust their schedule tree, PCT scenarios run
+// their full schedule budget.
+TEST(ScheduleExplorer, CleanRegistryPasses) {
+  ScheduleExplorer explorer;
+  for (const Scenario& s : clean_scenarios()) {
+    SCOPED_TRACE(s.name);
+    const ExploreResult r = explorer.explore(s);
+    EXPECT_TRUE(r.ok()) << describe_result(s, r);
+    EXPECT_GT(r.executions, 0u);
+    if (s.exhaustive) {
+      EXPECT_TRUE(r.exhausted) << "budget too small to exhaust: "
+                               << r.executions << " executions";
+    } else {
+      EXPECT_GE(r.executions, s.pct_schedules);
+    }
+  }
+}
+
+// Every mutation (reintroduced historical bug) is caught, and the
+// violation names the tag of the racing payload the ISSUE calls out.
+TEST(ScheduleExplorer, MutationsAreCaughtWithTheirTags) {
+  ScheduleExplorer explorer;
+  for (const Scenario& s : mutation_scenarios()) {
+    SCOPED_TRACE(s.name);
+    const ExploreResult r = explorer.explore(s);
+    ASSERT_FALSE(r.ok()) << "mutation was NOT flagged: " << s.name;
+    for (const std::string& tag : s.expect_tags) {
+      EXPECT_TRUE(mentions_tag(r, tag))
+          << "no violation mentions tag '" << tag << "':\n"
+          << describe_result(s, r);
+    }
+    EXPECT_FALSE(r.failing_schedule.empty());
+    EXPECT_FALSE(r.trace.empty());
+  }
+}
+
+// A reported failing schedule replays the same failure deterministically.
+TEST(ScheduleExplorer, FailingScheduleReplaysDeterministically) {
+  ScheduleExplorer explorer;
+  const Scenario s = mutation_scenarios().front();  // mutation-run-gate
+  const ExploreResult first = explorer.explore(s);
+  ASSERT_FALSE(first.ok());
+  ASSERT_FALSE(first.failing_schedule.empty());
+
+  ExploreOptions replay;
+  replay.mode = ExploreOptions::Mode::kReplay;
+  replay.replay_schedule = first.failing_schedule;
+  for (int i = 0; i < 3; ++i) {
+    const ExploreResult again = explorer.explore(s, replay);
+    ASSERT_FALSE(again.ok()) << "replay did not reproduce (iteration " << i
+                             << ")";
+    EXPECT_EQ(again.executions, 1u);
+    ASSERT_EQ(again.violations.size(), first.violations.size());
+    for (std::size_t v = 0; v < first.violations.size(); ++v) {
+      EXPECT_EQ(again.violations[v].message, first.violations[v].message);
+    }
+  }
+}
+
+// A PCT failure reports the per-schedule seed, and re-running PCT with
+// that seed and a budget of one schedule reproduces it.
+TEST(ScheduleExplorer, PctFailingSeedReplays) {
+  ScheduleExplorer explorer;
+  const Scenario s = mutation_scenarios().front();  // mutation-run-gate
+
+  ExploreOptions pct;
+  pct.mode = ExploreOptions::Mode::kPct;
+  pct.pct_schedules = 500;
+  const ExploreResult first = explorer.explore(s, pct);
+  ASSERT_FALSE(first.ok()) << "PCT budget found no failure";
+  ASSERT_TRUE(first.failing_seed_valid);
+
+  ExploreOptions again;
+  again.mode = ExploreOptions::Mode::kPct;
+  again.seed = first.failing_seed;
+  again.pct_schedules = 1;
+  const ExploreResult repro = explorer.explore(s, again);
+  ASSERT_FALSE(repro.ok()) << "failing seed did not reproduce";
+  EXPECT_EQ(repro.executions, 1u);
+  EXPECT_EQ(repro.failing_schedule, first.failing_schedule);
+}
+
+// The formatted failure block carries everything needed to reproduce:
+// FAIL marker, violation kind, replay schedule line, and the event trace.
+TEST(ScheduleExplorer, DescribeResultCarriesReplayInfo) {
+  ScheduleExplorer explorer;
+  const Scenario s = mutation_scenarios().front();
+  const ExploreResult r = explorer.explore(s);
+  ASSERT_FALSE(r.ok());
+  const std::string text = describe_result(s, r);
+  EXPECT_NE(text.find("FAIL"), std::string::npos);
+  EXPECT_NE(text.find("[data-race]"), std::string::npos);
+  EXPECT_NE(text.find("replay schedule:"), std::string::npos);
+  EXPECT_NE(text.find("step 0:"), std::string::npos);
+}
+
+#endif  // FTDAG_SCHED_CHECK
+
+}  // namespace
+}  // namespace ftdag::check
