@@ -136,6 +136,9 @@ class JsonRows {
 // Durability flags shared by persistence-aware benches:
 //   --persist-dir=PATH   enable the durability subsystem in PATH
 //   --wal-sync=MODE      none | batch | every
+//   --wal-flush-us=N     journal flush interval in microseconds (>= 1):
+//                        an unsynced kBatch tail older than this is
+//                        fsynced even below the batch-records threshold
 //   --snapshot-every=N   snapshot + WAL rotation cadence (0 = never)
 // Registered only by benches that call this, so the others keep rejecting
 // the flags loudly via check_unknown().
@@ -148,6 +151,8 @@ inline persist::DurabilityOptions parse_durability_options(const Cli& cli) {
                  sync.c_str());
     std::exit(2);
   }
+  o.flush_interval_us = static_cast<std::uint64_t>(cli.get_positive_int(
+      "wal-flush-us", static_cast<std::int64_t>(o.flush_interval_us)));
   o.snapshot_every =
       static_cast<std::uint64_t>(cli.get_nonneg_int("snapshot-every", 0));
   return o;

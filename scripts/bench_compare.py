@@ -2,7 +2,8 @@
 """Compare two bench_hotpath JSON files with a regression tolerance.
 
 Usage:
-  bench_compare.py BASELINE CURRENT [--tolerance=PCT]
+  bench_compare.py BASELINE CURRENT [--tolerance=PCT] [--summary]
+  bench_compare.py --summary FILE [FILE...]
   bench_compare.py --check-format FILE [FILE...]
 
 Compare mode joins rows on (name, threads) and reports the relative delta
@@ -16,6 +17,12 @@ row regresses, so CI can A/B a PR against the committed baseline:
   ./bench_hotpath --out=current.json
   scripts/bench_compare.py BENCH_hotpath.json current.json
 
+--summary prints one geometric-mean line per file (ns_per_op over the
+microbenchmark rows, mean_s over the e2e rows) — a single number CI logs
+can eyeball across runs. With two positional files it rides on top of
+compare mode, which keeps the non-zero exit on regression; with any other
+count it only summarizes.
+
 --check-format validates that each file parses as a list of row objects
 with the schema bench_hotpath emits (used by the CI bench-smoke step to
 keep the committed baseline and the harness output in sync). No third-party
@@ -23,6 +30,7 @@ dependencies; stdlib only.
 """
 
 import json
+import math
 import sys
 
 REQUIRED_FIELDS = {
@@ -86,6 +94,34 @@ def check_format(paths):
     return 1 if failures else 0
 
 
+def geomean(values):
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def summarize(path):
+    """One geomean line per file: micro rows by ns_per_op, e2e by mean_s."""
+    try:
+        rows = load_rows(path)
+    except (OSError, json.JSONDecodeError, KeyError, TypeError) as err:
+        print(f"{path}: summary FAIL ({err})")
+        return 1
+    micro = [r["ns_per_op"] for r in rows.values() if r["ops"] > 0]
+    e2e = [r["mean_s"] for r in rows.values() if r["ops"] == 0]
+    parts = []
+    if micro:
+        parts.append(f"micro geomean {geomean(micro):.4g} ns/op "
+                     f"({len(micro)} rows)")
+    if e2e:
+        parts.append(f"e2e geomean {geomean(e2e):.4g} s ({len(e2e)} rows)")
+    if not parts:
+        parts.append("no rows")
+    print(f"{path}: " + ", ".join(parts))
+    return 0
+
+
 def load_rows(path):
     with open(path) as f:
         rows = json.load(f)
@@ -136,9 +172,12 @@ def main(argv):
     flags = [a for a in argv[1:] if a.startswith("--")]
     tolerance = DEFAULT_TOLERANCE_PCT
     check = False
+    summary = False
     for flag in flags:
         if flag == "--check-format":
             check = True
+        elif flag == "--summary":
+            summary = True
         elif flag.startswith("--tolerance="):
             tolerance = float(flag.split("=", 1)[1])
         else:
@@ -149,6 +188,18 @@ def main(argv):
             print("--check-format needs at least one file", file=sys.stderr)
             return 2
         return check_format(args)
+    if summary:
+        if not args:
+            print("--summary needs at least one file", file=sys.stderr)
+            return 2
+        status = 0
+        for path in args:
+            status = max(status, summarize(path))
+        # Exactly two files: fall through to compare so the regression
+        # exit code still gates CI; otherwise summaries are the output.
+        if len(args) != 2 or status != 0:
+            return status
+        print()
     if len(args) != 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2

@@ -73,6 +73,10 @@ DEFAULT_HOT_PATH = (
     # src/persist/: the WAL commit hook runs once per task on the engine's
     # publish path, so its atomics face the same scrutiny.
     "durability.hpp",
+    # The group-commit ring: every commit crosses the worker->journal
+    # stamp handoff and the durable-epoch ack, all lock-free.
+    "commit_pipeline.hpp",
+    "commit_pipeline.cpp",
     # src/runtime/: per-job completion tags ride every spawn/finish
     # (JobGroup pending counts), and job-state publication is what wait()
     # and the Runtime counters synchronize through.

@@ -266,37 +266,71 @@ Execution make_jobgroup_expiry() {
   return e;
 }
 
-// --- wal-commit (transcription of durability.hpp on_committed) ---------
-// The WAL record is journaled under WalMutex BEFORE the task status
-// publish, so any observer of the committed status finds the record in
-// the log (prefix-consistency; DESIGN.md §9).
+// --- wal-commit (transcription of the commit-ring publish/drain) -------
+// The group-commit pipeline (persist/commit_pipeline.cpp): a worker takes
+// its global sequence from the publish counter, seats the serialized
+// record in a ring cell, and publishes the cell stamp with a release
+// store (`wal-ring-slot`). The journal thread's acquire load of that
+// stamp is the only edge that makes the record bytes visible before it
+// appends them and advances the durable epoch (`wal-durable-seq`). Under
+// WalSync::kEvery the worker acks that epoch before the engine publishes
+// the task status, so a committed status still implies a journaled
+// record (prefix-consistency; DESIGN.md §9). The mutation models a drain
+// that skips the sequence check — reading the cell after only a relaxed
+// stamp probe — which turns the record read into a data race.
 
 struct WalState {
-  CheckMutex wal_mutex;
-  Shared<int> wal_records{0};
+  Atomic<std::uint64_t> pub_seq{0};      // CommitPipeline::enqueue_pos_
+  Atomic<std::uint64_t> slot_stamp{0};   // Cell::stamp, one-cell ring
+  Shared<int> record{0};                 // CommitEntry::record bytes
+  Atomic<std::uint64_t> durable_seq{0};  // epoch advanced after the fsync
+  Shared<int> journal_log{0};            // the on-disk image
   Atomic<int> status{0};
   int observed = -1;
 };
 
-Execution make_wal_commit() {
+Execution make_wal_commit(bool mutated) {
   auto st = std::make_shared<WalState>();
   Execution e;
-  e.threads.push_back([st] {  // committer
-    {
-      CheckMutexGuard guard(st->wal_mutex FTDAG_SYNC_TAG("wal-mutex"));
-      st->wal_records.set(st->wal_records.get("wal-log") + 1, "wal-log");
-    }
+  e.threads.push_back([st] {  // worker: publish, every-mode durable ack
+    const std::uint64_t pos = st->pub_seq.fetch_add(
+        1, std::memory_order_relaxed FTDAG_SYNC_TAG("wal-pub-seq"));
+    st->record.set(1, "wal-ring-record");
+    st->slot_stamp.store(
+        pos + 1, std::memory_order_release FTDAG_SYNC_TAG("wal-ring-slot"));
+    await(
+        [st, pos] {
+          return st->durable_seq.load(std::memory_order_relaxed) >= pos + 1;
+        },
+        "wal-durable-seq");
+    st->durable_seq.load(std::memory_order_acquire
+                             FTDAG_SYNC_TAG("wal-durable-seq"));
     st->status.store(1, std::memory_order_release FTDAG_SYNC_TAG("task-status"));
+  });
+  e.threads.push_back([st, mutated] {  // journal thread: sequence-order drain
+    await(
+        [st] { return st->slot_stamp.load(std::memory_order_relaxed) == 1; },
+        "wal-ring-slot");
+    if (!mutated) {
+      // The drain's ready check: the acquire on the cell stamp is what
+      // publishes the record bytes to the journal thread. The mutation
+      // drops it (drains on the relaxed probe alone) and must be flagged.
+      st->slot_stamp.load(std::memory_order_acquire
+                              FTDAG_SYNC_TAG("wal-ring-slot"));
+    }
+    st->journal_log.set(st->record.get("wal-ring-record"), "wal-journal-log");
+    st->durable_seq.store(
+        1, std::memory_order_release FTDAG_SYNC_TAG("wal-durable-seq"));
   });
   e.threads.push_back([st] {  // observer of the committed status
     await([st] { return st->status.load(std::memory_order_relaxed) == 1; },
           "task-status");
     st->status.load(std::memory_order_acquire FTDAG_SYNC_TAG("task-status"));
-    st->observed = st->wal_records.get("wal-log");
+    st->observed = st->journal_log.get("wal-journal-log");
   });
   e.invariant = [st](std::string& why) {
     if (st->observed != 1) {
-      why = "status published before its WAL record was journaled";
+      why = "status published before its record reached the journal";
       return false;
     }
     return true;
@@ -495,10 +529,11 @@ std::vector<Scenario> clean_scenarios() {
       make_jobgroup_expiry, 3, /*exhaustive=*/false));
   out.push_back(scenario(
       "wal-commit",
-      "durability on_committed: WAL journaled under `wal-mutex` before the "
-      "status publish, so committed status implies a logged record "
-      "(`task-status`)",
-      make_wal_commit, 2, /*exhaustive=*/true));
+      "commit-ring publish/drain: record seated before the `wal-ring-slot` "
+      "release, drained under acquire, every-mode ack via `wal-durable-seq` "
+      "before the status publish",
+      [] { return make_wal_commit(/*mutated=*/false); }, 3,
+      /*exhaustive=*/true));
   out.push_back(scenario(
       "pool-recycle",
       "job-block recycle: payload publish via deque handoff, reuse only "
@@ -538,6 +573,16 @@ std::vector<Scenario> mutation_scenarios() {
         [] { return make_parallel_for(/*mutated=*/true); }, 3,
         /*exhaustive=*/true);
     s.expect_tags = {"parfor-iteration"};
+    out.push_back(std::move(s));
+  }
+  {
+    Scenario s = scenario(
+        "mutation-wal-drain",
+        "journal drain that skips the sequence check (relaxed stamp probe, "
+        "no acquire): the record read must be flagged as a race",
+        [] { return make_wal_commit(/*mutated=*/true); }, 3,
+        /*exhaustive=*/true);
+    s.expect_tags = {"wal-ring-record"};
     out.push_back(std::move(s));
   }
   {

@@ -3,11 +3,13 @@
 //
 // The policy decides whether committed task completions outlive the
 // process: the real implementation (persist::WalDurability, in
-// src/persist/durability.hpp) journals every commit to a write-ahead log
-// before the Computed status is published and lets a restarted process
-// skip tasks recovered from disk. This header only provides the off
-// switch, so the engine — and every executor that does not opt in — never
-// depends on the persistence subsystem.
+// src/persist/durability.hpp) serializes every commit into a record,
+// publishes it to a group-commit pipeline whose sequence numbering runs
+// BEFORE the Computed status publish (the prefix-consistency ordering the
+// engine documents at the on_committed call site), and lets a restarted
+// process skip tasks recovered from disk. This header only provides the
+// off switch, so the engine — and every executor that does not opt in —
+// never depends on the persistence subsystem.
 //
 // Contract (all hooks invoked under `if constexpr (Durability::kEnabled)`,
 // so NoDurability needs none of them and the walk compiles to exactly the
@@ -17,9 +19,13 @@
 //   bool is_restored(key);                   waive input-liveness checks for
 //                                            restored consumers
 //   void capture(ctx, pending);              save staged results pre-publish
-//   void on_committed(problem, store, key, pending);  journal (may throw
+//   void on_committed(problem, store, key, pending);  serialize + publish
+//                                            to the commit ring; blocks for
+//                                            the durable epoch under
+//                                            WalSync::kEvery (may throw
 //                                            FaultException into recovery)
-//   void fill(report);                       populate the wal_*/skip counters
+//   void fill(report);                       quiesce the pipeline, populate
+//                                            the wal_*/skip counters
 
 namespace ftdag::engine {
 

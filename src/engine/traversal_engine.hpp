@@ -387,12 +387,31 @@ class TraversalEngine {
       // can read the outputs until the status flips below.
       fault_.injection_point(FaultPhase::kAfterCompute, a, store_, problem_);
       if (plan.replicate) detection_.vote_or_recover(*this, key, life, plan);
-      // Journal the completion only after detection accepted the outputs,
-      // and before the status publish: a consumer can then only ever
-      // observe a producer whose record precedes its own — every WAL
-      // prefix is a dependency-closed cut. A DataBlockFault here (outputs
-      // displaced/corrupted since commit) aborts the publish into the
-      // ordinary recovery path; the re-execution journals instead.
+      // Publish/ack protocol of the group-commit pipeline, derived here
+      // because this ordering is what makes it correct:
+      //   1. on_committed runs only after detection accepted the outputs,
+      //      and assigns the record's global WAL sequence number (one
+      //      fetch_add inside CommitPipeline::publish) BEFORE the Computed
+      //      status store below.
+      //   2. A consumer reaches its own on_committed only after the
+      //      acquire load of this producer's Computed status
+      //      (register_or_skip / notify), so producer-seq -> status
+      //      release -> consumer acquire -> consumer-seq chains
+      //      happens-before through one atomic: the consumer's sequence
+      //      number is strictly greater than every flow producer's.
+      //   3. The journal thread writes records to disk in sequence order,
+      //      so every on-disk prefix is a dependency-closed cut and a
+      //      crash loses only the unflushed suffix.
+      // Ack point: under WalSync::kEvery, on_committed returns only once
+      // the pipeline's durable epoch covers the record (a group fsync) —
+      // published status still implies "on stable storage". kBatch/kNone
+      // return right after the ring publish: the status may be visible
+      // before the record reaches the file, which trades the old
+      // "process death loses nothing" guarantee for an unflushed-suffix
+      // loss window (DESIGN.md §9). A DataBlockFault inside the hook
+      // (outputs displaced/corrupted since commit) aborts the publish
+      // into the ordinary recovery path; the re-execution journals
+      // instead.
       if constexpr (kDurable)
         durability_.on_committed(problem_, store_, key, pending);
     }

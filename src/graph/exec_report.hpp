@@ -44,6 +44,12 @@ struct ExecReport {
   std::uint64_t snapshots_written = 0;  // frontier snapshots emitted
   std::uint64_t tasks_skipped_on_restart = 0;  // computes skipped because
                                                // the task was restored
+  // Group-commit pipeline (commit_pipeline.hpp) — the observability knobs
+  // for fsync coalescing: fsyncs << records means group commit is working.
+  std::uint64_t wal_fsyncs = 0;         // fsync(2) calls the journal issued
+  std::uint64_t wal_flush_batches = 0;  // non-empty drain batches written
+  std::uint64_t wal_ack_wait_ns = 0;    // total ns workers waited for the
+                                        // durable epoch (WalSync::kEvery)
 
   // Checkpoint/restart comparator only (the CheckpointRetention policy):
   std::uint64_t levels = 0;       // topological levels in the BSP schedule

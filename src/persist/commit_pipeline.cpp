@@ -1,0 +1,335 @@
+#include "persist/commit_pipeline.hpp"
+
+#include <algorithm>
+#include <csignal>
+
+#include "support/assert.hpp"
+
+namespace ftdag::persist {
+namespace {
+
+// Records coalesced per drain batch. The ring capacity (default 256) is
+// the practical bound; this only caps the transient buffer.
+constexpr std::size_t kMaxBatch = 1024;
+
+// Bounded spins before a waiter parks on the condvar. Short on purpose:
+// the waits here end with file I/O (a write or an fsync), which takes far
+// longer than a futex round trip, so burning a core rarely pays.
+constexpr int kPublishSpin = 128;
+constexpr int kAckSpin = 256;
+
+}  // namespace
+
+CommitPipeline::CommitPipeline(const DurabilityOptions& options,
+                               std::uint64_t layout, const BlockStore& store,
+                               const RestartState& restart)
+    : options_(options), layout_(layout) {
+  std::uint64_t cap = 2;
+  while (cap < options_.ring_capacity) cap <<= 1;
+  capacity_ = cap;
+  mask_ = cap - 1;
+  cells_ = std::make_unique<Cell[]>(capacity_);
+  for (std::uint64_t i = 0; i < capacity_; ++i)
+    cells_[i].stamp.store(i, std::memory_order_relaxed);
+
+  checkpoint_.prime(store, restart.committed, restart.staged, restart.seq);
+  std::string error;
+  bool ok;
+  if (restart.wal_valid_bytes > 0)
+    ok = writer_.open_append(wal_path(options_.dir, restart.seq),
+                             restart.wal_valid_bytes, &error);
+  else
+    ok = writer_.open_fresh(wal_path(options_.dir, restart.seq), layout_,
+                            restart.seq, &error);
+  FTDAG_ASSERT(ok, "cannot open WAL segment in persist dir");
+  (void)ok;
+
+  last_flush_ = std::chrono::steady_clock::now();
+  journal_ = std::thread([this] { journal_main(); });
+}
+
+CommitPipeline::~CommitPipeline() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+    work_cv_.notify_one();
+  }
+  if (journal_.joinable()) journal_.join();
+  // Final group commit for the drained tail, mirroring the synchronous
+  // path's destructor: kNone keeps its write(2)-only contract.
+  if (options_.sync != WalSync::kNone) writer_.sync();
+  writer_.close();
+}
+
+std::uint64_t CommitPipeline::publish(CommitEntry entry) {
+  // The global sequence number. fetch_add's total order plus the engine's
+  // publish-before-status rule is what keeps the on-disk order a
+  // dependency-closed prefix (see the header derivation).
+  const std::uint64_t pos =
+      enqueue_pos_.fetch_add(1, std::memory_order_relaxed);
+  Cell& cell = cells_[pos & mask_];
+
+  // Ring-full backpressure: wait until the journal has freed this slot.
+  // pairs: wal-ring-free
+  if (cell.stamp.load(std::memory_order_acquire) != pos) {
+    bool free = false;
+    for (int spin = 0; spin < kPublishSpin && !free; ++spin) {
+      // pairs: wal-ring-free
+      free = cell.stamp.load(std::memory_order_acquire) == pos;
+      if (!free && (spin & 15) == 15) std::this_thread::yield();
+    }
+    if (!free) {
+      std::unique_lock<std::mutex> lk(mu_);
+      state_cv_.wait(lk, [&] {
+        // pairs: wal-ring-free
+        return cell.stamp.load(std::memory_order_acquire) == pos;
+      });
+    }
+  }
+
+  cell.entry = std::move(entry);
+  // Hand the slot to the journal; the release publishes the entry payload.
+  // pairs: wal-ring-slot
+  cell.stamp.store(pos + 1, std::memory_order_release);
+
+  // Wake the journal only when it parked; taking mu_ makes the wakeup
+  // race-free against the park (the flag read may miss a concurrent park,
+  // which the journal's timed wait bounds to one flush interval).
+  if (journal_idle_.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lk(mu_);
+    work_cv_.notify_one();
+  }
+  return pos;
+}
+
+std::uint64_t CommitPipeline::wait_durable(std::uint64_t pos) {
+  // Fast path: a group fsync already covered this record.
+  // pairs: wal-durable-seq
+  if (durable_seq_.load(std::memory_order_acquire) > pos) return 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  bool covered = false;
+  for (int spin = 0; spin < kAckSpin && !covered; ++spin) {
+    // pairs: wal-durable-seq
+    covered = durable_seq_.load(std::memory_order_acquire) > pos;
+    if (!covered && (spin & 15) == 15) std::this_thread::yield();
+  }
+  if (!covered) {
+    std::unique_lock<std::mutex> lk(mu_);
+    state_cv_.wait(lk, [&] {
+      // pairs: wal-durable-seq
+      return durable_seq_.load(std::memory_order_acquire) > pos;
+    });
+  }
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  ack_wait_ns_.fetch_add(static_cast<std::uint64_t>(ns),
+                         std::memory_order_relaxed);
+  return static_cast<std::uint64_t>(ns);
+}
+
+void CommitPipeline::quiesce() {
+  // Callers (fill, tests) run after every publisher has returned, so a
+  // relaxed read of the publish count is the true total. Waiting on the
+  // folded stats_ counter — not written_seq_ — is deliberate: the journal
+  // advances written_seq_ mid-batch and folds stats_ only at batch end, so
+  // a written_seq_ barrier could return with the counters still unfolded.
+  const std::uint64_t target = enqueue_pos_.load(std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lk(mu_);
+  if (stats_.records >= target) return;
+  work_cv_.notify_one();  // cut the park timeout short
+  state_cv_.wait(lk, [&] { return stats_.records >= target; });
+}
+
+CommitPipelineStats CommitPipeline::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void CommitPipeline::journal_main() {
+  std::vector<CommitEntry> batch;
+  batch.reserve(kMaxBatch);
+  for (;;) {
+    // Drain the contiguous ready run in sequence order.
+    batch.clear();
+    std::uint64_t n = 0;
+    const std::uint64_t first = written_seq_.load(std::memory_order_relaxed);
+    while (n < kMaxBatch) {
+      Cell& cell = cells_[(first + n) & mask_];
+      // pairs: wal-ring-slot
+      if (cell.stamp.load(std::memory_order_acquire) != first + n + 1) break;
+      batch.push_back(std::move(cell.entry));
+      cell.entry = CommitEntry{};
+      // Free the slot for the producer one lap ahead.
+      // pairs: wal-ring-free
+      cell.stamp.store(first + n + capacity_, std::memory_order_release);
+      ++n;
+    }
+
+    if (n == 0) {
+      // Flush-interval expiry: fsync an unsynced kBatch tail even when
+      // batch_records never accumulated.
+      if (options_.sync == WalSync::kBatch && unsynced_ > 0 &&
+          std::chrono::steady_clock::now() - last_flush_ >=
+              std::chrono::microseconds(options_.flush_interval_us)) {
+        CommitPipelineStats delta;
+        fsync_now(first, delta);
+        std::lock_guard<std::mutex> lk(mu_);
+        stats_.fsyncs += delta.fsyncs;
+        state_cv_.notify_all();
+        continue;
+      }
+      std::unique_lock<std::mutex> lk(mu_);
+      if (stop_ && enqueue_pos_.load(std::memory_order_relaxed) == first)
+        break;
+      journal_idle_.store(true, std::memory_order_relaxed);
+      work_cv_.wait_for(
+          lk,
+          std::chrono::microseconds(
+              std::max<std::uint64_t>(options_.flush_interval_us, 50)),
+          [&] {
+            if (stop_) return true;
+            return cells_[first & mask_].stamp.load(
+                       std::memory_order_acquire) ==  // pairs: wal-ring-slot
+                   first + 1;
+          });
+      journal_idle_.store(false, std::memory_order_relaxed);
+      continue;
+    }
+
+    // Free space is worth a wakeup before the (possibly millisecond-long)
+    // file I/O: producers blocked on a full ring can refill immediately.
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      state_cv_.notify_all();
+    }
+    write_batch(batch, first);
+  }
+}
+
+void CommitPipeline::write_batch(std::vector<CommitEntry>& batch,
+                                 std::uint64_t first) {
+  const bool crash_hooks =
+      options_.crash_after_records > 0 || options_.crash_torn_tail;
+  CommitPipelineStats delta;
+  std::vector<const std::string*> chunk_records;
+
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    // Chunk up to the next snapshot boundary so the rotation cadence stays
+    // exact under batching.
+    std::size_t chunk = batch.size() - i;
+    if (options_.snapshot_every > 0)
+      chunk = static_cast<std::size_t>(std::min<std::uint64_t>(
+          chunk, options_.snapshot_every - since_snapshot_));
+
+    if (crash_hooks) {
+      // Record-at-a-time so the injected SIGKILL lands at an exact on-disk
+      // record count: after the write(2), before any fsync, with the rest
+      // of the batch (and the ring) unwritten — the journal-thread crash
+      // window the restart tests aim at.
+      for (std::size_t j = 0; j < chunk; ++j) {
+        const CommitEntry& e = batch[i + j];
+        if (options_.crash_torn_tail &&
+            records_written_ == options_.crash_after_records) {
+          (void)writer_.append_prefix(e.record, e.record.size() / 2);
+          std::raise(SIGKILL);
+        }
+        FTDAG_ASSERT(writer_.append(e.record), "WAL append failed");
+        ++records_written_;
+        delta.bytes += e.record.size();
+        if (!options_.crash_torn_tail &&
+            records_written_ >= options_.crash_after_records) {
+          // SIGKILL on purpose: no destructors, no flushes — only what
+          // write(2)/fsync(2) already made durable survives, which is
+          // exactly the guarantee under test.
+          std::raise(SIGKILL);
+        }
+      }
+    } else {
+      chunk_records.clear();
+      for (std::size_t j = 0; j < chunk; ++j) {
+        chunk_records.push_back(&batch[i + j].record);
+        delta.bytes += batch[i + j].record.size();
+      }
+      FTDAG_ASSERT(
+          writer_.append_batch(chunk_records.data(), chunk_records.size()),
+          "WAL batch append failed");
+      records_written_ += chunk;
+    }
+
+    // Fold into the snapshot shadow in sequence order (the shadow must
+    // always equal "what replaying the log so far would produce").
+    for (std::size_t j = 0; j < chunk; ++j) {
+      const CommitEntry& e = batch[i + j];
+      checkpoint_.apply(e.key, e.staged, e.outputs);
+    }
+    delta.records += chunk;
+    unsynced_ += static_cast<std::uint32_t>(chunk);
+    // Journal-private drain cursor (no other thread reads it): relaxed.
+    written_seq_.store(first + i + chunk, std::memory_order_relaxed);
+
+    if (options_.snapshot_every > 0) {
+      since_snapshot_ += chunk;
+      if (since_snapshot_ >= options_.snapshot_every) {
+        rotate(first + i + chunk, delta);
+        since_snapshot_ = 0;
+      }
+    }
+    i += chunk;
+  }
+
+  ++delta.flush_batches;
+  switch (options_.sync) {
+    case WalSync::kNone:
+      break;
+    case WalSync::kBatch:
+      if (unsynced_ >= options_.batch_records)
+        fsync_now(first + batch.size(), delta);
+      break;
+    case WalSync::kEvery:
+      // Group commit: ONE fsync acknowledges every record in the batch.
+      if (unsynced_ > 0) fsync_now(first + batch.size(), delta);
+      break;
+  }
+
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_.records += delta.records;
+  stats_.bytes += delta.bytes;
+  stats_.fsyncs += delta.fsyncs;
+  stats_.flush_batches += delta.flush_batches;
+  stats_.snapshots += delta.snapshots;
+  state_cv_.notify_all();
+}
+
+void CommitPipeline::fsync_now(std::uint64_t written,
+                               CommitPipelineStats& delta) {
+  writer_.sync();
+  ++delta.fsyncs;
+  unsynced_ = 0;
+  last_flush_ = std::chrono::steady_clock::now();
+  // Epoch publish: every wait_durable(pos < written) can return now.
+  // pairs: wal-durable-seq
+  durable_seq_.store(written, std::memory_order_release);
+}
+
+void CommitPipeline::rotate(std::uint64_t written, CommitPipelineStats& delta) {
+  // Complete the current segment on disk first, so the fallback chain
+  // (previous snapshot + this segment) is whole before its successor
+  // snapshot appears.
+  fsync_now(written, delta);
+  std::string error;
+  if (!checkpoint_.emit(options_.dir, layout_, &error)) {
+    // Snapshot emission is an optimization (it only shortens replay); on
+    // I/O failure keep appending to the current segment.
+    return;
+  }
+  ++delta.snapshots;
+  writer_.close();
+  const bool ok = writer_.open_fresh(wal_path(options_.dir, checkpoint_.seq()),
+                                     layout_, checkpoint_.seq(), &error);
+  FTDAG_ASSERT(ok, "cannot rotate to a fresh WAL segment");
+  (void)ok;
+}
+
+}  // namespace ftdag::persist

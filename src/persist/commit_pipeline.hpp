@@ -1,0 +1,231 @@
+#pragma once
+// CommitPipeline: the pipelined group-commit WAL behind WalDurability.
+//
+// PR 5 journaled every completion synchronously under one writer mutex, so
+// workers serialized on serialization + write(2) and, under `--wal-sync
+// every`, paid a full fsync per task. The pipeline takes all of that off
+// the worker hot path:
+//
+//   worker:  serialize the record           (no shared state touched)
+//            publish to the commit ring     (one relaxed fetch_add + one
+//                                            release store)
+//            [kEvery only] wait until the durable epoch covers the record
+//
+//   journal: drain the ring in sequence order, coalesce contiguous records
+//            into large writev(2) batches, fold each into the snapshot
+//            shadow, issue ONE fsync per batch (group commit), then
+//            release-publish `durable_seq` — a single fsync acknowledges
+//            every worker whose record the batch covered.
+//
+// Ordering invariant (the §9 prefix rule, re-derived for the ring): the
+// global sequence number is assigned by `enqueue_pos_.fetch_add` inside
+// publish(), which the engine calls BEFORE it release-publishes the task's
+// Computed status; a consumer task only reaches its own publish() after
+// acquire-loading that status. fetch_add on a single atomic is totally
+// ordered, and producer-publish -> status-release -> consumer-acquire ->
+// consumer-publish chains happens-before through it — so a consumer's
+// sequence number is always strictly greater than each flow producer's.
+// The journal writes records to disk in sequence order, therefore every
+// on-disk prefix is still a dependency-closed consistent cut, and a crash
+// loses only a sequence-suffix (the unflushed tail).
+//
+// Backpressure: the ring is bounded; a producer that laps the journal
+// spins briefly on its slot's stamp and then blocks on a condvar until the
+// journal frees the slot, so memory stays bounded under any publish rate.
+//
+// Sync policies over the same pipeline:
+//   kEvery  publish, then wait_durable(seq): the commit hook returns only
+//           after a group fsync covered the record. The published status
+//           still implies "on stable storage", at ~1/batch the fsync cost.
+//   kBatch  fire-and-forget publish; the journal fsyncs when
+//           `batch_records` records accumulate or `flush_interval_us`
+//           elapses with an unsynced tail, whichever comes first.
+//   kNone   fire-and-forget publish; write(2) only, no fsync.
+// Under every policy a crash can now lose the suffix still in the ring
+// (user-space memory) — see DESIGN.md §9 for the rewritten durable-when
+// table; kNone/kBatch no longer get the "process death loses nothing"
+// guarantee the synchronous path gave them for free.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "blocks/block_store.hpp"
+#include "check/sync_shim.hpp"
+#include "graph/task_key.hpp"
+#include "persist/checkpoint_writer.hpp"
+#include "persist/restart_loader.hpp"
+#include "persist/wal.hpp"
+
+namespace ftdag::persist {
+
+// When committed records are forced to stable storage (see the policy
+// table above; parse/name helpers live in durability.cpp).
+enum class WalSync {
+  kNone = 0,   // write(2) only, no fsync
+  kBatch = 1,  // group fsync per batch_records / flush_interval_us
+  kEvery = 2,  // commit hook acks only after a group fsync covers the record
+};
+
+// Returns true and fills `out` for "none"/"batch"/"every".
+bool parse_wal_sync(const std::string& text, WalSync* out);
+const char* wal_sync_name(WalSync sync);
+
+struct DurabilityOptions {
+  // Directory for snapshots and WAL segments. Empty disables durability
+  // entirely (the executor then instantiates the NoDurability engine).
+  std::string dir;
+
+  WalSync sync = WalSync::kBatch;
+  std::uint32_t batch_records = 32;  // group-commit threshold under kBatch
+
+  // Journal flush cadence under kBatch: an unsynced tail older than this
+  // is fsynced even when batch_records has not accumulated, bounding the
+  // machine-death loss window in time as well as in records.
+  std::uint64_t flush_interval_us = 500;
+
+  // Commit-ring slots (rounded up to a power of two). Bounds how far the
+  // workers can run ahead of the journal thread before backpressure.
+  std::uint32_t ring_capacity = 256;
+
+  // Emit a snapshot (and rotate the WAL) every N committed records; 0
+  // disables snapshots, leaving a single ever-growing WAL segment.
+  std::uint64_t snapshot_every = 0;
+
+  // Load persisted state on construction. When false, existing persist
+  // artifacts in `dir` are deleted and the run starts fresh.
+  bool resume = true;
+
+  // Crash-test hook: SIGKILL the process from inside the journal thread
+  // immediately after it appends this many records — after the write(2),
+  // before any fsync, with the rest of the drained batch (and whatever is
+  // still in the ring) unwritten. 0 disables. Used by the crash-restart
+  // harness to stop at exact on-disk record counts.
+  std::uint64_t crash_after_records = 0;
+
+  // Crash-test hook: after crash_after_records full records, append only
+  // the first half of the next record's bytes before the SIGKILL, leaving
+  // a deliberately torn tail the restart scan must discard.
+  bool crash_torn_tail = false;
+
+  bool enabled() const { return !dir.empty(); }
+};
+
+// One publishable completion. The worker serializes the record (framing
+// included) before publish; the structured parts ride along so the journal
+// thread can fold the record into the snapshot shadow without decoding.
+struct CommitEntry {
+  TaskKey key = 0;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> staged;
+  std::vector<WalOutputPayload> outputs;
+  std::string record;  // encode_wal_record bytes, ready for writev
+};
+
+// Journal-side counters, exported into ExecReport by WalDurability::fill.
+struct CommitPipelineStats {
+  std::uint64_t records = 0;        // records appended this run
+  std::uint64_t bytes = 0;          // bytes appended this run
+  std::uint64_t fsyncs = 0;         // fsync(2) calls issued
+  std::uint64_t flush_batches = 0;  // non-empty drain batches written
+  std::uint64_t snapshots = 0;      // snapshot rotations completed
+};
+
+class CommitPipeline {
+ public:
+  // Primes the snapshot shadow from the restart state, opens (or reopens)
+  // the active WAL segment, and starts the journal thread. The store must
+  // be quiescent (WalDurability constructs this before the walk starts).
+  CommitPipeline(const DurabilityOptions& options, std::uint64_t layout,
+                 const BlockStore& store, const RestartState& restart);
+
+  // Drains every published record, issues a final sync (unless kNone) and
+  // joins the journal thread.
+  ~CommitPipeline();
+
+  CommitPipeline(const CommitPipeline&) = delete;
+  CommitPipeline& operator=(const CommitPipeline&) = delete;
+
+  // --- worker side -----------------------------------------------------------
+
+  // Publishes one completion to the commit ring and returns its global
+  // sequence position (0-based). Blocks only when the ring is full
+  // (bounded spin, then condvar).
+  std::uint64_t publish(CommitEntry entry);
+
+  // Blocks until the durable epoch covers `pos` (a record is durable once
+  // a group fsync covered it). Returns nanoseconds spent waiting; the fast
+  // path — epoch already past `pos` — costs one acquire load and returns 0.
+  std::uint64_t wait_durable(std::uint64_t pos);
+
+  // Drain barrier: every record published before the call is on disk (in
+  // the page cache at least) when it returns. Used by fill() so reported
+  // counters cover the whole run, and by tests.
+  void quiesce();
+
+  // Counter snapshot; call quiesce() first for end-of-run totals.
+  CommitPipelineStats stats() const;
+
+  // Total nanoseconds workers spent blocked in wait_durable.
+  std::uint64_t ack_wait_ns() const {
+    return ack_wait_ns_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Cell {
+    // Vyukov-style slot stamp: `pos` = free for the producer of sequence
+    // `pos`; `pos + 1` = occupied, ready for the journal; `pos + capacity`
+    // = consumed, free for the producer of `pos + capacity`.
+    Atomic<std::uint64_t> stamp{0};
+    CommitEntry entry;
+  };
+
+  void journal_main();
+  // Appends `batch` (first sequence position `first`), folds it into the
+  // snapshot shadow, honours the crash hooks and snapshot cadence, then
+  // runs the sync policy. Journal thread only.
+  void write_batch(std::vector<CommitEntry>& batch, std::uint64_t first);
+  // Group fsync covering the first `written` records + epoch publish.
+  void fsync_now(std::uint64_t written, CommitPipelineStats& delta);
+  // Snapshot emission + fresh WAL segment (journal thread only).
+  void rotate(std::uint64_t written, CommitPipelineStats& delta);
+
+  DurabilityOptions options_;
+  std::uint64_t layout_ = 0;
+  std::uint64_t capacity_ = 0;
+  std::uint64_t mask_ = 0;
+  std::unique_ptr<Cell[]> cells_;
+
+  Atomic<std::uint64_t> enqueue_pos_{0};  // next sequence position
+  Atomic<std::uint64_t> written_seq_{0};  // journal-private drain cursor
+  Atomic<std::uint64_t> durable_seq_{0};  // records covered by a fsync
+  Atomic<std::uint64_t> ack_wait_ns_{0};
+  Atomic<bool> journal_idle_{false};
+
+  // Handshake lock for the condvars only: the parked journal, producers
+  // blocked on a full ring, kEvery ack waiters, and quiesce(). The data
+  // path (publish/drain) never takes it. `stats_` is folded under it once
+  // per batch so stats() readers never see torn counters.
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // journal parks here
+  std::condition_variable state_cv_;  // waiters for space/epoch progress
+  bool stop_ = false;
+  CommitPipelineStats stats_;
+
+  // Journal-thread-owned after construction (no lock: single owner).
+  WalWriter writer_;
+  CheckpointWriter checkpoint_;
+  std::uint64_t records_written_ = 0;  // appends this process (crash hooks)
+  std::uint32_t unsynced_ = 0;
+  std::uint64_t since_snapshot_ = 0;
+  std::chrono::steady_clock::time_point last_flush_;
+
+  std::thread journal_;
+};
+
+}  // namespace ftdag::persist

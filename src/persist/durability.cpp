@@ -1,7 +1,6 @@
 #include "check/sync_shim.hpp"
 #include "persist/durability.hpp"
 
-#include <csignal>
 #include <cstring>
 #include <filesystem>
 
@@ -51,25 +50,12 @@ WalDurability::WalDurability(TaskGraphProblem& problem,
   restart_ = load_restart_state(options_.dir, problem);
   restored_.insert(restart_.committed.begin(), restart_.committed.end());
 
-  WalMutexGuard guard(lock_);
-  checkpoint_.prime(store, restart_.committed, restart_.staged, restart_.seq);
-  std::string error;
-  bool ok;
-  if (restart_.wal_valid_bytes > 0)
-    ok = writer_.open_append(wal_path(options_.dir, restart_.seq),
-                             restart_.wal_valid_bytes, &error);
-  else
-    ok = writer_.open_fresh(wal_path(options_.dir, restart_.seq), layout_,
-                            restart_.seq, &error);
-  FTDAG_ASSERT(ok, "cannot open WAL segment in persist dir");
-  (void)ok;
+  // The pipeline primes the snapshot shadow, opens the active WAL segment
+  // and starts the journal thread.
+  pipeline_.emplace(options_, layout_, store, restart_);
 }
 
-WalDurability::~WalDurability() {
-  WalMutexGuard guard(lock_);
-  if (options_.sync != WalSync::kNone) writer_.sync();
-  writer_.close();
-}
+WalDurability::~WalDurability() = default;
 
 void WalDurability::on_committed(TaskGraphProblem& problem, BlockStore& store,
                                  TaskKey key, const Pending& pending) {
@@ -111,68 +97,30 @@ void WalDurability::on_committed(TaskGraphProblem& problem, BlockStore& store,
     payloads.push_back(std::move(p));
   }
 
-  const std::string record = encode_wal_record(key, staged, payloads);
+  // Serialization happens here, on the worker, outside any shared state;
+  // the publish itself is one fetch_add plus one release store.
+  CommitEntry entry;
+  entry.key = key;
+  entry.staged = std::move(staged);
+  entry.outputs = std::move(payloads);
+  entry.record = encode_wal_record(key, entry.staged, entry.outputs);
 
-  WalMutexGuard guard(lock_);
-  FTDAG_ASSERT(writer_.append(record), "WAL append failed");
-  ++wal_records_;
-  wal_bytes_ += record.size();
-  checkpoint_.apply(key, staged, payloads);
+  const std::uint64_t pos = pipeline_->publish(std::move(entry));
 
-  switch (options_.sync) {
-    case WalSync::kNone:
-      break;
-    case WalSync::kBatch:
-      if (++unsynced_ >= options_.batch_records) {
-        writer_.sync();
-        unsynced_ = 0;
-      }
-      break;
-    case WalSync::kEvery:
-      writer_.sync();
-      break;
-  }
-
-  if (options_.snapshot_every > 0 &&
-      ++since_snapshot_ >= options_.snapshot_every) {
-    rotate();
-    since_snapshot_ = 0;
-  }
-
-  if (options_.crash_after_records > 0 &&
-      wal_records_ >= options_.crash_after_records) {
-    // The injected death is SIGKILL on purpose: no destructors, no flushes
-    // — only what write(2)/fsync(2) already made durable survives, which
-    // is exactly the guarantee under test.
-    std::raise(SIGKILL);
-  }
-}
-
-void WalDurability::rotate() {
-  // Complete the current segment on disk first, so the fallback chain
-  // (previous snapshot + this segment) is whole before its successor
-  // snapshot appears.
-  writer_.sync();
-  std::string error;
-  if (!checkpoint_.emit(options_.dir, layout_, &error)) {
-    // Snapshot emission is an optimization (it only shortens replay); on
-    // I/O failure keep appending to the current segment.
-    return;
-  }
-  ++snapshots_written_;
-  writer_.close();
-  const bool ok = writer_.open_fresh(wal_path(options_.dir, checkpoint_.seq()),
-                                     layout_, checkpoint_.seq(), &error);
-  FTDAG_ASSERT(ok, "cannot rotate to a fresh WAL segment");
-  (void)ok;
-  unsynced_ = 0;
+  // kEvery ack point: the commit hook returns — and the engine publishes
+  // the Computed status — only once a group fsync covered this record.
+  if (options_.sync == WalSync::kEvery) pipeline_->wait_durable(pos);
 }
 
 void WalDurability::fill(ExecReport& report) {
-  WalMutexGuard guard(lock_);
-  report.wal_records = wal_records_;
-  report.wal_bytes = wal_bytes_;
-  report.snapshots_written = snapshots_written_;
+  pipeline_->quiesce();
+  const CommitPipelineStats s = pipeline_->stats();
+  report.wal_records = s.records;
+  report.wal_bytes = s.bytes;
+  report.snapshots_written = s.snapshots;
+  report.wal_fsyncs = s.fsyncs;
+  report.wal_flush_batches = s.flush_batches;
+  report.wal_ack_wait_ns = pipeline_->ack_wait_ns();
   report.tasks_skipped_on_restart = skipped_.load(std::memory_order_relaxed);
 }
 

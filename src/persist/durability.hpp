@@ -15,19 +15,25 @@
 //                         predecessor must not trigger spurious recovery).
 //   capture(ctx, pending) copies the compute's staged result values out of
 //                         the ComputeContext before it dies.
-//   on_committed(...)     journals the completion to the WAL *before* the
-//                         Computed status is published — the ordering that
-//                         makes every WAL prefix a dependency-closed cut
-//                         (see wal.hpp).
+//   on_committed(...)     serializes the completion and publishes it to
+//                         the group-commit pipeline *before* the Computed
+//                         status is published; the pipeline's sequence
+//                         numbering keeps every WAL prefix a
+//                         dependency-closed cut (commit_pipeline.hpp).
+//                         Under WalSync::kEvery the hook additionally
+//                         waits for the durable epoch to cover the record,
+//                         so a published status still implies "on stable
+//                         storage" — at a group-commit fsync rate instead
+//                         of one fsync per task.
 //
-// Locking: one writer mutex serializes WAL appends, fsyncs, shadow-frontier
-// folds, and snapshot rotation. File I/O can block for milliseconds, so
-// this is a real (annotated) mutex, not a spin lock; the skip-path lookups
-// stay lock-free against the immutable restored set.
+// The PR 5 writer mutex is gone: workers never touch the WAL file or the
+// snapshot shadow. All file I/O, shadow folds and rotation belong to the
+// pipeline's journal thread; the skip-path lookups stay lock-free against
+// the immutable restored set.
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_set>
 #include <utility>
@@ -37,70 +43,11 @@
 #include "graph/compute_context.hpp"
 #include "graph/exec_report.hpp"
 #include "graph/task_graph_problem.hpp"
-#include "persist/checkpoint_writer.hpp"
+#include "persist/commit_pipeline.hpp"
 #include "persist/restart_loader.hpp"
 #include "persist/wal.hpp"
-#include "support/thread_safety.hpp"
 
 namespace ftdag::persist {
-
-// When committed records are forced to stable storage.
-enum class WalSync {
-  kNone = 0,   // write(2) only: survives process death via the page cache
-  kBatch = 1,  // fsync every batch_records appends (bounded machine-death loss)
-  kEvery = 2,  // fsync per record: a published task is always on disk
-};
-
-// Returns true and fills `out` for "none"/"batch"/"every".
-bool parse_wal_sync(const std::string& text, WalSync* out);
-const char* wal_sync_name(WalSync sync);
-
-struct DurabilityOptions {
-  // Directory for snapshots and WAL segments. Empty disables durability
-  // entirely (the executor then instantiates the NoDurability engine).
-  std::string dir;
-
-  WalSync sync = WalSync::kBatch;
-  std::uint32_t batch_records = 32;  // fsync cadence under WalSync::kBatch
-
-  // Emit a snapshot (and rotate the WAL) every N committed records; 0
-  // disables snapshots, leaving a single ever-growing WAL segment.
-  std::uint64_t snapshot_every = 0;
-
-  // Load persisted state on construction. When false, existing persist
-  // artifacts in `dir` are deleted and the run starts fresh.
-  bool resume = true;
-
-  // Crash-test hook: SIGKILL the process from inside on_committed once this
-  // many records were appended by this process. 0 disables. Used by the
-  // crash-restart harness to stop at exact commit points.
-  std::uint64_t crash_after_records = 0;
-
-  bool enabled() const { return !dir.empty(); }
-};
-
-// std::mutex with clang thread-safety capability annotations (the repo's
-// CheckMutexGuard pattern, but blocking — WAL appends hold it across file
-// I/O, where spinning would burn a core per waiter).
-class FTDAG_CAPABILITY("mutex") WalMutex {
- public:
-  void lock() FTDAG_ACQUIRE() { m_.lock(); }
-  void unlock() FTDAG_RELEASE() { m_.unlock(); }
-
- private:
-  std::mutex m_;
-};
-
-class FTDAG_SCOPED_CAPABILITY WalMutexGuard {
- public:
-  explicit WalMutexGuard(WalMutex& m) FTDAG_ACQUIRE(m) : m_(m) { m_.lock(); }
-  ~WalMutexGuard() FTDAG_RELEASE() { m_.unlock(); }
-  WalMutexGuard(const WalMutexGuard&) = delete;
-  WalMutexGuard& operator=(const WalMutexGuard&) = delete;
-
- private:
-  WalMutex& m_;
-};
 
 class WalDurability {
  public:
@@ -112,10 +59,14 @@ class WalDurability {
     ComputeContext::StagedResults staged;
   };
 
-  // Loads persisted state (unless options.resume is false) and restores
-  // the problem's BlockStore and result slots. The store must be in its
-  // reset state (the executor constructs this after reset_data()).
+  // Loads persisted state (unless options.resume is false), restores the
+  // problem's BlockStore and result slots, and starts the journal thread.
+  // The store must be in its reset state (the executor constructs this
+  // after reset_data()).
   WalDurability(TaskGraphProblem& problem, const DurabilityOptions& options);
+
+  // Drains the pipeline (every published record reaches the file, with a
+  // final fsync unless WalSync::kNone) and joins the journal thread.
   ~WalDurability();
 
   WalDurability(const WalDurability&) = delete;
@@ -141,19 +92,20 @@ class WalDurability {
   // Journals one committed task. Reads the committed outputs back from the
   // store (throwing DataBlockFault into the engine's recovery path if a
   // concurrent recovery displaced or an injector corrupted them — such
-  // outputs must not be persisted), then appends + syncs + folds into the
-  // snapshot shadow under the writer lock.
+  // outputs must not be persisted), serializes the record, publishes it to
+  // the commit ring, and — under WalSync::kEvery — waits for the durable
+  // epoch to cover it.
   void on_committed(TaskGraphProblem& problem, BlockStore& store, TaskKey key,
-                    const Pending& pending) FTDAG_EXCLUDES(lock_);
+                    const Pending& pending);
 
-  void fill(ExecReport& report) FTDAG_EXCLUDES(lock_);
+  // Quiesces the pipeline (all published records written) and exports the
+  // journal counters, so reported totals always cover the whole run.
+  void fill(ExecReport& report);
 
   // Restart outcome of this instance's construction (diagnostics included).
   const RestartState& restart() const { return restart_; }
 
  private:
-  void rotate() FTDAG_REQUIRES(lock_);
-
   TaskGraphProblem& problem_;
   DurabilityOptions options_;
   std::uint64_t layout_ = 0;
@@ -162,14 +114,9 @@ class WalDurability {
   std::unordered_set<TaskKey> restored_;
   Atomic<std::uint64_t> skipped_{0};
 
-  WalMutex lock_;
-  WalWriter writer_ FTDAG_GUARDED_BY(lock_);
-  CheckpointWriter checkpoint_ FTDAG_GUARDED_BY(lock_);
-  std::uint64_t wal_records_ FTDAG_GUARDED_BY(lock_) = 0;
-  std::uint64_t wal_bytes_ FTDAG_GUARDED_BY(lock_) = 0;
-  std::uint64_t snapshots_written_ FTDAG_GUARDED_BY(lock_) = 0;
-  std::uint32_t unsynced_ FTDAG_GUARDED_BY(lock_) = 0;
-  std::uint64_t since_snapshot_ FTDAG_GUARDED_BY(lock_) = 0;
+  // Constructed after the restart state is loaded (engaged for the whole
+  // object lifetime thereafter).
+  std::optional<CommitPipeline> pipeline_;
 };
 
 }  // namespace ftdag::persist

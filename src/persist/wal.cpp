@@ -1,8 +1,10 @@
 #include "persist/wal.hpp"
 
 #include <fcntl.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -11,6 +13,10 @@ namespace ftdag::persist {
 namespace {
 
 constexpr std::size_t kFrameBytes = 12;  // magic + length + crc
+
+// iovecs per writev(2) call. POSIX guarantees IOV_MAX >= 16; 64 already
+// amortizes the syscall across a full default commit batch.
+constexpr std::size_t kMaxIov = 64;
 
 bool write_all(int fd, const char* data, std::size_t n) {
   while (n > 0) {
@@ -108,6 +114,56 @@ bool WalWriter::append(const std::string& record) {
   if (fd_ < 0) return false;
   if (!write_all(fd_, record.data(), record.size())) return false;
   size_ += record.size();
+  dirty_ = true;
+  return true;
+}
+
+bool WalWriter::append_batch(const std::string* const* records,
+                             std::size_t n) {
+  if (fd_ < 0) return false;
+  std::size_t done = 0;
+  while (done < n) {
+    const std::size_t m = std::min(n - done, kMaxIov);
+    struct iovec iov[kMaxIov];
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::string& r = *records[done + i];
+      iov[i].iov_base = const_cast<char*>(r.data());
+      iov[i].iov_len = r.size();
+      total += r.size();
+    }
+    const ssize_t w = ::writev(fd_, iov, static_cast<int>(m));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    size_ += static_cast<std::uint64_t>(w);
+    dirty_ = true;
+    if (static_cast<std::size_t>(w) < total) {
+      // Short writev (rare): finish the chunk record by record, skipping
+      // the bytes the kernel already took.
+      std::size_t skip = static_cast<std::size_t>(w);
+      for (std::size_t i = 0; i < m; ++i) {
+        const std::string& r = *records[done + i];
+        if (skip >= r.size()) {
+          skip -= r.size();
+          continue;
+        }
+        if (!write_all(fd_, r.data() + skip, r.size() - skip)) return false;
+        size_ += r.size() - skip;
+        skip = 0;
+      }
+    }
+    done += m;
+  }
+  return true;
+}
+
+bool WalWriter::append_prefix(const std::string& record, std::size_t bytes) {
+  if (fd_ < 0) return false;
+  const std::size_t n = std::min(bytes, record.size());
+  if (!write_all(fd_, record.data(), n)) return false;
+  size_ += n;
   dirty_ = true;
   return true;
 }

@@ -61,9 +61,9 @@ std::string encode_wal_record(
     const std::vector<std::pair<std::uint64_t, std::uint64_t>>& staged,
     const std::vector<WalOutputPayload>& outputs);
 
-// Appender over one WAL segment file. Not thread-safe; the caller
-// serializes appends (WalDurability holds its writer lock across append
-// and the policy-driven sync).
+// Appender over one WAL segment file. Not thread-safe; a single owner
+// serializes appends (the commit pipeline's journal thread is the sole
+// writer after construction).
 class WalWriter {
  public:
   WalWriter() = default;
@@ -85,6 +85,15 @@ class WalWriter {
 
   // Appends one encoded record. Returns false on I/O error.
   bool append(const std::string& record);
+
+  // Appends a contiguous run of encoded records, coalescing them into as
+  // few writev(2) calls as the iovec limit allows (the group-commit batch
+  // path). Returns false on I/O error.
+  bool append_batch(const std::string* const* records, std::size_t n);
+
+  // Crash-test hook: appends only the first `bytes` bytes of `record`,
+  // leaving a deliberately torn tail for the restart scan to discard.
+  bool append_prefix(const std::string& record, std::size_t bytes);
 
   // fsync(2) on the segment; a no-op when nothing was appended since the
   // last sync.

@@ -49,6 +49,16 @@ struct RunSpec {
   // resume with reps > 1 is rejected at admission: every rep after the
   // first would restore the finished state and skip all tasks, so
   // crash/restart experiments want reps = 1 per process.
+  //
+  // Journal-thread lifecycle: each durable run owns one group-commit
+  // journal thread (persist::CommitPipeline), started when the engine
+  // constructs its durability policy; fill() quiesces the commit ring
+  // before the run's ExecReport is populated, and the policy's destructor
+  // joins the thread and syncs per the wal-sync policy before execute()
+  // returns — so a job that reaches a terminal state has no journaling
+  // still in flight. Concurrent durable jobs run one journal thread each,
+  // over disjoint job_tag directories; Runtime shutdown needs no extra
+  // drain step.
   persist::DurabilityOptions durability;
 
   // Stable per-job label. When set and durability is enabled, persist

@@ -4,9 +4,9 @@
 namespace ftdag {
 
 inline constexpr int kVersionMajor = 1;
-inline constexpr int kVersionMinor = 7;
+inline constexpr int kVersionMinor = 8;
 inline constexpr int kVersionPatch = 0;
 
-inline constexpr const char* kVersionString = "1.7.0";
+inline constexpr const char* kVersionString = "1.8.0";
 
 }  // namespace ftdag

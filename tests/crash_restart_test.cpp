@@ -1,9 +1,11 @@
 // Crash-restart proof for the durability subsystem (src/persist/): child
 // processes run the fault-tolerant executor with a persist dir and are
-// SIGKILLed from inside the commit hook at exact record counts — no
-// destructors, no flushes; only what write(2)/fsync(2) already made durable
-// survives. The parent then resumes from the same directory and must
-// produce byte-identical results to an uninterrupted run.
+// SIGKILLed from inside the journal thread's drain window at exact on-disk
+// record counts — after the write(2), before any fsync, with the rest of
+// the drained batch (and whatever the commit ring still holds) unwritten.
+// No destructors, no flushes; only what write(2)/fsync(2) already made
+// durable survives. The parent then resumes from the same directory and
+// must produce byte-identical results to an uninterrupted run.
 //
 // The children deliberately use no gtest machinery: they fork, execute, and
 // either die by SIGKILL or _Exit with a tiny status code the parent asserts
@@ -27,6 +29,7 @@
 #include "graph/graph_metrics.hpp"
 #include "harness/experiment.hpp"
 #include "persist/format.hpp"
+#include "persist/wal.hpp"
 
 namespace ftdag {
 namespace {
@@ -65,7 +68,7 @@ enum : int {
 // injected SIGKILL. Returns the raw waitpid status.
 int run_child(const std::string& dir, WalSync sync,
               std::uint64_t crash_after_records,
-              std::uint64_t snapshot_every = 0) {
+              std::uint64_t snapshot_every = 0, bool crash_torn_tail = false) {
   fflush(nullptr);  // don't double-flush inherited stdio buffers
   const pid_t pid = fork();
   if (pid == 0) {
@@ -80,6 +83,7 @@ int run_child(const std::string& dir, WalSync sync,
       opts.durability.sync = sync;
       opts.durability.crash_after_records = crash_after_records;
       opts.durability.snapshot_every = snapshot_every;
+      opts.durability.crash_torn_tail = crash_torn_tail;
       app->reset_data();
       exec.execute(*app, pool, nullptr, nullptr, opts);
       code = app->result_checksum() == want ? kChildOk : kChildBadChecksum;
@@ -187,6 +191,66 @@ TEST(CrashRestart, SigkillAfterSnapshotRotationResumesFromSnapshot) {
   const std::uint64_t tasks = analyze_graph(*app).tasks;
   ExecReport r = resume_here(*app, tmp.path, WalSync::kEvery, 10);
   EXPECT_GE(r.tasks_skipped_on_restart, 25u);
+  EXPECT_EQ(r.computes + r.tasks_skipped_on_restart, tasks);
+  EXPECT_EQ(app->result_checksum(), app->reference_checksum());
+}
+
+// SIGKILL inside the journal thread's drain window while the commit ring
+// is non-empty: the kill fires right after the journal's write(2) of the
+// 10th record, with the rest of the drained batch — and whatever the ring
+// still held — published but never written. Those records are exactly the
+// unflushed suffix a crash may lose: the on-disk prefix holds 10 whole
+// records (dependency-closed by the sequence order), and the resume
+// replays precisely them and recomputes the rest.
+TEST(CrashRestart, JournalMidDrainKillLosesExactlyTheUnwrittenSuffix) {
+  TempDir tmp;
+  const int status = run_child(tmp.path, WalSync::kNone, 10);
+  ASSERT_TRUE(killed_by_sigkill(status));
+
+  auto app = make_app(kApp, kConfig);
+  const std::uint64_t tasks = analyze_graph(*app).tasks;
+
+  persist::DirListing ls = persist::scan_dir(tmp.path);
+  ASSERT_EQ(ls.wals.size(), 1u);
+  persist::WalScan scan = persist::read_wal_segment(
+      persist::wal_path(tmp.path, ls.wals[0]),
+      persist::layout_signature(app->block_store()), ls.wals[0]);
+  ASSERT_TRUE(scan.header_ok);
+  EXPECT_EQ(scan.records.size(), 10u);     // exactly the journaled prefix
+  EXPECT_EQ(scan.discarded_bytes, 0u);     // whole records: nothing torn
+
+  ExecReport r = resume_here(*app, tmp.path, WalSync::kNone);
+  EXPECT_EQ(r.tasks_skipped_on_restart, 10u);
+  EXPECT_EQ(r.computes, tasks - 10u);
+  EXPECT_EQ(app->result_checksum(), app->reference_checksum());
+}
+
+// SIGKILL mid-append, batch partially written: the journal wrote 10 whole
+// records plus the first half of the 11th — a torn frame inside the batch
+// write, exactly what machine death during writev can leave. The restart
+// scan must keep the 10-record prefix, discard exactly the torn suffix
+// (with a diagnostic), and the resumed run must converge byte-identically.
+TEST(CrashRestart, TornTailFromMidBatchKillIsDiscardedOnRestart) {
+  TempDir tmp;
+  const int status = run_child(tmp.path, WalSync::kBatch, 10,
+                               /*snapshot_every=*/0, /*crash_torn_tail=*/true);
+  ASSERT_TRUE(killed_by_sigkill(status));
+
+  auto app = make_app(kApp, kConfig);
+  const std::uint64_t tasks = analyze_graph(*app).tasks;
+
+  persist::DirListing ls = persist::scan_dir(tmp.path);
+  ASSERT_EQ(ls.wals.size(), 1u);
+  persist::WalScan scan = persist::read_wal_segment(
+      persist::wal_path(tmp.path, ls.wals[0]),
+      persist::layout_signature(app->block_store()), ls.wals[0]);
+  ASSERT_TRUE(scan.header_ok);
+  EXPECT_EQ(scan.records.size(), 10u);
+  EXPECT_GT(scan.discarded_bytes, 0u);     // the torn half-record
+  EXPECT_FALSE(scan.diagnostic.empty());
+
+  ExecReport r = resume_here(*app, tmp.path, WalSync::kBatch);
+  EXPECT_EQ(r.tasks_skipped_on_restart, 10u);
   EXPECT_EQ(r.computes + r.tasks_skipped_on_restart, tasks);
   EXPECT_EQ(app->result_checksum(), app->reference_checksum());
 }
